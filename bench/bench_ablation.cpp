@@ -1,0 +1,85 @@
+//===- bench/bench_ablation.cpp - Experiment A1 --------------------------------===//
+///
+/// Ablation study backing the paper's synergy claim ("Each component by
+/// itself contributes a small portion of the overall performance
+/// improvement. But, the synergy among them results in significant
+/// gains"): the full VLIW pipeline versus the pipeline with each technique
+/// disabled, geomean over the six workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace vsc;
+
+namespace {
+
+struct Knob {
+  const char *Name;
+  void (*Disable)(PipelineOptions &);
+};
+
+const Knob Knobs[] = {
+    {"full pipeline", [](PipelineOptions &) {}},
+    {"- load/store motion",
+     [](PipelineOptions &O) { O.LoadStoreMotion = false; }},
+    {"- unspeculation", [](PipelineOptions &O) { O.Unspeculation = false; }},
+    {"- unroll+rename",
+     [](PipelineOptions &O) { O.UnrollAndRename = false; }},
+    {"- pipelining (EPS)", [](PipelineOptions &O) { O.Pipelining = false; }},
+    {"- global scheduling",
+     [](PipelineOptions &O) { O.GlobalScheduling = false; }},
+    {"- limited combining", [](PipelineOptions &O) { O.Combining = false; }},
+    {"- block expansion",
+     [](PipelineOptions &O) { O.BlockExpansion = false; }},
+    {"- tailored prologs",
+     [](PipelineOptions &O) { O.TailorProlog = false; }},
+};
+
+} // namespace
+
+static void BM_FullPipelineCompile(benchmark::State &State) {
+  for (auto _ : State) {
+    auto M = buildWorkload(specWorkloads()[1]);
+    optimize(*M, OptLevel::Vliw);
+    benchmark::DoNotOptimize(M->instrCount());
+  }
+  State.SetLabel("li");
+}
+BENCHMARK(BM_FullPipelineCompile)->Unit(benchmark::kMillisecond);
+
+int main(int Argc, char **Argv) {
+  MachineModel Machine = rs6000();
+
+  // Baseline: classical cycles per workload.
+  std::vector<uint64_t> ClassicalCycles;
+  std::vector<RunResult> ClassicalRuns;
+  for (const Workload &W : specWorkloads()) {
+    auto M = buildAt(W, OptLevel::Classical, Machine);
+    ClassicalRuns.push_back(runRef(*M, W, Machine));
+    ClassicalCycles.push_back(ClassicalRuns.back().Cycles);
+  }
+
+  std::printf("Ablation: geomean speedup over classical when one technique "
+              "is disabled\n");
+  std::printf("%-22s %10s\n", "configuration", "speedup");
+  for (const Knob &K : Knobs) {
+    std::vector<double> Speedups;
+    for (size_t I = 0; I != specWorkloads().size(); ++I) {
+      const Workload &W = specWorkloads()[I];
+      auto M = buildWorkload(W);
+      PipelineOptions Opts;
+      Opts.Machine = Machine;
+      K.Disable(Opts);
+      optimize(*M, OptLevel::Vliw, Opts);
+      RunResult R = runRef(*M, W, Machine);
+      checkSame(ClassicalRuns[I], R, K.Name);
+      Speedups.push_back(static_cast<double>(ClassicalCycles[I]) /
+                         static_cast<double>(R.Cycles));
+    }
+    std::printf("%-22s %9.1f%%\n", K.Name,
+                (geomean(Speedups) - 1.0) * 100.0);
+  }
+  std::printf("\n");
+  return runRegisteredBenchmarks(Argc, Argv);
+}

@@ -1,0 +1,41 @@
+//===- bench/bench_code_size.cpp - Experiment E4 -------------------------------===//
+///
+/// The paper quotes "an average code size increase of 8%" for the VLIW
+/// pipeline (unrolling, bookkeeping copies and basic block expansion grow
+/// code; combining and unspeculation shrink it). This bench reports static
+/// instruction counts per level.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace vsc;
+
+static void BM_CodeSizeQuery(benchmark::State &State) {
+  const Workload &W = specWorkloads()[0];
+  auto M = buildAt(W, OptLevel::Vliw, rs6000());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M->instrCount());
+}
+BENCHMARK(BM_CodeSizeQuery);
+
+int main(int Argc, char **Argv) {
+  std::printf("Static code size (instructions)\n");
+  std::printf("%-10s %10s %10s %10s %10s\n", "Benchmark", "none",
+              "classical", "vliw", "vliw/cls");
+  std::vector<double> Ratios;
+  for (const Workload &W : specWorkloads()) {
+    auto MN = buildAt(W, OptLevel::None, rs6000());
+    auto MC = buildAt(W, OptLevel::Classical, rs6000());
+    auto MV = buildAt(W, OptLevel::Vliw, rs6000());
+    double Ratio = static_cast<double>(MV->instrCount()) /
+                   static_cast<double>(MC->instrCount());
+    Ratios.push_back(Ratio);
+    std::printf("%-10s %10zu %10zu %10zu %9.0f%%\n", W.Name.c_str(),
+                MN->instrCount(), MC->instrCount(), MV->instrCount(),
+                (Ratio - 1.0) * 100.0);
+  }
+  std::printf("%-10s %10s %10s %10s %9.0f%%   (paper: +8%%)\n\n", "geomean",
+              "", "", "", (geomean(Ratios) - 1.0) * 100.0);
+  return runRegisteredBenchmarks(Argc, Argv);
+}

@@ -1,0 +1,60 @@
+//===- bench/bench_compile_time.cpp - Experiment E3 ---------------------------===//
+///
+/// The paper quotes "an average compile time increase of 36%" for the VLIW
+/// pipeline over -O, dominated by VLIW scheduling. This bench measures
+/// wall-clock optimize() time per workload at each level.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <chrono>
+
+using namespace vsc;
+
+namespace {
+
+double compileSeconds(const Workload &W, OptLevel L, int Reps = 5) {
+  using Clock = std::chrono::steady_clock;
+  double Best = 1e30;
+  for (int R = 0; R != Reps; ++R) {
+    auto M = buildWorkload(W);
+    auto T0 = Clock::now();
+    optimize(*M, L);
+    auto T1 = Clock::now();
+    Best = std::min(Best,
+                    std::chrono::duration<double>(T1 - T0).count());
+  }
+  return Best;
+}
+
+} // namespace
+
+static void BM_CompileVliw(benchmark::State &State) {
+  const Workload &W = specWorkloads()[static_cast<size_t>(State.range(0))];
+  for (auto _ : State) {
+    auto M = buildWorkload(W);
+    optimize(*M, OptLevel::Vliw);
+    benchmark::DoNotOptimize(M->instrCount());
+  }
+  State.SetLabel(W.Name);
+}
+BENCHMARK(BM_CompileVliw)->DenseRange(0, 5)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int Argc, char **Argv) {
+  std::printf("Compile time: classical vs VLIW pipeline (best of 5)\n");
+  std::printf("%-10s %14s %14s %10s\n", "Benchmark", "classical(ms)",
+              "vliw(ms)", "increase");
+  std::vector<double> Ratios;
+  for (const Workload &W : specWorkloads()) {
+    double C = compileSeconds(W, OptLevel::Classical);
+    double V = compileSeconds(W, OptLevel::Vliw);
+    Ratios.push_back(V / C);
+    std::printf("%-10s %14.2f %14.2f %9.0f%%\n", W.Name.c_str(), C * 1e3,
+                V * 1e3, (V / C - 1.0) * 100.0);
+  }
+  std::printf("%-10s %14s %14s %9.0f%%   (paper: +36%%)\n\n", "geomean", "",
+              "", (geomean(Ratios) - 1.0) * 100.0);
+  return runRegisteredBenchmarks(Argc, Argv);
+}

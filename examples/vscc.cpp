@@ -1,0 +1,154 @@
+//===- examples/vscc.cpp - Command-line mini-C compiler driver --------------===//
+///
+/// The "real tool": compiles a mini-C file, optimizes it, and either dumps
+/// the IR or runs it on a machine model.
+///
+///   example_vscc FILE.c [options] [-- args...]
+///     -O0 | -O2 | -O3      optimization level (none/classical/vliw; -O3)
+///     --machine=NAME       rs6000 (default), power2, ppc601
+///     --pdf                profile on the same inputs first, then apply
+///                          profile-directed feedback
+///     --inline             inline small leaf functions first
+///     --regalloc           run linear-scan register allocation
+///     --emit-ir            print the optimized IR instead of running
+///     --stats              print cycles / pathlength / stall breakdown
+///     -- A B C             integer arguments passed to main()
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "ir/Printer.h"
+#include "profile/Counters.h"
+#include "sim/Simulator.h"
+#include "vliw/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace vsc;
+
+static int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s FILE.c [-O0|-O2|-O3] [--machine=NAME] [--pdf] "
+               "[--emit-ir] [--stats] [-- args...]\n",
+               Prog);
+  return 2;
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+
+  std::string Path;
+  OptLevel Level = OptLevel::Vliw;
+  MachineModel Machine = rs6000();
+  bool EmitIr = false, Stats = false, Pdf = false;
+  bool DoInline = false, DoRegalloc = false;
+  std::vector<int64_t> Args;
+  bool InArgs = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (InArgs) {
+      Args.push_back(std::atoll(A.c_str()));
+    } else if (A == "--") {
+      InArgs = true;
+    } else if (A == "-O0") {
+      Level = OptLevel::None;
+    } else if (A == "-O2") {
+      Level = OptLevel::Classical;
+    } else if (A == "-O3") {
+      Level = OptLevel::Vliw;
+    } else if (A.rfind("--machine=", 0) == 0) {
+      std::string Name = A.substr(10);
+      if (Name == "rs6000")
+        Machine = rs6000();
+      else if (Name == "power2")
+        Machine = power2();
+      else if (Name == "ppc601")
+        Machine = ppc601();
+      else {
+        std::fprintf(stderr, "unknown machine '%s'\n", Name.c_str());
+        return 2;
+      }
+    } else if (A == "--pdf") {
+      Pdf = true;
+    } else if (A == "--inline") {
+      DoInline = true;
+    } else if (A == "--regalloc") {
+      DoRegalloc = true;
+    } else if (A == "--emit-ir") {
+      EmitIr = true;
+    } else if (A == "--stats") {
+      Stats = true;
+    } else if (!A.empty() && A[0] == '-') {
+      return usage(Argv[0]);
+    } else {
+      Path = A;
+    }
+  }
+  if (Path.empty())
+    return usage(Argv[0]);
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  FrontendOptions FeOpts;
+  FeOpts.AssumeSafeLoads = true;
+  CompileResult Compiled = compileMiniC(Source, FeOpts);
+  if (!Compiled.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(),
+                 Compiled.Error.c_str());
+    return 1;
+  }
+
+  PipelineOptions Opts;
+  Opts.Machine = Machine;
+  Opts.Inlining = DoInline;
+  Opts.AllocateRegisters = DoRegalloc;
+  ProfileData Profile;
+  RunOptions TrainOpts;
+  TrainOpts.Args = Args;
+  if (Pdf) {
+    CompileResult Train = compileMiniC(Source, FeOpts);
+    Profile = collectProfile(*Train.M, *Compiled.M, Machine, TrainOpts);
+    Opts.Profile = &Profile;
+    Opts.TrainInput = &TrainOpts; // measured layout gate
+  }
+  optimize(*Compiled.M, Level, Opts);
+
+  if (EmitIr) {
+    std::fputs(printModule(*Compiled.M).c_str(), stdout);
+    return 0;
+  }
+
+  RunOptions RunOpts;
+  RunOpts.Args = Args;
+  RunResult R = simulate(*Compiled.M, Machine, RunOpts);
+  std::fputs(R.Output.c_str(), stdout);
+  if (R.Trapped) {
+    std::fprintf(stderr, "trap: %s\n", R.TrapMsg.c_str());
+    return 1;
+  }
+  if (Stats) {
+    std::fprintf(stderr,
+                 "[%s, %s] cycles=%llu instrs=%llu ipc=%.2f "
+                 "operand-stalls=%llu branch-stalls=%llu\n",
+                 optLevelName(Level), Machine.Name.c_str(),
+                 static_cast<unsigned long long>(R.Cycles),
+                 static_cast<unsigned long long>(R.DynInstrs),
+                 static_cast<double>(R.DynInstrs) /
+                     static_cast<double>(R.Cycles ? R.Cycles : 1),
+                 static_cast<unsigned long long>(R.OperandStallCycles),
+                 static_cast<unsigned long long>(R.BranchStallCycles));
+  }
+  return static_cast<int>(R.ExitCode & 0xff);
+}

@@ -1,0 +1,93 @@
+//===- examples/xlygetvalue_tour.cpp - The paper's worked example -----------===//
+///
+/// Walks the SPEC li xlygetvalue inner loop through the paper's stages,
+/// printing the IR after each one and the measured cycles per iteration:
+/// 11 originally, ~7 after global scheduling, ~5-6 with software
+/// pipelining (paper: 11, 14/2, 10/2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgEdit.h"
+#include "ir/Printer.h"
+#include "sim/Simulator.h"
+#include "vliw/Rename.h"
+#include "vliw/Schedule.h"
+#include "vliw/Unroll.h"
+#include "workloads/LiKernel.h"
+
+#include <cstdio>
+
+using namespace vsc;
+
+static double cyclesPerIter(void (*Apply)(Module &)) {
+  auto M1 = buildLiSearch(64);
+  auto M2 = buildLiSearch(128);
+  Apply(*M1);
+  Apply(*M2);
+  RunResult R1 = simulate(*M1, rs6000());
+  RunResult R2 = simulate(*M2, rs6000());
+  return static_cast<double>(R2.Cycles - R1.Cycles) / 64.0;
+}
+
+static void show(const char *Title, void (*Apply)(Module &)) {
+  auto M = buildLiSearch(8);
+  Apply(*M);
+  std::printf("=== %s — %.2f cycles/iteration ===\n%s\n", Title,
+              cyclesPerIter(Apply),
+              printFunction(*M->findFunction("xlygetvalue")).c_str());
+}
+
+int main() {
+  std::printf("The paper's worked example: SPEC li, xlygetvalue\n\n");
+
+  show("original (paper: 11 cycles/iter)", [](Module &) {});
+
+  show("global scheduling (paper: 14 cycles / 2 iters)", [](Module &M) {
+    Function &F = *M.findFunction("xlygetvalue");
+    globalSchedule(F, rs6000(), M);
+    straighten(F);
+  });
+
+  show("unroll + rename + global scheduling", [](Module &M) {
+    Function &F = *M.findFunction("xlygetvalue");
+    unrollInnermostLoops(F, 2);
+    straighten(F);
+    renameInnermostLoops(F);
+    globalSchedule(F, rs6000(), M);
+    straighten(F);
+  });
+
+  show("+ enhanced pipeline scheduling (paper: 10 cycles / 2 iters)",
+       [](Module &M) {
+         Function &F = *M.findFunction("xlygetvalue");
+         unrollInnermostLoops(F, 2);
+         straighten(F);
+         renameInnermostLoops(F);
+         pipelineInnermostLoops(F, rs6000(), M);
+         globalSchedule(F, rs6000(), M);
+         straighten(F);
+       });
+
+  // The paper's framing made visible: the scheduled loop viewed as the
+  // VLIW instruction words the machine model would issue.
+  {
+    auto M = buildLiSearch(8);
+    Function &F = *M->findFunction("xlygetvalue");
+    unrollInnermostLoops(F, 2);
+    straighten(F);
+    renameInnermostLoops(F);
+    pipelineInnermostLoops(F, rs6000(), *M);
+    globalSchedule(F, rs6000(), *M);
+    straighten(F);
+    std::printf("=== the pipelined loop as VLIW words (rs6000 issue "
+                "rules) ===\n");
+    for (const auto &BB : F.blocks())
+      std::fputs(formatAsVliw(*BB, rs6000()).c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf("Note the software-pipelined version: the next iteration's "
+              "loads issue before\nthe current iteration's exit tests "
+              "resolve, exactly as in the paper's final\nlisting.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- analysis/MemAlias.cpp - Memory disambiguation ------------------------===//
+
+#include "analysis/MemAlias.h"
+
+#include "ir/Module.h"
+
+#include <cassert>
+
+using namespace vsc;
+
+MemRegion MemRegion::of(const Instr &I) {
+  assert(I.isMemAccess() && "not a memory access");
+  MemRegion R;
+  R.Disp = I.memDisp();
+  R.Size = I.MemSize;
+  // r1-based accesses are frame slots even when annotated (prolog
+  // tailoring tags its spills "$csave" for the unwind checker).
+  if (I.memBase() == regs::sp()) {
+    R.K = Kind::Stack;
+  } else if (!I.Sym.empty()) {
+    R.K = Kind::Global;
+    R.Sym = I.Sym;
+  } else {
+    R.K = Kind::Unknown;
+  }
+  return R;
+}
+
+AliasResult vsc::alias(const Instr &A, const Instr &B) {
+  if (A.IsVolatile || B.IsVolatile)
+    return AliasResult::MayAlias;
+  MemRegion RA = MemRegion::of(A);
+  MemRegion RB = MemRegion::of(B);
+
+  auto rangesDisjoint = [&] {
+    return RA.Disp + RA.Size <= RB.Disp || RB.Disp + RB.Size <= RA.Disp;
+  };
+  auto rangesIdentical = [&] {
+    return RA.Disp == RB.Disp && RA.Size == RB.Size;
+  };
+
+  using K = MemRegion::Kind;
+  if (RA.K == K::Global && RB.K == K::Global) {
+    if (RA.Sym != RB.Sym)
+      return AliasResult::NoAlias;
+    if (rangesDisjoint())
+      return AliasResult::NoAlias;
+    if (rangesIdentical())
+      return AliasResult::MustAlias;
+    return AliasResult::MayAlias;
+  }
+  if (RA.K == K::Stack && RB.K == K::Stack) {
+    // Same frame, same base register: displacement ranges decide. (LU never
+    // uses r1 as base in generated code; the verifier-level invariant that
+    // r1 is only adjusted in prologue/epilogue keeps this sound.)
+    if (rangesDisjoint())
+      return AliasResult::NoAlias;
+    if (rangesIdentical())
+      return AliasResult::MustAlias;
+    return AliasResult::MayAlias;
+  }
+  // Stack never aliases a named global (no escaping frame addresses).
+  if ((RA.K == K::Stack && RB.K == K::Global) ||
+      (RA.K == K::Global && RB.K == K::Stack))
+    return AliasResult::NoAlias;
+  // An unknown access may touch anything, except: same base register and
+  // disjoint displacement ranges with no intervening base redefinition —
+  // the *caller* must guarantee the base is unchanged between the two
+  // accesses (the dependence builder checks defs between positions).
+  if (RA.K == K::Unknown && RB.K == K::Unknown &&
+      A.memBase() == B.memBase() && rangesDisjoint())
+    return AliasResult::NoAlias;
+  return AliasResult::MayAlias;
+}
+
+bool vsc::isSafeSpeculativeLoad(const Instr &Load, const Module *M) {
+  if (!Load.isLoad() || Load.IsVolatile)
+    return false;
+  if (Load.SpecSafe)
+    return true;
+  MemRegion R = MemRegion::of(Load);
+  if (R.K == MemRegion::Kind::Stack)
+    return R.Disp >= 0; // within the owned frame
+  if (R.K == MemRegion::Kind::Global && M) {
+    if (const Global *G = M->findGlobal(R.Sym))
+      return R.Disp >= 0 &&
+             static_cast<uint64_t>(R.Disp) + R.Size <= G->Size;
+  }
+  return false;
+}

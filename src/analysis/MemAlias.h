@@ -1,0 +1,53 @@
+//===- analysis/MemAlias.h - Memory disambiguation ------------*- C++ -*-===//
+///
+/// \file
+/// Memory disambiguation in the spirit of the Bulldog compiler's
+/// ("enhancements of those used in [11]") as the paper uses it: accesses
+/// are resolved to symbolic regions — a named global (via the "!sym"
+/// annotation that corresponds to the paper's "a(r4,12)" notation), the
+/// stack frame (base register r1), or unknown — and compared by region and
+/// displacement range.
+///
+/// Stack discipline: this project's front end never takes the address of a
+/// stack slot, so r1-relative accesses with distinct displacements never
+/// alias each other and never alias globals. DESIGN.md records this
+/// assumption.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_ANALYSIS_MEMALIAS_H
+#define VSC_ANALYSIS_MEMALIAS_H
+
+#include "ir/Instr.h"
+
+namespace vsc {
+
+class Module;
+
+enum class AliasResult { NoAlias, MustAlias, MayAlias };
+
+/// The symbolic storage region an access touches.
+struct MemRegion {
+  enum class Kind { Global, Stack, Unknown } K = Kind::Unknown;
+  std::string Sym; ///< global name when K == Global
+  int64_t Disp = 0;
+  uint8_t Size = 0;
+
+  static MemRegion of(const Instr &I);
+};
+
+/// Relates two memory accesses. Conservative: returns MayAlias unless both
+/// regions are known and provably disjoint (NoAlias) or provably identical
+/// (MustAlias). Volatile accesses never disambiguate.
+AliasResult alias(const Instr &A, const Instr &B);
+
+/// \returns true if \p Load may be executed speculatively (when it would
+/// not have executed in the original program) without trapping: stack
+/// accesses, loads carrying an explicit "!safe" annotation (the paper's
+/// page-zero / known-valid-pointer reasoning), and accesses to a named
+/// global of \p M whose extent covers the displacement range.
+bool isSafeSpeculativeLoad(const Instr &Load, const Module *M);
+
+} // namespace vsc
+
+#endif // VSC_ANALYSIS_MEMALIAS_H

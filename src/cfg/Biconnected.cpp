@@ -1,0 +1,178 @@
+//===- cfg/Biconnected.cpp - Biconnected components ---------------------------===//
+
+#include "cfg/Biconnected.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace vsc;
+
+namespace {
+
+/// Undirected adjacency over reachable blocks (successors + predecessors,
+/// deduplicated, self-loops dropped — a self back edge is its own trivial
+/// component and irrelevant to articulation structure).
+struct UndirectedGraph {
+  std::vector<BasicBlock *> Nodes;
+  std::unordered_map<const BasicBlock *, int> Index;
+  std::vector<std::vector<int>> Adj;
+
+  explicit UndirectedGraph(const Cfg &G) {
+    for (BasicBlock *BB : G.rpo()) {
+      Index[BB] = static_cast<int>(Nodes.size());
+      Nodes.push_back(BB);
+    }
+    Adj.assign(Nodes.size(), {});
+    auto AddEdge = [&](int A, int B) {
+      if (A == B)
+        return;
+      if (std::find(Adj[A].begin(), Adj[A].end(), B) == Adj[A].end()) {
+        Adj[A].push_back(B);
+        Adj[B].push_back(A);
+      }
+    };
+    for (BasicBlock *BB : G.rpo())
+      for (const CfgEdge &E : G.succs(BB))
+        if (Index.count(E.To))
+          AddEdge(Index[BB], Index[E.To]);
+  }
+};
+
+} // namespace
+
+BiconnectedComponents::BiconnectedComponents(const Cfg &G) {
+  UndirectedGraph U(G);
+  size_t N = U.Nodes.size();
+  if (N == 0)
+    return;
+
+  // Iterative Tarjan with an explicit edge stack.
+  std::vector<int> Disc(N, -1), Low(N, 0), Parent(N, -1), ChildCount(N, 0);
+  std::vector<std::pair<int, int>> EdgeStack;
+  std::vector<std::vector<int>> CompBlocks; // node indices per component
+  int Time = 0;
+
+  struct Frame {
+    int Node;
+    size_t NextAdj;
+  };
+  std::vector<Frame> Stack;
+
+  auto PopComponent = [&](int A, int B) {
+    std::vector<int> NodesInComp;
+    auto Note = [&](int X) {
+      if (std::find(NodesInComp.begin(), NodesInComp.end(), X) ==
+          NodesInComp.end())
+        NodesInComp.push_back(X);
+    };
+    while (!EdgeStack.empty()) {
+      auto [X, Y] = EdgeStack.back();
+      EdgeStack.pop_back();
+      Note(X);
+      Note(Y);
+      if ((X == A && Y == B) || (X == B && Y == A))
+        break;
+    }
+    CompBlocks.push_back(std::move(NodesInComp));
+  };
+
+  for (size_t Start = 0; Start != N; ++Start) {
+    if (Disc[Start] >= 0)
+      continue;
+    Stack.push_back({static_cast<int>(Start), 0});
+    Disc[Start] = Low[Start] = Time++;
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      int V = F.Node;
+      if (F.NextAdj < U.Adj[V].size()) {
+        int W = U.Adj[V][F.NextAdj++];
+        if (Disc[W] < 0) {
+          EdgeStack.push_back({V, W});
+          Parent[W] = V;
+          ++ChildCount[V];
+          Disc[W] = Low[W] = Time++;
+          Stack.push_back({W, 0});
+        } else if (W != Parent[V] && Disc[W] < Disc[V]) {
+          EdgeStack.push_back({V, W});
+          Low[V] = std::min(Low[V], Disc[W]);
+        }
+        continue;
+      }
+      Stack.pop_back();
+      int P = Parent[V];
+      if (P >= 0) {
+        Low[P] = std::min(Low[P], Low[V]);
+        if (Low[V] >= Disc[P]) {
+          // P is an articulation point (or the root); pop the component.
+          PopComponent(P, V);
+          bool IsRoot = Parent[P] < 0;
+          if ((!IsRoot || ChildCount[P] > 1) && !ArtSet.count(U.Nodes[P])) {
+            ArtSet.insert(U.Nodes[P]);
+            ArtPoints.push_back(U.Nodes[P]);
+          }
+        }
+      }
+    }
+  }
+
+  // Materialise components; an isolated single block (function with one
+  // block) gets its own component so the tree is never empty.
+  for (const auto &NodeIdxs : CompBlocks) {
+    Component C;
+    for (int I : NodeIdxs)
+      C.Blocks.push_back(U.Nodes[I]);
+    Comps.push_back(std::move(C));
+  }
+  if (Comps.empty() && !U.Nodes.empty()) {
+    Component C;
+    C.Blocks.push_back(U.Nodes[0]);
+    Comps.push_back(std::move(C));
+  }
+
+  // The paper's tree: root is the component containing the entry; children
+  // are components sharing an articulation block with a tree node.
+  const BasicBlock *Entry = G.function().entry();
+  for (size_t I = 0; I != Comps.size(); ++I)
+    for (BasicBlock *BB : Comps[I].Blocks)
+      if (BB == Entry && Root < 0)
+        Root = static_cast<int>(I);
+  if (Root < 0)
+    Root = 0;
+
+  std::vector<bool> Placed(Comps.size(), false);
+  Placed[static_cast<size_t>(Root)] = true;
+  std::vector<int> Work{Root};
+  while (!Work.empty()) {
+    int Cur = Work.back();
+    Work.pop_back();
+    for (size_t I = 0; I != Comps.size(); ++I) {
+      if (Placed[I])
+        continue;
+      BasicBlock *Shared = nullptr;
+      for (BasicBlock *A : Comps[Cur].Blocks)
+        for (BasicBlock *B : Comps[I].Blocks)
+          if (A == B)
+            Shared = A;
+      if (!Shared)
+        continue;
+      Comps[I].Parent = Cur;
+      Comps[I].SharedWithParent = Shared;
+      Comps[Cur].Children.push_back(static_cast<int>(I));
+      Placed[I] = true;
+      Work.push_back(static_cast<int>(I));
+    }
+  }
+}
+
+std::vector<int>
+BiconnectedComponents::componentsOf(const BasicBlock *BB) const {
+  std::vector<int> Out;
+  for (size_t I = 0; I != Comps.size(); ++I)
+    for (BasicBlock *B : Comps[I].Blocks)
+      if (B == BB) {
+        Out.push_back(static_cast<int>(I));
+        break;
+      }
+  return Out;
+}

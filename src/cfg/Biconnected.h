@@ -1,0 +1,72 @@
+//===- cfg/Biconnected.h - Biconnected components -------------*- C++ -*-===//
+///
+/// \file
+/// Tarjan's biconnected-components algorithm on the undirected version of
+/// the control-flow graph, plus the component tree the paper's prolog
+/// tailoring builds ("identify bi-connected components in the undirected
+/// version of the flow graph using Tarjan's algorithm ... Create a tree
+/// from these bi-connected components where the root is the component
+/// containing the special procedure start node"). An outermost
+/// if-then-else-endif forms one component; sequential code forms a chain
+/// of edge-components joined at articulation blocks.
+///
+/// The production prolog-tailoring pass uses dominator-closure placement
+/// (see vliw/PrologTailor.h for the rationale); this analysis implements
+/// the paper's stage-1 machinery faithfully and is tested against the
+/// paper's example shapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_CFG_BICONNECTED_H
+#define VSC_CFG_BICONNECTED_H
+
+#include "cfg/Cfg.h"
+
+#include <unordered_set>
+
+namespace vsc {
+
+class BiconnectedComponents {
+public:
+  struct Component {
+    /// Blocks touched by this component's edges (articulation blocks
+    /// appear in several components).
+    std::vector<BasicBlock *> Blocks;
+    /// Parent component in the paper's tree (-1 for the root).
+    int Parent = -1;
+    std::vector<int> Children;
+    /// The articulation block shared with the parent (null for the root).
+    BasicBlock *SharedWithParent = nullptr;
+  };
+
+  explicit BiconnectedComponents(const Cfg &G);
+
+  const std::vector<Component> &components() const { return Comps; }
+
+  /// Blocks whose removal disconnects the undirected CFG.
+  const std::vector<BasicBlock *> &articulationPoints() const {
+    return ArtPoints;
+  }
+
+  bool isArticulationPoint(const BasicBlock *BB) const {
+    return ArtSet.count(BB) != 0;
+  }
+
+  /// Index of the root component (contains the entry), or -1 if the
+  /// function has a single block and no edges.
+  int rootComponent() const { return Root; }
+
+  /// Components containing \p BB (one for most blocks, several for
+  /// articulation points).
+  std::vector<int> componentsOf(const BasicBlock *BB) const;
+
+private:
+  std::vector<Component> Comps;
+  std::vector<BasicBlock *> ArtPoints;
+  std::unordered_set<const BasicBlock *> ArtSet;
+  int Root = -1;
+};
+
+} // namespace vsc
+
+#endif // VSC_CFG_BICONNECTED_H

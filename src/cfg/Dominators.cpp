@@ -1,0 +1,153 @@
+//===- cfg/Dominators.cpp - Dominator tree ---------------------------------===//
+
+#include "cfg/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vsc;
+
+namespace {
+
+/// A graph direction adaptor: forward for dominators, backward (with every
+/// exit block rooted at a virtual exit) for post-dominators.
+struct DirectedView {
+  const Cfg &G;
+  bool Post;
+
+  std::vector<BasicBlock *> roots() const {
+    if (!Post)
+      return {G.function().entry()};
+    std::vector<BasicBlock *> Exits;
+    for (BasicBlock *BB : G.rpo())
+      if (G.succs(BB).empty())
+        Exits.push_back(BB);
+    return Exits;
+  }
+
+  std::vector<BasicBlock *> next(BasicBlock *BB) const {
+    std::vector<BasicBlock *> Out;
+    if (!Post) {
+      for (const CfgEdge &E : G.succs(BB))
+        Out.push_back(E.To);
+    } else {
+      for (BasicBlock *P : G.preds(BB))
+        Out.push_back(P);
+    }
+    return Out;
+  }
+
+  std::vector<BasicBlock *> prev(BasicBlock *BB) const {
+    std::vector<BasicBlock *> Out;
+    if (!Post) {
+      for (BasicBlock *P : G.preds(BB))
+        Out.push_back(P);
+    } else {
+      for (const CfgEdge &E : G.succs(BB))
+        Out.push_back(E.To);
+    }
+    return Out;
+  }
+};
+
+} // namespace
+
+Dominators::Dominators(const Cfg &G, bool Post) {
+  DirectedView V{G, Post};
+  std::vector<BasicBlock *> Roots = V.roots();
+  if (Roots.empty())
+    return;
+
+  // Reverse postorder over the directed view.
+  std::vector<BasicBlock *> Rpo;
+  {
+    std::unordered_map<const BasicBlock *, bool> Seen;
+    std::vector<std::pair<BasicBlock *, size_t>> Stack;
+    std::vector<BasicBlock *> Posts;
+    for (BasicBlock *R : Roots) {
+      if (Seen[R])
+        continue;
+      Seen[R] = true;
+      Stack.push_back({R, 0});
+      while (!Stack.empty()) {
+        auto &[BB, NextIdx] = Stack.back();
+        std::vector<BasicBlock *> Nexts = V.next(BB);
+        if (NextIdx < Nexts.size()) {
+          BasicBlock *To = Nexts[NextIdx++];
+          if (!Seen[To]) {
+            Seen[To] = true;
+            Stack.push_back({To, 0});
+          }
+          continue;
+        }
+        Posts.push_back(BB);
+        Stack.pop_back();
+      }
+    }
+    Rpo.assign(Posts.rbegin(), Posts.rend());
+  }
+  for (size_t I = 0; I != Rpo.size(); ++I)
+    Order[Rpo[I]] = static_cast<int>(I);
+
+  // Cooper–Harvey–Kennedy. Multiple roots (post-dominators with several
+  // exits) are modelled by treating each root as its own idom.
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (Order.at(A) > Order.at(B)) {
+        BasicBlock *N = Idom.at(A);
+        if (N == A)
+          return B; // hit a root; roots join at the virtual super-root
+        A = N;
+      }
+      while (Order.at(B) > Order.at(A)) {
+        BasicBlock *N = Idom.at(B);
+        if (N == B)
+          return A;
+        B = N;
+      }
+    }
+    return A;
+  };
+
+  for (BasicBlock *R : Roots)
+    Idom[R] = R; // self-idom marks a root during iteration
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : Rpo) {
+      if (Idom.count(BB) && Idom[BB] == BB)
+        continue; // root
+      BasicBlock *NewIdom = nullptr;
+      for (BasicBlock *P : V.prev(BB)) {
+        if (!Idom.count(P))
+          continue; // not yet processed / unreachable
+        NewIdom = NewIdom ? Intersect(NewIdom, P) : P;
+      }
+      if (!NewIdom)
+        continue;
+      auto It = Idom.find(BB);
+      if (It == Idom.end() || It->second != NewIdom) {
+        Idom[BB] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Normalise: a root's idom is null (self-loops in the map removed).
+  for (BasicBlock *R : Roots)
+    Idom[R] = nullptr;
+}
+
+bool Dominators::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  const BasicBlock *Cur = B;
+  while (Cur) {
+    if (Cur == A)
+      return true;
+    auto It = Idom.find(Cur);
+    if (It == Idom.end())
+      return false;
+    Cur = It->second;
+  }
+  return false;
+}

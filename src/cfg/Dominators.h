@@ -1,0 +1,40 @@
+//===- cfg/Dominators.h - Dominator tree ----------------------*- C++ -*-===//
+///
+/// \file
+/// Immediate-dominator computation using the Cooper–Harvey–Kennedy
+/// iterative algorithm over the reverse postorder. Also provides
+/// post-dominators (computed on the reversed graph with a virtual exit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_CFG_DOMINATORS_H
+#define VSC_CFG_DOMINATORS_H
+
+#include "cfg/Cfg.h"
+
+namespace vsc {
+
+class Dominators {
+public:
+  /// Computes dominators (\p Post = false) or post-dominators (true).
+  explicit Dominators(const Cfg &G, bool Post = false);
+
+  /// Immediate dominator of \p BB; null for the entry (or, for
+  /// post-dominators, for blocks whose only "successor" is the virtual
+  /// exit) and for unreachable blocks.
+  BasicBlock *idom(const BasicBlock *BB) const {
+    auto It = Idom.find(BB);
+    return It == Idom.end() ? nullptr : It->second;
+  }
+
+  /// \returns true if \p A dominates \p B (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+private:
+  std::unordered_map<const BasicBlock *, BasicBlock *> Idom;
+  std::unordered_map<const BasicBlock *, int> Order;
+};
+
+} // namespace vsc
+
+#endif // VSC_CFG_DOMINATORS_H

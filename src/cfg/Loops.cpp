@@ -1,0 +1,104 @@
+//===- cfg/Loops.cpp - Natural loop detection ------------------------------===//
+
+#include "cfg/Loops.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vsc;
+
+LoopInfo::LoopInfo(const Cfg &G, const Dominators &Dom) {
+  // Find back edges and group them by header (one Loop per header, merging
+  // multiple latches, as usual for natural loops).
+  std::unordered_map<BasicBlock *, Loop *> HeaderLoop;
+  for (BasicBlock *BB : G.rpo()) {
+    for (const CfgEdge &E : G.succs(BB)) {
+      if (!Dom.dominates(E.To, BB))
+        continue;
+      Loop *&L = HeaderLoop[E.To];
+      if (!L) {
+        Loops.push_back(std::make_unique<Loop>());
+        L = Loops.back().get();
+        L->Header = E.To;
+      }
+      L->Latches.push_back(BB);
+    }
+  }
+
+  // Flood backwards from each latch to collect loop bodies.
+  for (auto &LPtr : Loops) {
+    Loop &L = *LPtr;
+    L.BlockSet.insert(L.Header);
+    std::vector<BasicBlock *> Work(L.Latches.begin(), L.Latches.end());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!L.BlockSet.insert(BB).second)
+        continue;
+      for (BasicBlock *P : G.preds(BB))
+        if (G.isReachable(P))
+          Work.push_back(P);
+    }
+    // Blocks in layout order, header first.
+    L.Blocks.push_back(L.Header);
+    for (auto &BBPtr : G.function().blocks()) {
+      BasicBlock *BB = BBPtr.get();
+      if (BB != L.Header && L.contains(BB))
+        L.Blocks.push_back(BB);
+    }
+    // Exits.
+    for (BasicBlock *BB : L.Blocks)
+      for (const CfgEdge &E : G.succs(BB))
+        if (!L.contains(E.To))
+          L.Exits.push_back(E);
+  }
+
+  // Nesting: loop A is a child of the smallest loop B != A containing A's
+  // header.
+  for (auto &APtr : Loops) {
+    Loop *Best = nullptr;
+    for (auto &BPtr : Loops) {
+      if (APtr == BPtr)
+        continue;
+      if (!BPtr->contains(APtr->Header))
+        continue;
+      if (!Best || BPtr->Blocks.size() < Best->Blocks.size())
+        Best = BPtr.get();
+    }
+    if (Best) {
+      APtr->Parent = Best;
+      Best->Children.push_back(APtr.get());
+    }
+  }
+  for (auto &LPtr : Loops) {
+    unsigned D = 1;
+    for (Loop *P = LPtr->Parent; P; P = P->Parent)
+      ++D;
+    LPtr->Depth = D;
+  }
+
+  // Innermost-loop map per block.
+  for (auto &LPtr : Loops) {
+    for (BasicBlock *BB : LPtr->Blocks) {
+      Loop *&Cur = BlockLoop[BB];
+      if (!Cur || LPtr->Depth > Cur->Depth)
+        Cur = LPtr.get();
+    }
+  }
+}
+
+std::vector<Loop *> LoopInfo::innermostLoops() const {
+  std::vector<Loop *> Out;
+  for (const auto &L : Loops)
+    if (L->isInnermost())
+      Out.push_back(L.get());
+  return Out;
+}
+
+std::vector<Loop *> LoopInfo::topLevelLoops() const {
+  std::vector<Loop *> Out;
+  for (const auto &L : Loops)
+    if (!L->Parent)
+      Out.push_back(L.get());
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===- cfg/Loops.h - Natural loop detection -------------------*- C++ -*-===//
+///
+/// \file
+/// Natural-loop discovery from back edges (an edge T->H where H dominates
+/// T), assembled into a nesting forest. Loops are the unit of work for
+/// load/store motion out of loops, unrolling and enhanced pipeline
+/// scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_CFG_LOOPS_H
+#define VSC_CFG_LOOPS_H
+
+#include "cfg/Cfg.h"
+#include "cfg/Dominators.h"
+
+#include <unordered_set>
+
+namespace vsc {
+
+struct Loop {
+  BasicBlock *Header = nullptr;
+  /// Blocks of the loop; Blocks[0] is the header, the rest follow layout
+  /// order.
+  std::vector<BasicBlock *> Blocks;
+  std::unordered_set<const BasicBlock *> BlockSet;
+  /// In-loop sources of back edges to the header.
+  std::vector<BasicBlock *> Latches;
+  /// Edges from an in-loop block to an out-of-loop block.
+  std::vector<CfgEdge> Exits;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> Children;
+  unsigned Depth = 1;
+
+  bool contains(const BasicBlock *BB) const { return BlockSet.count(BB); }
+  bool isInnermost() const { return Children.empty(); }
+};
+
+class LoopInfo {
+public:
+  LoopInfo(const Cfg &G, const Dominators &Dom);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+
+  /// Innermost enclosing loop of \p BB, or null.
+  Loop *loopFor(const BasicBlock *BB) const {
+    auto It = BlockLoop.find(BB);
+    return It == BlockLoop.end() ? nullptr : It->second;
+  }
+
+  /// All loops with no children, outermost-first layout order.
+  std::vector<Loop *> innermostLoops() const;
+
+  /// Loops with no parent.
+  std::vector<Loop *> topLevelLoops() const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::unordered_map<const BasicBlock *, Loop *> BlockLoop;
+};
+
+} // namespace vsc
+
+#endif // VSC_CFG_LOOPS_H

@@ -1,0 +1,98 @@
+//===- frontend/Ast.h - mini-C abstract syntax ----------------*- C++ -*-===//
+///
+/// \file
+/// AST for the mini-C front end. Expressions and statements are tagged
+/// unions (one struct each); ownership is by unique_ptr down the tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_FRONTEND_AST_H
+#define VSC_FRONTEND_AST_H
+
+#include "frontend/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+struct Expr {
+  enum class Kind {
+    Num,    ///< Value
+    Var,    ///< Name
+    Unary,  ///< Op (Minus/Tilde/Bang), Lhs
+    Binary, ///< Op, Lhs, Rhs
+    Assign, ///< Lhs (lvalue), Rhs; evaluates to Rhs
+    Index,  ///< Lhs[Rhs]
+    Deref,  ///< *Lhs
+    AddrOf, ///< &Lhs (Lhs must be Var of array/global or Index)
+    Call,   ///< Name(Args)
+  };
+  Kind K;
+  int64_t Value = 0;
+  std::string Name;
+  TokKind Op = TokKind::Eof;
+  std::unique_ptr<Expr> Lhs, Rhs;
+  std::vector<std::unique_ptr<Expr>> Args;
+  unsigned Line = 0;
+};
+
+struct Stmt {
+  enum class Kind {
+    ExprStmt, ///< E
+    Decl,     ///< Name [IsPointer|IsArray ArraySize] [= E]
+    Block,    ///< Body
+    If,       ///< Cond, Then, [Else]
+    While,    ///< Cond, ThenAsBody
+    DoWhile,  ///< Body then Cond
+    For,      ///< InitS, Cond, IncE, Body
+    Return,   ///< [E]
+    Break,
+    Continue,
+  };
+  Kind K;
+  std::unique_ptr<Expr> E;      ///< ExprStmt / Decl-init / Return value
+  std::unique_ptr<Expr> Cond;
+  std::unique_ptr<Expr> Inc;    ///< For increment
+  std::unique_ptr<Stmt> InitS;  ///< For init
+  std::unique_ptr<Stmt> Then, Else;
+  std::vector<std::unique_ptr<Stmt>> Body;
+  std::string Name;
+  bool IsPointer = false;
+  bool IsArray = false;
+  int64_t ArraySize = 0;
+  unsigned Line = 0;
+};
+
+struct ParamDecl {
+  std::string Name;
+  bool IsPointer = false;
+};
+
+struct FuncDecl {
+  std::string Name;
+  bool ReturnsVoid = false;
+  std::vector<ParamDecl> Params;
+  std::vector<std::unique_ptr<Stmt>> Body;
+  unsigned Line = 0;
+};
+
+struct GlobalDecl {
+  std::string Name;
+  bool IsArray = false;
+  bool IsPointer = false;
+  bool IsVolatile = false;
+  int64_t NumElems = 1;
+  std::vector<int64_t> Init; ///< element initializers
+  unsigned Line = 0;
+};
+
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Functions;
+};
+
+} // namespace vsc
+
+#endif // VSC_FRONTEND_AST_H

@@ -1,0 +1,864 @@
+//===- frontend/CodeGen.cpp - mini-C code generation --------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Parser.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace vsc;
+
+namespace {
+
+struct Value {
+  Reg R;
+  bool IsPtr = false;
+  std::string Prov; ///< global this value provably points into ("" unknown)
+};
+
+struct LocalVar {
+  bool IsArray = false;
+  bool IsPtr = false;
+  Reg R;              ///< scalars
+  int64_t FrameOff = 0; ///< arrays
+  int64_t NumElems = 0;
+};
+
+struct GlobalInfo {
+  bool IsArray = false;
+  bool IsPtr = false;
+  bool IsVolatile = false;
+  int64_t NumElems = 1;
+};
+
+struct MemLoc {
+  Reg Base;
+  int64_t Disp = 0;
+  std::string Sym;
+  bool Volatile = false;
+};
+
+class FuncGen {
+public:
+  FuncGen(const FuncDecl &D, Function &F, Module &M,
+          const std::unordered_map<std::string, GlobalInfo> &Globals,
+          const FrontendOptions &Opts)
+      : D(D), F(F), M(M), Globals(Globals), Opts(Opts), B(F) {}
+
+  bool run(std::string &Err);
+
+private:
+  bool fail(unsigned Line, const std::string &Msg) {
+    if (Error.empty())
+      Error = "line " + std::to_string(Line) + ": " + Msg;
+    return false;
+  }
+
+  // --- scope management ---------------------------------------------------
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  LocalVar *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F2 = It->find(Name);
+      if (F2 != It->end())
+        return &F2->second;
+    }
+    return nullptr;
+  }
+
+  Reg allocScalarReg() {
+    if (Opts.UseCalleeSavedForLocals && NextCsr <= 31)
+      return Reg::gpr(NextCsr++);
+    return F.freshGpr();
+  }
+
+  // --- block plumbing -------------------------------------------------------
+
+  /// Starts a new block with a fresh label derived from \p Hint; if the
+  /// current block falls through, execution continues into it.
+  void startBlock(const std::string &Hint) {
+    B.startBlock(F.freshLabel(Hint));
+  }
+
+  bool blockOpen() const {
+    BasicBlock *BB = B.block();
+    return BB && (BB->empty() || !BB->instrs().back().isBarrier());
+  }
+
+  // --- frame ----------------------------------------------------------------
+
+  void prescanArrays(const std::vector<std::unique_ptr<Stmt>> &Body) {
+    for (const auto &S : Body)
+      prescanArrays(*S);
+  }
+  void prescanArrays(const Stmt &S) {
+    if (S.K == Stmt::Kind::Decl && S.IsArray) {
+      int64_t Bytes = (4 * S.ArraySize + 7) & ~int64_t(7);
+      ArrayOffsets[&S] = FrameSize;
+      FrameSize += Bytes;
+    }
+    if (S.InitS)
+      prescanArrays(*S.InitS);
+    if (S.Then)
+      prescanArrays(*S.Then);
+    if (S.Else)
+      prescanArrays(*S.Else);
+    prescanArrays(S.Body);
+  }
+
+  void emitEpilogueAndRet() {
+    if (FrameSize > 0)
+      B.ai(regs::sp(), regs::sp(), FrameSize);
+    B.ret();
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  bool genExpr(const Expr &E, Value &Out);
+  bool genBinary(const Expr &E, Value &Out);
+  bool genAddr(const Expr &E, MemLoc &Out);
+  bool genBranch(const Expr &Cond, const std::string &TrueL,
+                 const std::string &FalseL);
+  bool genStmt(const Stmt &S);
+  bool genBody(const std::vector<std::unique_ptr<Stmt>> &Body);
+
+  Value load(const MemLoc &L) {
+    Reg T = F.freshGpr();
+    Instr &I = B.load(T, L.Base, L.Disp, L.Sym);
+    I.IsVolatile = L.Volatile;
+    if (!L.Volatile && (Opts.AssumeSafeLoads || L.Base == regs::sp()))
+      I.SpecSafe = true;
+    return Value{T, false, ""};
+  }
+  void store(const MemLoc &L, Reg V) {
+    Instr &I = B.store(V, L.Base, L.Disp, L.Sym);
+    I.IsVolatile = L.Volatile;
+  }
+
+  /// Materialises &global into a register.
+  Reg globalAddr(const std::string &Name) {
+    Reg T = F.freshGpr();
+    B.ltoc(T, Name);
+    return T;
+  }
+
+  const FuncDecl &D;
+  Function &F;
+  Module &M;
+  const std::unordered_map<std::string, GlobalInfo> &Globals;
+  const FrontendOptions &Opts;
+  IRBuilder B;
+  std::vector<std::unordered_map<std::string, LocalVar>> Scopes;
+  std::unordered_map<const Stmt *, int64_t> ArrayOffsets;
+  int64_t FrameSize = 0;
+  uint32_t NextCsr = 13;
+  std::string Error;
+  std::vector<std::pair<std::string, std::string>> LoopLabels; // cont,brk
+
+
+public:
+  const std::string &error() const { return Error; }
+};
+
+bool FuncGen::genAddr(const Expr &E, MemLoc &Out) {
+  switch (E.K) {
+  case Expr::Kind::Var: {
+    if (LocalVar *L = lookup(E.Name)) {
+      if (L->IsArray) {
+        Out = MemLoc{regs::sp(), L->FrameOff, "", false};
+        return true;
+      }
+      return fail(E.Line, "scalar locals are registers, not memory");
+    }
+    auto G = Globals.find(E.Name);
+    if (G == Globals.end())
+      return fail(E.Line, "unknown variable '" + E.Name + "'");
+    Out = MemLoc{globalAddr(E.Name), 0, E.Name, G->second.IsVolatile};
+    return true;
+  }
+  case Expr::Kind::Index: {
+    // Base address and provenance.
+    Value BaseV;
+    MemLoc BaseLoc;
+    bool BaseIsDirectArray = false;
+    if (E.Lhs->K == Expr::Kind::Var) {
+      if (LocalVar *L = lookup(E.Lhs->Name)) {
+        if (L->IsArray) {
+          BaseLoc = MemLoc{regs::sp(), L->FrameOff, "", false};
+          BaseIsDirectArray = true;
+        }
+      } else if (Globals.count(E.Lhs->Name) &&
+                 Globals.at(E.Lhs->Name).IsArray) {
+        BaseLoc = MemLoc{globalAddr(E.Lhs->Name), 0, E.Lhs->Name,
+                         Globals.at(E.Lhs->Name).IsVolatile};
+        BaseIsDirectArray = true;
+      }
+    }
+    if (!BaseIsDirectArray) {
+      if (!genExpr(*E.Lhs, BaseV))
+        return false;
+      BaseLoc = MemLoc{BaseV.R, 0, BaseV.Prov, false};
+      if (!BaseV.Prov.empty() && Globals.count(BaseV.Prov))
+        BaseLoc.Volatile = Globals.at(BaseV.Prov).IsVolatile;
+    }
+    // Constant index folds into the displacement.
+    if (E.Rhs->K == Expr::Kind::Num) {
+      Out = BaseLoc;
+      Out.Disp += 4 * E.Rhs->Value;
+      return true;
+    }
+    Value Idx;
+    if (!genExpr(*E.Rhs, Idx))
+      return false;
+    Reg Scaled = F.freshGpr();
+    B.sli(Scaled, Idx.R, 2);
+    Reg Addr = F.freshGpr();
+    B.add(Addr, BaseLoc.Base, Scaled);
+    Out = MemLoc{Addr, BaseLoc.Disp, BaseLoc.Sym, BaseLoc.Volatile};
+    return true;
+  }
+  case Expr::Kind::Deref: {
+    Value P;
+    if (!genExpr(*E.Lhs, P))
+      return false;
+    bool Vol = !P.Prov.empty() && Globals.count(P.Prov) &&
+               Globals.at(P.Prov).IsVolatile;
+    Out = MemLoc{P.R, 0, P.Prov, Vol};
+    return true;
+  }
+  default:
+    return fail(E.Line, "expression is not an lvalue");
+  }
+}
+
+bool FuncGen::genExpr(const Expr &E, Value &Out) {
+  switch (E.K) {
+  case Expr::Kind::Num: {
+    Reg T = F.freshGpr();
+    B.li(T, E.Value);
+    Out = Value{T, false, ""};
+    return true;
+  }
+  case Expr::Kind::Var: {
+    if (LocalVar *L = lookup(E.Name)) {
+      if (L->IsArray) {
+        Reg T = F.freshGpr();
+        B.la(T, regs::sp(), L->FrameOff);
+        Out = Value{T, true, ""};
+        return true;
+      }
+      Out = Value{L->R, L->IsPtr, ""};
+      return true;
+    }
+    auto G = Globals.find(E.Name);
+    if (G == Globals.end())
+      return fail(E.Line, "unknown variable '" + E.Name + "'");
+    if (G->second.IsArray) {
+      Out = Value{globalAddr(E.Name), true, E.Name};
+      return true;
+    }
+    MemLoc L{globalAddr(E.Name), 0, E.Name, G->second.IsVolatile};
+    Out = load(L);
+    Out.IsPtr = G->second.IsPtr;
+    return true;
+  }
+  case Expr::Kind::AddrOf: {
+    MemLoc L;
+    if (!genAddr(*E.Lhs, L))
+      return false;
+    Reg T = F.freshGpr();
+    if (L.Disp != 0)
+      B.la(T, L.Base, L.Disp);
+    else
+      B.lr(T, L.Base);
+    Out = Value{T, true, L.Sym};
+    return true;
+  }
+  case Expr::Kind::Deref:
+  case Expr::Kind::Index: {
+    MemLoc L;
+    if (!genAddr(E, L))
+      return false;
+    Out = load(L);
+    return true;
+  }
+  case Expr::Kind::Assign: {
+    Value R;
+    if (!genExpr(*E.Rhs, R))
+      return false;
+    // Scalar local/global or memory lvalue.
+    if (E.Lhs->K == Expr::Kind::Var) {
+      if (LocalVar *L = lookup(E.Lhs->Name)) {
+        if (L->IsArray)
+          return fail(E.Line, "cannot assign to an array");
+        B.lr(L->R, R.R);
+        Out = Value{L->R, L->IsPtr, R.Prov};
+        return true;
+      }
+      auto G = Globals.find(E.Lhs->Name);
+      if (G == Globals.end())
+        return fail(E.Line, "unknown variable '" + E.Lhs->Name + "'");
+      if (G->second.IsArray)
+        return fail(E.Line, "cannot assign to an array");
+      MemLoc L{globalAddr(E.Lhs->Name), 0, E.Lhs->Name,
+               G->second.IsVolatile};
+      store(L, R.R);
+      Out = R;
+      return true;
+    }
+    MemLoc L;
+    if (!genAddr(*E.Lhs, L))
+      return false;
+    store(L, R.R);
+    Out = R;
+    return true;
+  }
+  case Expr::Kind::Unary: {
+    if (E.Op == TokKind::Bang) {
+      // !x: 1 when x == 0.
+      std::string EndL = F.freshLabel("bnot.end");
+      Value V;
+      if (!genExpr(*E.Lhs, V))
+        return false;
+      Reg T = F.freshGpr();
+      Reg Cr = F.freshCr();
+      B.cmpi(Cr, V.R, 0);
+      B.li(T, 0);
+      B.bf(EndL, Cr, CrBit::Eq); // x != 0: keep 0
+      B.startBlock(F.freshLabel("bnot.t"));
+      B.li(T, 1);
+      B.startBlock(EndL);
+      Out = Value{T, false, ""};
+      return true;
+    }
+    Value V;
+    if (!genExpr(*E.Lhs, V))
+      return false;
+    Reg T = F.freshGpr();
+    if (E.Op == TokKind::Minus)
+      B.neg(T, V.R);
+    else if (E.Op == TokKind::Tilde)
+      B.xori(T, V.R, -1);
+    else
+      return fail(E.Line, "unsupported unary operator");
+    Out = Value{T, false, ""};
+    return true;
+  }
+  case Expr::Kind::Binary:
+    return genBinary(E, Out);
+  case Expr::Kind::Call: {
+    if (E.Args.size() > 8)
+      return fail(E.Line, "at most 8 arguments");
+    std::vector<Reg> Temps;
+    for (const auto &A : E.Args) {
+      Value V;
+      if (!genExpr(*A, V))
+        return false;
+      // Copy into a fresh temp so later argument evaluation cannot clobber
+      // it (e.g. nested calls writing r3..).
+      Reg T = F.freshGpr();
+      B.lr(T, V.R);
+      Temps.push_back(T);
+    }
+    for (size_t I = 0; I != Temps.size(); ++I)
+      B.lr(regs::arg(static_cast<unsigned>(I)), Temps[I]);
+    B.call(E.Name, static_cast<int64_t>(E.Args.size()));
+    Reg T = F.freshGpr();
+    B.lr(T, regs::retval());
+    Out = Value{T, false, ""};
+    return true;
+  }
+  }
+  return fail(E.Line, "unhandled expression");
+}
+
+
+bool FuncGen::genBranch(const Expr &Cond, const std::string &TrueL,
+                        const std::string &FalseL) {
+  switch (Cond.K) {
+  case Expr::Kind::Unary:
+    if (Cond.Op == TokKind::Bang)
+      return genBranch(*Cond.Lhs, FalseL, TrueL);
+    break;
+  case Expr::Kind::Binary: {
+    if (Cond.Op == TokKind::AmpAmp) {
+      std::string Mid = F.freshLabel("and");
+      if (!genBranch(*Cond.Lhs, Mid, FalseL))
+        return false;
+      BasicBlock *MidBB = B.startBlock(Mid);
+      (void)MidBB;
+      return genBranch(*Cond.Rhs, TrueL, FalseL);
+    }
+    if (Cond.Op == TokKind::PipePipe) {
+      std::string Mid = F.freshLabel("or");
+      if (!genBranch(*Cond.Lhs, TrueL, Mid))
+        return false;
+      B.startBlock(Mid);
+      return genBranch(*Cond.Rhs, TrueL, FalseL);
+    }
+    // Comparison?
+    CrBit Bit;
+    bool Sense;
+    bool IsCmp = true;
+    switch (Cond.Op) {
+    case TokKind::Lt:
+      Bit = CrBit::Lt;
+      Sense = true;
+      break;
+    case TokKind::Gt:
+      Bit = CrBit::Gt;
+      Sense = true;
+      break;
+    case TokKind::Le:
+      Bit = CrBit::Gt;
+      Sense = false;
+      break;
+    case TokKind::Ge:
+      Bit = CrBit::Lt;
+      Sense = false;
+      break;
+    case TokKind::EqEq:
+      Bit = CrBit::Eq;
+      Sense = true;
+      break;
+    case TokKind::NotEq:
+      Bit = CrBit::Eq;
+      Sense = false;
+      break;
+    default:
+      IsCmp = false;
+      break;
+    }
+    if (IsCmp) {
+      Value L;
+      if (!genExpr(*Cond.Lhs, L))
+        return false;
+      Reg Cr = F.freshCr();
+      if (Cond.Rhs->K == Expr::Kind::Num) {
+        B.cmpi(Cr, L.R, Cond.Rhs->Value);
+      } else {
+        Value R;
+        if (!genExpr(*Cond.Rhs, R))
+          return false;
+        B.cmp(Cr, L.R, R.R);
+      }
+      if (Sense)
+        B.bt(TrueL, Cr, Bit);
+      else
+        B.bf(TrueL, Cr, Bit);
+      B.b(FalseL);
+      return true;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  // Generic: non-zero means true.
+  Value V;
+  if (!genExpr(Cond, V))
+    return false;
+  Reg Cr = F.freshCr();
+  B.cmpi(Cr, V.R, 0);
+  B.bf(TrueL, Cr, CrBit::Eq);
+  B.b(FalseL);
+  return true;
+}
+
+bool FuncGen::genBinary(const Expr &E, Value &Out) {
+  switch (E.Op) {
+  case TokKind::AmpAmp:
+  case TokKind::PipePipe:
+  case TokKind::Lt:
+  case TokKind::Gt:
+  case TokKind::Le:
+  case TokKind::Ge:
+  case TokKind::EqEq:
+  case TokKind::NotEq: {
+    // Materialise a boolean through control flow.
+    std::string TrueL = F.freshLabel("cmp.t");
+    std::string FalseL = F.freshLabel("cmp.f");
+    std::string EndL = F.freshLabel("cmp.end");
+    Reg T = F.freshGpr();
+    if (!genBranch(E, TrueL, FalseL))
+      return false;
+    B.startBlock(FalseL);
+    B.li(T, 0);
+    B.b(EndL);
+    B.startBlock(TrueL);
+    B.li(T, 1);
+    B.startBlock(EndL);
+    Out = Value{T, false, ""};
+    return true;
+  }
+  default:
+    break;
+  }
+
+  Value L;
+  if (!genExpr(*E.Lhs, L))
+    return false;
+
+  // Pointer arithmetic scaling: ptr +/- int scales the int by 4.
+  auto ScaleIfNeeded = [&](Value &IntSide) {
+    Reg S = F.freshGpr();
+    B.sli(S, IntSide.R, 2);
+    IntSide.R = S;
+  };
+
+  // Immediate forms.
+  if (E.Rhs->K == Expr::Kind::Num) {
+    int64_t Imm = E.Rhs->Value;
+    Reg T = F.freshGpr();
+    bool Ptr = L.IsPtr;
+    switch (E.Op) {
+    case TokKind::Plus:
+      B.ai(T, L.R, Ptr ? Imm * 4 : Imm);
+      Out = Value{T, Ptr, L.Prov};
+      return true;
+    case TokKind::Minus:
+      B.si(T, L.R, Ptr ? Imm * 4 : Imm);
+      Out = Value{T, Ptr, L.Prov};
+      return true;
+    case TokKind::Star:
+      B.muli(T, L.R, Imm);
+      Out = Value{T, false, ""};
+      return true;
+    case TokKind::Amp:
+      B.andi(T, L.R, Imm);
+      Out = Value{T, false, ""};
+      return true;
+    case TokKind::Pipe:
+      B.ori(T, L.R, Imm);
+      Out = Value{T, false, ""};
+      return true;
+    case TokKind::Caret:
+      B.xori(T, L.R, Imm);
+      Out = Value{T, false, ""};
+      return true;
+    case TokKind::Shl:
+      B.sli(T, L.R, Imm);
+      Out = Value{T, false, ""};
+      return true;
+    case TokKind::Shr:
+      B.srai(T, L.R, Imm);
+      Out = Value{T, false, ""};
+      return true;
+    default:
+      break;
+    }
+  }
+
+  Value R;
+  if (!genExpr(*E.Rhs, R))
+    return false;
+  if (E.Op == TokKind::Plus || E.Op == TokKind::Minus) {
+    if (L.IsPtr && !R.IsPtr)
+      ScaleIfNeeded(R);
+    else if (R.IsPtr && !L.IsPtr && E.Op == TokKind::Plus)
+      ScaleIfNeeded(L);
+  }
+  Reg T = F.freshGpr();
+  bool Ptr = L.IsPtr || R.IsPtr;
+  std::string Prov = !L.Prov.empty() ? L.Prov : R.Prov;
+  switch (E.Op) {
+  case TokKind::Plus:
+    B.add(T, L.R, R.R);
+    Out = Value{T, Ptr, Prov};
+    return true;
+  case TokKind::Minus:
+    B.sub(T, L.R, R.R);
+    Out = Value{T, L.IsPtr && R.IsPtr ? false : Ptr, Prov};
+    return true;
+  case TokKind::Star:
+    B.mul(T, L.R, R.R);
+    break;
+  case TokKind::Slash:
+    B.div(T, L.R, R.R);
+    break;
+  case TokKind::Percent: {
+    Reg Q = F.freshGpr(), P = F.freshGpr();
+    B.div(Q, L.R, R.R);
+    B.mul(P, Q, R.R);
+    B.sub(T, L.R, P);
+    break;
+  }
+  case TokKind::Amp:
+    B.and_(T, L.R, R.R);
+    break;
+  case TokKind::Pipe:
+    B.or_(T, L.R, R.R);
+    break;
+  case TokKind::Caret:
+    B.xor_(T, L.R, R.R);
+    break;
+  case TokKind::Shl:
+    B.sl(T, L.R, R.R);
+    break;
+  case TokKind::Shr:
+    B.sra(T, L.R, R.R);
+    break;
+  default:
+    return fail(E.Line, "unsupported binary operator");
+  }
+  Out = Value{T, false, ""};
+  return true;
+}
+
+bool FuncGen::genStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::ExprStmt: {
+    Value V;
+    return genExpr(*S.E, V);
+  }
+  case Stmt::Kind::Decl: {
+    if (Scopes.back().count(S.Name))
+      return fail(S.Line, "redefinition of '" + S.Name + "'");
+    LocalVar L;
+    if (S.IsArray) {
+      L.IsArray = true;
+      L.FrameOff = ArrayOffsets.at(&S);
+      L.NumElems = S.ArraySize;
+    } else {
+      L.IsPtr = S.IsPointer;
+      L.R = allocScalarReg();
+      if (S.E) {
+        Value V;
+        if (!genExpr(*S.E, V))
+          return false;
+        B.lr(L.R, V.R);
+      } else {
+        B.li(L.R, 0);
+      }
+    }
+    Scopes.back()[S.Name] = L;
+    return true;
+  }
+  case Stmt::Kind::Block: {
+    pushScope();
+    bool Ok = genBody(S.Body);
+    popScope();
+    return Ok;
+  }
+  case Stmt::Kind::If: {
+    std::string ThenL = F.freshLabel("if.then");
+    std::string ElseL = F.freshLabel("if.else");
+    std::string EndL = F.freshLabel("if.end");
+    if (!genBranch(*S.Cond, ThenL, S.Else ? ElseL : EndL))
+      return false;
+    B.startBlock(ThenL);
+    if (!genStmt(*S.Then))
+      return false;
+    if (blockOpen())
+      B.b(EndL);
+    if (S.Else) {
+      B.startBlock(ElseL);
+      if (!genStmt(*S.Else))
+        return false;
+      if (blockOpen())
+        B.b(EndL);
+    }
+    B.startBlock(EndL);
+    return true;
+  }
+  case Stmt::Kind::While: {
+    std::string HeadL = F.freshLabel("while.head");
+    std::string BodyL = F.freshLabel("while.body");
+    std::string EndL = F.freshLabel("while.end");
+    if (blockOpen())
+      B.b(HeadL);
+    B.startBlock(HeadL);
+    if (!genBranch(*S.Cond, BodyL, EndL))
+      return false;
+    B.startBlock(BodyL);
+    LoopLabels.push_back({HeadL, EndL});
+    bool Ok = genStmt(*S.Then);
+    LoopLabels.pop_back();
+    if (!Ok)
+      return false;
+    if (blockOpen())
+      B.b(HeadL);
+    B.startBlock(EndL);
+    return true;
+  }
+  case Stmt::Kind::DoWhile: {
+    std::string BodyL = F.freshLabel("do.body");
+    std::string CondL = F.freshLabel("do.cond");
+    std::string EndL = F.freshLabel("do.end");
+    if (blockOpen())
+      B.b(BodyL);
+    B.startBlock(BodyL);
+    LoopLabels.push_back({CondL, EndL});
+    bool Ok = genStmt(*S.Then);
+    LoopLabels.pop_back();
+    if (!Ok)
+      return false;
+    if (blockOpen())
+      B.b(CondL);
+    B.startBlock(CondL);
+    if (!genBranch(*S.Cond, BodyL, EndL))
+      return false;
+    B.startBlock(EndL);
+    return true;
+  }
+  case Stmt::Kind::For: {
+    pushScope();
+    if (S.InitS && !genStmt(*S.InitS)) {
+      popScope();
+      return false;
+    }
+    std::string HeadL = F.freshLabel("for.head");
+    std::string BodyL = F.freshLabel("for.body");
+    std::string IncL = F.freshLabel("for.inc");
+    std::string EndL = F.freshLabel("for.end");
+    if (blockOpen())
+      B.b(HeadL);
+    B.startBlock(HeadL);
+    if (S.Cond) {
+      if (!genBranch(*S.Cond, BodyL, EndL)) {
+        popScope();
+        return false;
+      }
+      B.startBlock(BodyL);
+    }
+    LoopLabels.push_back({IncL, EndL});
+    bool Ok = genStmt(*S.Then);
+    LoopLabels.pop_back();
+    if (!Ok) {
+      popScope();
+      return false;
+    }
+    if (blockOpen())
+      B.b(IncL);
+    B.startBlock(IncL);
+    if (S.Inc) {
+      Value V;
+      if (!genExpr(*S.Inc, V)) {
+        popScope();
+        return false;
+      }
+    }
+    B.b(HeadL);
+    B.startBlock(EndL);
+    popScope();
+    return true;
+  }
+  case Stmt::Kind::Return: {
+    if (S.E) {
+      Value V;
+      if (!genExpr(*S.E, V))
+        return false;
+      B.lr(regs::retval(), V.R);
+    } else {
+      B.li(regs::retval(), 0);
+    }
+    emitEpilogueAndRet();
+    startBlock("dead");
+    return true;
+  }
+  case Stmt::Kind::Break: {
+    if (LoopLabels.empty())
+      return fail(S.Line, "break outside a loop");
+    B.b(LoopLabels.back().second);
+    startBlock("dead");
+    return true;
+  }
+  case Stmt::Kind::Continue: {
+    if (LoopLabels.empty())
+      return fail(S.Line, "continue outside a loop");
+    B.b(LoopLabels.back().first);
+    startBlock("dead");
+    return true;
+  }
+  }
+  return fail(S.Line, "unhandled statement");
+}
+
+bool FuncGen::genBody(const std::vector<std::unique_ptr<Stmt>> &Body) {
+  for (const auto &S : Body)
+    if (!genStmt(*S))
+      return false;
+  return true;
+}
+
+bool FuncGen::run(std::string &Err) {
+  prescanArrays(D.Body);
+  B.startBlock("entry");
+  if (FrameSize > 0)
+    B.si(regs::sp(), regs::sp(), FrameSize);
+
+  pushScope();
+  for (size_t I = 0; I != D.Params.size(); ++I) {
+    LocalVar L;
+    L.IsPtr = D.Params[I].IsPointer;
+    L.R = allocScalarReg();
+    B.lr(L.R, regs::arg(static_cast<unsigned>(I)));
+    Scopes.back()[D.Params[I].Name] = L;
+  }
+  if (!genBody(D.Body)) {
+    Err = Error;
+    return false;
+  }
+  popScope();
+
+  // Implicit "return 0" when control can fall off the end.
+  if (blockOpen()) {
+    B.li(regs::retval(), 0);
+    emitEpilogueAndRet();
+  }
+  return true;
+}
+
+} // namespace
+
+CompileResult vsc::compileMiniC(const std::string &Source,
+                                const FrontendOptions &Opts) {
+  CompileResult Result;
+  Program Prog;
+  if (!parseMiniC(Source, Prog, Result.Error))
+    return Result;
+
+  auto M = std::make_unique<Module>();
+  std::unordered_map<std::string, GlobalInfo> Globals;
+  for (const GlobalDecl &G : Prog.Globals) {
+    if (Globals.count(G.Name)) {
+      Result.Error =
+          "line " + std::to_string(G.Line) + ": duplicate global";
+      return Result;
+    }
+    GlobalInfo Info;
+    Info.IsArray = G.IsArray;
+    Info.IsPtr = G.IsPointer;
+    Info.IsVolatile = G.IsVolatile;
+    Info.NumElems = G.NumElems;
+    Globals[G.Name] = Info;
+
+    Global &IG = M->addGlobal(G.Name, 4 * static_cast<uint64_t>(G.NumElems));
+    IG.IsVolatile = G.IsVolatile;
+    for (size_t I = 0; I != G.Init.size(); ++I) {
+      uint64_t V = static_cast<uint64_t>(G.Init[I]);
+      for (unsigned Byte = 0; Byte != 4; ++Byte)
+        IG.Init.push_back(static_cast<uint8_t>(V >> (8 * Byte)));
+    }
+  }
+
+  for (const FuncDecl &D : Prog.Functions) {
+    Function *F = M->addFunction(D.Name,
+                                 static_cast<unsigned>(D.Params.size()));
+    FuncGen Gen(D, *F, *M, Globals, Opts);
+    if (!Gen.run(Result.Error))
+      return Result;
+  }
+
+  std::string V = verifyModule(*M);
+  if (!V.empty()) {
+    Result.Error = "internal: generated IR does not verify: " + V;
+    return Result;
+  }
+  Result.M = std::move(M);
+  return Result;
+}

@@ -1,0 +1,52 @@
+//===- frontend/Frontend.h - mini-C compiler entry ------------*- C++ -*-===//
+///
+/// \file
+/// compileMiniC: source text -> verified IR module. The code generator
+/// follows RS/6000-flavoured conventions:
+///
+///  * scalar locals and parameters live in callee-saved registers
+///    (r13..r31) while available, then in virtual registers — so prolog
+///    tailoring has real work, exactly as in the paper's compiler;
+///  * local arrays live in the frame (r1-relative; "SI r1=r1,FS" prologue
+///    shape the prolog-tailoring pass knows how to grow);
+///  * global accesses go through LTOC materialisation and carry "!sym"
+///    annotations (the paper's a(r4,12) notation) for disambiguation —
+///    assuming in-bounds indexing, which the bundled workloads satisfy;
+///  * comparisons compile to C/CI + BT/BF on condition-register bits;
+///  * the simulator builtins print_int/print_char/read_int/exit are
+///    callable directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_FRONTEND_FRONTEND_H
+#define VSC_FRONTEND_FRONTEND_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace vsc {
+
+struct FrontendOptions {
+  /// Mark pointer-dereference loads "!safe" (speculation cannot trap):
+  /// justified on machines with readable page zero and in-bounds data, the
+  /// paper's car(car(NIL)) argument. The workloads enable this.
+  bool AssumeSafeLoads = false;
+  /// Allocate named scalar locals to callee-saved registers first.
+  bool UseCalleeSavedForLocals = true;
+};
+
+struct CompileResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+  bool ok() const { return M != nullptr; }
+};
+
+/// Compiles mini-C \p Source; the result verifies (or Error says why not).
+CompileResult compileMiniC(const std::string &Source,
+                           const FrontendOptions &Opts = {});
+
+} // namespace vsc
+
+#endif // VSC_FRONTEND_FRONTEND_H

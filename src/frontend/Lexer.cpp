@@ -1,0 +1,236 @@
+//===- frontend/Lexer.cpp - mini-C lexer --------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+
+using namespace vsc;
+
+bool vsc::lex(const std::string &Source, std::vector<Token> &Out,
+              std::string &Err) {
+  size_t I = 0, N = Source.size();
+  unsigned Line = 1;
+  auto Push = [&](TokKind K, std::string Text = "", int64_t V = 0) {
+    Out.push_back(Token{K, std::move(Text), V, Line});
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/')) {
+        if (Source[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      if (I + 1 >= N) {
+        Err = "line " + std::to_string(Line) + ": unterminated comment";
+        return false;
+      }
+      I += 2;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      std::string W = Source.substr(Start, I - Start);
+      if (W == "int")
+        Push(TokKind::KwInt);
+      else if (W == "void")
+        Push(TokKind::KwVoid);
+      else if (W == "if")
+        Push(TokKind::KwIf);
+      else if (W == "else")
+        Push(TokKind::KwElse);
+      else if (W == "while")
+        Push(TokKind::KwWhile);
+      else if (W == "for")
+        Push(TokKind::KwFor);
+      else if (W == "do")
+        Push(TokKind::KwDo);
+      else if (W == "return")
+        Push(TokKind::KwReturn);
+      else if (W == "break")
+        Push(TokKind::KwBreak);
+      else if (W == "continue")
+        Push(TokKind::KwContinue);
+      else if (W == "volatile")
+        Push(TokKind::KwVolatile);
+      else
+        Push(TokKind::Ident, W);
+      continue;
+    }
+    // Numbers (decimal and hex).
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      int64_t V = 0;
+      if (C == '0' && I + 1 < N && (Source[I + 1] == 'x' ||
+                                    Source[I + 1] == 'X')) {
+        I += 2;
+        while (I < N &&
+               std::isxdigit(static_cast<unsigned char>(Source[I]))) {
+          char D = Source[I++];
+          V = V * 16 + (std::isdigit(static_cast<unsigned char>(D))
+                            ? D - '0'
+                            : std::tolower(D) - 'a' + 10);
+        }
+      } else {
+        while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+          V = V * 10 + (Source[I++] - '0');
+      }
+      Push(TokKind::Number, Source.substr(Start, I - Start), V);
+      continue;
+    }
+    // Character literal.
+    if (C == '\'') {
+      if (I + 2 < N && Source[I + 1] == '\\' && Source[I + 3] == '\'') {
+        char E = Source[I + 2];
+        int64_t V = E == 'n' ? '\n' : E == 't' ? '\t' : E == '0' ? 0 : E;
+        Push(TokKind::Number, "", V);
+        I += 4;
+        continue;
+      }
+      if (I + 2 < N && Source[I + 2] == '\'') {
+        Push(TokKind::Number, "", Source[I + 1]);
+        I += 3;
+        continue;
+      }
+      Err = "line " + std::to_string(Line) + ": bad character literal";
+      return false;
+    }
+
+    auto Two = [&](char A, char B) {
+      return C == A && I + 1 < N && Source[I + 1] == B;
+    };
+    if (Two('<', '<')) {
+      Push(TokKind::Shl);
+      I += 2;
+    } else if (Two('>', '>')) {
+      Push(TokKind::Shr);
+      I += 2;
+    } else if (Two('<', '=')) {
+      Push(TokKind::Le);
+      I += 2;
+    } else if (Two('>', '=')) {
+      Push(TokKind::Ge);
+      I += 2;
+    } else if (Two('=', '=')) {
+      Push(TokKind::EqEq);
+      I += 2;
+    } else if (Two('!', '=')) {
+      Push(TokKind::NotEq);
+      I += 2;
+    } else if (Two('&', '&')) {
+      Push(TokKind::AmpAmp);
+      I += 2;
+    } else if (Two('|', '|')) {
+      Push(TokKind::PipePipe);
+      I += 2;
+    } else if (Two('+', '+')) {
+      Push(TokKind::PlusPlus);
+      I += 2;
+    } else if (Two('-', '-')) {
+      Push(TokKind::MinusMinus);
+      I += 2;
+    } else if (Two('+', '=')) {
+      Push(TokKind::PlusAssign);
+      I += 2;
+    } else if (Two('-', '=')) {
+      Push(TokKind::MinusAssign);
+      I += 2;
+    } else {
+      TokKind K;
+      switch (C) {
+      case '(':
+        K = TokKind::LParen;
+        break;
+      case ')':
+        K = TokKind::RParen;
+        break;
+      case '{':
+        K = TokKind::LBrace;
+        break;
+      case '}':
+        K = TokKind::RBrace;
+        break;
+      case '[':
+        K = TokKind::LBracket;
+        break;
+      case ']':
+        K = TokKind::RBracket;
+        break;
+      case ';':
+        K = TokKind::Semi;
+        break;
+      case ',':
+        K = TokKind::Comma;
+        break;
+      case '=':
+        K = TokKind::Assign;
+        break;
+      case '+':
+        K = TokKind::Plus;
+        break;
+      case '-':
+        K = TokKind::Minus;
+        break;
+      case '*':
+        K = TokKind::Star;
+        break;
+      case '/':
+        K = TokKind::Slash;
+        break;
+      case '%':
+        K = TokKind::Percent;
+        break;
+      case '&':
+        K = TokKind::Amp;
+        break;
+      case '|':
+        K = TokKind::Pipe;
+        break;
+      case '^':
+        K = TokKind::Caret;
+        break;
+      case '~':
+        K = TokKind::Tilde;
+        break;
+      case '!':
+        K = TokKind::Bang;
+        break;
+      case '<':
+        K = TokKind::Lt;
+        break;
+      case '>':
+        K = TokKind::Gt;
+        break;
+      default:
+        Err = "line " + std::to_string(Line) + ": unexpected character '" +
+              std::string(1, C) + "'";
+        return false;
+      }
+      Push(K);
+      ++I;
+    }
+  }
+  Push(TokKind::Eof);
+  return true;
+}

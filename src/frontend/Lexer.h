@@ -1,0 +1,86 @@
+//===- frontend/Lexer.h - mini-C lexer ------------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the mini-C front end (src/frontend/Parser.h). The language
+/// is a small C subset rich enough to express the SPECint92-substitute
+/// workloads: int (64-bit values, 4-byte memory cells), pointers, global
+/// and local scalars/arrays, functions, control flow, and the simulator
+/// builtins (print_int, print_char, read_int, exit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_FRONTEND_LEXER_H
+#define VSC_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  Number,
+  // Keywords.
+  KwInt,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwVolatile,
+  // Punctuation / operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl,
+  Shr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq,
+  AmpAmp,
+  PipePipe,
+  PlusPlus,
+  MinusMinus,
+  PlusAssign,
+  MinusAssign,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t Value = 0; ///< for Number
+  unsigned Line = 0;
+};
+
+/// Tokenizes \p Source. On error, returns false and sets \p Err.
+bool lex(const std::string &Source, std::vector<Token> &Out,
+         std::string &Err);
+
+} // namespace vsc
+
+#endif // VSC_FRONTEND_LEXER_H

@@ -1,0 +1,73 @@
+//===- ir/BasicBlock.h - Basic block --------------------------*- C++ -*-===//
+///
+/// \file
+/// A basic block: a label plus a straight-line instruction sequence.
+/// Control transfers appear only as a suffix of the sequence: at most one
+/// conditional branch, optionally followed by one barrier (B/RET), or a lone
+/// BCT. A block whose last instruction is not a barrier falls through to the
+/// next block in the function's layout order — layout is semantically
+/// meaningful, which is exactly what the paper's reordering passes
+/// (unspeculation's reverse-postorder pass, PDF block reordering) exploit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_IR_BASICBLOCK_H
+#define VSC_IR_BASICBLOCK_H
+
+#include "ir/Instr.h"
+
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+class BasicBlock {
+public:
+  explicit BasicBlock(std::string Label) : Label(std::move(Label)) {}
+
+  const std::string &label() const { return Label; }
+  void setLabel(std::string L) { Label = std::move(L); }
+
+  std::vector<Instr> &instrs() { return Instrs; }
+  const std::vector<Instr> &instrs() const { return Instrs; }
+
+  bool empty() const { return Instrs.empty(); }
+  size_t size() const { return Instrs.size(); }
+
+  /// \returns the final instruction if it is a control transfer, else null.
+  const Instr *terminator() const {
+    if (!Instrs.empty() && Instrs.back().isTerminator())
+      return &Instrs.back();
+    return nullptr;
+  }
+  Instr *terminator() {
+    return const_cast<Instr *>(
+        static_cast<const BasicBlock *>(this)->terminator());
+  }
+
+  /// \returns true if execution can fall through the end of this block into
+  /// the next block in layout order.
+  bool canFallThrough() const {
+    if (Instrs.empty())
+      return true;
+    return !Instrs.back().isBarrier() && !Instrs.back().isRet();
+  }
+
+  /// \returns the index of the first terminator of the terminating suffix,
+  /// i.e. the position before which non-control instructions may be
+  /// appended. Equals size() when the block has no terminator suffix.
+  size_t firstTerminatorIdx() const {
+    size_t I = Instrs.size();
+    while (I > 0 && Instrs[I - 1].isTerminator())
+      --I;
+    return I;
+  }
+
+private:
+  std::string Label;
+  std::vector<Instr> Instrs;
+};
+
+} // namespace vsc
+
+#endif // VSC_IR_BASICBLOCK_H

@@ -1,0 +1,84 @@
+//===- ir/Function.cpp - Function implementation --------------------------===//
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace vsc;
+
+BasicBlock *Function::addBlock(std::string Label) {
+  assert(!findBlock(Label) && "duplicate block label");
+  Blocks.push_back(std::make_unique<BasicBlock>(std::move(Label)));
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::insertBlock(size_t Index, const std::string &Hint) {
+  assert(Index <= Blocks.size() && "insert position out of range");
+  auto BB = std::make_unique<BasicBlock>(freshLabel(Hint));
+  BasicBlock *Ptr = BB.get();
+  Blocks.insert(Blocks.begin() + Index, std::move(BB));
+  return Ptr;
+}
+
+void Function::eraseBlock(size_t Index) {
+  assert(Index < Blocks.size() && "erase position out of range");
+  Blocks.erase(Blocks.begin() + Index);
+}
+
+void Function::moveBlock(size_t From, size_t To) {
+  assert(From < Blocks.size() && To < Blocks.size() && "bad move");
+  if (From == To)
+    return;
+  auto BB = std::move(Blocks[From]);
+  Blocks.erase(Blocks.begin() + From);
+  Blocks.insert(Blocks.begin() + To, std::move(BB));
+}
+
+BasicBlock *Function::findBlock(const std::string &L) const {
+  for (const auto &BB : Blocks)
+    if (BB->label() == L)
+      return BB.get();
+  return nullptr;
+}
+
+size_t Function::indexOf(const BasicBlock *BB) const {
+  for (size_t I = 0, E = Blocks.size(); I != E; ++I)
+    if (Blocks[I].get() == BB)
+      return I;
+  assert(false && "block not in function");
+  return ~size_t(0);
+}
+
+std::string Function::freshLabel(const std::string &Hint) {
+  while (true) {
+    std::string L = Hint + "." + std::to_string(NextLabelId++);
+    if (!findBlock(L))
+      return L;
+  }
+}
+
+void Function::reserveRegsFrom(const Instr &I) {
+  auto Note = [&](Reg R) {
+    if (R.isGpr() && R.id() >= NextGpr)
+      NextGpr = R.id() + 1;
+    else if (R.isCr() && R.id() >= NextCr)
+      NextCr = R.id() + 1;
+  };
+  Note(I.Dst);
+  Note(I.Src1);
+  Note(I.Src2);
+}
+
+void Function::renumber() {
+  NextInstrId = 1;
+  for (auto &BB : Blocks)
+    for (Instr &I : BB->instrs())
+      I.Id = NextInstrId++;
+}
+
+size_t Function::instrCount() const {
+  size_t N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->size();
+  return N;
+}

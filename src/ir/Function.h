@@ -1,0 +1,95 @@
+//===- ir/Function.h - Function -------------------------------*- C++ -*-===//
+///
+/// \file
+/// A function: an ordered list of basic blocks (layout order is meaningful;
+/// the first block is the entry), plus counters for fresh labels, virtual
+/// registers and instruction ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_IR_FUNCTION_H
+#define VSC_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vsc {
+
+class Function {
+public:
+  explicit Function(std::string Name, unsigned NumArgs = 0)
+      : Name(std::move(Name)), NumArgs(NumArgs) {}
+
+  const std::string &name() const { return Name; }
+  unsigned numArgs() const { return NumArgs; }
+  void setNumArgs(unsigned N) { NumArgs = N; }
+
+  /// Blocks in layout order; the first block is the entry.
+  std::vector<std::unique_ptr<BasicBlock>> &blocks() { return Blocks; }
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  BasicBlock *entry() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+  size_t size() const { return Blocks.size(); }
+
+  /// Appends a new block with the given (unique) label.
+  BasicBlock *addBlock(std::string Label);
+
+  /// Creates a new block with a fresh label derived from \p Hint and inserts
+  /// it at layout position \p Index (shifting later blocks).
+  BasicBlock *insertBlock(size_t Index, const std::string &Hint);
+
+  /// Removes the block at layout position \p Index. The caller must have
+  /// already redirected all control flow away from it.
+  void eraseBlock(size_t Index);
+
+  /// Moves the block at position \p From to position \p To (layout edit).
+  void moveBlock(size_t From, size_t To);
+
+  /// \returns the block with label \p L, or null.
+  BasicBlock *findBlock(const std::string &L) const;
+
+  /// \returns the layout index of \p BB; asserts that BB belongs here.
+  size_t indexOf(const BasicBlock *BB) const;
+
+  /// \returns a label not used by any block, derived from \p Hint.
+  std::string freshLabel(const std::string &Hint);
+
+  /// Fresh virtual registers for renaming / new temporaries.
+  Reg freshGpr() { return Reg::gpr(NextGpr++); }
+  Reg freshCr() { return Reg::cr(NextCr++); }
+
+  /// Notes that register ids up to those used in the function are taken, so
+  /// freshGpr/freshCr never collide with hand-built code. Called by the
+  /// verifier/parser/builders after construction.
+  void reserveRegsFrom(const Instr &I);
+
+  /// Assigns a fresh unique id to \p I (valid within this function).
+  void assignId(Instr &I) { I.Id = NextInstrId++; }
+
+  /// Re-assigns unique ids to every instruction (after heavy surgery).
+  void renumber();
+
+  /// Total static instruction count (the paper's code-size metric).
+  size_t instrCount() const;
+
+private:
+  std::string Name;
+  unsigned NumArgs = 0;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  uint32_t NextGpr = Reg::FirstVirtualGpr;
+  uint32_t NextCr = Reg::FirstVirtualCr;
+  uint32_t NextInstrId = 1;
+  uint32_t NextLabelId = 0;
+};
+
+} // namespace vsc
+
+#endif // VSC_IR_FUNCTION_H

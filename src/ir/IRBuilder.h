@@ -1,0 +1,177 @@
+//===- ir/IRBuilder.h - Instruction construction helper -------*- C++ -*-===//
+///
+/// \file
+/// Convenience builder for writing IR programs in C++ (tests, examples and
+/// the paper's worked code listings). Every emitted instruction receives a
+/// unique id and has its registers reserved against the function's fresh-
+/// register counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_IR_IRBUILDER_H
+#define VSC_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace vsc {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F) {}
+
+  /// Subsequent instructions are appended to \p BB.
+  void setBlock(BasicBlock *BB) { Cur = BB; }
+  BasicBlock *block() const { return Cur; }
+
+  /// Creates a new block with exactly \p Label and makes it current.
+  BasicBlock *startBlock(const std::string &Label) {
+    Cur = F.addBlock(Label);
+    return Cur;
+  }
+
+  Instr &emit(Instr I) {
+    assert(Cur && "no current block");
+    F.assignId(I);
+    F.reserveRegsFrom(I);
+    Cur->instrs().push_back(std::move(I));
+    return Cur->instrs().back();
+  }
+
+  // Moves and immediates.
+  Instr &li(Reg D, int64_t Imm) {
+    return emit(make(Opcode::LI, D, Reg(), Reg(), Imm));
+  }
+  Instr &lr(Reg D, Reg S) { return emit(make(Opcode::LR, D, S, Reg())); }
+
+  // ALU.
+  Instr &add(Reg D, Reg A, Reg B) { return emit(make(Opcode::A, D, A, B)); }
+  Instr &sub(Reg D, Reg A, Reg B) { return emit(make(Opcode::S, D, A, B)); }
+  Instr &mul(Reg D, Reg A, Reg B) { return emit(make(Opcode::MUL, D, A, B)); }
+  Instr &div(Reg D, Reg A, Reg B) { return emit(make(Opcode::DIV, D, A, B)); }
+  Instr &and_(Reg D, Reg A, Reg B) { return emit(make(Opcode::AND, D, A, B)); }
+  Instr &or_(Reg D, Reg A, Reg B) { return emit(make(Opcode::OR, D, A, B)); }
+  Instr &xor_(Reg D, Reg A, Reg B) { return emit(make(Opcode::XOR, D, A, B)); }
+  Instr &sl(Reg D, Reg A, Reg B) { return emit(make(Opcode::SL, D, A, B)); }
+  Instr &sr(Reg D, Reg A, Reg B) { return emit(make(Opcode::SR, D, A, B)); }
+  Instr &sra(Reg D, Reg A, Reg B) { return emit(make(Opcode::SRA, D, A, B)); }
+  Instr &neg(Reg D, Reg A) { return emit(make(Opcode::NEG, D, A, Reg())); }
+  Instr &ai(Reg D, Reg A, int64_t Imm) {
+    return emit(make(Opcode::AI, D, A, Reg(), Imm));
+  }
+  Instr &si(Reg D, Reg A, int64_t Imm) {
+    return emit(make(Opcode::SI, D, A, Reg(), Imm));
+  }
+  Instr &muli(Reg D, Reg A, int64_t Imm) {
+    return emit(make(Opcode::MULI, D, A, Reg(), Imm));
+  }
+  Instr &andi(Reg D, Reg A, int64_t Imm) {
+    return emit(make(Opcode::ANDI, D, A, Reg(), Imm));
+  }
+  Instr &ori(Reg D, Reg A, int64_t Imm) {
+    return emit(make(Opcode::ORI, D, A, Reg(), Imm));
+  }
+  Instr &xori(Reg D, Reg A, int64_t Imm) {
+    return emit(make(Opcode::XORI, D, A, Reg(), Imm));
+  }
+  Instr &sli(Reg D, Reg A, int64_t Imm) {
+    return emit(make(Opcode::SLI, D, A, Reg(), Imm));
+  }
+  Instr &sri(Reg D, Reg A, int64_t Imm) {
+    return emit(make(Opcode::SRI, D, A, Reg(), Imm));
+  }
+  Instr &srai(Reg D, Reg A, int64_t Imm) {
+    return emit(make(Opcode::SRAI, D, A, Reg(), Imm));
+  }
+  Instr &la(Reg D, Reg A, int64_t Imm) {
+    return emit(make(Opcode::LA, D, A, Reg(), Imm));
+  }
+
+  // Memory.
+  Instr &load(Reg D, Reg Base, int64_t Disp, std::string Sym = "",
+              uint8_t Size = 4) {
+    Instr I = make(Opcode::L, D, Base, Reg(), Disp);
+    I.Sym = std::move(Sym);
+    I.MemSize = Size;
+    return emit(std::move(I));
+  }
+  Instr &loadUpdate(Reg D, Reg Base, int64_t Disp, std::string Sym = "",
+                    uint8_t Size = 4) {
+    Instr I = make(Opcode::LU, D, Base, Reg(), Disp);
+    I.Sym = std::move(Sym);
+    I.MemSize = Size;
+    return emit(std::move(I));
+  }
+  Instr &store(Reg Val, Reg Base, int64_t Disp, std::string Sym = "",
+               uint8_t Size = 4) {
+    Instr I = make(Opcode::ST, Reg(), Val, Base, Disp);
+    I.Sym = std::move(Sym);
+    I.MemSize = Size;
+    return emit(std::move(I));
+  }
+  Instr &ltoc(Reg D, std::string Sym) {
+    Instr I = make(Opcode::LTOC, D, Reg(), Reg());
+    I.Sym = std::move(Sym);
+    return emit(std::move(I));
+  }
+
+  // Compares.
+  Instr &cmp(Reg Cr, Reg A, Reg B) { return emit(make(Opcode::C, Cr, A, B)); }
+  Instr &cmpi(Reg Cr, Reg A, int64_t Imm) {
+    return emit(make(Opcode::CI, Cr, A, Reg(), Imm));
+  }
+
+  // Branches.
+  Instr &b(std::string Target) {
+    Instr I = make(Opcode::B, Reg(), Reg(), Reg());
+    I.Target = std::move(Target);
+    return emit(std::move(I));
+  }
+  Instr &bt(std::string Target, Reg Cr, CrBit Bit) {
+    Instr I = make(Opcode::BT, Reg(), Cr, Reg());
+    I.Target = std::move(Target);
+    I.Bit = Bit;
+    return emit(std::move(I));
+  }
+  Instr &bf(std::string Target, Reg Cr, CrBit Bit) {
+    Instr I = make(Opcode::BF, Reg(), Cr, Reg());
+    I.Target = std::move(Target);
+    I.Bit = Bit;
+    return emit(std::move(I));
+  }
+  Instr &bct(std::string Target) {
+    Instr I = make(Opcode::BCT, Reg(), Reg(), Reg());
+    I.Target = std::move(Target);
+    return emit(std::move(I));
+  }
+  Instr &mtctr(Reg A) {
+    return emit(make(Opcode::MTCTR, Reg::ctr(), A, Reg()));
+  }
+  Instr &call(std::string Callee, int64_t NumArgs) {
+    Instr I = make(Opcode::CALL, Reg(), Reg(), Reg(), NumArgs);
+    I.Sym = std::move(Callee);
+    return emit(std::move(I));
+  }
+  Instr &ret() { return emit(make(Opcode::RET, Reg(), Reg(), Reg())); }
+
+private:
+  static Instr make(Opcode Op, Reg D, Reg S1, Reg S2, int64_t Imm = 0) {
+    Instr I;
+    I.Op = Op;
+    I.Dst = D;
+    I.Src1 = S1;
+    I.Src2 = S2;
+    I.Imm = Imm;
+    return I;
+  }
+
+  Function &F;
+  BasicBlock *Cur = nullptr;
+};
+
+} // namespace vsc
+
+#endif // VSC_IR_IRBUILDER_H

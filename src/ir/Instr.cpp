@@ -1,0 +1,144 @@
+//===- ir/Instr.cpp - IR instruction helpers ------------------------------===//
+
+#include "ir/Instr.h"
+
+#include <cassert>
+
+using namespace vsc;
+
+void Instr::collectUses(std::vector<Reg> &Uses) const {
+  const OpcodeInfo &Info = opcodeInfo(Op);
+  if (Info.NumSrcs >= 1 && Src1.isValid())
+    Uses.push_back(Src1);
+  if (Info.NumSrcs >= 2 && Src2.isValid())
+    Uses.push_back(Src2);
+  switch (Op) {
+  case Opcode::BCT:
+    Uses.push_back(Reg::ctr());
+    break;
+  case Opcode::CALL:
+    // Arguments are passed in r3..r10; Imm holds the argument count. The
+    // callee may also read the stack pointer and the TOC.
+    for (int64_t I = 0; I < Imm; ++I)
+      Uses.push_back(regs::arg(static_cast<unsigned>(I)));
+    Uses.push_back(regs::sp());
+    Uses.push_back(regs::toc());
+    break;
+  case Opcode::RET:
+    // The return value lives in r3. Callee-saved registers are live across
+    // the return as far as the caller is concerned; that liveness is
+    // modelled here so restores inserted by prolog tailoring are not dead.
+    Uses.push_back(regs::retval());
+    for (uint32_t R = 13; R <= 31; ++R)
+      Uses.push_back(Reg::gpr(R));
+    Uses.push_back(regs::sp());
+    break;
+  default:
+    break;
+  }
+}
+
+void Instr::collectDefs(std::vector<Reg> &Defs) const {
+  const OpcodeInfo &Info = opcodeInfo(Op);
+  if (Info.HasDst && Dst.isValid())
+    Defs.push_back(Dst);
+  switch (Op) {
+  case Opcode::LU:
+    Defs.push_back(Src1); // base register update
+    break;
+  case Opcode::BCT:
+    Defs.push_back(Reg::ctr()); // count decrement
+    break;
+  case Opcode::CALL:
+    // Under the RS/6000 linkage convention a call clobbers r0, the argument
+    // registers r3..r12, every physical condition register, and the count
+    // register. r1 (SP), r2 (TOC) and r13..r31 are preserved.
+    Defs.push_back(Reg::gpr(0));
+    for (uint32_t R = 3; R <= 12; ++R)
+      Defs.push_back(Reg::gpr(R));
+    for (uint32_t C = 0; C < 8; ++C)
+      Defs.push_back(Reg::cr(C));
+    Defs.push_back(Reg::ctr());
+    break;
+  default:
+    break;
+  }
+}
+
+bool Instr::hasSideEffects() const {
+  if (isStore() || isCall() || isRet() || isBranch())
+    return true;
+  if (isMemAccess() && IsVolatile)
+    return true;
+  return false;
+}
+
+bool Instr::isSafeToSpeculate() const {
+  if (hasSideEffects())
+    return false;
+  if (isLoad())
+    return false; // needs the flow-sensitive safety proof
+  if (Op == Opcode::DIV)
+    return false; // may trap on divide by zero
+  if (Op == Opcode::LU)
+    return false; // updates its base register
+  if (Op == Opcode::MTCTR)
+    return false; // CTR is architectural loop state
+  return true;
+}
+
+std::string Instr::str() const {
+  const OpcodeInfo &Info = opcodeInfo(Op);
+  std::string S(Info.Name);
+  auto Mem = [&](Reg Base) {
+    std::string M = std::to_string(Imm) + "(" + Base.str() + ")";
+    if (MemSize != 4)
+      M += ":" + std::to_string(static_cast<int>(MemSize));
+    if (!Sym.empty())
+      M += " !" + Sym;
+    if (IsVolatile)
+      M += " !volatile";
+    if (SpecSafe)
+      M += " !safe";
+    return M;
+  };
+  switch (Op) {
+  case Opcode::LI:
+    return S + " " + Dst.str() + " = " + std::to_string(Imm);
+  case Opcode::LR:
+  case Opcode::NEG:
+  case Opcode::MTCTR:
+    return S + " " + Dst.str() + " = " + Src1.str();
+  case Opcode::LTOC:
+    return S + " " + Dst.str() + " = ." + Sym;
+  case Opcode::L:
+  case Opcode::LU:
+    return S + " " + Dst.str() + " = " + Mem(Src1);
+  case Opcode::ST:
+    return S + " " + Mem(Src2) + " = " + Src1.str();
+  case Opcode::C:
+    return S + " " + Dst.str() + " = " + Src1.str() + ", " + Src2.str();
+  case Opcode::CI:
+    return S + " " + Dst.str() + " = " + Src1.str() + ", " +
+           std::to_string(Imm);
+  case Opcode::B:
+    return S + " " + Target;
+  case Opcode::BT:
+  case Opcode::BF:
+    return S + " " + Target + ", " + Src1.str() + "." +
+           std::string(crBitName(Bit));
+  case Opcode::BCT:
+    return S + " " + Target;
+  case Opcode::CALL:
+    return S + " " + Sym + ", " + std::to_string(Imm);
+  case Opcode::RET:
+    return S;
+  default:
+    break;
+  }
+  // Generic ALU forms.
+  if (Info.HasImm)
+    return S + " " + Dst.str() + " = " + Src1.str() + ", " +
+           std::to_string(Imm);
+  return S + " " + Dst.str() + " = " + Src1.str() + ", " + Src2.str();
+}

@@ -1,0 +1,106 @@
+//===- ir/Instr.h - IR instruction ----------------------------*- C++ -*-===//
+///
+/// \file
+/// A single IR instruction. One struct covers the whole instruction set;
+/// which fields are meaningful is determined by the opcode traits
+/// (ir/Opcode.h). Helper functions expose uses/defs including the implicit
+/// effects of calls and returns, and the speculation-safety queries the
+/// scheduling passes need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_IR_INSTR_H
+#define VSC_IR_INSTR_H
+
+#include "ir/Opcode.h"
+#include "ir/Reg.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+struct Instr {
+  Opcode Op = Opcode::LI;
+  /// Destination register: GPR for ALU/loads, CR for compares, CTR for
+  /// MTCTR. Invalid when the opcode has no destination.
+  Reg Dst;
+  /// First register source. For BT/BF this is the condition register read.
+  Reg Src1;
+  /// Second register source. For ST this is the *base* register (Src1 is
+  /// the stored value).
+  Reg Src2;
+  /// Immediate operand, memory displacement, or CALL argument count.
+  int64_t Imm = 0;
+  /// Global symbol: LTOC target, CALL callee, or the alias annotation on a
+  /// memory access (the paper's "a(r4,12)" notation — access is known to
+  /// touch global \c Sym).
+  std::string Sym;
+  /// Branch target label for B/BT/BF/BCT.
+  std::string Target;
+  /// Condition bit tested by BT/BF.
+  CrBit Bit = CrBit::Eq;
+  /// Access width in bytes for L/LU/ST: 1, 2, 4 or 8. Loads sign-extend.
+  uint8_t MemSize = 4;
+  /// Volatile memory access (shared variable / memory-mapped I/O); such
+  /// accesses are never moved or deleted.
+  bool IsVolatile = false;
+  /// Load known safe to execute speculatively (cannot trap): set by the
+  /// producer when the address is provably valid-or-page-zero, e.g. the
+  /// paper's car(car(NIL)) trick of mapping page zero readable [5]. Printed
+  /// as the "!safe" annotation.
+  bool SpecSafe = false;
+  /// Unique id within the containing function (assigned by Function).
+  uint32_t Id = 0;
+
+  bool isBranch() const { return opcodeInfo(Op).IsBranch; }
+  bool isCondBranch() const { return opcodeInfo(Op).IsCondBranch; }
+  bool isUncondBranch() const { return Op == Opcode::B; }
+  bool isLoad() const { return opcodeInfo(Op).IsLoad; }
+  bool isStore() const { return opcodeInfo(Op).IsStore; }
+  bool isMemAccess() const { return isLoad() || isStore(); }
+  bool isCall() const { return Op == Opcode::CALL; }
+  bool isRet() const { return Op == Opcode::RET; }
+  /// \returns true if this instruction ends a basic block's instruction
+  /// stream unconditionally (execution never falls through it).
+  bool isBarrier() const { return Op == Opcode::B || Op == Opcode::RET; }
+  /// \returns true for any instruction after which control may leave the
+  /// block (branches, returns).
+  bool isTerminator() const { return isBranch() || isRet(); }
+
+  /// \returns the base register of a memory access.
+  Reg memBase() const {
+    return Op == Opcode::ST ? Src2 : Src1;
+  }
+  /// \returns the displacement of a memory access.
+  int64_t memDisp() const { return Imm; }
+
+  /// Appends every register this instruction reads to \p Uses, including
+  /// implicit uses (CALL argument registers, RET's r3, BCT's CTR).
+  void collectUses(std::vector<Reg> &Uses) const;
+
+  /// Appends every register this instruction writes to \p Defs, including
+  /// implicit defs (CALL's clobbers, BCT's CTR decrement).
+  void collectDefs(std::vector<Reg> &Defs) const;
+
+  /// \returns true if executing this instruction when it would not have
+  /// executed in the original program can neither trap nor change
+  /// program-visible state: no stores, calls, returns, branches, volatile
+  /// accesses, or potentially-trapping arithmetic. Loads are NOT considered
+  /// safe here; load safety is a separate, flow-sensitive question
+  /// (analysis/SafeLoads).
+  bool isSafeToSpeculate() const;
+
+  /// \returns true if this instruction has an effect beyond writing its
+  /// destination registers (memory store, I/O, control flow, call).
+  bool hasSideEffects() const;
+
+  /// Renders the instruction in the textual syntax (without trailing
+  /// newline), e.g. "L r4 = 12(r8) !a" or "BT found, cr0.eq".
+  std::string str() const;
+};
+
+} // namespace vsc
+
+#endif // VSC_IR_INSTR_H

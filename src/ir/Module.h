@@ -1,0 +1,82 @@
+//===- ir/Module.h - Translation unit -------------------------*- C++ -*-===//
+///
+/// \file
+/// A module: global variables (addressed through the TOC, as on the
+/// RS/6000) plus functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_IR_MODULE_H
+#define VSC_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+/// A statically-allocated global variable.
+struct Global {
+  std::string Name;
+  /// Size in bytes. The load/store-motion safety rule checks this against
+  /// the accessed displacement ("sufficient size").
+  uint64_t Size = 0;
+  /// Initial contents; zero-filled up to Size if shorter.
+  std::vector<uint8_t> Init;
+  /// Volatile globals are never register-cached.
+  bool IsVolatile = false;
+};
+
+class Module {
+public:
+  Function *addFunction(std::string Name, unsigned NumArgs = 0) {
+    Functions.push_back(
+        std::make_unique<Function>(std::move(Name), NumArgs));
+    return Functions.back().get();
+  }
+
+  Function *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->name() == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  Global &addGlobal(std::string Name, uint64_t Size) {
+    Globals.push_back(Global{std::move(Name), Size, {}, false});
+    return Globals.back();
+  }
+
+  const Global *findGlobal(const std::string &Name) const {
+    for (const Global &G : Globals)
+      if (G.Name == Name)
+        return &G;
+    return nullptr;
+  }
+
+  std::vector<std::unique_ptr<Function>> &functions() { return Functions; }
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+  std::vector<Global> &globals() { return Globals; }
+  const std::vector<Global> &globals() const { return Globals; }
+
+  /// Total static instruction count across all functions.
+  size_t instrCount() const {
+    size_t N = 0;
+    for (const auto &F : Functions)
+      N += F->instrCount();
+    return N;
+  }
+
+private:
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<Global> Globals;
+};
+
+} // namespace vsc
+
+#endif // VSC_IR_MODULE_H

@@ -1,0 +1,74 @@
+//===- ir/Opcode.cpp - Opcode trait table ---------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+using namespace vsc;
+
+namespace {
+
+// Name, Unit, HasDst, NumSrcs, HasImm, IsLoad, IsStore, IsBranch,
+// IsCondBranch, IsCall. Order must match the Opcode enum.
+constexpr OpcodeInfo Infos[] = {
+    {"LI", UnitKind::Fxu, true, 0, true, false, false, false, false, false},
+    {"LR", UnitKind::Fxu, true, 1, false, false, false, false, false, false},
+    {"A", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"S", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"MUL", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"DIV", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"AND", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"OR", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"XOR", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"SL", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"SR", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"SRA", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"AI", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"SI", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"MULI", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"ANDI", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"ORI", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"XORI", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"SLI", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"SRI", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"SRAI", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"NEG", UnitKind::Fxu, true, 1, false, false, false, false, false, false},
+    {"L", UnitKind::Fxu, true, 1, true, true, false, false, false, false},
+    {"LU", UnitKind::Fxu, true, 1, true, true, false, false, false, false},
+    {"ST", UnitKind::Fxu, false, 2, true, false, true, false, false, false},
+    {"LTOC", UnitKind::Fxu, true, 0, false, false, false, false, false, false},
+    {"LA", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"C", UnitKind::Fxu, true, 2, false, false, false, false, false, false},
+    {"CI", UnitKind::Fxu, true, 1, true, false, false, false, false, false},
+    {"B", UnitKind::Bu, false, 0, false, false, false, true, false, false},
+    {"BT", UnitKind::Bu, false, 1, false, false, false, true, true, false},
+    {"BF", UnitKind::Bu, false, 1, false, false, false, true, true, false},
+    {"BCT", UnitKind::Bu, false, 0, false, false, false, true, true, false},
+    {"MTCTR", UnitKind::Fxu, true, 1, false, false, false, false, false,
+     false},
+    {"CALL", UnitKind::Bu, false, 0, true, false, false, false, false, true},
+    {"RET", UnitKind::Bu, false, 0, false, false, false, false, false, false},
+};
+
+static_assert(sizeof(Infos) / sizeof(Infos[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "opcode trait table out of sync with the Opcode enum");
+
+} // namespace
+
+const OpcodeInfo &vsc::opcodeInfo(Opcode Op) {
+  assert(Op < Opcode::NumOpcodes && "invalid opcode");
+  return Infos[static_cast<size_t>(Op)];
+}
+
+std::string_view vsc::crBitName(CrBit Bit) {
+  switch (Bit) {
+  case CrBit::Lt:
+    return "lt";
+  case CrBit::Gt:
+    return "gt";
+  case CrBit::Eq:
+    return "eq";
+  }
+  return "?";
+}

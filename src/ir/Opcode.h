@@ -1,0 +1,96 @@
+//===- ir/Opcode.h - Instruction opcodes ----------------------*- C++ -*-===//
+///
+/// \file
+/// Opcodes of the POWER-flavoured IR, plus a static trait table. The
+/// mnemonics follow the listings in the paper (L, ST, LR, LI, AI, C, BT, BF,
+/// BCT, ...) so the examples in the paper can be written down verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_IR_OPCODE_H
+#define VSC_IR_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace vsc {
+
+enum class Opcode : uint8_t {
+  // Moves and immediates.
+  LI,   ///< rt = imm
+  LR,   ///< rt = rs (register copy; the paper's non-coalesceable LR)
+  // Integer ALU, register-register.
+  A,    ///< rt = ra + rb
+  S,    ///< rt = ra - rb
+  MUL,  ///< rt = ra * rb
+  DIV,  ///< rt = ra / rb (signed; divide by zero traps)
+  AND,  ///< rt = ra & rb
+  OR,   ///< rt = ra | rb
+  XOR,  ///< rt = ra ^ rb
+  SL,   ///< rt = ra << (rb & 63)
+  SR,   ///< rt = (uint64)ra >> (rb & 63)
+  SRA,  ///< rt = ra >> (rb & 63) (arithmetic)
+  // Integer ALU, register-immediate.
+  AI,   ///< rt = ra + imm
+  SI,   ///< rt = ra - imm
+  MULI, ///< rt = ra * imm
+  ANDI, ///< rt = ra & imm
+  ORI,  ///< rt = ra | imm
+  XORI, ///< rt = ra ^ imm
+  SLI,  ///< rt = ra << imm
+  SRI,  ///< rt = (uint64)ra >> imm
+  SRAI, ///< rt = ra >> imm (arithmetic)
+  NEG,  ///< rt = -ra
+  // Memory. Addresses are base register + displacement; an optional symbol
+  // annotation ("!a") records which global the access is known to touch.
+  L,    ///< rt = size[disp(ra)] (sign-extending load)
+  LU,   ///< rt = size[disp(ra)]; ra += disp (load with update, cf. LHAU)
+  ST,   ///< size[disp(ra)] = rs
+  LTOC, ///< rt = &sym (load of an address constant from the TOC)
+  LA,   ///< rt = ra + imm (address arithmetic; alias-analysis-transparent)
+  // Compares. Write a condition register with lt/eq/gt bits.
+  C,    ///< crX = compare(ra, rb)
+  CI,   ///< crX = compare(ra, imm)
+  // Branches.
+  B,    ///< goto target
+  BT,   ///< if (crX.bit) goto target
+  BF,   ///< if (!crX.bit) goto target
+  BCT,  ///< if (--ctr != 0) goto target (branch on count)
+  MTCTR,///< ctr = ra
+  // Calls and returns. Args in r3..r10, result in r3.
+  CALL, ///< call sym (Imm holds the argument count)
+  RET,  ///< return (r3 holds the result)
+  NumOpcodes
+};
+
+/// Condition-register bit tested by BT/BF and produced by C/CI.
+enum class CrBit : uint8_t { Lt, Gt, Eq };
+
+/// Which execution unit class an opcode occupies in the timing model.
+enum class UnitKind : uint8_t { Fxu, Bu, None };
+
+/// Static properties of an opcode.
+struct OpcodeInfo {
+  std::string_view Name;
+  UnitKind Unit;
+  bool HasDst : 1;      ///< writes Dst
+  uint8_t NumSrcs : 2;  ///< register sources read (Src1/Src2)
+  bool HasImm : 1;      ///< carries an immediate / displacement
+  bool IsLoad : 1;
+  bool IsStore : 1;
+  bool IsBranch : 1;    ///< any control transfer (B/BT/BF/BCT)
+  bool IsCondBranch : 1;
+  bool IsCall : 1;
+};
+
+/// \returns the trait record for \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+inline std::string_view opcodeName(Opcode Op) { return opcodeInfo(Op).Name; }
+
+/// \returns the printable name of a CR bit ("lt", "gt", "eq").
+std::string_view crBitName(CrBit Bit);
+
+} // namespace vsc
+
+#endif // VSC_IR_OPCODE_H

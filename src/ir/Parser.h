@@ -1,0 +1,28 @@
+//===- ir/Parser.h - Textual IR parser ------------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the textual syntax produced by ir/Printer.h. This exists so tests
+/// and examples can state programs (including the paper's listings) as
+/// readable text. Comments run from "//" or ";" to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_IR_PARSER_H
+#define VSC_IR_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace vsc {
+
+class Module;
+
+/// Parses \p Text into a module. On failure returns null and, if \p Err is
+/// non-null, stores a "line N: message" diagnostic into it.
+std::unique_ptr<Module> parseModule(std::string_view Text,
+                                    std::string *Err = nullptr);
+
+} // namespace vsc
+
+#endif // VSC_IR_PARSER_H

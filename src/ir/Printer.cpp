@@ -1,0 +1,46 @@
+//===- ir/Printer.cpp - Textual IR output ---------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Module.h"
+
+using namespace vsc;
+
+std::string vsc::printFunction(const Function &F) {
+  std::string Out;
+  Out += "func " + F.name() + "(" + std::to_string(F.numArgs()) + ") {\n";
+  for (const auto &BB : F.blocks()) {
+    Out += BB->label() + ":\n";
+    for (const Instr &I : BB->instrs()) {
+      Out += "  ";
+      Out += I.str();
+      Out += "\n";
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string vsc::printModule(const Module &M) {
+  std::string Out;
+  for (const Global &G : M.globals()) {
+    Out += "global " + G.Name + " : " + std::to_string(G.Size);
+    if (!G.Init.empty()) {
+      Out += " = [";
+      for (size_t I = 0; I != G.Init.size(); ++I) {
+        if (I)
+          Out += " ";
+        Out += std::to_string(static_cast<int>(G.Init[I]));
+      }
+      Out += "]";
+    }
+    if (G.IsVolatile)
+      Out += " volatile";
+    Out += "\n";
+  }
+  for (const auto &F : M.functions()) {
+    Out += printFunction(*F);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- ir/Printer.h - Textual IR output -----------------------*- C++ -*-===//
+///
+/// \file
+/// Renders modules and functions in the textual syntax accepted by
+/// ir/Parser.h (the two round-trip).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_IR_PRINTER_H
+#define VSC_IR_PRINTER_H
+
+#include <string>
+
+namespace vsc {
+
+class Module;
+class Function;
+
+/// Renders \p F as text, e.g.
+/// \code
+/// func foo(1) {
+/// entry:
+///   LI r32 = 5
+///   RET
+/// }
+/// \endcode
+std::string printFunction(const Function &F);
+
+/// Renders globals followed by every function.
+std::string printModule(const Module &M);
+
+} // namespace vsc
+
+#endif // VSC_IR_PRINTER_H

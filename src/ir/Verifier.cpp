@@ -1,0 +1,149 @@
+//===- ir/Verifier.cpp - IR well-formedness checks ------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Module.h"
+
+#include <unordered_set>
+
+using namespace vsc;
+
+/// Runtime builtins the simulator provides; CALLs to these are always legal.
+static bool isBuiltinCallee(const std::string &Name) {
+  return Name == "print_int" || Name == "print_char" || Name == "exit" ||
+         Name == "read_int";
+}
+
+static std::string checkInstr(const Function &F, const BasicBlock &BB,
+                              const Instr &I) {
+  auto Fail = [&](const std::string &Msg) {
+    return F.name() + ":" + BB.label() + ": " + I.str() + ": " + Msg;
+  };
+  const OpcodeInfo &Info = opcodeInfo(I.Op);
+
+  if (Info.HasDst && !I.Dst.isValid())
+    return Fail("missing destination");
+  if (Info.NumSrcs >= 1 && !I.Src1.isValid())
+    return Fail("missing first source");
+  if (Info.NumSrcs >= 2 && !I.Src2.isValid())
+    return Fail("missing second source");
+
+  switch (I.Op) {
+  case Opcode::C:
+  case Opcode::CI:
+    if (!I.Dst.isCr())
+      return Fail("compare must write a condition register");
+    if (!I.Src1.isGpr() || (I.Op == Opcode::C && !I.Src2.isGpr()))
+      return Fail("compare sources must be GPRs");
+    break;
+  case Opcode::BT:
+  case Opcode::BF:
+    if (!I.Src1.isCr())
+      return Fail("conditional branch must read a condition register");
+    break;
+  case Opcode::MTCTR:
+    if (!I.Dst.isCtr() || !I.Src1.isGpr())
+      return Fail("MTCTR moves a GPR into ctr");
+    break;
+  case Opcode::L:
+  case Opcode::LU:
+  case Opcode::ST:
+    if (I.MemSize != 1 && I.MemSize != 2 && I.MemSize != 4 && I.MemSize != 8)
+      return Fail("bad access size");
+    if (!I.memBase().isGpr())
+      return Fail("memory base must be a GPR");
+    if (I.Op != Opcode::ST && !I.Dst.isGpr())
+      return Fail("load destination must be a GPR");
+    if (I.Op == Opcode::LU && I.Dst == I.Src1)
+      return Fail("LU destination must differ from its base");
+    if (I.Op == Opcode::ST && !I.Src1.isGpr())
+      return Fail("stored value must be a GPR");
+    break;
+  case Opcode::CALL:
+    if (I.Imm < 0 || I.Imm > 8)
+      return Fail("argument count must be 0..8");
+    break;
+  case Opcode::LTOC:
+    if (I.Sym.empty())
+      return Fail("LTOC needs a symbol");
+    break;
+  default:
+    if (Info.HasDst && I.Dst.isCr())
+      return Fail("only compares may write condition registers");
+    if (Info.HasDst && I.Dst.isCtr() && I.Op != Opcode::MTCTR)
+      return Fail("only MTCTR may write ctr");
+    break;
+  }
+
+  if (I.isBranch()) {
+    if (I.Target.empty())
+      return Fail("branch without target");
+    if (!F.findBlock(I.Target))
+      return Fail("unresolved branch target '" + I.Target + "'");
+  }
+  return "";
+}
+
+std::string vsc::verifyFunction(const Function &F) {
+  if (F.blocks().empty())
+    return F.name() + ": function has no blocks";
+
+  std::unordered_set<std::string> Labels;
+  for (const auto &BB : F.blocks())
+    if (!Labels.insert(BB->label()).second)
+      return F.name() + ": duplicate label '" + BB->label() + "'";
+
+  for (size_t BI = 0, BE = F.blocks().size(); BI != BE; ++BI) {
+    const BasicBlock &BB = *F.blocks()[BI];
+    // Control transfers may only appear as a block suffix.
+    size_t FirstTerm = BB.firstTerminatorIdx();
+    for (size_t II = 0; II != BB.size(); ++II) {
+      const Instr &I = BB.instrs()[II];
+      if (I.isTerminator() && II < FirstTerm)
+        return F.name() + ":" + BB.label() +
+               ": control transfer in the middle of a block";
+      std::string E = checkInstr(F, BB, I);
+      if (!E.empty())
+        return E;
+    }
+    size_t NumTerms = BB.size() - FirstTerm;
+    if (NumTerms > 2)
+      return F.name() + ":" + BB.label() + ": more than two terminators";
+    if (NumTerms == 2) {
+      const Instr &First = BB.instrs()[FirstTerm];
+      const Instr &Second = BB.instrs()[FirstTerm + 1];
+      if (!First.isCondBranch())
+        return F.name() + ":" + BB.label() +
+               ": first terminator of a pair must be conditional";
+      if (!Second.isBarrier())
+        return F.name() + ":" + BB.label() +
+               ": second terminator must be B or RET";
+    }
+    // A fallthrough off the end of the function is invalid.
+    if (BI + 1 == BE && BB.canFallThrough())
+      return F.name() + ": final block '" + BB.label() +
+             "' falls off the end of the function";
+  }
+  return "";
+}
+
+std::string vsc::verifyModule(const Module &M) {
+  std::unordered_set<std::string> Names;
+  for (const auto &F : M.functions())
+    if (!Names.insert(F->name()).second)
+      return "duplicate function '" + F->name() + "'";
+  for (const Global &G : M.globals())
+    if (!Names.insert(G.Name).second)
+      return "duplicate symbol '" + G.Name + "'";
+
+  for (const auto &F : M.functions()) {
+    std::string E = verifyFunction(*F);
+    if (!E.empty())
+      return E;
+    for (const auto &BB : F->blocks())
+      for (const Instr &I : BB->instrs())
+        if (I.isCall() && !M.findFunction(I.Sym) && !isBuiltinCallee(I.Sym))
+          return F->name() + ": call to unknown function '" + I.Sym + "'";
+  }
+  return "";
+}

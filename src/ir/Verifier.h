@@ -1,0 +1,36 @@
+//===- ir/Verifier.h - IR well-formedness checks --------------*- C++ -*-===//
+///
+/// \file
+/// Structural validity checks run after construction and between passes in
+/// debug pipelines. Returns a diagnostic string ("" when valid) so tests can
+/// assert on the message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_IR_VERIFIER_H
+#define VSC_IR_VERIFIER_H
+
+#include <string>
+
+namespace vsc {
+
+class Module;
+class Function;
+
+/// Checks one function:
+///  * block labels are unique and every branch target resolves;
+///  * control transfers form a valid suffix (at most one conditional branch,
+///    optionally followed by one barrier; BCT terminates alone);
+///  * the final block cannot fall off the end of the function;
+///  * operand register classes match opcode expectations;
+///  * memory access sizes are 1/2/4/8, CALL argument counts fit r3..r10.
+/// \returns "" when valid, else a diagnostic.
+std::string verifyFunction(const Function &F);
+
+/// Runs verifyFunction on every function and checks that CALL targets are
+/// either functions in the module or known runtime builtins.
+std::string verifyModule(const Module &M);
+
+} // namespace vsc
+
+#endif // VSC_IR_VERIFIER_H

@@ -1,0 +1,45 @@
+//===- machine/MachineModel.cpp - Target descriptions ----------------------===//
+
+#include "machine/MachineModel.h"
+
+using namespace vsc;
+
+MachineModel vsc::rs6000() {
+  MachineModel M;
+  M.Name = "rs6000";
+  M.FxuWidth = 1;
+  M.BuWidth = 1;
+  M.LoadLatency = 2;
+  M.TakenBranchRedirect = 3;
+  M.SpecWindow = 3;
+  M.ExpansionObjective = 4;
+  return M;
+}
+
+MachineModel vsc::power2() {
+  MachineModel M = rs6000();
+  M.Name = "power2";
+  M.FxuWidth = 2;
+  M.ExpansionObjective = 5;
+  return M;
+}
+
+MachineModel vsc::ppc601() {
+  MachineModel M = rs6000();
+  M.Name = "ppc601";
+  M.LoadLatency = 1;
+  M.TakenBranchRedirect = 2;
+  M.SpecWindow = 2;
+  M.ExpansionObjective = 3;
+  return M;
+}
+
+MachineModel vsc::vliw8() {
+  MachineModel M = rs6000();
+  M.Name = "vliw8";
+  M.FxuWidth = 8;
+  M.BuWidth = 2;
+  M.SpecWindow = 8;
+  M.ExpansionObjective = 8;
+  return M;
+}

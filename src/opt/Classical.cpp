@@ -1,0 +1,418 @@
+//===- opt/Classical.cpp - Classical scalar optimizations ------------------===//
+
+#include "opt/Classical.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/MemAlias.h"
+#include "cfg/CfgEdit.h"
+#include "cfg/Dominators.h"
+#include "cfg/Loops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+using namespace vsc;
+
+//===----------------------------------------------------------------------===//
+// Copy propagation
+//===----------------------------------------------------------------------===//
+
+bool vsc::copyPropagate(Function &F) {
+  bool Changed = false;
+  std::vector<Reg> Defs;
+  for (auto &BBPtr : F.blocks()) {
+    BasicBlock *BB = BBPtr.get();
+    std::unordered_map<Reg, Reg, RegHash> CopyOf; // dest -> original source
+
+    auto Resolve = [&](Reg R) {
+      auto It = CopyOf.find(R);
+      return It == CopyOf.end() ? R : It->second;
+    };
+    auto Invalidate = [&](Reg D) {
+      CopyOf.erase(D);
+      for (auto It = CopyOf.begin(); It != CopyOf.end();) {
+        if (It->second == D)
+          It = CopyOf.erase(It);
+        else
+          ++It;
+      }
+    };
+
+    for (Instr &I : BB->instrs()) {
+      // Rewrite GPR uses through the copy map.
+      auto RewriteUse = [&](Reg &R) {
+        if (!R.isGpr())
+          return;
+        Reg New = Resolve(R);
+        if (New != R) {
+          R = New;
+          Changed = true;
+        }
+      };
+      const OpcodeInfo &Info = opcodeInfo(I.Op);
+      if (Info.NumSrcs >= 1)
+        RewriteUse(I.Src1);
+      if (Info.NumSrcs >= 2)
+        RewriteUse(I.Src2);
+
+      // Kill mappings clobbered by this instruction's defs.
+      Defs.clear();
+      I.collectDefs(Defs);
+      for (Reg D : Defs)
+        if (D.isGpr())
+          Invalidate(D);
+
+      // Record a new copy. (Resolve already happened on Src1 above, so the
+      // map stays in root form.)
+      if (I.Op == Opcode::LR && I.Dst.isGpr() && I.Src1.isGpr() &&
+          I.Dst != I.Src1)
+        CopyOf[I.Dst] = I.Src1;
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Local value numbering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ExprKey {
+  Opcode Op;
+  int Vn1 = -1, Vn2 = -1;
+  int64_t Imm = 0;
+  std::string Sym;
+  uint8_t MemSize = 0;
+  uint64_t MemEpoch = 0;
+
+  bool operator<(const ExprKey &RHS) const {
+    return std::tie(Op, Vn1, Vn2, Imm, Sym, MemSize, MemEpoch) <
+           std::tie(RHS.Op, RHS.Vn1, RHS.Vn2, RHS.Imm, RHS.Sym, RHS.MemSize,
+                    RHS.MemEpoch);
+  }
+};
+
+/// \returns true if \p I computes a pure value LVN may reuse.
+bool isLvnCandidate(const Instr &I) {
+  if (I.IsVolatile)
+    return false;
+  switch (I.Op) {
+  case Opcode::LI:
+  case Opcode::LTOC:
+  case Opcode::LA:
+  case Opcode::A:
+  case Opcode::S:
+  case Opcode::MUL:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SL:
+  case Opcode::SR:
+  case Opcode::SRA:
+  case Opcode::AI:
+  case Opcode::SI:
+  case Opcode::MULI:
+  case Opcode::ANDI:
+  case Opcode::ORI:
+  case Opcode::XORI:
+  case Opcode::SLI:
+  case Opcode::SRI:
+  case Opcode::SRAI:
+  case Opcode::NEG:
+  case Opcode::L:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool vsc::localValueNumbering(Function &F) {
+  bool Changed = false;
+  std::vector<Reg> Defs;
+  for (auto &BBPtr : F.blocks()) {
+    BasicBlock *BB = BBPtr.get();
+    int NextVn = 0;
+    uint64_t MemEpoch = 0;
+    std::unordered_map<Reg, int, RegHash> RegVn;
+    struct Holder {
+      int Vn;
+      Reg R;
+    };
+    std::map<ExprKey, Holder> Table;
+
+    auto VnOf = [&](Reg R) {
+      auto It = RegVn.find(R);
+      if (It != RegVn.end())
+        return It->second;
+      int Vn = NextVn++;
+      RegVn[R] = Vn;
+      return Vn;
+    };
+
+    for (Instr &I : BB->instrs()) {
+      if (I.isStore() || I.isCall()) {
+        ++MemEpoch;
+        if (I.isCall()) {
+          Defs.clear();
+          I.collectDefs(Defs);
+          for (Reg D : Defs)
+            RegVn[D] = NextVn++;
+        }
+        continue;
+      }
+      if (!isLvnCandidate(I) || !I.Dst.isGpr()) {
+        Defs.clear();
+        I.collectDefs(Defs);
+        for (Reg D : Defs)
+          RegVn[D] = NextVn++;
+        // An LR still forwards its source's value number.
+        if (I.Op == Opcode::LR && I.Src1.isGpr())
+          RegVn[I.Dst] = VnOf(I.Src1);
+        continue;
+      }
+
+      const OpcodeInfo &Info = opcodeInfo(I.Op);
+      ExprKey Key;
+      Key.Op = I.Op;
+      if (Info.NumSrcs >= 1)
+        Key.Vn1 = VnOf(I.Src1);
+      if (Info.NumSrcs >= 2)
+        Key.Vn2 = VnOf(I.Src2);
+      Key.Imm = Info.HasImm ? I.Imm : 0;
+      Key.Sym = I.Sym;
+      Key.MemSize = I.isMemAccess() ? I.MemSize : 0;
+      Key.MemEpoch = I.isLoad() ? MemEpoch : 0;
+
+      auto It = Table.find(Key);
+      if (It != Table.end() && RegVn.count(It->second.R) &&
+          RegVn[It->second.R] == It->second.Vn && It->second.R != I.Dst) {
+        // Reuse: rewrite as a register copy.
+        Reg Holder = It->second.R;
+        int Vn = It->second.Vn;
+        Instr Copy;
+        Copy.Op = Opcode::LR;
+        Copy.Dst = I.Dst;
+        Copy.Src1 = Holder;
+        Copy.Id = I.Id;
+        I = Copy;
+        RegVn[I.Dst] = Vn;
+        Changed = true;
+        continue;
+      }
+      int Vn = NextVn++;
+      RegVn[I.Dst] = Vn;
+      Table[Key] = Holder{Vn, I.Dst};
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead code elimination
+//===----------------------------------------------------------------------===//
+
+/// One DCE sweep. \returns true if an instruction died.
+static bool dceOnce(Function &F) {
+  Cfg G(F);
+  RegUniverse U(F);
+  Liveness L(G, U);
+  bool Changed = false;
+  std::vector<Reg> Defs;
+
+  for (auto &BBPtr : F.blocks()) {
+    BasicBlock *BB = BBPtr.get();
+    if (!G.isReachable(BB))
+      continue;
+    BitVector Live = L.liveOut(BB);
+    for (size_t I = BB->size(); I-- > 0;) {
+      Instr &Ins = BB->instrs()[I];
+      Defs.clear();
+      Ins.collectDefs(Defs);
+
+      bool AnyDefLive = Defs.empty();
+      for (Reg D : Defs) {
+        int Idx = U.indexOf(D);
+        if (Idx >= 0 && Live.test(static_cast<size_t>(Idx)))
+          AnyDefLive = true;
+      }
+      bool Removable = !AnyDefLive && !Ins.hasSideEffects() &&
+                       !Ins.isTerminator() && opcodeInfo(Ins.Op).HasDst;
+      if (Removable) {
+        BB->instrs().erase(BB->instrs().begin() + static_cast<long>(I));
+        Changed = true;
+        continue;
+      }
+      // Update the running live set.
+      for (Reg D : Defs) {
+        int Idx = U.indexOf(D);
+        if (Idx >= 0)
+          Live.reset(static_cast<size_t>(Idx));
+      }
+      Defs.clear();
+      Ins.collectUses(Defs);
+      for (Reg Use : Defs) {
+        int Idx = U.indexOf(Use);
+        if (Idx >= 0)
+          Live.set(static_cast<size_t>(Idx));
+      }
+    }
+  }
+  return Changed;
+}
+
+bool vsc::deadCodeElim(Function &F) {
+  bool Any = false;
+  while (dceOnce(F))
+    Any = true;
+  return Any;
+}
+
+//===----------------------------------------------------------------------===//
+// Classical loop-invariant code motion
+//===----------------------------------------------------------------------===//
+
+static bool licmOnLoop(Function &F, Loop &L, const Cfg &G,
+                       const Dominators &Dom) {
+  BasicBlock *PH = ensurePreheader(F, G, L);
+  if (!PH)
+    return false;
+
+  // Registers with a definition inside the loop, with def counts.
+  std::unordered_map<Reg, unsigned, RegHash> DefCount;
+  std::vector<Reg> Tmp;
+  for (BasicBlock *BB : L.Blocks) {
+    for (const Instr &I : BB->instrs()) {
+      Tmp.clear();
+      I.collectDefs(Tmp);
+      for (Reg D : Tmp)
+        ++DefCount[D];
+    }
+  }
+  // Any store or call inside the loop blocks loads from being hoisted
+  // unless provably no-alias with every one of them. Copies, not pointers:
+  // hoisting below shifts the instruction vectors.
+  std::vector<Instr> Clobbers;
+  bool HasCall = false;
+  for (BasicBlock *BB : L.Blocks)
+    for (const Instr &I : BB->instrs()) {
+      if (I.isStore())
+        Clobbers.push_back(I);
+      if (I.isCall())
+        HasCall = true;
+    }
+
+  RegUniverse U(F);
+  Cfg G2(F); // preheader creation may have changed the graph
+  Liveness Live(G2, U);
+
+  bool Changed = false;
+  for (BasicBlock *BB : L.Blocks) {
+    // Classical safety: the block must execute on every iteration, i.e.
+    // dominate every latch.
+    bool DominatesLatches = true;
+    for (BasicBlock *Latch : L.Latches)
+      if (!Dom.dominates(BB, Latch))
+        DominatesLatches = false;
+    if (!DominatesLatches)
+      continue;
+
+    for (size_t II = 0; II < BB->size();) {
+      Instr &I = BB->instrs()[II];
+      bool Pure = I.isSafeToSpeculate();
+      bool IsLoad = I.isLoad() && I.Op == Opcode::L && !I.IsVolatile;
+      if ((!Pure && !IsLoad) || !opcodeInfo(I.Op).HasDst ||
+          !I.Dst.isValid()) {
+        ++II;
+        continue;
+      }
+      // Operands invariant?
+      Tmp.clear();
+      I.collectUses(Tmp);
+      bool Invariant = true;
+      for (Reg S : Tmp) {
+        auto It = DefCount.find(S);
+        if (It != DefCount.end() && It->second > 0)
+          Invariant = false;
+      }
+      // Single def of the destination, not live into the header (no
+      // loop-carried use of the previous value).
+      auto DefIt = DefCount.find(I.Dst);
+      if (DefIt == DefCount.end() || DefIt->second != 1 ||
+          Live.isLiveIn(L.Header, I.Dst))
+        Invariant = false;
+      if (IsLoad) {
+        if (HasCall)
+          Invariant = false;
+        for (const Instr &St : Clobbers)
+          if (alias(I, St) != AliasResult::NoAlias)
+            Invariant = false;
+      }
+      if (!Invariant) {
+        ++II;
+        continue;
+      }
+      // Hoist to the preheader.
+      Instr Moved = I;
+      Reg MovedDst = I.Dst;
+      BB->instrs().erase(BB->instrs().begin() + static_cast<long>(II));
+      PH->instrs().insert(PH->instrs().begin() +
+                              static_cast<long>(PH->firstTerminatorIdx()),
+                          std::move(Moved));
+      --DefCount[MovedDst];
+      Changed = true;
+      // Re-run from the top of the block: hoisting may enable more.
+      II = 0;
+    }
+  }
+  return Changed;
+}
+
+bool vsc::classicalLicm(Function &F) {
+  bool Any = false;
+  bool Changed = true;
+  unsigned Guard = 0;
+  while (Changed && Guard++ < 8) {
+    Changed = false;
+    Cfg G(F);
+    Dominators Dom(G);
+    LoopInfo LI(G, Dom);
+    for (Loop *L : LI.innermostLoops()) {
+      if (licmOnLoop(F, *L, G, Dom)) {
+        Changed = true;
+        Any = true;
+        break; // CFG changed; recompute everything
+      }
+    }
+  }
+  return Any;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline
+//===----------------------------------------------------------------------===//
+
+bool vsc::runClassicalPipeline(Function &F) {
+  bool Any = false;
+  for (unsigned Round = 0; Round < 8; ++Round) {
+    bool Changed = false;
+    Changed |= copyPropagate(F);
+    Changed |= localValueNumbering(F);
+    Changed |= deadCodeElim(F);
+    Changed |= classicalLicm(F);
+    Changed |= straighten(F);
+    if (!Changed)
+      break;
+    Any = true;
+  }
+  return Any;
+}
+
+void vsc::runClassicalPipeline(Module &M) {
+  for (auto &F : M.functions())
+    runClassicalPipeline(*F);
+}

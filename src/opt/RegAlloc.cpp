@@ -1,0 +1,448 @@
+//===- opt/RegAlloc.cpp - Linear-scan register allocation ---------------------===//
+
+#include "opt/RegAlloc.h"
+
+#include "analysis/Liveness.h"
+#include "cfg/Cfg.h"
+#include "support/BitVector.h"
+#include "vliw/Frame.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_set>
+
+using namespace vsc;
+
+namespace {
+
+/// Scratch registers reserved for spill reloads/stores.
+const uint32_t ScratchA = 11, ScratchB = 12;
+
+struct Interval {
+  Reg V;
+  size_t Start = ~size_t(0);
+  size_t End = 0;
+
+  void extend(size_t P) {
+    Start = std::min(Start, P);
+    End = std::max(End, P);
+  }
+};
+
+struct Allocation {
+  std::unordered_map<Reg, Reg, RegHash> Assigned;
+  std::vector<Reg> Spilled;
+};
+
+class LinearScan {
+public:
+  explicit LinearScan(Function &F) : F(F), G(F), U(F), Live(G, U) {}
+
+  /// Computes intervals and runs the scan. \returns false on CR overflow.
+  bool plan(Allocation &Out, RegAllocStats *Stats) {
+    numberPositions();
+    buildIntervals();
+    buildPhysicalOccupancy();
+    return scan(Out, Stats);
+  }
+
+private:
+  void numberPositions() {
+    size_t K = 0;
+    for (const auto &BB : F.blocks())
+      for (size_t I = 0; I != BB->size(); ++I)
+        (void)I, ++K;
+    NumPositions = 2 * K + 2;
+  }
+
+  void buildIntervals() {
+    size_t K = 0;
+    std::vector<Reg> Tmp;
+    for (const auto &BBPtr : F.blocks()) {
+      const BasicBlock *BB = BBPtr.get();
+      std::vector<BitVector> LiveAt = Live.liveAtEachInstr(BB);
+      for (size_t I = 0; I != BB->size(); ++I, ++K) {
+        const Instr &Ins = BB->instrs()[I];
+        // Precise per-instruction liveness: live-before covers uses;
+        // definitions extend to the def position (covers dead defs too).
+        for (size_t Idx = 0; Idx != U.size(); ++Idx) {
+          Reg R = U.regAt(Idx);
+          if (R.isVirtual() && LiveAt[I].test(Idx))
+            IntervalOf(R).extend(2 * K);
+        }
+        Tmp.clear();
+        Ins.collectDefs(Tmp);
+        for (Reg R : Tmp)
+          if (R.isVirtual())
+            IntervalOf(R).extend(2 * K + 1);
+      }
+      // Live-out of the block extends past its final position.
+      for (size_t Idx = 0; Idx != U.size(); ++Idx) {
+        Reg R = U.regAt(Idx);
+        if (R.isVirtual() && Live.liveOut(BB).test(Idx))
+          IntervalOf(R).extend(2 * K);
+      }
+    }
+  }
+
+  /// Marks where each physical register is in use, so virtual intervals
+  /// cannot overlap them. Call clobbers are ordinary defs here, which is
+  /// what forces call-crossing intervals into callee-saved registers.
+  void buildPhysicalOccupancy() {
+    for (auto &BV : GprOcc)
+      BV = BitVector(NumPositions);
+    for (auto &BV : CrOcc)
+      BV = BitVector(NumPositions);
+
+    // RET carries an implicit use of every callee-saved register (so
+    // prolog restores are not dead code). A callee-saved register with no
+    // definition in the function is live only by that convention — the
+    // allocator may take it; prolog insertion afterwards makes the
+    // convention hold again. Only *defined* callee-saved registers have
+    // real occupancy.
+    std::vector<bool> CalleeSavedDefined(32, false);
+    {
+      std::vector<Reg> Defs;
+      for (const auto &BB : F.blocks())
+        for (const Instr &I : BB->instrs()) {
+          Defs.clear();
+          I.collectDefs(Defs);
+          for (Reg R : Defs)
+            if (R.isCalleeSaved())
+              CalleeSavedDefined[R.id()] = true;
+        }
+    }
+    auto ConventionOnly = [&](Reg R) {
+      return R.isCalleeSaved() && !CalleeSavedDefined[R.id()];
+    };
+
+    size_t K = 0;
+    std::vector<Reg> Tmp;
+    for (const auto &BBPtr : F.blocks()) {
+      const BasicBlock *BB = BBPtr.get();
+      std::vector<BitVector> LiveAt = Live.liveAtEachInstr(BB);
+      for (size_t I = 0; I != BB->size(); ++I, ++K) {
+        const Instr &Ins = BB->instrs()[I];
+        auto MarkPhys = [&](Reg R, size_t Pos) {
+          if (ConventionOnly(R))
+            return;
+          if (R.isGpr() && R.isPhysical())
+            GprOcc[R.id()].set(Pos);
+          else if (R.isCr() && R.isPhysical())
+            CrOcc[R.id()].set(Pos);
+        };
+        // Live-before at the use position; live-after and defs at the
+        // def position.
+        for (size_t Idx = 0; Idx != U.size(); ++Idx) {
+          Reg R = U.regAt(Idx);
+          if (R.isVirtual())
+            continue;
+          if (LiveAt[I].test(Idx))
+            MarkPhys(R, 2 * K);
+          if (LiveAt[I + 1].test(Idx))
+            MarkPhys(R, 2 * K + 1);
+        }
+        Tmp.clear();
+        Ins.collectDefs(Tmp);
+        for (Reg R : Tmp)
+          MarkPhys(R, 2 * K + 1);
+        Tmp.clear();
+        Ins.collectUses(Tmp);
+        for (Reg R : Tmp)
+          MarkPhys(R, 2 * K);
+      }
+    }
+  }
+
+  bool physFree(const BitVector &Occ, const Interval &I) const {
+    int Bit = Occ.findFirst();
+    while (Bit >= 0 && static_cast<size_t>(Bit) < I.Start)
+      Bit = Occ.findNext(static_cast<size_t>(Bit));
+    return Bit < 0 || static_cast<size_t>(Bit) > I.End;
+  }
+
+  bool scan(Allocation &Out, RegAllocStats *Stats) {
+    std::vector<Interval> Ivs;
+    for (auto &[R, I] : Intervals)
+      Ivs.push_back(I);
+    std::sort(Ivs.begin(), Ivs.end(), [](const Interval &A,
+                                         const Interval &B) {
+      if (A.Start != B.Start)
+        return A.Start < B.Start;
+      if (A.End != B.End)
+        return A.End < B.End;
+      return A.V < B.V;
+    });
+
+    // GPR pool in preference order: caller-saved first (cheap), then
+    // callee-saved (prolog insertion pays for them once).
+    std::vector<uint32_t> GprPool = {5, 6, 7, 8, 9, 10, 0};
+    for (uint32_t R2 = 14; R2 <= 31; ++R2)
+      GprPool.push_back(R2);
+
+    struct ActiveEntry {
+      size_t End;
+      Reg Phys;
+      Reg V;
+      bool operator<(const ActiveEntry &RHS) const { return End < RHS.End; }
+    };
+    std::vector<ActiveEntry> Active; // sorted by End ascending
+    std::unordered_set<uint32_t> BusyGpr, BusyCr;
+
+    for (const Interval &I : Ivs) {
+      // Expire.
+      while (!Active.empty() && Active.front().End < I.Start) {
+        if (Active.front().Phys.isGpr())
+          BusyGpr.erase(Active.front().Phys.id());
+        else
+          BusyCr.erase(Active.front().Phys.id());
+        Active.erase(Active.begin());
+      }
+
+      Reg Chosen;
+      if (I.V.isGpr()) {
+        for (uint32_t P : GprPool) {
+          if (BusyGpr.count(P) || !physFree(GprOcc[P], I))
+            continue;
+          Chosen = Reg::gpr(P);
+          break;
+        }
+        if (!Chosen.isValid()) {
+          // Poletto/Sarkar heuristic: evict the active interval with the
+          // farthest end if it outlives the current one and its register
+          // is also occupancy-free for the current interval.
+          int Evict = -1;
+          for (size_t AI = Active.size(); AI-- > 0;) {
+            const ActiveEntry &E = Active[AI];
+            if (!E.Phys.isGpr() || E.End <= I.End)
+              continue;
+            if (physFree(GprOcc[E.Phys.id()], I)) {
+              Evict = static_cast<int>(AI);
+              break; // Active is sorted by End: the last match is farthest
+            }
+          }
+          if (Evict >= 0) {
+            ActiveEntry E = Active[static_cast<size_t>(Evict)];
+            Active.erase(Active.begin() + Evict);
+            Out.Assigned.erase(E.V);
+            Out.Spilled.push_back(E.V);
+            if (Stats) {
+              ++Stats->Spilled;
+              --Stats->GprAssigned;
+            }
+            Chosen = E.Phys;
+            BusyGpr.erase(Chosen.id()); // re-inserted below
+          } else {
+            Out.Spilled.push_back(I.V);
+            if (Stats)
+              ++Stats->Spilled;
+            continue;
+          }
+        }
+        BusyGpr.insert(Chosen.id());
+        if (Stats)
+          ++Stats->GprAssigned;
+      } else if (I.V.isCr()) {
+        for (uint32_t P = 0; P != 8; ++P) {
+          if (BusyCr.count(P) || !physFree(CrOcc[P], I))
+            continue;
+          Chosen = Reg::cr(P);
+          break;
+        }
+        if (!Chosen.isValid()) {
+          // Condition registers cannot be spilled; the rare interval that
+          // fits nowhere (e.g. a CR live across a call, which clobbers
+          // all eight) stays virtual — best-effort allocation.
+          if (Stats)
+            ++Stats->CrUnassigned;
+          continue;
+        }
+        BusyCr.insert(Chosen.id());
+        if (Stats)
+          ++Stats->CrAssigned;
+      } else {
+        continue;
+      }
+      Out.Assigned[I.V] = Chosen;
+      ActiveEntry E{I.End, Chosen, I.V};
+      Active.insert(std::upper_bound(Active.begin(), Active.end(), E), E);
+    }
+    return true;
+  }
+
+  Interval &IntervalOf(Reg R) {
+    auto It = Intervals.find(R);
+    if (It == Intervals.end()) {
+      Interval I;
+      I.V = R;
+      It = Intervals.emplace(R, I).first;
+    }
+    return It->second;
+  }
+
+  Function &F;
+  Cfg G;
+  RegUniverse U;
+  Liveness Live;
+  size_t NumPositions = 0;
+  std::unordered_map<Reg, Interval, RegHash> Intervals;
+  BitVector GprOcc[32];
+  BitVector CrOcc[8];
+};
+
+/// Rewrites assigned registers and expands spills.
+void apply(Function &F, const Allocation &A) {
+  // Frame slots for spills.
+  std::unordered_map<Reg, int64_t, RegHash> SlotOf;
+  if (!A.Spilled.empty()) {
+    int64_t Base = growFrame(
+        F, static_cast<int64_t>(8 * A.Spilled.size()));
+    for (size_t I = 0; I != A.Spilled.size(); ++I)
+      SlotOf[A.Spilled[I]] = Base + static_cast<int64_t>(8 * I);
+  }
+
+  auto MapReg = [&](Reg R) {
+    auto It = A.Assigned.find(R);
+    return It == A.Assigned.end() ? R : It->second;
+  };
+  auto IsSpilled = [&](Reg R) { return SlotOf.count(R) != 0; };
+
+  for (auto &BBPtr : F.blocks()) {
+    BasicBlock *BB = BBPtr.get();
+    for (size_t I = 0; I < BB->size(); ++I) {
+      Instr &Ins = BB->instrs()[I];
+      const OpcodeInfo &Info = opcodeInfo(Ins.Op);
+
+      // Direct assignment rewrites.
+      if (Info.HasDst)
+        Ins.Dst = MapReg(Ins.Dst);
+      if (Info.NumSrcs >= 1)
+        Ins.Src1 = MapReg(Ins.Src1);
+      if (Info.NumSrcs >= 2)
+        Ins.Src2 = MapReg(Ins.Src2);
+
+      // Spill expansion.
+      bool S1 = Info.NumSrcs >= 1 && IsSpilled(Ins.Src1);
+      bool S2 = Info.NumSrcs >= 2 && IsSpilled(Ins.Src2);
+      bool SD = Info.HasDst && IsSpilled(Ins.Dst);
+      if (!S1 && !S2 && !SD)
+        continue;
+
+      std::unordered_map<Reg, Reg, RegHash> Scratch;
+      auto ScratchFor = [&](Reg V) {
+        auto It = Scratch.find(V);
+        if (It != Scratch.end())
+          return It->second;
+        Reg S = Scratch.empty() ? Reg::gpr(ScratchA) : Reg::gpr(ScratchB);
+        Scratch[V] = S;
+        return S;
+      };
+
+      size_t InsertBefore = I;
+      auto EmitReload = [&](Reg V) {
+        Instr L;
+        L.Op = Opcode::L;
+        L.Dst = ScratchFor(V);
+        L.Src1 = regs::sp();
+        L.Imm = SlotOf.at(V);
+        L.MemSize = 8;
+        L.Sym = "$spill";
+        F.assignId(L);
+        BB->instrs().insert(BB->instrs().begin() +
+                                static_cast<long>(InsertBefore),
+                            std::move(L));
+        ++InsertBefore;
+        ++I;
+      };
+
+      // Reload sources (once per distinct spilled register).
+      Reg OrigSrc1 = Ins.Src1, OrigSrc2 = Ins.Src2, OrigDst = Ins.Dst;
+      bool IsLu = Ins.Op == Opcode::LU;
+      if (S1)
+        EmitReload(OrigSrc1);
+      if (S2 && OrigSrc2 != OrigSrc1)
+        EmitReload(OrigSrc2);
+
+      Instr &Cur = BB->instrs()[I]; // reacquire after inserts
+      if (S1)
+        Cur.Src1 = Scratch.at(OrigSrc1);
+      if (S2)
+        Cur.Src2 = Scratch.at(OrigSrc2);
+      if (IsLu && S1) {
+        // LU also redefines its base: write the updated base back.
+        Instr St;
+        St.Op = Opcode::ST;
+        St.Src1 = Scratch.at(OrigSrc1);
+        St.Src2 = regs::sp();
+        St.Imm = SlotOf.at(OrigSrc1);
+        St.MemSize = 8;
+        St.Sym = "$spill";
+        F.assignId(St);
+        BB->instrs().insert(BB->instrs().begin() + static_cast<long>(I) + 1,
+                            std::move(St));
+        ++I;
+      }
+      if (SD) {
+        Reg DScratch = Scratch.count(OrigDst) ? Scratch.at(OrigDst)
+                                              : Reg::gpr(ScratchA);
+        Cur.Dst = DScratch;
+        Instr St;
+        St.Op = Opcode::ST;
+        St.Src1 = DScratch;
+        St.Src2 = regs::sp();
+        St.Imm = SlotOf.at(OrigDst);
+        St.MemSize = 8;
+        St.Sym = "$spill";
+        F.assignId(St);
+        BB->instrs().insert(BB->instrs().begin() + static_cast<long>(I) + 1,
+                            std::move(St));
+        ++I; // skip the store
+      }
+    }
+  }
+  F.renumber();
+}
+
+} // namespace
+
+size_t vsc::countVirtualGprs(const Function &F) {
+  std::unordered_set<Reg, RegHash> Virtuals;
+  std::vector<Reg> Tmp;
+  for (const auto &BB : F.blocks())
+    for (const Instr &I : BB->instrs()) {
+      Tmp.clear();
+      I.collectUses(Tmp);
+      I.collectDefs(Tmp);
+      for (Reg R : Tmp)
+        if (R.isGpr() && R.isVirtual())
+          Virtuals.insert(R);
+    }
+  return Virtuals.size();
+}
+
+bool vsc::allocateRegisters(Function &F, RegAllocStats *Stats) {
+  LinearScan Scan(F);
+  Allocation A;
+  if (!Scan.plan(A, Stats))
+    return false;
+  // Spill expansion clobbers the scratch registers instruction-locally;
+  // if existing code mentions r11/r12 explicitly, a live range could span
+  // a reload. Refuse that (rare, hand-written-IR-only) combination.
+  if (!A.Spilled.empty()) {
+    std::vector<Reg> Tmp;
+    for (const auto &BB : F.blocks())
+      for (const Instr &I : BB->instrs()) {
+        const OpcodeInfo &Info = opcodeInfo(I.Op);
+        Reg Explicit[3] = {Info.HasDst ? I.Dst : Reg(),
+                           Info.NumSrcs >= 1 ? I.Src1 : Reg(),
+                           Info.NumSrcs >= 2 ? I.Src2 : Reg()};
+        for (Reg R : Explicit)
+          if (R.isGpr() && (R.id() == ScratchA || R.id() == ScratchB))
+            return false;
+      }
+  }
+  apply(F, A);
+  assert(countVirtualGprs(F) == 0 && "allocation left virtual registers");
+  return true;
+}

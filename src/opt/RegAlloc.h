@@ -1,0 +1,56 @@
+//===- opt/RegAlloc.h - Linear-scan register allocation -------*- C++ -*-===//
+///
+/// \file
+/// Linear-scan register allocation over the layout order. The paper's
+/// passes all run before allocation ("within the back-end ... before
+/// register allocation is performed"); this module supplies the stage
+/// that would follow them in a production back end, mapping virtual GPRs
+/// and CRs onto the RS/6000 register file:
+///
+///  * virtual GPR intervals that cross a call take callee-saved registers
+///    (r14..r31); others prefer caller-saved (r0, r5..r10);
+///  * r11/r12 are reserved as spill scratch; intervals that fit nowhere
+///    are spilled to frame slots (reload before each use, store after
+///    each definition);
+///  * physical registers already in the code (arguments, the front end's
+///    callee-saved locals, the stack/TOC pointers) are pre-colored: their
+///    occupancy blocks overlapping virtual intervals;
+///  * virtual CRs map onto cr0..cr7; condition registers cannot be
+///    spilled, so allocation reports failure if more than eight CR
+///    intervals overlap (callers then keep the function unallocated).
+///
+/// Run prolog insertion AFTER allocation so exactly the callee-saved
+/// registers the allocator used are saved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_OPT_REGALLOC_H
+#define VSC_OPT_REGALLOC_H
+
+#include "ir/Function.h"
+
+namespace vsc {
+
+struct RegAllocStats {
+  unsigned GprAssigned = 0;
+  unsigned CrAssigned = 0;
+  unsigned Spilled = 0;
+  /// CR intervals that fit nowhere (CRs cannot spill) and stay virtual.
+  unsigned CrUnassigned = 0;
+};
+
+/// Allocates the virtual registers of \p F. All virtual GPRs are
+/// eliminated (assigned or spilled); virtual CRs are assigned best-effort
+/// (a CR live across a call, which clobbers all eight, cannot be spilled
+/// and stays virtual — see RegAllocStats::CrUnassigned). \returns false
+/// (leaving the function untouched) only when spilling would be required
+/// but the scratch registers r11/r12 appear in existing code.
+bool allocateRegisters(Function &F, RegAllocStats *Stats = nullptr);
+
+/// \returns the number of virtual GPRs mentioned in \p F (0 after a
+/// successful allocation).
+size_t countVirtualGprs(const Function &F);
+
+} // namespace vsc
+
+#endif // VSC_OPT_REGALLOC_H

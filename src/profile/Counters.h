@@ -1,0 +1,91 @@
+//===- profile/Counters.h - Low-overhead profiling ------------*- C++ -*-===//
+///
+/// \file
+/// The paper's low-overhead profiling-directed-feedback machinery:
+///
+///  * planCounters — picks a subset of basic blocks to count such that
+///    every remaining block and edge count is uniquely determined by flow
+///    conservation, using constraint propagation (the paper credits
+///    Sussman/Steele-style constraint networks). Preference goes to blocks
+///    in shallow loop nests ("counting code placed in less frequently
+///    executed locations"). Where no block subset can disambiguate (e.g.
+///    parallel edges or crossing diamonds), a dummy block is created on an
+///    edge, exactly as the paper describes. The plan is deterministic, so
+///    pass 1 (instrument) and pass 2 (read back) modify the flow graph the
+///    same way.
+///
+///  * instrumentModule — inserts real counting code (load counter, add 1,
+///    store back, three instructions per block as in the paper) against a
+///    per-module "__bbcounts" global. Running speculative load/store
+///    motion afterwards register-caches the counters in loops, reducing
+///    the overhead to one AI per counted block inside loops — the paper's
+///    eqntott example.
+///
+///  * inferCounts — reconstructs every block and edge count from the
+///    counted subset by numeric constraint propagation; the simulator's
+///    exact counts serve as ground truth in the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_PROFILE_COUNTERS_H
+#define VSC_PROFILE_COUNTERS_H
+
+#include "profile/ProfileData.h"
+
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+struct CounterPlan {
+  /// Labels of the blocks that receive counting code, in layout order.
+  std::vector<std::string> CountedBlocks;
+  /// Dummy blocks created (already inserted into the function).
+  unsigned NumDummies = 0;
+};
+
+/// Chooses counter sites for \p F (may insert dummy blocks). Deterministic.
+CounterPlan planCounters(Function &F);
+
+/// Bookkeeping for reading an instrumented run back.
+struct Instrumentation {
+  /// Slot i of __bbcounts counts the block with key SlotKeys[i]
+  /// ("function:label").
+  std::vector<std::string> SlotKeys;
+  /// Per-function plans (for the second compile).
+  std::unordered_map<std::string, CounterPlan> Plans;
+};
+
+/// Plans counters for every function of \p M and inserts counting code
+/// plus the "__bbcounts" global. When \p HoistCounters, speculative
+/// load/store motion + classical cleanup then shrink in-loop counting to
+/// one instruction per block.
+Instrumentation instrumentModule(Module &M, bool HoistCounters = true);
+
+/// Extracts the counter values from a KeepMemory run of the instrumented
+/// module, keyed like ProfileData::BlockCount.
+std::unordered_map<std::string, uint64_t>
+readCounters(const RunResult &R, const Instrumentation &Info);
+
+/// Reconstructs all block and edge counts of \p F from the counted subset.
+/// \p Counted maps "function:label" to values (as from readCounters).
+/// \returns "" on success (and fills \p Out), else a diagnostic naming an
+/// undetermined block or edge.
+std::string inferCounts(Function &F,
+                        const std::unordered_map<std::string, uint64_t>
+                            &Counted,
+                        ProfileData &Out);
+
+/// End-to-end PDF collection, the paper's two-pass scheme: \p Train (a
+/// throwaway copy of the program) is instrumented and simulated on the
+/// training input; \p Target (the copy that will be optimized) gets
+/// planCounters applied — deterministically identical to pass 1 — and the
+/// counter values are read back "at the same place" and expanded into a
+/// full profile for Target. \returns the profile; empty on failure.
+ProfileData collectProfile(Module &Train, Module &Target,
+                           const MachineModel &Machine,
+                           const RunOptions &TrainOpts);
+
+} // namespace vsc
+
+#endif // VSC_PROFILE_COUNTERS_H

@@ -1,0 +1,59 @@
+//===- profile/PdfLayout.h - PDF block reordering & reversal --*- C++ -*-===//
+///
+/// \file
+/// The paper's profile-directed layout applications:
+///
+///  * Basic block re-ordering: "just before final code generation, the
+///    basic blocks are physically reordered following a depth-first
+///    enumeration of the flow graph ... the flow graph edges that are
+///    executed most frequently are followed first", so the hot path
+///    becomes a straight line of fallthroughs; standard straightening runs
+///    afterwards.
+///  * Branch reversal: conditional branches still taken most of the time
+///    are reversed (BT <-> BF with targets swapped through a new
+///    unconditional branch), and basic block expansion then copies the old
+///    target's code over the new unconditional branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_PROFILE_PDFLAYOUT_H
+#define VSC_PROFILE_PDFLAYOUT_H
+
+#include "machine/MachineModel.h"
+#include "profile/ProfileData.h"
+
+namespace vsc {
+
+/// Reorders blocks most-frequent-successor-first. \returns true on change.
+bool pdfReorderBlocks(Function &F, const ProfileData &P);
+
+/// Reverses conditional branches taken with probability > \p Threshold and
+/// applies basic block expansion to the introduced unconditional branches.
+bool pdfReverseBranches(Function &F, const ProfileData &P,
+                        const MachineModel &MM, double Threshold = 0.6);
+
+/// Profile-weighted cost model for layout decisions: per-block scheduled
+/// issue cycles times execution count, plus the taken-branch redirect for
+/// every profiled edge that does not fall through in the current layout.
+double estimateProfiledCost(Function &F, const ProfileData &P,
+                            const MachineModel &MM);
+
+/// Runs both layout applications and keeps the result only if the
+/// profiled cost model improves. \returns true if kept.
+bool pdfLayoutGated(Function &F, const ProfileData &P,
+                    const MachineModel &MM);
+
+/// Module-level layout application with a *measured* gate: applies
+/// reordering + reversal to every function, re-simulates the training
+/// input, and rolls everything back unless cycles improved. Profile-
+/// directed feedback with this gate can only help the trained input —
+/// the safety the paper's "heretofore considered too risky" framing asks
+/// for. With a null \p TrainInput the layout is kept unconditionally.
+/// \returns true if the layout was kept.
+bool pdfLayoutMeasured(Module &M, const ProfileData &P,
+                       const MachineModel &MM,
+                       const RunOptions *TrainInput);
+
+} // namespace vsc
+
+#endif // VSC_PROFILE_PDFLAYOUT_H

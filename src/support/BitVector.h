@@ -1,0 +1,154 @@
+//===- support/BitVector.h - Dense bit vector -----------------*- C++ -*-===//
+///
+/// \file
+/// A dense, resizable bit vector with the set operations the data-flow
+/// analyses in this project need (union, intersection, difference). The
+/// interface is a small subset of llvm::BitVector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_SUPPORT_BITVECTOR_H
+#define VSC_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vsc {
+
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(size_t NumBits, bool Value = false)
+      : NumBits(NumBits), Words(wordCount(NumBits), Value ? ~0ULL : 0ULL) {
+    clearUnusedBits();
+  }
+
+  size_t size() const { return NumBits; }
+
+  /// Grows or shrinks to \p NewSize bits; new bits are zero.
+  void resize(size_t NewSize) {
+    Words.resize(wordCount(NewSize), 0);
+    NumBits = NewSize;
+    clearUnusedBits();
+  }
+
+  bool test(size_t Bit) const {
+    assert(Bit < NumBits && "bit index out of range");
+    return (Words[Bit / 64] >> (Bit % 64)) & 1;
+  }
+
+  void set(size_t Bit) {
+    assert(Bit < NumBits && "bit index out of range");
+    Words[Bit / 64] |= 1ULL << (Bit % 64);
+  }
+
+  void reset(size_t Bit) {
+    assert(Bit < NumBits && "bit index out of range");
+    Words[Bit / 64] &= ~(1ULL << (Bit % 64));
+  }
+
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~0ULL;
+    clearUnusedBits();
+  }
+
+  void resetAll() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// \returns the number of set bits.
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// \returns true if this and \p RHS share any set bit.
+  bool anyCommon(const BitVector &RHS) const {
+    size_t N = std::min(Words.size(), RHS.Words.size());
+    for (size_t I = 0; I != N; ++I)
+      if (Words[I] & RHS.Words[I])
+        return true;
+    return false;
+  }
+
+  BitVector &operator|=(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] |= RHS.Words[I];
+    return *this;
+  }
+
+  BitVector &operator&=(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= RHS.Words[I];
+    return *this;
+  }
+
+  /// Clears every bit that is set in \p RHS (set difference).
+  BitVector &resetBitsIn(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= ~RHS.Words[I];
+    return *this;
+  }
+
+  bool operator==(const BitVector &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+  bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
+
+  /// \returns the index of the first set bit, or -1 if none.
+  int findFirst() const {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I])
+        return static_cast<int>(I * 64 + __builtin_ctzll(Words[I]));
+    return -1;
+  }
+
+  /// \returns the index of the first set bit strictly after \p Prev, or -1.
+  int findNext(size_t Prev) const {
+    size_t Bit = Prev + 1;
+    if (Bit >= NumBits)
+      return -1;
+    size_t WordIdx = Bit / 64;
+    uint64_t W = Words[WordIdx] & (~0ULL << (Bit % 64));
+    while (true) {
+      if (W)
+        return static_cast<int>(WordIdx * 64 + __builtin_ctzll(W));
+      if (++WordIdx == Words.size())
+        return -1;
+      W = Words[WordIdx];
+    }
+  }
+
+private:
+  static size_t wordCount(size_t Bits) { return (Bits + 63) / 64; }
+
+  void clearUnusedBits() {
+    if (NumBits % 64 != 0 && !Words.empty())
+      Words.back() &= (1ULL << (NumBits % 64)) - 1;
+  }
+
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace vsc
+
+#endif // VSC_SUPPORT_BITVECTOR_H

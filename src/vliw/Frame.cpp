@@ -1,0 +1,62 @@
+//===- vliw/Frame.cpp - Stack frame protocol -----------------------------------===//
+
+#include "vliw/Frame.h"
+
+#include <cassert>
+
+using namespace vsc;
+
+Instr *vsc::frameAdjustment(Function &F) {
+  BasicBlock *Entry = F.entry();
+  if (!Entry || Entry->empty())
+    return nullptr;
+  Instr &I = Entry->instrs().front();
+  if (I.Op == Opcode::SI && I.Dst == regs::sp() && I.Src1 == regs::sp())
+    return &I;
+  return nullptr;
+}
+
+int64_t vsc::growFrame(Function &F, int64_t Extra) {
+  Instr *Adj = frameAdjustment(F);
+  int64_t OrigFS = 0;
+  if (Adj) {
+    OrigFS = Adj->Imm;
+    Adj->Imm += Extra;
+  } else {
+    Instr SI;
+    SI.Op = Opcode::SI;
+    SI.Dst = regs::sp();
+    SI.Src1 = regs::sp();
+    SI.Imm = Extra;
+    F.assignId(SI);
+    F.entry()->instrs().insert(F.entry()->instrs().begin(), std::move(SI));
+  }
+  // Fix (or insert) the epilogue pops.
+  for (auto &BBPtr : F.blocks()) {
+    BasicBlock *BB = BBPtr.get();
+    for (size_t I = 0; I != BB->size(); ++I) {
+      if (!BB->instrs()[I].isRet())
+        continue;
+      if (I > 0) {
+        Instr &Prev = BB->instrs()[I - 1];
+        if (Prev.Op == Opcode::AI && Prev.Dst == regs::sp() &&
+            Prev.Src1 == regs::sp() && Prev.Imm == OrigFS) {
+          Prev.Imm += Extra;
+          continue;
+        }
+      }
+      assert(OrigFS == 0 &&
+             "function adjusts r1 but returns without the epilogue");
+      Instr AI;
+      AI.Op = Opcode::AI;
+      AI.Dst = regs::sp();
+      AI.Src1 = regs::sp();
+      AI.Imm = Extra;
+      F.assignId(AI);
+      BB->instrs().insert(BB->instrs().begin() + static_cast<long>(I),
+                          std::move(AI));
+      ++I;
+    }
+  }
+  return OrigFS;
+}

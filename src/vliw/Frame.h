@@ -1,0 +1,32 @@
+//===- vliw/Frame.h - Stack frame protocol --------------------*- C++ -*-===//
+///
+/// \file
+/// The frame protocol shared by prolog tailoring and the register
+/// allocator: a function that owns stack storage starts with
+/// "SI r1 = r1, FS" and pops with a matching "AI r1 = r1, FS" before every
+/// return. growFrame() enlarges FS by a caller-specified number of bytes
+/// and returns the displacement (relative to the adjusted r1) where the
+/// newly reserved area begins — existing local slots keep their
+/// displacements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_VLIW_FRAME_H
+#define VSC_VLIW_FRAME_H
+
+#include "ir/Function.h"
+
+namespace vsc {
+
+/// Detects "SI r1 = r1, imm" at the top of the entry block (the frame
+/// adjustment), or null.
+Instr *frameAdjustment(Function &F);
+
+/// Ensures the frame protocol exists and grows the frame by \p Extra
+/// bytes (inserting the SI/AI pair when the function had no frame).
+/// \returns the base displacement of the new area.
+int64_t growFrame(Function &F, int64_t Extra);
+
+} // namespace vsc
+
+#endif // VSC_VLIW_FRAME_H

@@ -1,0 +1,136 @@
+//===- vliw/Pipeline.cpp - Optimization pipelines ----------------------------===//
+
+#include "vliw/Pipeline.h"
+
+#include "cfg/CfgEdit.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "opt/Classical.h"
+#include "opt/Inline.h"
+#include "opt/RegAlloc.h"
+#include "profile/PdfLayout.h"
+#include "profile/ProfileData.h"
+#include "profile/Superblock.h"
+#include "vliw/BlockExpansion.h"
+#include "vliw/LimitedCombine.h"
+#include "vliw/LoadStoreMotion.h"
+#include "vliw/PrologTailor.h"
+#include "vliw/Rename.h"
+#include "vliw/Schedule.h"
+#include "vliw/Unroll.h"
+#include "vliw/Unspeculation.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vsc;
+
+PipelineOptions::PipelineOptions() : Machine(rs6000()) {}
+
+const char *vsc::optLevelName(OptLevel L) {
+  switch (L) {
+  case OptLevel::None:
+    return "none";
+  case OptLevel::Classical:
+    return "classical";
+  case OptLevel::Vliw:
+    return "vliw";
+  }
+  return "?";
+}
+
+namespace {
+
+void checkStage(const Module &M, const PipelineOptions &Opts,
+                const char *Stage) {
+  if (!Opts.Verify)
+    return;
+  std::string E = verifyModule(M);
+  if (E.empty())
+    return;
+  std::fprintf(stderr,
+               "pipeline verification failed after stage '%s': %s\n%s\n",
+               Stage, E.c_str(), printModule(M).c_str());
+  std::abort();
+}
+
+void optimizeFunction(Function &F, Module &M, OptLevel L,
+                      const PipelineOptions &Opts) {
+  if (L == OptLevel::None)
+    return;
+
+  runClassicalPipeline(F);
+  if (L == OptLevel::Classical)
+    return;
+
+  // --- the VLIW prototype pipeline ---
+  if (Opts.Superblocks && Opts.Profile) {
+    formSuperblocks(F, *Opts.Profile);
+    runClassicalPipeline(F);
+  }
+  if (Opts.LoadStoreMotion) {
+    speculativeLoadStoreMotion(F, M);
+    runClassicalPipeline(F);
+  }
+  if (Opts.Unspeculation)
+    unspeculate(F);
+  if (Opts.UnrollAndRename) {
+    unrollInnermostLoops(F, Opts.UnrollFactor);
+    straighten(F);
+    renameInnermostLoops(F);
+  }
+  if (Opts.Pipelining)
+    pipelineInnermostLoops(F, Opts.Machine, M);
+  if (Opts.GlobalScheduling) {
+    GlobalScheduleOptions GS;
+    GS.Profile = Opts.Profile;
+    globalSchedule(F, Opts.Machine, M, GS);
+  }
+  if (Opts.Combining) {
+    limitedCombine(F);
+    copyPropagate(F);
+    deadCodeElim(F);
+  }
+  straighten(F);
+  // PDF layout runs at module level after prologs (optimize() below), so
+  // the measured gate can simulate real code.
+  if (Opts.BlockExpansion)
+    expandBasicBlocks(F, Opts.Machine);
+  straighten(F);
+}
+
+} // namespace
+
+void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
+  checkStage(M, Opts, "input");
+  if (L == OptLevel::Vliw && Opts.Inlining) {
+    inlineLeafFunctions(M);
+    checkStage(M, Opts, "inline");
+  }
+  for (auto &F : M.functions()) {
+    optimizeFunction(*F, M, L, Opts);
+    checkStage(M, Opts, ("optimize(" + F->name() + ")").c_str());
+  }
+  if (Opts.AllocateRegisters) {
+    for (auto &F : M.functions())
+      allocateRegisters(*F);
+    checkStage(M, Opts, "regalloc");
+  }
+  // Prologs last: the spill code must not be rescheduled away from the
+  // frame adjustment.
+  if (Opts.InsertPrologs) {
+    for (auto &F : M.functions()) {
+      insertPrologEpilog(*F, /*Tailored=*/L == OptLevel::Vliw &&
+                                 Opts.TailorProlog);
+    }
+    checkStage(M, Opts, "prolog");
+  }
+  // Profile-directed layout, gated by re-simulating the training input
+  // when one is supplied.
+  if (L == OptLevel::Vliw && Opts.Profile) {
+    pdfLayoutMeasured(M, *Opts.Profile, Opts.Machine, Opts.TrainInput);
+    checkStage(M, Opts, "pdf-layout");
+  }
+  for (auto &F : M.functions())
+    F->renumber();
+}

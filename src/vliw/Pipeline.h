@@ -1,0 +1,90 @@
+//===- vliw/Pipeline.h - Optimization pipelines ---------------*- C++ -*-===//
+///
+/// \file
+/// The compiler driver: sequences the passes the way the paper's prototype
+/// does. Three levels exist:
+///
+///  * OptLevel::None      — as written, plus classic prologs.
+///  * OptLevel::Classical — the "xlc -O" baseline: classical scalar
+///    optimizations plus classic (entry) prologs.
+///  * OptLevel::Vliw      — the paper's "-O3" prototype: classical, then
+///    speculative load/store motion, unspeculation, unrolling + live-range
+///    renaming, enhanced pipeline scheduling, global scheduling, limited
+///    combining, cleanup, basic block expansion and tailored prologs. With
+///    a profile attached, PDF block reordering, branch reversal and the
+///    profile scheduling heuristic run as well.
+///
+/// Every pass-enable flag exists so the ablation benches (experiment A1)
+/// can knock out one technique at a time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_VLIW_PIPELINE_H
+#define VSC_VLIW_PIPELINE_H
+
+#include "ir/Module.h"
+#include "machine/MachineModel.h"
+#include "sim/Simulator.h"
+
+namespace vsc {
+
+class ProfileData;
+
+enum class OptLevel { None, Classical, Vliw };
+
+struct PipelineOptions {
+  MachineModel Machine;
+  unsigned UnrollFactor = 2;
+  /// Inline small pure-leaf callees first (exposes call-bearing loops to
+  /// renaming and pipeline scheduling). Off by default so the SPECint
+  /// comparison measures the paper's techniques in isolation; see
+  /// bench_inlining.
+  bool Inlining = false;
+  bool LoadStoreMotion = true;
+  bool Unspeculation = true;
+  bool UnrollAndRename = true;
+  bool Pipelining = true;
+  bool GlobalScheduling = true;
+  bool Combining = true;
+  bool BlockExpansion = true;
+  bool TailorProlog = true;
+  /// Insert callee-save prologs/epilogs at all (needed for correctness of
+  /// functions killing r13..r31; off only for IR that manages them
+  /// manually).
+  bool InsertPrologs = true;
+  /// Run linear-scan register allocation after optimization (and before
+  /// prolog insertion, so exactly the callee-saved registers the
+  /// allocator used get saved). Off by default: the paper measures
+  /// pre-allocation code, and the simulator models post-allocation
+  /// semantics either way.
+  bool AllocateRegisters = false;
+  /// Profile for PDF (reordering, reversal, scheduling heuristics).
+  const ProfileData *Profile = nullptr;
+  /// Training input for the measured PDF-layout gate: when set, the
+  /// layout applications are kept only if simulated cycles on this input
+  /// improve (see pdfLayoutMeasured). Null keeps them unconditionally.
+  const RunOptions *TrainInput = nullptr;
+  /// Trace-scheduling-style superblock formation (requires Profile): tail-
+  /// duplicate hot traces before scheduling, the IMPACT-flavoured baseline
+  /// the paper contrasts its profile-independent techniques with. Off by
+  /// default; bench_superblock compares.
+  bool Superblocks = false;
+  /// Verify the module between pass stages (aborts with the stage name on
+  /// breakage) — on by default; this project treats it as a regression net.
+  bool Verify = true;
+
+  PipelineOptions();
+};
+
+/// Optimizes \p M in place at level \p L.
+void optimize(Module &M, OptLevel L, const PipelineOptions &Opts);
+inline void optimize(Module &M, OptLevel L) {
+  optimize(M, L, PipelineOptions());
+}
+
+/// Human-readable name for reports.
+const char *optLevelName(OptLevel L);
+
+} // namespace vsc
+
+#endif // VSC_VLIW_PIPELINE_H

@@ -1,0 +1,97 @@
+//===- vliw/Schedule.h - Global scheduling + pipelining -------*- C++ -*-===//
+///
+/// \file
+/// The scheduling core of the reproduction, after the paper's "Unrolling,
+/// Renaming, Global Scheduling, Software Pipelining" section:
+///
+///  * Per-block list scheduling under the machine model (removes load-use
+///    and compare→branch stalls inside a block) — the baseline compaction.
+///  * Global scheduling: upward code motion across block boundaries. An
+///    operation moves from the top of a successor into a predecessor's
+///    idle issue slots; motion above a conditional branch makes it
+///    speculative, which requires side-effect freedom, a safety proof for
+///    loads, and destinations dead on the other branch target (live-range
+///    renaming has usually provided fresh destinations).
+///  * Enhanced pipeline scheduling, implemented as code motion across the
+///    loop back edge ("a fence at the current scheduling point ... search
+///    for the best operation on all paths which can possibly cross the
+///    loop back edges"): the first operation of the body is rotated to the
+///    bottom of the latch with a copy in the preheader, so each iteration
+///    computes the next iteration's values early. Rotations are kept only
+///    when the modelled steady-state cycle count improves.
+///
+/// The estimator replicates the timing simulator's issue rules so the
+/// scheduler optimizes the metric the experiments measure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_VLIW_SCHEDULE_H
+#define VSC_VLIW_SCHEDULE_H
+
+#include "ir/Module.h"
+#include "machine/MachineModel.h"
+
+namespace vsc {
+
+class ProfileData;
+
+/// Reorders the non-terminator instructions of \p BB (dependence-safe) to
+/// minimise modelled issue cycles. \returns true if the order changed.
+bool scheduleBlock(BasicBlock &BB, const MachineModel &MM);
+
+/// Modelled cycles to issue \p BB's instructions from a cold start.
+unsigned estimateBlockCycles(const BasicBlock &BB, const MachineModel &MM);
+
+/// Modelled steady-state cycles of one traversal of a loop body chain
+/// (internal conditional branches assumed untaken, final back edge taken).
+unsigned estimateSteadyStateCycles(const std::vector<BasicBlock *> &Chain,
+                                   const MachineModel &MM);
+
+struct GlobalScheduleOptions {
+  /// Upper bound on instructions hoisted into any single block.
+  unsigned MaxHoistPerBlock = 8;
+  /// Enable speculative hoisting above conditional branches.
+  bool SpeculativeHoist = true;
+  /// Profile-directed heuristic (the paper's PDF application): operations
+  /// on an improbable path are treated as speculative-and-unwanted; hoists
+  /// prefer the likely successor.
+  const ProfileData *Profile = nullptr;
+  /// Join-point hoisting duplicates the operation into every predecessor
+  /// (the paper's bookkeeping copies); this caps the fan-in considered.
+  unsigned MaxJoinPreds = 3;
+};
+
+/// Local scheduling everywhere plus cross-block upward motion into idle
+/// slots. \p M provides global sizes for load-safety proofs. \returns true
+/// if anything changed.
+bool globalSchedule(Function &F, const MachineModel &MM, const Module &M,
+                    const GlobalScheduleOptions &Opts = {});
+
+/// Software-pipelines every innermost chain-shaped loop of \p F by rotating
+/// operations across the back edge while the steady-state estimate
+/// improves. \returns the total number of rotations kept.
+unsigned pipelineInnermostLoops(Function &F, const MachineModel &MM,
+                                const Module &M, unsigned MaxRotations = 8);
+
+/// One VLIW instruction word: the block-relative indices of the operations
+/// the machine model issues in the same cycle. This is the paper's framing
+/// made visible — "imagining a VLIW with the same resources as the
+/// superscalar, scheduling for that VLIW, but leaving the resulting code
+/// in superscalar format".
+struct VliwWord {
+  uint64_t Cycle;
+  std::vector<size_t> Ops;
+};
+
+/// Packs \p BB's instructions into VLIW words under \p MM's issue rules
+/// (conditional branches assumed untaken, unconditional control taken).
+std::vector<VliwWord> packIntoVliwWords(const BasicBlock &BB,
+                                        const MachineModel &MM);
+
+/// Renders \p BB as VLIW words, one line per cycle:
+///   [  3] L r5 = 4(r4)  ||  BT found, cr0.eq
+std::string formatAsVliw(const BasicBlock &BB, const MachineModel &MM);
+
+} // namespace vsc
+
+#endif // VSC_VLIW_SCHEDULE_H

@@ -1,0 +1,88 @@
+//===- workloads/LiKernel.cpp - The paper's xlygetvalue example ------------===//
+
+#include "workloads/LiKernel.h"
+
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "sim/Simulator.h"
+
+#include <cassert>
+
+using namespace vsc;
+
+static void putWord(std::vector<uint8_t> &Bytes, size_t Off, uint64_t V) {
+  if (Bytes.size() < Off + 4)
+    Bytes.resize(Off + 4, 0);
+  for (unsigned B = 0; B != 4; ++B)
+    Bytes[Off + B] = static_cast<uint8_t>(V >> (8 * B));
+}
+
+std::unique_ptr<Module> vsc::buildLiSearch(unsigned N) {
+  assert(N >= 1 && "need at least one node");
+  // The loop below is the paper's listing:
+  //   loop: L r4 =(r8,4)   ; car(r8)
+  //         L r5 =(r4,4)   ; car(car(r8)) value cell
+  //         c cr0=r5,r3
+  //         BT found,cr0.eq
+  //         L r8 =(r8,8)   ; cdr(r8)
+  //         c cr1=r8,0
+  //         BF loop,cr1.eq
+  std::string Text;
+  Text += "global nodes : " + std::to_string(16 * N) + "\n";
+  Text += "global syms : " + std::to_string(8 * N) + "\n";
+  Text += R"(
+func xlygetvalue(2) {
+entry:
+  LR r8 = r4
+loop:
+  L r4 = 4(r8) !safe
+  L r5 = 4(r4) !safe
+  C cr0 = r5, r3
+  BT found, cr0.eq
+loop2:
+  L r8 = 8(r8) !safe
+  CI cr1 = r8, 0
+  BF loop, cr1.eq
+endofchain:
+  LI r3 = 0
+  RET
+found:
+  LI r3 = 1
+  RET
+}
+
+func main(0) {
+entry:
+  LTOC r4 = .nodes
+)";
+  Text += "  LI r3 = " + std::to_string(1000 + (N - 1)) + "\n";
+  Text += R"(  CALL xlygetvalue, 2
+  CALL print_int, 1
+  RET
+}
+)";
+
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  assert(M && "li kernel text failed to parse");
+  assert(verifyModule(*M).empty() && "li kernel must verify");
+
+  // Initialize the list: node i = { pad, car=&sym_i, cdr=&node_{i+1} or 0 },
+  // sym i = { pad, value=1000+i }.
+  auto Layout = computeGlobalLayout(*M);
+  uint64_t NodesBase = Layout.at("nodes");
+  uint64_t SymsBase = Layout.at("syms");
+  for (Global &G : M->globals()) {
+    if (G.Name == "nodes") {
+      for (unsigned I = 0; I != N; ++I) {
+        putWord(G.Init, 16 * I + 4, SymsBase + 8 * I);
+        putWord(G.Init, 16 * I + 8,
+                I + 1 < N ? NodesBase + 16 * (I + 1) : 0);
+      }
+    } else if (G.Name == "syms") {
+      for (unsigned I = 0; I != N; ++I)
+        putWord(G.Init, 8 * I + 4, 1000 + I);
+    }
+  }
+  return M;
+}

@@ -1,0 +1,33 @@
+//===- workloads/LiKernel.h - The paper's xlygetvalue example --*- C++ -*-===//
+///
+/// \file
+/// The SPEC `li` benchmark inner loop the paper uses as its worked example
+/// (xlygetvalue: walk an association list comparing car(car(p)) against an
+/// item). The IR matches the paper's RS/6000 listing instruction for
+/// instruction, and the globals are initialized so the search walks \p N
+/// nodes and succeeds on the last one. This is the calibration workload:
+/// the unoptimized loop must cost 11 cycles/iteration on the rs6000 model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_WORKLOADS_LIKERNEL_H
+#define VSC_WORKLOADS_LIKERNEL_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace vsc {
+
+/// Builds the list-search module. The list has \p N nodes; node i's
+/// car points at symbol i whose value cell holds 1000+i; the search target
+/// is 1000+(N-1), so the loop body executes N times and exits via "found".
+/// main prints 1 on success.
+std::unique_ptr<Module> buildLiSearch(unsigned N);
+
+/// Number of loop-body iterations the search performs.
+inline unsigned liIterations(unsigned N) { return N; }
+
+} // namespace vsc
+
+#endif // VSC_WORKLOADS_LIKERNEL_H

@@ -1,0 +1,334 @@
+//===- workloads/RandomProgram.cpp - mini-C program fuzzer --------------------===//
+
+#include "workloads/RandomProgram.h"
+
+#include <vector>
+
+using namespace vsc;
+
+namespace {
+
+/// SplitMix64: deterministic, decent distribution, no global state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N).
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+class Generator {
+public:
+  explicit Generator(uint64_t Seed) : R(Seed) {}
+
+  std::string run() {
+    unsigned NumArrays = static_cast<unsigned>(R.range(1, 3));
+    for (unsigned I = 0; I != NumArrays; ++I)
+      Arrays.push_back("g" + std::to_string(I));
+    unsigned NumGlobals = static_cast<unsigned>(R.range(0, 2));
+    for (unsigned I = 0; I != NumGlobals; ++I)
+      Globals.push_back("s" + std::to_string(I));
+
+    for (const std::string &A : Arrays)
+      Out += "int " + A + "[64];\n";
+    for (const std::string &G : Globals)
+      Out += "int " + G + ";\n";
+    Out += "\n";
+
+    unsigned NumHelpers = static_cast<unsigned>(R.range(1, 3));
+    for (unsigned I = 0; I != NumHelpers; ++I)
+      emitHelper(I);
+    emitMain();
+    return Out;
+  }
+
+private:
+  // --- expressions ---------------------------------------------------------
+
+  /// An in-scope integer variable name, or a literal when none exist.
+  std::string scalar() {
+    if (Vars.empty() || R.chance(25))
+      return std::to_string(R.range(-64, 64));
+    return Vars[R.below(Vars.size())];
+  }
+
+  std::string arrayRead() {
+    if (Arrays.empty())
+      return scalar();
+    const std::string &A = Arrays[R.below(Arrays.size())];
+    return A + "[(" + expr(1) + ") & 63]";
+  }
+
+  std::string expr(unsigned Depth) {
+    if (Depth >= 3 || R.chance(35)) {
+      switch (R.below(3)) {
+      case 0:
+        return scalar();
+      case 1:
+        return arrayRead();
+      default:
+        if (!Globals.empty())
+          return Globals[R.below(Globals.size())];
+        return scalar();
+      }
+    }
+    switch (R.below(9)) {
+    case 0:
+      return "(" + expr(Depth + 1) + " + " + expr(Depth + 1) + ")";
+    case 1:
+      return "(" + expr(Depth + 1) + " - " + expr(Depth + 1) + ")";
+    case 2:
+      return "(" + expr(Depth + 1) + " * " + expr(Depth + 1) + ")";
+    case 3:
+      // Division by a non-zero constant only (no trap, no INT_MIN/-1).
+      return "(" + expr(Depth + 1) + " / " +
+             std::to_string(R.range(1, 9)) + ")";
+    case 4:
+      return "(" + expr(Depth + 1) + " & " + expr(Depth + 1) + ")";
+    case 5:
+      return "(" + expr(Depth + 1) + " | " + expr(Depth + 1) + ")";
+    case 6:
+      return "(" + expr(Depth + 1) + " ^ " + expr(Depth + 1) + ")";
+    case 7:
+      return "(" + expr(Depth + 1) + " << " +
+             std::to_string(R.range(0, 6)) + ")";
+    default:
+      return "(" + expr(Depth + 1) + " >> " +
+             std::to_string(R.range(0, 6)) + ")";
+    }
+  }
+
+  std::string cond() {
+    static const char *Ops[] = {"<", ">", "<=", ">=", "==", "!="};
+    std::string C = "(" + expr(1) + ") " + Ops[R.below(6)] + " (" +
+                    expr(1) + ")";
+    if (R.chance(20))
+      C = "(" + C + ") && ((" + expr(2) + ") != 0)";
+    else if (R.chance(20))
+      C = "(" + C + ") || ((" + expr(2) + ") < 0)";
+    return C;
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  void indent() { Out.append(Depth * 2, ' '); }
+
+  void emitAssign() {
+    indent();
+    switch (R.below(4)) {
+    case 0: // new local
+      if (Vars.size() < 12) {
+        std::string V = "v" + std::to_string(NextVar++);
+        Out += "int " + V + " = " + expr(1) + ";\n";
+        Vars.push_back(V);
+        return;
+      }
+      [[fallthrough]];
+    case 1: // scalar update — never a loop induction variable or a
+            // checksum/driver variable (termination and oracle stability)
+    {
+      std::vector<std::string> Writable;
+      for (const std::string &V : Vars)
+        if (V[0] == 'v' || (V[0] == 'p' && V != "pass"))
+          Writable.push_back(V);
+      if (!Writable.empty()) {
+        Out += Writable[R.below(Writable.size())] + " = " + expr(1) +
+               ";\n";
+        return;
+      }
+      [[fallthrough]];
+    }
+    case 2: // array store
+      if (!Arrays.empty()) {
+        Out += Arrays[R.below(Arrays.size())] + "[(" + expr(1) +
+               ") & 63] = " + expr(1) + ";\n";
+        return;
+      }
+      [[fallthrough]];
+    default: // global store
+      if (!Globals.empty()) {
+        Out += Globals[R.below(Globals.size())] + " = " + expr(1) + ";\n";
+        return;
+      }
+      Out += "// no storage in scope\n";
+    }
+  }
+
+  void emitIf(unsigned Budget) {
+    indent();
+    Out += "if (" + cond() + ") {\n";
+    size_t Scope = Vars.size();
+    ++Depth;
+    emitStmts(Budget / 2 + 1);
+    --Depth;
+    Vars.resize(Scope);
+    indent();
+    if (R.chance(50)) {
+      Out += "} else {\n";
+      ++Depth;
+      emitStmts(Budget / 2 + 1);
+      --Depth;
+      Vars.resize(Scope);
+      indent();
+    }
+    Out += "}\n";
+  }
+
+  void emitFor(unsigned Budget) {
+    std::string V = "i" + std::to_string(NextVar++);
+    indent();
+    Out += "for (int " + V + " = 0; " + V + " < " +
+           std::to_string(R.range(2, 12)) + "; " + V + "++) {\n";
+    size_t Scope = Vars.size();
+    Vars.push_back(V);
+    ++Depth;
+    ++LoopDepth;
+    emitStmts(Budget);
+    if (R.chance(25)) {
+      indent();
+      Out += "if ((" + V + " & 3) == 3) continue;\n";
+    }
+    if (R.chance(20)) {
+      indent();
+      Out += "if (" + cond() + ") break;\n";
+    }
+    --LoopDepth;
+    --Depth;
+    indent();
+    Out += "}\n";
+    Vars.resize(Scope);
+  }
+
+  void emitCall() {
+    if (Helpers.empty())
+      return emitAssign();
+    indent();
+    const auto &H = Helpers[R.below(Helpers.size())];
+    std::string V = "v" + std::to_string(NextVar++);
+    Out += "int " + V + " = " + H.first + "(";
+    for (unsigned I = 0; I != H.second; ++I) {
+      if (I)
+        Out += ", ";
+      Out += expr(1);
+    }
+    Out += ");\n";
+    Vars.push_back(V);
+  }
+
+  void emitStmts(unsigned Budget) {
+    unsigned N = static_cast<unsigned>(R.range(1, 4));
+    for (unsigned I = 0; I != N && Budget != 0; ++I, --Budget) {
+      unsigned Kind = static_cast<unsigned>(R.below(10));
+      if (Kind < 4)
+        emitAssign();
+      else if (Kind < 6)
+        emitIf(Budget);
+      else if (Kind < 8 && LoopDepth < 2 && Budget > 2)
+        emitFor(Budget - 1);
+      else if (Kind < 9 && AllowCalls)
+        emitCall();
+      else
+        emitAssign();
+    }
+  }
+
+  // --- top level -----------------------------------------------------------
+
+  void emitHelper(unsigned Index) {
+    unsigned NumParams = static_cast<unsigned>(R.range(1, 2));
+    std::string Name = "helper" + std::to_string(Index);
+    Out += "int " + Name + "(";
+    std::vector<std::string> SavedVars;
+    SavedVars.swap(Vars);
+    for (unsigned I = 0; I != NumParams; ++I) {
+      if (I)
+        Out += ", ";
+      std::string P = "p" + std::to_string(I);
+      Out += "int " + P;
+      Vars.push_back(P);
+    }
+    Out += ") {\n";
+    Depth = 1;
+    AllowCalls = false; // helpers don't call each other: no recursion
+    emitStmts(static_cast<unsigned>(R.range(3, 8)));
+    indent();
+    Out += "return " + expr(1) + ";\n}\n\n";
+    Depth = 0;
+    AllowCalls = true;
+    Vars.swap(SavedVars);
+    Helpers.push_back({Name, NumParams});
+  }
+
+  void emitMain() {
+    Out += "int main(int n) {\n";
+    Depth = 1;
+    Vars.clear();
+    Vars.push_back("n");
+    // Deterministic array init so all runs start from known state.
+    for (const std::string &A : Arrays) {
+      indent();
+      Out += "for (int k = 0; k < 64; k++) " + A + "[k] = (k * " +
+             std::to_string(R.range(3, 91)) + ") & 255;\n";
+    }
+    indent();
+    Out += "int acc = 0;\n";
+    Vars.push_back("acc");
+    indent();
+    Out += "for (int pass = 0; pass < n; pass++) {\n";
+    ++Depth;
+    ++LoopDepth;
+    Vars.push_back("pass");
+    emitStmts(static_cast<unsigned>(R.range(6, 14)));
+    // Fold everything observable into the checksum.
+    indent();
+    Out += "acc = acc + pass";
+    for (const std::string &G : Globals)
+      Out += " + " + G;
+    for (const std::string &A : Arrays)
+      Out += " + " + A + "[pass & 63]";
+    Out += ";\n";
+    --LoopDepth;
+    --Depth;
+    indent();
+    Out += "}\n";
+    // Print the whole machine state digest.
+    for (const std::string &A : Arrays) {
+      indent();
+      Out += "for (int k = 0; k < 64; k++) acc = (acc * 31 + " + A +
+             "[k]) & 0xffffff;\n";
+    }
+    indent();
+    Out += "print_int(acc);\n";
+    indent();
+    Out += "return acc & 0xff;\n}\n";
+  }
+
+  Rng R;
+  std::string Out;
+  std::vector<std::string> Arrays, Globals, Vars;
+  std::vector<std::pair<std::string, unsigned>> Helpers;
+  unsigned NextVar = 0;
+  unsigned Depth = 0;
+  unsigned LoopDepth = 0;
+  bool AllowCalls = true;
+};
+
+} // namespace
+
+std::string vsc::generateRandomMiniC(uint64_t Seed) {
+  return Generator(Seed).run();
+}

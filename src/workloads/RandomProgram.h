@@ -1,0 +1,27 @@
+//===- workloads/RandomProgram.h - mini-C program fuzzer ------*- C++ -*-===//
+///
+/// \file
+/// Deterministic random mini-C program generation for differential
+/// testing: every generated program terminates (all loops have small
+/// constant bounds), traps nothing (array indices are mask-bounded,
+/// divisions are by non-zero constants), and prints a checksum — so the
+/// full optimization pipeline can be fuzzed against the interpreter's
+/// behaviour fingerprint across levels, machines and profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_WORKLOADS_RANDOMPROGRAM_H
+#define VSC_WORKLOADS_RANDOMPROGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace vsc {
+
+/// Generates a self-contained mini-C program from \p Seed. The same seed
+/// always yields the same source.
+std::string generateRandomMiniC(uint64_t Seed);
+
+} // namespace vsc
+
+#endif // VSC_WORKLOADS_RANDOMPROGRAM_H

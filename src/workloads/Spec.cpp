@@ -1,0 +1,378 @@
+//===- workloads/Spec.cpp - SPECint92-substitute kernels ----------------------===//
+
+#include "workloads/Spec.h"
+
+#include "frontend/Frontend.h"
+
+#include <cassert>
+
+using namespace vsc;
+
+namespace {
+
+// --- espresso: two-level logic minimisation flavour -------------------------
+// Cube (bitset) intersection/containment sweeps with data-dependent
+// branching, the character of espresso's cofactor/sharp loops.
+const char *EspressoSrc = R"(
+int cubes[512];
+int cover[512];
+int tmp[16];
+
+int popcount(int x) {
+  int n = 0;
+  while (x != 0) {
+    n = n + (x & 1);
+    x = x >> 1;
+    x = x & 0x7fffffff;
+  }
+  return n;
+}
+
+int main(int scale) {
+  int ncubes = 32;
+  int width = 8;
+  // Build a deterministic cover.
+  int seed = 12345;
+  for (int i = 0; i < ncubes * width; i++) {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0xffffff;
+    cubes[i] = seed & 0xffff;
+    cover[i] = (seed >> 8) & 0xffff;
+  }
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    // Containment: does cube i cover cube j?
+    int contained = 0;
+    for (int i = 0; i < ncubes; i++) {
+      for (int j = 0; j < ncubes; j++) {
+        if (i != j) {
+          int covers = 1;
+          for (int w = 0; w < width; w++) {
+            int a = cubes[i * width + w];
+            int b = cubes[j * width + w];
+            if ((a & b) != b) {
+              covers = 0;
+              break;
+            }
+          }
+          contained = contained + covers;
+        }
+      }
+    }
+    // Sharp: intersect cover rows into tmp and count literals.
+    int literals = 0;
+    for (int i = 0; i + 1 < ncubes; i++) {
+      for (int w = 0; w < width; w++) {
+        tmp[w] = cover[i * width + w] & cubes[(i + 1) * width + w];
+        literals = literals + popcount(tmp[w]);
+      }
+    }
+    checksum = checksum + contained * 17 + literals;
+  }
+  print_int(checksum);
+  return 0;
+}
+)";
+
+// --- li: xlisp interpreter flavour -------------------------------------------
+// Cons cells in parallel arrays; assq-style association search (the
+// paper's xlygetvalue loop) plus list construction and a recursive walk.
+const char *LiSrc = R"(
+int car[4096];
+int cdr[4096];
+int freeptr;
+
+int cons(int a, int d) {
+  int c = freeptr;
+  freeptr = freeptr + 1;
+  car[c] = a;
+  cdr[c] = d;
+  return c;
+}
+
+// The paper's loop: walk an alist of (key . value) pairs; key match by
+// car(car(p)).
+int assq(int key, int alist) {
+  int p = alist;
+  while (p != 0) {
+    int pair = car[p];
+    if (car[pair] == key) {
+      return cdr[pair];
+    }
+    p = cdr[p];
+  }
+  return 0 - 1;
+}
+
+int sumlist(int p) {
+  if (p == 0) return 0;
+  return car[p] + sumlist(cdr[p]);
+}
+
+int main(int scale) {
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    freeptr = 1;
+    // Build an environment of 64 bindings: key k -> k*3.
+    int env = 0;
+    for (int k = 1; k <= 64; k++) {
+      env = cons(cons(k, k * 3), env);
+    }
+    // Query it heavily (hits at varying depths + misses).
+    int hits = 0;
+    for (int q = 0; q < 128; q++) {
+      int key = (q * 7) & 127;
+      int v = assq(key, env);
+      if (v >= 0) hits = hits + v;
+    }
+    // A plain list and a recursive sum.
+    int lst = 0;
+    for (int i = 0; i < 32; i++) lst = cons(i, lst);
+    checksum = checksum + hits + sumlist(lst);
+  }
+  print_int(checksum);
+  return 0;
+}
+)";
+
+// --- eqntott: truth-table comparison flavour ---------------------------------
+// The paper's cmppt loop: compare bit-vector pterms element-wise with
+// early-out, driving an insertion sort.
+const char *EqntottSrc = R"(
+int pterms[2048];
+int order[128];
+
+int cmppt(int a, int b, int width) {
+  for (int i = 0; i < width; i++) {
+    int x = pterms[a * 16 + i];
+    int y = pterms[b * 16 + i];
+    if (x == 2) x = 0;
+    if (y == 2) y = 0;
+    if (x < y) return 0 - 1;
+    if (x > y) return 1;
+  }
+  return 0;
+}
+
+int main(int scale) {
+  int nterms = 96;
+  int width = 12;
+  int seed = 99;
+  for (int i = 0; i < nterms * 16; i++) {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0xffffff;
+    pterms[i] = seed & 3;
+  }
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    for (int i = 0; i < nterms; i++) order[i] = i;
+    // Insertion sort by cmppt.
+    for (int i = 1; i < nterms; i++) {
+      int key = order[i];
+      int j = i - 1;
+      while (j >= 0 && cmppt(order[j], key, width) > 0) {
+        order[j + 1] = order[j];
+        j = j - 1;
+      }
+      order[j + 1] = key;
+    }
+    checksum = checksum + order[0] * 7 + order[nterms - 1];
+  }
+  print_int(checksum);
+  return 0;
+}
+)";
+
+// --- compress: LZW flavour ----------------------------------------------------
+// Hash-probe loop with shifting/masking and conditional code emission.
+const char *CompressSrc = R"(
+int htab[4096];
+int codetab[4096];
+int input[1024];
+
+int main(int scale) {
+  int hsize = 4096;
+  int insize = 600;
+  int seed = 7;
+  for (int i = 0; i < insize; i++) {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0xffffff;
+    input[i] = (seed >> 4) & 255;
+  }
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    for (int i = 0; i < hsize; i++) {
+      htab[i] = 0 - 1;
+      codetab[i] = 0;
+    }
+    int freecode = 257;
+    int ent = input[0];
+    int outbits = 0;
+    for (int i = 1; i < insize; i++) {
+      int c = input[i];
+      int fcode = (c << 12) + ent;
+      int h = (c << 4) ^ ent;
+      h = h & 4095;
+      int found = 0;
+      while (htab[h] >= 0) {
+        if (htab[h] == fcode) {
+          ent = codetab[h];
+          found = 1;
+          break;
+        }
+        h = h + 1;
+        if (h == hsize) h = 0;
+      }
+      if (found == 0) {
+        outbits = outbits + 12;
+        checksum = checksum + ent;
+        if (freecode < 4096) {
+          htab[h] = fcode;
+          codetab[h] = freecode;
+          freecode = freecode + 1;
+        }
+        ent = c;
+      }
+    }
+    checksum = checksum + outbits + ent;
+  }
+  print_int(checksum);
+  return 0;
+}
+)";
+
+// --- sc: spreadsheet flavour ---------------------------------------------------
+// A cell grid recomputed in passes; each cell dispatches on an operation
+// code (if-else ladder = branchy commercial-code character).
+const char *ScSrc = R"(
+int val[1024];
+int op[1024];
+int arg1[1024];
+int arg2[1024];
+
+int main(int scale) {
+  int ncells = 400;
+  int seed = 4242;
+  for (int i = 0; i < ncells; i++) {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0xffffff;
+    op[i] = seed & 7;
+    arg1[i] = (seed >> 3) & 255;
+    // References point at earlier cells only (acyclic sheet).
+    if (i > 0) {
+      arg2[i] = (seed >> 11) & 1023;
+      while (arg2[i] >= i) arg2[i] = arg2[i] - i;
+    } else {
+      arg2[i] = 0;
+    }
+    val[i] = 0;
+  }
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    for (int i = 0; i < ncells; i++) {
+      int o = op[i];
+      int a = arg1[i];
+      int b = val[arg2[i]];
+      int v;
+      if (o == 0) v = a + b;
+      else if (o == 1) v = a - b;
+      else if (o == 2) v = a * 3 + b;
+      else if (o == 3) { if (b != 0) v = a / b; else v = a; }
+      else if (o == 4) v = a & b;
+      else if (o == 5) v = a | b;
+      else if (o == 6) { if (a > b) v = a; else v = b; }
+      else v = b - a;
+      val[i] = v & 0xffff;
+    }
+    checksum = checksum + val[ncells - 1] + val[ncells / 2];
+  }
+  print_int(checksum);
+  return 0;
+}
+)";
+
+// --- gcc: compiler front-end flavour --------------------------------------------
+// Token scanning over a synthetic character stream: dense independent
+// branches, small basic blocks, low ILP — the benchmark where the paper
+// saw the smallest gain.
+const char *GccSrc = R"(
+int stream[2048];
+int counts[16];
+
+int classify(int c) {
+  if (c == 32) return 0;
+  if (c >= 48 && c <= 57) return 1;
+  if (c >= 97 && c <= 122) return 2;
+  if (c >= 65 && c <= 90) return 3;
+  if (c == 40 || c == 41) return 4;
+  if (c == 43 || c == 45 || c == 42 || c == 47) return 5;
+  if (c == 61) return 6;
+  if (c == 59) return 7;
+  return 8;
+}
+
+int main(int scale) {
+  int len = 1500;
+  int seed = 31415;
+  for (int i = 0; i < len; i++) {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0xffffff;
+    stream[i] = 32 + ((seed >> 5) & 95);
+  }
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    for (int i = 0; i < 16; i++) counts[i] = 0;
+    int tokens = 0;
+    int state = 0;
+    for (int i = 0; i < len; i++) {
+      int k = classify(stream[i]);
+      counts[k] = counts[k] + 1;
+      // Token boundaries: ident/number runs end at anything else.
+      if (k == 1 || k == 2 || k == 3) {
+        if (state == 0) {
+          tokens = tokens + 1;
+          state = 1;
+        }
+      } else {
+        state = 0;
+        if (k != 0) tokens = tokens + 1;
+      }
+    }
+    int weighted = 0;
+    for (int i = 0; i < 9; i++) weighted = weighted + counts[i] * (i + 1);
+    checksum = checksum + tokens + weighted;
+  }
+  print_int(checksum);
+  return 0;
+}
+)";
+
+} // namespace
+
+const std::vector<Workload> &vsc::specWorkloads() {
+  static const std::vector<Workload> Workloads = {
+      {"espresso", EspressoSrc, 2, 6},
+      {"li", LiSrc, 2, 8},
+      {"eqntott", EqntottSrc, 1, 3},
+      {"compress", CompressSrc, 2, 8},
+      {"sc", ScSrc, 4, 16},
+      {"gcc", GccSrc, 2, 8},
+  };
+  return Workloads;
+}
+
+std::unique_ptr<Module> vsc::buildWorkload(const Workload &W) {
+  FrontendOptions Opts;
+  Opts.AssumeSafeLoads = true;
+  CompileResult R = compileMiniC(W.Source, Opts);
+  assert(R.ok() && "bundled workload failed to compile");
+  if (!R.ok())
+    return nullptr;
+  return std::move(R.M);
+}
+
+RunOptions vsc::workloadInput(int64_t Scale) {
+  RunOptions Opts;
+  Opts.Args = {Scale};
+  return Opts;
+}

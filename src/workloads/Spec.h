@@ -1,0 +1,51 @@
+//===- workloads/Spec.h - SPECint92-substitute kernels --------*- C++ -*-===//
+///
+/// \file
+/// Six workload kernels standing in for the SPECint92 programs the paper
+/// measures (espresso, li, eqntott, compress, sc, gcc). Each kernel is
+/// written in mini-C and mirrors the documented hot-loop character of the
+/// original: bitset/cube operations, association-list interpretation,
+/// bit-vector comparison, LZW-style hashing, a spreadsheet evaluator, and
+/// switch-heavy token scanning. DESIGN.md records this substitution (SPEC
+/// sources are not redistributable; the paper itself prints the li and
+/// eqntott inner loops, which these kernels reproduce structurally).
+///
+/// Every kernel's main(n) takes a scale parameter and prints checksums, so
+/// behaviour equivalence across optimization levels is machine-checkable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_WORKLOADS_SPEC_H
+#define VSC_WORKLOADS_SPEC_H
+
+#include "ir/Module.h"
+#include "sim/Simulator.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+struct Workload {
+  std::string Name;
+  std::string Source;     ///< mini-C text
+  int64_t TrainScale = 4; ///< the paper's "short SPEC inputs" for PDF
+  int64_t RefScale = 16;  ///< measurement input
+};
+
+/// The six kernels, in the paper's table order: espresso, li, eqntott,
+/// compress, sc, gcc.
+const std::vector<Workload> &specWorkloads();
+
+/// Compiles \p W (AssumeSafeLoads on, as the paper's page-zero trick
+/// permits). Asserts on compile failure — the sources are part of this
+/// repository.
+std::unique_ptr<Module> buildWorkload(const Workload &W);
+
+/// RunOptions with the given scale as main's argument.
+RunOptions workloadInput(int64_t Scale);
+
+} // namespace vsc
+
+#endif // VSC_WORKLOADS_SPEC_H

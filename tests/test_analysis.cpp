@@ -1,0 +1,261 @@
+//===- tests/test_analysis.cpp - Liveness and memory disambiguation --------===//
+
+#include "TestUtil.h"
+#include "analysis/Liveness.h"
+#include "analysis/MemAlias.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+Instr memInstr(Opcode Op, Reg Base, int64_t Disp, const char *Sym,
+               uint8_t Size = 4, bool Volatile = false) {
+  Instr I;
+  I.Op = Op;
+  if (Op == Opcode::ST) {
+    I.Src1 = Reg::gpr(40);
+    I.Src2 = Base;
+  } else {
+    I.Dst = Reg::gpr(40);
+    I.Src1 = Base;
+  }
+  I.Imm = Disp;
+  I.Sym = Sym ? Sym : "";
+  I.MemSize = Size;
+  I.IsVolatile = Volatile;
+  return I;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Memory disambiguation
+//===----------------------------------------------------------------------===//
+
+TEST(MemAlias, DistinctGlobalsNeverAlias) {
+  Instr A = memInstr(Opcode::L, Reg::gpr(41), 0, "a");
+  Instr B = memInstr(Opcode::ST, Reg::gpr(42), 0, "b");
+  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+}
+
+TEST(MemAlias, SameGlobalDisjointRanges) {
+  Instr A = memInstr(Opcode::L, Reg::gpr(41), 0, "a");
+  Instr B = memInstr(Opcode::ST, Reg::gpr(41), 4, "a");
+  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+  Instr C = memInstr(Opcode::ST, Reg::gpr(41), 2, "a");
+  EXPECT_EQ(alias(A, C), AliasResult::MayAlias); // [0,4) vs [2,6)
+  Instr D = memInstr(Opcode::ST, Reg::gpr(41), 0, "a");
+  EXPECT_EQ(alias(A, D), AliasResult::MustAlias);
+}
+
+TEST(MemAlias, StackSlotsByDisplacement) {
+  Instr A = memInstr(Opcode::L, regs::sp(), 0, nullptr);
+  Instr B = memInstr(Opcode::ST, regs::sp(), 8, nullptr);
+  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+  Instr C = memInstr(Opcode::ST, regs::sp(), 0, nullptr);
+  EXPECT_EQ(alias(A, C), AliasResult::MustAlias);
+}
+
+TEST(MemAlias, StackNeverAliasesGlobals) {
+  Instr A = memInstr(Opcode::L, regs::sp(), 0, nullptr);
+  Instr B = memInstr(Opcode::ST, Reg::gpr(41), 0, "a");
+  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+}
+
+TEST(MemAlias, UnknownPointersMayAlias) {
+  Instr A = memInstr(Opcode::L, Reg::gpr(41), 0, nullptr);
+  Instr B = memInstr(Opcode::ST, Reg::gpr(42), 0, nullptr);
+  EXPECT_EQ(alias(A, B), AliasResult::MayAlias);
+  // Unknown vs annotated global: conservative.
+  Instr C = memInstr(Opcode::ST, Reg::gpr(43), 0, "a");
+  EXPECT_EQ(alias(A, C), AliasResult::MayAlias);
+}
+
+TEST(MemAlias, SameUnknownBaseDisjointDisplacements) {
+  Instr A = memInstr(Opcode::L, Reg::gpr(41), 0, nullptr);
+  Instr B = memInstr(Opcode::ST, Reg::gpr(41), 8, nullptr);
+  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+  Instr C = memInstr(Opcode::ST, Reg::gpr(41), 3, nullptr);
+  EXPECT_EQ(alias(A, C), AliasResult::MayAlias);
+}
+
+TEST(MemAlias, VolatileDefeatsDisambiguation) {
+  Instr A = memInstr(Opcode::L, Reg::gpr(41), 0, "a", 4, true);
+  Instr B = memInstr(Opcode::ST, Reg::gpr(42), 0, "b");
+  EXPECT_EQ(alias(A, B), AliasResult::MayAlias);
+}
+
+TEST(MemAlias, SpillTagStaysStackRegion) {
+  // Prolog-tailoring spills carry "$csave" but are r1-based: they must
+  // disambiguate like stack slots, not like a global named $csave.
+  Instr A = memInstr(Opcode::ST, regs::sp(), 16, "$csave", 8);
+  Instr B = memInstr(Opcode::L, regs::sp(), 24, "$csave", 8);
+  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+  Instr C = memInstr(Opcode::L, Reg::gpr(41), 0, "a");
+  EXPECT_EQ(alias(A, C), AliasResult::NoAlias);
+}
+
+TEST(MemAlias, SafeSpeculativeLoads) {
+  Module M;
+  M.addGlobal("a", 16);
+  Instr InBounds = memInstr(Opcode::L, Reg::gpr(41), 12, "a");
+  EXPECT_TRUE(isSafeSpeculativeLoad(InBounds, &M));
+  Instr OutOfBounds = memInstr(Opcode::L, Reg::gpr(41), 16, "a");
+  EXPECT_FALSE(isSafeSpeculativeLoad(OutOfBounds, &M));
+  Instr Unknown = memInstr(Opcode::L, Reg::gpr(41), 0, nullptr);
+  EXPECT_FALSE(isSafeSpeculativeLoad(Unknown, &M));
+  Unknown.SpecSafe = true;
+  EXPECT_TRUE(isSafeSpeculativeLoad(Unknown, &M));
+  Instr StackLoad = memInstr(Opcode::L, regs::sp(), 8, nullptr);
+  EXPECT_TRUE(isSafeSpeculativeLoad(StackLoad, &M));
+  Instr Vol = memInstr(Opcode::L, Reg::gpr(41), 0, "a", 4, true);
+  EXPECT_FALSE(isSafeSpeculativeLoad(Vol, &M));
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness
+//===----------------------------------------------------------------------===//
+
+TEST(Liveness, BranchySummaries) {
+  auto M = parseOrDie(R"(
+func main(1) {
+entry:
+  LI r40 = 1
+  LI r41 = 2
+  CI cr0 = r3, 0
+  BT a, cr0.eq
+b:
+  LR r3 = r40
+  CALL print_int, 1
+  RET
+a:
+  LR r3 = r41
+  CALL print_int, 1
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  Cfg G(F);
+  RegUniverse U(F);
+  Liveness L(G, U);
+  BasicBlock *A = F.findBlock("a");
+  BasicBlock *B = F.findBlock("b");
+  // r40 is live only into b, r41 only into a.
+  EXPECT_TRUE(L.isLiveIn(B, Reg::gpr(40)));
+  EXPECT_FALSE(L.isLiveIn(B, Reg::gpr(41)));
+  EXPECT_TRUE(L.isLiveIn(A, Reg::gpr(41)));
+  EXPECT_FALSE(L.isLiveIn(A, Reg::gpr(40)));
+  // Both live out of the entry.
+  EXPECT_TRUE(L.isLiveOut(F.entry(), Reg::gpr(40)));
+  EXPECT_TRUE(L.isLiveOut(F.entry(), Reg::gpr(41)));
+  // cr0 is consumed by the entry's own branch.
+  EXPECT_FALSE(L.isLiveIn(A, Reg::cr(0)));
+}
+
+TEST(Liveness, LoopCarriedValues) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LI r32 = 10
+  MTCTR r32
+  LI r40 = 0
+loop:
+  AI r40 = r40, 1
+  BCT loop
+exit:
+  LR r3 = r40
+  CALL print_int, 1
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  Cfg G(F);
+  RegUniverse U(F);
+  Liveness L(G, U);
+  BasicBlock *Loop = F.findBlock("loop");
+  // The accumulator is live around the back edge and out of the loop.
+  EXPECT_TRUE(L.isLiveIn(Loop, Reg::gpr(40)));
+  EXPECT_TRUE(L.isLiveOut(Loop, Reg::gpr(40)));
+  // CTR is loop state: live into the loop (BCT reads and writes it).
+  EXPECT_TRUE(L.isLiveIn(Loop, Reg::ctr()));
+}
+
+TEST(Liveness, PerInstructionSets) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LI r40 = 1
+  LI r41 = 2
+  A r42 = r40, r41
+  LR r3 = r42
+  CALL print_int, 1
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  Cfg G(F);
+  RegUniverse U(F);
+  Liveness L(G, U);
+  auto Live = L.liveAtEachInstr(F.entry());
+  int R40 = U.indexOf(Reg::gpr(40));
+  int R42 = U.indexOf(Reg::gpr(42));
+  ASSERT_GE(R40, 0);
+  ASSERT_GE(R42, 0);
+  // Before the A: r40 live; after it (before LR): r40 dead, r42 live.
+  EXPECT_TRUE(Live[2].test(static_cast<size_t>(R40)));
+  EXPECT_FALSE(Live[3].test(static_cast<size_t>(R40)));
+  EXPECT_TRUE(Live[3].test(static_cast<size_t>(R42)));
+}
+
+TEST(Liveness, CallsKeepCalleeSavedAlive) {
+  // r20 is callee-saved: a call does not kill it, so a def before the
+  // call stays live across it.
+  auto M = parseOrDie(R"(
+func f(0) {
+entry:
+  RET
+}
+func main(0) {
+entry:
+  LI r20 = 5
+  LI r6 = 6
+  CALL f, 0
+  LR r3 = r20
+  CALL print_int, 1
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  Cfg G(F);
+  RegUniverse U(F);
+  Liveness L(G, U);
+  auto Live = L.liveAtEachInstr(F.entry());
+  int R20 = U.indexOf(Reg::gpr(20));
+  int R6 = U.indexOf(Reg::gpr(6));
+  ASSERT_GE(R20, 0);
+  // After "LI r6" (index 2 = before CALL f): r20 live across the call.
+  EXPECT_TRUE(Live[2].test(static_cast<size_t>(R20)));
+  // r6 is caller-saved and unused after: dead before the call.
+  ASSERT_GE(R6, 0);
+  EXPECT_FALSE(Live[2].test(static_cast<size_t>(R6)));
+}
+
+TEST(RegUniverseTest, CollectsImplicitRegisters) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LI r32 = 3
+  MTCTR r32
+loop:
+  BCT loop
+exit:
+  RET
+}
+)");
+  RegUniverse U(*M->findFunction("main"));
+  EXPECT_GE(U.indexOf(Reg::ctr()), 0);
+  EXPECT_GE(U.indexOf(Reg::gpr(32)), 0);
+  EXPECT_EQ(U.indexOf(Reg::gpr(55)), -1);
+}

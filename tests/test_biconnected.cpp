@@ -1,0 +1,235 @@
+//===- tests/test_biconnected.cpp - Biconnected components ------------------===//
+///
+/// The paper's prolog-tailoring stage 1: biconnected components of the
+/// undirected CFG and the component tree rooted at the entry. "An
+/// outermost if-then-else-endif statement constitutes a bi-connected
+/// component"; sequential code forms chains joined at articulation
+/// blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "cfg/Biconnected.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+bool sameBlocks(const BiconnectedComponents::Component &C,
+                std::initializer_list<const char *> Labels,
+                const Function &F) {
+  if (C.Blocks.size() != Labels.size())
+    return false;
+  for (const char *L : Labels) {
+    const BasicBlock *BB = F.findBlock(L);
+    if (std::find(C.Blocks.begin(), C.Blocks.end(), BB) == C.Blocks.end())
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+TEST(Biconnected, StraightLineIsAChainOfEdgeComponents) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LI r32 = 1
+  B b1
+b1:
+  AI r32 = r32, 1
+  B b2
+b2:
+  LR r3 = r32
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  Cfg G(F);
+  BiconnectedComponents BC(G);
+  // Two edges, two components; b1 is the articulation point.
+  EXPECT_EQ(BC.components().size(), 2u);
+  ASSERT_EQ(BC.articulationPoints().size(), 1u);
+  EXPECT_EQ(BC.articulationPoints()[0], F.findBlock("b1"));
+  // Tree: root contains the entry; the other component hangs off b1.
+  int Root = BC.rootComponent();
+  ASSERT_GE(Root, 0);
+  const auto &RootComp = BC.components()[static_cast<size_t>(Root)];
+  EXPECT_TRUE(sameBlocks(RootComp, {"entry", "b1"}, F));
+  ASSERT_EQ(RootComp.Children.size(), 1u);
+  const auto &Child =
+      BC.components()[static_cast<size_t>(RootComp.Children[0])];
+  EXPECT_EQ(Child.SharedWithParent, F.findBlock("b1"));
+}
+
+TEST(Biconnected, DiamondIsOneComponent) {
+  auto M = parseOrDie(R"(
+func main(1) {
+entry:
+  CI cr0 = r3, 0
+  BT left, cr0.eq
+right:
+  LI r40 = 1
+  B join
+left:
+  LI r40 = 2
+join:
+  LR r3 = r40
+  B tail
+tail:
+  CALL print_int, 1
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  Cfg G(F);
+  BiconnectedComponents BC(G);
+  // The diamond {entry,left,right,join} is one component; join->tail is a
+  // bridge component.
+  ASSERT_EQ(BC.components().size(), 2u);
+  bool FoundDiamond = false;
+  for (const auto &C : BC.components())
+    if (sameBlocks(C, {"entry", "left", "right", "join"}, F))
+      FoundDiamond = true;
+  EXPECT_TRUE(FoundDiamond);
+  ASSERT_EQ(BC.articulationPoints().size(), 1u);
+  EXPECT_EQ(BC.articulationPoints()[0], F.findBlock("join"));
+  EXPECT_TRUE(BC.isArticulationPoint(F.findBlock("join")));
+  EXPECT_FALSE(BC.isArticulationPoint(F.findBlock("left")));
+  // join belongs to both components.
+  EXPECT_EQ(BC.componentsOf(F.findBlock("join")).size(), 2u);
+  EXPECT_EQ(BC.componentsOf(F.findBlock("left")).size(), 1u);
+}
+
+TEST(Biconnected, LoopIsOneComponent) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LI r32 = 5
+  MTCTR r32
+loop:
+  AI r33 = r33, 1
+  BCT loop
+exit:
+  LR r3 = r33
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  Cfg G(F);
+  BiconnectedComponents BC(G);
+  // Self-loop at `loop`: edges entry->loop and loop->exit are bridges.
+  EXPECT_EQ(BC.components().size(), 2u);
+  EXPECT_TRUE(BC.isArticulationPoint(F.findBlock("loop")));
+}
+
+TEST(Biconnected, MultiBlockLoopComponent) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LI r32 = 5
+  LI r33 = 0
+head:
+  AI r33 = r33, 1
+  C cr0 = r33, r32
+  BF head, cr0.eq
+exit:
+  LR r3 = r33
+  RET
+}
+)");
+  // Single-block natural loop: head->head self edge is dropped; the chain
+  // entry->head->exit yields two bridge components with head as the cut.
+  Function &F = *M->findFunction("main");
+  Cfg G(F);
+  BiconnectedComponents BC(G);
+  EXPECT_TRUE(BC.isArticulationPoint(F.findBlock("head")));
+
+  // Now a two-block loop: the {head2,latch2} cycle is one component.
+  auto M2 = parseOrDie(R"(
+func main(0) {
+entry:
+  LI r32 = 5
+  LI r33 = 0
+head2:
+  AI r33 = r33, 1
+latch2:
+  C cr0 = r33, r32
+  BF head2, cr0.eq
+exit:
+  LR r3 = r33
+  RET
+}
+)");
+  Function &F2 = *M2->findFunction("main");
+  Cfg G2(F2);
+  BiconnectedComponents BC2(G2);
+  bool FoundLoop = false;
+  for (const auto &C : BC2.components())
+    if (sameBlocks(C, {"head2", "latch2"}, F2))
+      FoundLoop = true;
+  EXPECT_TRUE(FoundLoop);
+}
+
+TEST(Biconnected, PaperProcedureShape) {
+  // The prolog-tailoring example: entry branches to two independent arms
+  // that both return; the second arm contains a nested diamond. Each arm
+  // hangs off the entry in the tree.
+  auto M = parseOrDie(R"(
+func sub(2) {
+entry:
+  CI cr0 = r3, 0
+  BT L1, cr0.eq
+fall:
+  LI r29 = 100
+  RET
+L1:
+  LI r28 = 7
+  CI cr1 = r4, 0
+  BT L2, cr1.eq
+killr30:
+  LI r30 = 50
+L2:
+  LR r3 = r28
+  RET
+}
+)");
+  Function &F = *M->findFunction("sub");
+  Cfg G(F);
+  BiconnectedComponents BC(G);
+  // entry is the articulation point joining the two arms; the L1 diamond
+  // {L1,killr30,L2} is one component.
+  EXPECT_TRUE(BC.isArticulationPoint(F.findBlock("entry")) ||
+              BC.isArticulationPoint(F.findBlock("L1")));
+  bool FoundDiamond = false;
+  for (const auto &C : BC.components())
+    if (sameBlocks(C, {"L1", "killr30", "L2"}, F))
+      FoundDiamond = true;
+  EXPECT_TRUE(FoundDiamond) << "the nested if forms its own component";
+  // Tree is rooted at the entry's component.
+  int Root = BC.rootComponent();
+  ASSERT_GE(Root, 0);
+  bool RootHasEntry = false;
+  for (BasicBlock *BB : BC.components()[static_cast<size_t>(Root)].Blocks)
+    if (BB == F.entry())
+      RootHasEntry = true;
+  EXPECT_TRUE(RootHasEntry);
+}
+
+TEST(Biconnected, SingleBlockFunction) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LI r3 = 0
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  Cfg G(F);
+  BiconnectedComponents BC(G);
+  ASSERT_EQ(BC.components().size(), 1u);
+  EXPECT_EQ(BC.rootComponent(), 0);
+  EXPECT_TRUE(BC.articulationPoints().empty());
+}

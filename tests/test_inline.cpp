@@ -1,0 +1,249 @@
+//===- tests/test_inline.cpp - Leaf-function inlining -----------------------===//
+
+#include "TestUtil.h"
+#include "frontend/Frontend.h"
+#include "opt/Inline.h"
+#include "vliw/Pipeline.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+TEST(Inline, InlinesLeafCall) {
+  const char *Text = R"(
+func add3(2) {
+entry:
+  A r3 = r3, r4
+  AI r3 = r3, 3
+  RET
+}
+func main(0) {
+entry:
+  LI r3 = 10
+  LI r4 = 20
+  CALL add3, 2
+  CALL print_int, 1
+  RET
+}
+)";
+  auto M = transformPreservesBehaviour(Text, [](Module &Mod) {
+    unsigned N = inlineLeafFunctions(Mod);
+    EXPECT_EQ(N, 1u);
+  });
+  ASSERT_TRUE(M);
+  // The user-function call disappears from main.
+  const Function *Main = M->findFunction("main");
+  for (const auto &BB : Main->blocks())
+    for (const Instr &I : BB->instrs())
+      EXPECT_FALSE(I.isCall() && I.Sym == "add3") << printFunction(*Main);
+  RunResult R = simulate(*M, rs6000());
+  EXPECT_EQ(R.Output, "33\n");
+}
+
+TEST(Inline, RemapsPhysicalRegistersSafely) {
+  // The callee kills r13/r20 and cr0; the caller holds live values in all
+  // three across the (inlined) call. Without remapping this would
+  // corrupt them — with it, no prologs are needed at all.
+  const char *Text = R"(
+func muck(1) {
+entry:
+  LI r13 = 999
+  LI r20 = 888
+  CI cr0 = r3, 5
+  BT big, cr0.gt
+small:
+  AI r3 = r3, 1
+  RET
+big:
+  A r3 = r13, r20
+  RET
+}
+func main(0) {
+entry:
+  LI r13 = 1
+  LI r20 = 2
+  CI cr0 = r13, 0
+  LI r3 = 4
+  CALL muck, 1
+  LR r31 = r3
+  BT weird, cr0.eq
+normal:
+  A r3 = r13, r20
+  A r3 = r3, r31
+  CALL print_int, 1
+  RET
+weird:
+  LI r3 = -1
+  CALL print_int, 1
+  RET
+}
+)";
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  ASSERT_TRUE(M) << Err;
+  unsigned N = inlineLeafFunctions(*M);
+  EXPECT_EQ(N, 1u);
+  ASSERT_EQ(verifyModule(*M), "");
+  RunResult R = simulate(*M, rs6000());
+  ASSERT_FALSE(R.Trapped) << R.TrapMsg;
+  // r13+r20+muck(4) = 1+2+5 = 8; cr0 (1>0 -> gt, not eq) takes 'normal'.
+  EXPECT_EQ(R.Output, "8\n");
+}
+
+TEST(Inline, InlinesLoopyCalleeWithFrame) {
+  const char *Text = R"(
+int sumto(int n) {
+  int buf[4];
+  buf[0] = 0;
+  for (int i = 1; i <= n; i++) buf[0] += i;
+  return buf[0];
+}
+int main() {
+  int total = 0;
+  for (int k = 0; k < 5; k++) total += sumto(k);
+  print_int(total);
+  return 0;
+}
+)";
+  CompileResult C1 = compileMiniC(Text);
+  ASSERT_TRUE(C1.ok()) << C1.Error;
+  optimize(*C1.M, OptLevel::None);
+  RunResult RB = simulate(*C1.M, rs6000());
+  ASSERT_FALSE(RB.Trapped) << RB.TrapMsg;
+  EXPECT_EQ(RB.Output, "20\n"); // 0+1+3+6+10
+
+  CompileResult C2 = compileMiniC(Text);
+  ASSERT_TRUE(C2.ok());
+  unsigned N = inlineLeafFunctions(*C2.M);
+  EXPECT_EQ(N, 1u);
+  ASSERT_EQ(verifyModule(*C2.M), "");
+  optimize(*C2.M, OptLevel::None);
+  RunResult RA = simulate(*C2.M, rs6000());
+  EXPECT_EQ(RB.fingerprint(), RA.fingerprint());
+}
+
+TEST(Inline, RefusesNonLeafAndRecursive) {
+  const char *Text = R"(
+func rec(1) {
+entry:
+  CI cr0 = r3, 1
+  BT base, cr0.lt
+more:
+  SI r3 = r3, 1
+  CALL rec, 1
+  RET
+base:
+  RET
+}
+func chatty(1) {
+entry:
+  CALL print_int, 1
+  RET
+}
+func main(0) {
+entry:
+  LI r3 = 3
+  CALL rec, 1
+  LI r3 = 7
+  CALL chatty, 1
+  RET
+}
+)";
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  ASSERT_TRUE(M) << Err;
+  EXPECT_EQ(inlineLeafFunctions(*M), 0u);
+}
+
+TEST(Inline, RespectsSizeBudget) {
+  std::string Callee = "func big(1) {\nentry:\n";
+  for (int I = 0; I < 60; ++I)
+    Callee += "  AI r3 = r3, 1\n";
+  Callee += "  RET\n}\n";
+  std::string Text = Callee + R"(
+func main(0) {
+entry:
+  LI r3 = 0
+  CALL big, 1
+  CALL print_int, 1
+  RET
+}
+)";
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  ASSERT_TRUE(M) << Err;
+  InlineOptions Opts;
+  Opts.MaxCalleeInstrs = 48;
+  EXPECT_EQ(inlineLeafFunctions(*M, Opts), 0u);
+  Opts.MaxCalleeInstrs = 100;
+  EXPECT_EQ(inlineLeafFunctions(*M, Opts), 1u);
+  ASSERT_EQ(verifyModule(*M), "");
+  EXPECT_EQ(simulate(*M, rs6000()).Output, "60\n");
+}
+
+TEST(Inline, UnlocksPipelineGains) {
+  // A hot loop whose body is a call: the VLIW pipeline alone cannot
+  // pipeline it; with inlining it can.
+  const char *Text = R"(
+int tab[64];
+int probe(int i) {
+  return tab[i & 63] * 3 + 1;
+}
+int main(int n) {
+  for (int k = 0; k < 64; k++) tab[k] = k * 5;
+  int acc = 0;
+  for (int pass = 0; pass < n; pass++)
+    for (int i = 0; i < 64; i++)
+      acc += probe(i + pass);
+  print_int(acc);
+  return 0;
+}
+)";
+  FrontendOptions Fe;
+  Fe.AssumeSafeLoads = true;
+  RunOptions In;
+  In.Args = {50};
+
+  CompileResult Plain = compileMiniC(Text, Fe);
+  ASSERT_TRUE(Plain.ok());
+  optimize(*Plain.M, OptLevel::Vliw);
+  RunResult RP = simulate(*Plain.M, rs6000(), In);
+
+  CompileResult Inl = compileMiniC(Text, Fe);
+  ASSERT_TRUE(Inl.ok());
+  PipelineOptions Opts;
+  Opts.Inlining = true;
+  optimize(*Inl.M, OptLevel::Vliw, Opts);
+  RunResult RI = simulate(*Inl.M, rs6000(), In);
+
+  EXPECT_EQ(RP.fingerprint(), RI.fingerprint());
+  EXPECT_LT(RI.Cycles, RP.Cycles * 8 / 10)
+      << "inlining should unlock at least 20% here";
+}
+
+TEST(Inline, FuzzAgreesWithInlining) {
+  FrontendOptions Fe;
+  Fe.AssumeSafeLoads = true;
+  for (uint64_t Seed = 50; Seed != 62; ++Seed) {
+    std::string Src = generateRandomMiniC(Seed);
+    CompileResult Base = compileMiniC(Src, Fe);
+    ASSERT_TRUE(Base.ok()) << "seed " << Seed << ": " << Base.Error;
+    optimize(*Base.M, OptLevel::None);
+    RunOptions In;
+    In.Args = {4};
+    In.MaxInstrs = 20'000'000;
+    RunResult RB = simulate(*Base.M, rs6000(), In);
+    ASSERT_FALSE(RB.Trapped) << "seed " << Seed << ": " << RB.TrapMsg;
+
+    CompileResult Opt = compileMiniC(Src, Fe);
+    ASSERT_TRUE(Opt.ok());
+    PipelineOptions Opts;
+    Opts.Inlining = true;
+    optimize(*Opt.M, OptLevel::Vliw, Opts);
+    ASSERT_EQ(verifyModule(*Opt.M), "") << "seed " << Seed;
+    RunResult RO = simulate(*Opt.M, rs6000(), In);
+    EXPECT_EQ(RB.fingerprint(), RO.fingerprint())
+        << "seed " << Seed << "\n" << Src;
+  }
+}

@@ -1,0 +1,120 @@
+//===- tests/test_pdf_gate.cpp - Measured PDF-layout gate ------------------===//
+
+#include "TestUtil.h"
+#include "profile/Counters.h"
+#include "profile/PdfLayout.h"
+#include "vliw/Pipeline.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+const char *SkewedLoop = R"(
+func main(0) {
+entry:
+  LI r30 = 2000
+  MTCTR r30
+  LI r31 = 0
+loop:
+  ANDI r32 = r31, 7
+  AI r31 = r31, 1
+  CI cr0 = r32, 7
+  BT hot, cr0.lt
+cold:
+  AI r33 = r33, 100
+  B next
+hot:
+  AI r33 = r33, 1
+next:
+  BCT loop
+exit:
+  LR r3 = r33
+  CALL print_int, 1
+  RET
+}
+)";
+
+} // namespace
+
+TEST(PdfGate, KeepsImprovingLayout) {
+  auto Seed = parseOrDie(SkewedLoop);
+  RunResult Ground = simulate(*Seed, rs6000());
+  ProfileData P = ProfileData::fromRun(Ground);
+
+  auto M = parseOrDie(SkewedLoop);
+  RunOptions Train; // same input
+  bool Kept = pdfLayoutMeasured(*M, P, rs6000(), &Train);
+  EXPECT_TRUE(Kept);
+  RunResult After = simulate(*M, rs6000());
+  EXPECT_EQ(Ground.fingerprint(), After.fingerprint());
+  EXPECT_LT(After.Cycles, Ground.Cycles);
+}
+
+TEST(PdfGate, RollsBackNonImprovingLayout) {
+  // A layout that is already hot-path-straightened: reordering cannot
+  // improve it, so the gate must leave the function byte-identical.
+  const char *Straight = R"(
+func main(0) {
+entry:
+  LI r30 = 2000
+  MTCTR r30
+  LI r31 = 0
+loop:
+  ANDI r32 = r31, 7
+  AI r31 = r31, 1
+  AI r33 = r33, 1
+  BCT loop
+exit:
+  LR r3 = r33
+  CALL print_int, 1
+  RET
+}
+)";
+  auto Seed = parseOrDie(Straight);
+  RunResult Ground = simulate(*Seed, rs6000());
+  ProfileData P = ProfileData::fromRun(Ground);
+
+  auto M = parseOrDie(Straight);
+  std::string Before = printModule(*M);
+  RunOptions Train;
+  bool Kept = pdfLayoutMeasured(*M, P, rs6000(), &Train);
+  if (!Kept)
+    EXPECT_EQ(printModule(*M), Before) << "rollback must be exact";
+  RunResult After = simulate(*M, rs6000());
+  EXPECT_EQ(Ground.fingerprint(), After.fingerprint());
+  EXPECT_LE(After.Cycles, Ground.Cycles);
+}
+
+TEST(PdfGate, NullTrainInputKeepsUnconditionally) {
+  auto Seed = parseOrDie(SkewedLoop);
+  ProfileData P = ProfileData::fromRun(simulate(*Seed, rs6000()));
+  auto M = parseOrDie(SkewedLoop);
+  EXPECT_TRUE(pdfLayoutMeasured(*M, P, rs6000(), nullptr));
+}
+
+TEST(PdfGate, GatedPipelineNeverRegressesTrainedInput) {
+  for (const Workload &W : specWorkloads()) {
+    RunOptions Train = workloadInput(W.TrainScale);
+
+    auto Plain = buildWorkload(W);
+    optimize(*Plain, OptLevel::Vliw);
+    RunResult RPlain = simulate(*Plain, rs6000(), Train);
+
+    auto TrainM = buildWorkload(W);
+    auto Guided = buildWorkload(W);
+    ProfileData P = collectProfile(*TrainM, *Guided, rs6000(), Train);
+    PipelineOptions Opts;
+    Opts.Profile = &P;
+    Opts.TrainInput = &Train;
+    optimize(*Guided, OptLevel::Vliw, Opts);
+    RunResult RGuided = simulate(*Guided, rs6000(), Train);
+
+    EXPECT_EQ(RPlain.fingerprint(), RGuided.fingerprint()) << W.Name;
+    // The measured gate guarantees the layout stage never hurt the
+    // trained input; the residual scheduling-heuristic noise is small.
+    EXPECT_LE(RGuided.Cycles, RPlain.Cycles * 21 / 20) << W.Name;
+  }
+}

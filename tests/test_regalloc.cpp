@@ -1,0 +1,173 @@
+//===- tests/test_regalloc.cpp - Linear-scan register allocation -----------===//
+
+#include "TestUtil.h"
+#include "frontend/Frontend.h"
+#include "opt/RegAlloc.h"
+#include "vliw/Pipeline.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+TEST(RegAlloc, EliminatesVirtualRegisters) {
+  const char *Text = R"(
+func main(0) {
+entry:
+  LI r40 = 6
+  LI r41 = 7
+  MUL r42 = r40, r41
+  CI cr9 = r42, 42
+  BT good, cr9.eq
+bad:
+  LI r3 = 0
+  CALL print_int, 1
+  RET
+good:
+  LR r3 = r42
+  CALL print_int, 1
+  RET
+}
+)";
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  ASSERT_TRUE(M) << Err;
+  Function &F = *M->findFunction("main");
+  EXPECT_GT(countVirtualGprs(F), 0u);
+  RegAllocStats Stats;
+  ASSERT_TRUE(allocateRegisters(F, &Stats));
+  EXPECT_EQ(countVirtualGprs(F), 0u);
+  EXPECT_GE(Stats.GprAssigned, 3u);
+  EXPECT_GE(Stats.CrAssigned, 1u);
+  ASSERT_EQ(verifyModule(*M), "");
+  RunResult R = simulate(*M, rs6000());
+  EXPECT_EQ(R.Output, "42\n");
+}
+
+TEST(RegAlloc, ValuesSurviveCallsViaCalleeSaved) {
+  // r40's value is live across a call; the allocator must give it a
+  // callee-saved register, and prolog insertion afterwards preserves it.
+  const char *Text = R"(
+func clobber(0) {
+entry:
+  LI r5 = 111
+  LI r20 = 222
+  RET
+}
+func main(0) {
+entry:
+  LI r40 = 7
+  CALL clobber, 0
+  LR r3 = r40
+  CALL print_int, 1
+  RET
+}
+)";
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  ASSERT_TRUE(M) << Err;
+  for (auto &F : M->functions())
+    ASSERT_TRUE(allocateRegisters(*F));
+  // main's r40 must have landed in a callee-saved register.
+  bool UsesCalleeSaved = false;
+  for (const auto &BB : M->findFunction("main")->blocks())
+    for (const Instr &I : BB->instrs())
+      if (I.Op == Opcode::LI && I.Dst.isCalleeSaved())
+        UsesCalleeSaved = true;
+  EXPECT_TRUE(UsesCalleeSaved)
+      << printFunction(*M->findFunction("main"));
+  // Prologs make the callee-saved discipline real.
+  PipelineOptions Opts;
+  optimize(*M, OptLevel::None, Opts);
+  RunResult R = simulate(*M, rs6000());
+  ASSERT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "7\n");
+}
+
+TEST(RegAlloc, SpillsUnderPressure) {
+  // 30 simultaneously-live values across a call exceed the register file:
+  // some must spill, and the result must still be correct.
+  std::string Text = "func main(0) {\nentry:\n";
+  for (int I = 0; I < 30; ++I)
+    Text += "  LI r" + std::to_string(40 + I) + " = " +
+            std::to_string(I * 3 + 1) + "\n";
+  Text += "  LI r3 = 0\n  CALL sink, 1\n";
+  Text += "  LI r39 = 0\n";
+  for (int I = 0; I < 30; ++I)
+    Text += "  A r39 = r39, r" + std::to_string(40 + I) + "\n";
+  Text += R"(  LR r3 = r39
+  CALL print_int, 1
+  RET
+}
+func sink(1) {
+entry:
+  RET
+}
+)";
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  ASSERT_TRUE(M) << Err;
+  int64_t Expected = 0;
+  for (int I = 0; I < 30; ++I)
+    Expected += I * 3 + 1;
+
+  Function &F = *M->findFunction("main");
+  RegAllocStats Stats;
+  ASSERT_TRUE(allocateRegisters(F, &Stats));
+  EXPECT_EQ(countVirtualGprs(F), 0u);
+  EXPECT_GT(Stats.Spilled, 0u) << "30 call-crossing values must spill";
+  ASSERT_EQ(verifyModule(*M), "");
+  optimize(*M, OptLevel::None);
+  RunResult R = simulate(*M, rs6000());
+  ASSERT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, std::to_string(Expected) + "\n");
+}
+
+TEST(RegAlloc, WorkloadsSurviveFullPipelineWithAllocation) {
+  for (const Workload &W : specWorkloads()) {
+    auto Base = buildWorkload(W);
+    optimize(*Base, OptLevel::None);
+    RunOptions In = workloadInput(W.TrainScale);
+    RunResult RB = simulate(*Base, rs6000(), In);
+    ASSERT_FALSE(RB.Trapped) << W.Name << ": " << RB.TrapMsg;
+
+    auto M = buildWorkload(W);
+    PipelineOptions Opts;
+    Opts.AllocateRegisters = true;
+    optimize(*M, OptLevel::Vliw, Opts);
+    ASSERT_EQ(verifyModule(*M), "") << W.Name;
+    // No virtual registers may remain anywhere.
+    for (const auto &F : M->functions())
+      EXPECT_EQ(countVirtualGprs(*F), 0u) << W.Name << ":" << F->name();
+    RunResult R = simulate(*M, rs6000(), In);
+    EXPECT_EQ(RB.fingerprint(), R.fingerprint()) << W.Name;
+  }
+}
+
+TEST(RegAlloc, FuzzAgreesWithAllocation) {
+  FrontendOptions Fe;
+  Fe.AssumeSafeLoads = true;
+  for (uint64_t Seed = 70; Seed != 86; ++Seed) {
+    std::string Src = generateRandomMiniC(Seed);
+    CompileResult Base = compileMiniC(Src, Fe);
+    ASSERT_TRUE(Base.ok()) << Base.Error;
+    optimize(*Base.M, OptLevel::None);
+    RunOptions In;
+    In.Args = {4};
+    In.MaxInstrs = 20'000'000;
+    RunResult RB = simulate(*Base.M, rs6000(), In);
+    ASSERT_FALSE(RB.Trapped) << "seed " << Seed << ": " << RB.TrapMsg;
+
+    CompileResult Opt = compileMiniC(Src, Fe);
+    ASSERT_TRUE(Opt.ok());
+    PipelineOptions Opts;
+    Opts.AllocateRegisters = true;
+    Opts.Inlining = true;
+    optimize(*Opt.M, OptLevel::Vliw, Opts);
+    ASSERT_EQ(verifyModule(*Opt.M), "") << "seed " << Seed;
+    RunResult R = simulate(*Opt.M, rs6000(), In);
+    EXPECT_EQ(RB.fingerprint(), R.fingerprint())
+        << "seed " << Seed << "\n" << Src;
+  }
+}

@@ -1,0 +1,362 @@
+//===- tests/test_simulator.cpp - Functional simulator behaviour -----------===//
+
+#include "ir/Parser.h"
+#include "sim/Simulator.h"
+#include "workloads/LiKernel.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+static RunResult runText(const std::string &Text,
+                         RunOptions Opts = RunOptions()) {
+  std::string Err;
+  auto M = parseModule(Text, &Err);
+  EXPECT_TRUE(M) << Err;
+  if (!M)
+    return RunResult{};
+  return simulate(*M, rs6000(), Opts);
+}
+
+TEST(Simulator, ArithmeticAndPrint) {
+  RunResult R = runText(R"(
+func main(0) {
+entry:
+  LI r32 = 6
+  LI r33 = 7
+  MUL r3 = r32, r33
+  CALL print_int, 1
+  LI r32 = 100
+  SI r32 = r32, 58
+  LR r3 = r32
+  CALL print_int, 1
+  RET
+}
+)");
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "42\n42\n");
+}
+
+TEST(Simulator, MemoryAndGlobals) {
+  RunResult R = runText(R"(
+global a : 16 = [5 0 0 0]
+func main(0) {
+entry:
+  LTOC r32 = .a
+  L r33 = 0(r32) !a
+  AI r33 = r33, 10
+  ST 4(r32) !a = r33
+  L r3 = 4(r32) !a
+  CALL print_int, 1
+  RET
+}
+)");
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "15\n");
+}
+
+TEST(Simulator, SignExtensionBySize) {
+  RunResult R = runText(R"(
+global a : 8 = [255 255 255 255 255 0 0 0]
+func main(0) {
+entry:
+  LTOC r32 = .a
+  L r3 = 0(r32):1 !a
+  CALL print_int, 1
+  L r3 = 0(r32):2 !a
+  CALL print_int, 1
+  L r3 = 0(r32):4 !a
+  CALL print_int, 1
+  L r3 = 0(r32):8 !a
+  CALL print_int, 1
+  RET
+}
+)");
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "-1\n-1\n-1\n1099511627775\n");
+}
+
+TEST(Simulator, LoadWithUpdate) {
+  RunResult R = runText(R"(
+global a : 12 = [1 0 0 0 2 0 0 0 3 0 0 0]
+func main(0) {
+entry:
+  LTOC r32 = .a
+  SI r32 = r32, 4
+  LU r3 = 4(r32)
+  CALL print_int, 1
+  LU r3 = 4(r32)
+  CALL print_int, 1
+  LU r3 = 4(r32)
+  CALL print_int, 1
+  RET
+}
+)");
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "1\n2\n3\n");
+}
+
+TEST(Simulator, ConditionsAndBranches) {
+  RunResult R = runText(R"(
+func main(0) {
+entry:
+  LI r32 = 3
+  LI r33 = 5
+  C cr0 = r32, r33
+  BT less, cr0.lt
+  LI r3 = 0
+  CALL print_int, 1
+  RET
+less:
+  LI r3 = 1
+  CALL print_int, 1
+  CI cr1 = r32, 3
+  BT eq3, cr1.eq
+  RET
+eq3:
+  LI r3 = 2
+  CALL print_int, 1
+  RET
+}
+)");
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "1\n2\n");
+}
+
+TEST(Simulator, BctLoop) {
+  RunResult R = runText(R"(
+func main(0) {
+entry:
+  LI r32 = 5
+  MTCTR r32
+  LI r33 = 0
+loop:
+  AI r33 = r33, 1
+  BCT loop
+exit:
+  LR r3 = r33
+  CALL print_int, 1
+  RET
+}
+)");
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "5\n");
+}
+
+TEST(Simulator, CallsPreserveVirtualRegisters) {
+  // Caller's virtual r40 must survive a call to a callee that also uses
+  // r40 (function-private virtual register files = post-allocation
+  // semantics).
+  RunResult R = runText(R"(
+func main(0) {
+entry:
+  LI r40 = 11
+  LI r3 = 0
+  CALL clobber, 1
+  LR r3 = r40
+  CALL print_int, 1
+  RET
+}
+func clobber(1) {
+entry:
+  LI r40 = 999
+  RET
+}
+)");
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "11\n");
+}
+
+TEST(Simulator, RecursionWorks) {
+  // fib(10) = 55 with values saved on the stack across calls.
+  RunResult R = runText(R"(
+func fib(1) {
+entry:
+  CI cr0 = r3, 2
+  BT base, cr0.lt
+  SI r1 = r1, 16
+  ST 0(r1) = r3
+  SI r3 = r3, 1
+  CALL fib, 1
+  ST 4(r1) = r3
+  L r3 = 0(r1)
+  SI r3 = r3, 2
+  CALL fib, 1
+  L r32 = 4(r1)
+  A r3 = r3, r32
+  AI r1 = r1, 16
+  RET
+base:
+  RET
+}
+func main(0) {
+entry:
+  LI r3 = 10
+  CALL fib, 1
+  CALL print_int, 1
+  RET
+}
+)");
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "55\n");
+}
+
+TEST(Simulator, PageZeroReadsZeroOnRs6000) {
+  RunResult R = runText(R"(
+func main(0) {
+entry:
+  LI r32 = 0
+  L r3 = 8(r32)
+  CALL print_int, 1
+  RET
+}
+)");
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "0\n");
+}
+
+TEST(Simulator, PageZeroTrapsWhenDisallowed) {
+  std::string Err;
+  auto M = parseModule(R"(
+func main(0) {
+entry:
+  LI r32 = 0
+  L r3 = 8(r32)
+  RET
+}
+)",
+                       &Err);
+  ASSERT_TRUE(M) << Err;
+  MachineModel Model = rs6000();
+  Model.PageZeroReadable = false;
+  RunResult R = simulate(*M, Model);
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMsg.find("page zero"), std::string::npos);
+}
+
+TEST(Simulator, DivideByZeroTraps) {
+  RunResult R = runText(R"(
+func main(0) {
+entry:
+  LI r32 = 1
+  LI r33 = 0
+  DIV r3 = r32, r33
+  RET
+}
+)");
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMsg.find("divide by zero"), std::string::npos);
+}
+
+TEST(Simulator, UnmappedStoreTraps) {
+  RunResult R = runText(R"(
+func main(0) {
+entry:
+  LI r32 = 64
+  LI r33 = 1
+  ST 0(r32) = r33
+  RET
+}
+)");
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMsg.find("store to unmapped"), std::string::npos);
+}
+
+TEST(Simulator, InstructionBudget) {
+  RunOptions Opts;
+  Opts.MaxInstrs = 1000;
+  RunResult R = runText(R"(
+func main(0) {
+entry:
+loop:
+  B loop
+}
+)",
+                        Opts);
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMsg.find("budget"), std::string::npos);
+}
+
+TEST(Simulator, ExitBuiltinAndArgs) {
+  RunOptions Opts;
+  Opts.Args = {7, 3};
+  RunResult R = runText(R"(
+func main(2) {
+entry:
+  A r3 = r3, r4
+  CALL exit, 1
+}
+)",
+                        Opts);
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.ExitCode, 10);
+}
+
+TEST(Simulator, ReadIntBuiltin) {
+  RunOptions Opts;
+  Opts.Input = {5, 9};
+  RunResult R = runText(R"(
+func main(0) {
+entry:
+  CALL read_int, 0
+  LR r32 = r3
+  CALL read_int, 0
+  A r3 = r3, r32
+  CALL print_int, 1
+  RET
+}
+)",
+                        Opts);
+  EXPECT_EQ(R.Output, "14\n");
+}
+
+TEST(Simulator, BlockCountsAreExact) {
+  RunResult R = runText(R"(
+func main(0) {
+entry:
+  LI r32 = 4
+  MTCTR r32
+loop:
+  BCT loop
+exit:
+  RET
+}
+)");
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.BlockCounts.at("main:entry"), 1u);
+  EXPECT_EQ(R.BlockCounts.at("main:loop"), 4u);
+  EXPECT_EQ(R.BlockCounts.at("main:exit"), 1u);
+}
+
+TEST(Simulator, FingerprintDetectsDifferences) {
+  RunResult A = runText("func main(0) {\nentry:\n  LI r3 = 1\n  CALL print_int, 1\n  RET\n}\n");
+  RunResult B = runText("func main(0) {\nentry:\n  LI r3 = 2\n  CALL print_int, 1\n  RET\n}\n");
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+}
+
+TEST(Simulator, KeepMemoryExposesGlobals) {
+  RunOptions Opts;
+  Opts.KeepMemory = true;
+  RunResult R = runText(R"(
+global counter : 8
+func main(0) {
+entry:
+  LTOC r32 = .counter
+  LI r33 = 123
+  ST 0(r32) !counter = r33
+  RET
+}
+)",
+                        Opts);
+  ASSERT_FALSE(R.Trapped) << R.TrapMsg;
+  ASSERT_FALSE(R.Memory.empty());
+  EXPECT_EQ(readMemoryWord(R, R.GlobalBase.at("counter"), 4), 123);
+}
+
+TEST(Simulator, LiKernelFindsItem) {
+  auto M = buildLiSearch(10);
+  RunResult R = simulate(*M, rs6000());
+  EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+  EXPECT_EQ(R.Output, "1\n");
+  EXPECT_EQ(R.BlockCounts.at("xlygetvalue:loop"), 10u);
+}

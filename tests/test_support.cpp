@@ -1,0 +1,89 @@
+//===- tests/test_support.cpp - Support-layer data structures --------------===//
+
+#include "support/BitVector.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+TEST(BitVectorTest, SetResetTestCount) {
+  BitVector V(130);
+  EXPECT_EQ(V.size(), 130u);
+  EXPECT_TRUE(V.none());
+  V.set(0);
+  V.set(63);
+  V.set(64);
+  V.set(129);
+  EXPECT_EQ(V.count(), 4u);
+  EXPECT_TRUE(V.test(63));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_FALSE(V.test(65));
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_EQ(V.count(), 3u);
+  EXPECT_TRUE(V.any());
+}
+
+TEST(BitVectorTest, SetAllRespectsSize) {
+  BitVector V(70);
+  V.setAll();
+  EXPECT_EQ(V.count(), 70u);
+  V.resetAll();
+  EXPECT_TRUE(V.none());
+}
+
+TEST(BitVectorTest, UnionIntersectDifference) {
+  BitVector A(100), B(100);
+  A.set(3);
+  A.set(50);
+  B.set(50);
+  B.set(99);
+  BitVector U = A;
+  U |= B;
+  EXPECT_EQ(U.count(), 3u);
+  BitVector I = A;
+  I &= B;
+  EXPECT_EQ(I.count(), 1u);
+  EXPECT_TRUE(I.test(50));
+  BitVector D = A;
+  D.resetBitsIn(B);
+  EXPECT_EQ(D.count(), 1u);
+  EXPECT_TRUE(D.test(3));
+  EXPECT_TRUE(A.anyCommon(B));
+  EXPECT_FALSE(D.anyCommon(B));
+}
+
+TEST(BitVectorTest, FindFirstAndNext) {
+  BitVector V(200);
+  EXPECT_EQ(V.findFirst(), -1);
+  V.set(5);
+  V.set(64);
+  V.set(199);
+  EXPECT_EQ(V.findFirst(), 5);
+  EXPECT_EQ(V.findNext(5), 64);
+  EXPECT_EQ(V.findNext(64), 199);
+  EXPECT_EQ(V.findNext(199), -1);
+  EXPECT_EQ(V.findNext(4), 5);
+}
+
+TEST(BitVectorTest, ResizeKeepsAndZeroExtends) {
+  BitVector V(10);
+  V.set(9);
+  V.resize(100);
+  EXPECT_TRUE(V.test(9));
+  EXPECT_FALSE(V.test(50));
+  V.set(99);
+  V.resize(20);
+  EXPECT_TRUE(V.test(9));
+  EXPECT_EQ(V.count(), 1u);
+}
+
+TEST(BitVectorTest, EqualityIncludesSize) {
+  BitVector A(64), B(64), C(65);
+  EXPECT_TRUE(A == B);
+  EXPECT_FALSE(A == C);
+  A.set(1);
+  EXPECT_TRUE(A != B);
+  B.set(1);
+  EXPECT_TRUE(A == B);
+}

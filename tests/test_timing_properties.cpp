@@ -1,0 +1,122 @@
+//===- tests/test_timing_properties.cpp - Timing-model invariants ----------===//
+///
+/// Property tests on the cycle-accounting model, swept across workloads
+/// and machine models: cycles bound pathlength from below (issue width),
+/// wider machines never lose, shorter latencies never lose, and the
+/// functional results never depend on the timing parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "vliw/Pipeline.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+class TimingPropertyTest : public ::testing::TestWithParam<size_t> {
+protected:
+  const Workload &workload() const { return specWorkloads()[GetParam()]; }
+
+  RunResult runOn(const MachineModel &Machine, OptLevel L) {
+    auto M = buildWorkload(workload());
+    PipelineOptions Opts;
+    Opts.Machine = Machine;
+    optimize(*M, L, Opts);
+    return simulate(*M, Machine, workloadInput(workload().TrainScale));
+  }
+};
+
+} // namespace
+
+TEST_P(TimingPropertyTest, CyclesAtLeastPathlengthOverWidth) {
+  for (OptLevel L : {OptLevel::Classical, OptLevel::Vliw}) {
+    RunResult R = runOn(rs6000(), L);
+    ASSERT_FALSE(R.Trapped) << R.TrapMsg;
+    // 1 FXU + 1 BU per cycle: cycles >= instrs/2 always; in practice
+    // branch density keeps it well above instrs/2.
+    EXPECT_GE(R.Cycles, R.DynInstrs / 2) << workload().Name;
+    // And the model can't be slower than one instruction per cycle plus
+    // maximal per-instruction stalls (sanity upper bound).
+    EXPECT_LE(R.Cycles, R.DynInstrs * 25) << workload().Name;
+  }
+}
+
+TEST_P(TimingPropertyTest, WiderMachineNeverLoses) {
+  RunResult Narrow = runOn(rs6000(), OptLevel::Vliw);
+  RunResult Wide = runOn(power2(), OptLevel::Vliw);
+  ASSERT_FALSE(Narrow.Trapped) << Narrow.TrapMsg;
+  EXPECT_LE(Wide.Cycles, Narrow.Cycles) << workload().Name;
+  EXPECT_EQ(Narrow.fingerprint(), Wide.fingerprint());
+}
+
+TEST_P(TimingPropertyTest, ZeroLoadLatencyNeverLoses) {
+  MachineModel Fast = rs6000();
+  Fast.LoadLatency = 1;
+  auto M = buildWorkload(workload());
+  optimize(*M, OptLevel::Vliw);
+  RunResult Slow = simulate(*M, rs6000(), workloadInput(2));
+  RunResult Quick = simulate(*M, Fast, workloadInput(2));
+  EXPECT_LE(Quick.Cycles, Slow.Cycles) << workload().Name;
+  EXPECT_EQ(Slow.fingerprint(), Quick.fingerprint());
+}
+
+TEST_P(TimingPropertyTest, PathlengthIndependentOfMachine) {
+  auto M = buildWorkload(workload());
+  optimize(*M, OptLevel::Vliw);
+  RunResult A = simulate(*M, rs6000(), workloadInput(2));
+  RunResult B = simulate(*M, power2(), workloadInput(2));
+  RunResult C = simulate(*M, ppc601(), workloadInput(2));
+  EXPECT_EQ(A.DynInstrs, B.DynInstrs) << workload().Name;
+  EXPECT_EQ(A.DynInstrs, C.DynInstrs) << workload().Name;
+}
+
+TEST_P(TimingPropertyTest, StallBreakdownIsBounded) {
+  RunResult R = runOn(rs6000(), OptLevel::Classical);
+  ASSERT_FALSE(R.Trapped) << R.TrapMsg;
+  // Stall accounting must not exceed total cycles (each stalled cycle is
+  // attributed at most once per category).
+  EXPECT_LE(R.OperandStallCycles, R.Cycles) << workload().Name;
+  EXPECT_LE(R.BranchStallCycles, R.Cycles) << workload().Name;
+}
+
+TEST_P(TimingPropertyTest, RunsAreDeterministic) {
+  RunResult A = runOn(rs6000(), OptLevel::Vliw);
+  RunResult B = runOn(rs6000(), OptLevel::Vliw);
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.DynInstrs, B.DynInstrs);
+  EXPECT_EQ(A.BlockCounts, B.BlockCounts);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, TimingPropertyTest,
+                         ::testing::Range<size_t>(0, 6),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           return specWorkloads()[Info.param].Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Printer/parser round-trip on optimized real code
+//===----------------------------------------------------------------------===//
+
+TEST(PrinterRoundTrip, OptimizedWorkloadsSurviveTextualRoundTrip) {
+  for (const Workload &W : specWorkloads()) {
+    auto M = buildWorkload(W);
+    optimize(*M, OptLevel::Vliw);
+    RunOptions In = workloadInput(2);
+    RunResult R1 = simulate(*M, rs6000(), In);
+
+    std::string Text = printModule(*M);
+    std::string Err;
+    auto M2 = parseModule(Text, &Err);
+    ASSERT_TRUE(M2) << W.Name << ": " << Err;
+    EXPECT_EQ(verifyModule(*M2), "") << W.Name;
+    EXPECT_EQ(printModule(*M2), Text) << W.Name << ": unstable print";
+
+    RunResult R2 = simulate(*M2, rs6000(), In);
+    EXPECT_EQ(R1.fingerprint(), R2.fingerprint()) << W.Name;
+  }
+}

@@ -1,0 +1,132 @@
+//===- tests/test_workloads.cpp - SPECint92-substitute kernels -------------===//
+///
+/// Behaviour equivalence of every workload across every pipeline level and
+/// machine model (the repository-wide correctness net for experiment E1),
+/// plus shape checks on the speedups.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "profile/Counters.h"
+#include "vliw/Pipeline.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<size_t> {
+protected:
+  const Workload &workload() const { return specWorkloads()[GetParam()]; }
+};
+
+} // namespace
+
+TEST_P(WorkloadTest, CompilesAndVerifies) {
+  auto M = buildWorkload(workload());
+  ASSERT_TRUE(M);
+  EXPECT_EQ(verifyModule(*M), "");
+}
+
+TEST_P(WorkloadTest, AllOptLevelsAgree) {
+  const Workload &W = workload();
+  RunOptions In = workloadInput(W.TrainScale);
+
+  auto Base = buildWorkload(W);
+  optimize(*Base, OptLevel::None);
+  RunResult RB = simulate(*Base, rs6000(), In);
+  ASSERT_FALSE(RB.Trapped) << RB.TrapMsg;
+  ASSERT_FALSE(RB.Output.empty());
+
+  for (OptLevel L : {OptLevel::Classical, OptLevel::Vliw}) {
+    auto M = buildWorkload(W);
+    optimize(*M, L);
+    EXPECT_EQ(verifyModule(*M), "");
+    RunResult R = simulate(*M, rs6000(), In);
+    EXPECT_EQ(RB.fingerprint(), R.fingerprint())
+        << W.Name << " at " << optLevelName(L);
+  }
+}
+
+TEST_P(WorkloadTest, VliwBeatsClassicalOnCycles) {
+  const Workload &W = workload();
+  RunOptions In = workloadInput(W.TrainScale);
+  auto MC = buildWorkload(W);
+  optimize(*MC, OptLevel::Classical);
+  auto MV = buildWorkload(W);
+  optimize(*MV, OptLevel::Vliw);
+  RunResult RC = simulate(*MC, rs6000(), In);
+  RunResult RV = simulate(*MV, rs6000(), In);
+  ASSERT_FALSE(RC.Trapped) << RC.TrapMsg;
+  ASSERT_FALSE(RV.Trapped) << RV.TrapMsg;
+  EXPECT_LT(RV.Cycles, RC.Cycles) << W.Name;
+}
+
+TEST_P(WorkloadTest, AllMachineModelsAgreeFunctionally) {
+  const Workload &W = workload();
+  RunOptions In = workloadInput(W.TrainScale);
+  auto M = buildWorkload(W);
+  optimize(*M, OptLevel::Vliw);
+  RunResult R1 = simulate(*M, rs6000(), In);
+  RunResult R2 = simulate(*M, power2(), In);
+  RunResult R3 = simulate(*M, ppc601(), In);
+  EXPECT_EQ(R1.fingerprint(), R2.fingerprint()) << W.Name;
+  EXPECT_EQ(R1.fingerprint(), R3.fingerprint()) << W.Name;
+  // Power2's second FXU should never hurt.
+  EXPECT_LE(R2.Cycles, R1.Cycles) << W.Name;
+}
+
+TEST_P(WorkloadTest, PdfPipelinePreservesBehaviour) {
+  const Workload &W = workload();
+  auto Base = buildWorkload(W);
+  optimize(*Base, OptLevel::None);
+  RunOptions Ref = workloadInput(W.RefScale);
+  RunResult RB = simulate(*Base, rs6000(), Ref);
+
+  auto Train = buildWorkload(W);
+  auto Guided = buildWorkload(W);
+  ProfileData P = collectProfile(*Train, *Guided, rs6000(),
+                                 workloadInput(W.TrainScale));
+  ASSERT_FALSE(P.BlockCount.empty()) << W.Name;
+  PipelineOptions Opts;
+  Opts.Profile = &P;
+  optimize(*Guided, OptLevel::Vliw, Opts);
+  EXPECT_EQ(verifyModule(*Guided), "");
+  RunResult RG = simulate(*Guided, rs6000(), Ref);
+  EXPECT_EQ(RB.fingerprint(), RG.fingerprint()) << W.Name;
+}
+
+TEST_P(WorkloadTest, ScalesLinearly) {
+  // Doubling the scale parameter roughly doubles work (sanity of the
+  // benchmark harness's per-iteration math).
+  const Workload &W = workload();
+  auto M = buildWorkload(W);
+  optimize(*M, OptLevel::Classical);
+  // Tripling the passes (4 -> 12) should roughly triple the pass cost;
+  // allow slack for the constant setup phase.
+  RunResult R1 = simulate(*M, rs6000(), workloadInput(4));
+  RunResult R2 = simulate(*M, rs6000(), workloadInput(12));
+  ASSERT_FALSE(R1.Trapped) << R1.TrapMsg;
+  double Ratio = static_cast<double>(R2.Cycles) / R1.Cycles;
+  EXPECT_GT(Ratio, 1.8) << W.Name;
+  EXPECT_LT(Ratio, 3.2) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, WorkloadTest,
+                         ::testing::Range<size_t>(0, 6),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           return specWorkloads()[Info.param].Name;
+                         });
+
+TEST(Workloads, ThereAreExactlySixInPaperOrder) {
+  const auto &W = specWorkloads();
+  ASSERT_EQ(W.size(), 6u);
+  EXPECT_EQ(W[0].Name, "espresso");
+  EXPECT_EQ(W[1].Name, "li");
+  EXPECT_EQ(W[2].Name, "eqntott");
+  EXPECT_EQ(W[3].Name, "compress");
+  EXPECT_EQ(W[4].Name, "sc");
+  EXPECT_EQ(W[5].Name, "gcc");
+}
