@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_expansion.dir/bench_block_expansion.cpp.o"
+  "CMakeFiles/bench_block_expansion.dir/bench_block_expansion.cpp.o.d"
+  "bench_block_expansion"
+  "bench_block_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_branch_reversal.dir/bench_branch_reversal.cpp.o"
+  "CMakeFiles/bench_branch_reversal.dir/bench_branch_reversal.cpp.o.d"
+  "bench_branch_reversal"
+  "bench_branch_reversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_branch_reversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_li_pipeline.dir/bench_li_pipeline.cpp.o"
+  "CMakeFiles/bench_li_pipeline.dir/bench_li_pipeline.cpp.o.d"
+  "bench_li_pipeline"
+  "bench_li_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_li_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

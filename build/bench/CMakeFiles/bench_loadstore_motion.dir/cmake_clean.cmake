@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loadstore_motion.dir/bench_loadstore_motion.cpp.o"
+  "CMakeFiles/bench_loadstore_motion.dir/bench_loadstore_motion.cpp.o.d"
+  "bench_loadstore_motion"
+  "bench_loadstore_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loadstore_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdf_gain.dir/bench_pdf_gain.cpp.o"
+  "CMakeFiles/bench_pdf_gain.dir/bench_pdf_gain.cpp.o.d"
+  "bench_pdf_gain"
+  "bench_pdf_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdf_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prolog_tailoring.dir/bench_prolog_tailoring.cpp.o"
+  "CMakeFiles/bench_prolog_tailoring.dir/bench_prolog_tailoring.cpp.o.d"
+  "bench_prolog_tailoring"
+  "bench_prolog_tailoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prolog_tailoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_prolog_tailoring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_specint_table.dir/bench_specint_table.cpp.o"
+  "CMakeFiles/bench_specint_table.dir/bench_specint_table.cpp.o.d"
+  "bench_specint_table"
+  "bench_specint_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_specint_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unspeculation.dir/bench_unspeculation.cpp.o"
+  "CMakeFiles/bench_unspeculation.dir/bench_unspeculation.cpp.o.d"
+  "bench_unspeculation"
+  "bench_unspeculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unspeculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

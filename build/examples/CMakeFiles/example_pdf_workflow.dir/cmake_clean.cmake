@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pdf_workflow.dir/pdf_workflow.cpp.o"
+  "CMakeFiles/example_pdf_workflow.dir/pdf_workflow.cpp.o.d"
+  "example_pdf_workflow"
+  "example_pdf_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pdf_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vsc_asm.dir/vsc_asm.cpp.o"
+  "CMakeFiles/example_vsc_asm.dir/vsc_asm.cpp.o.d"
+  "example_vsc_asm"
+  "example_vsc_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vsc_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

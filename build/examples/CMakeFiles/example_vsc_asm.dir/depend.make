@@ -1,0 +1,2 @@
+# Empty dependencies file for example_vsc_asm.
+# This may be replaced when dependencies are built.

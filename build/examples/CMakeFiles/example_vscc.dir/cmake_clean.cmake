@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vscc.dir/vscc.cpp.o"
+  "CMakeFiles/example_vscc.dir/vscc.cpp.o.d"
+  "example_vscc"
+  "example_vscc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vscc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

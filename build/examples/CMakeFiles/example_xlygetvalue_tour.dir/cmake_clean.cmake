@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_xlygetvalue_tour.dir/xlygetvalue_tour.cpp.o"
+  "CMakeFiles/example_xlygetvalue_tour.dir/xlygetvalue_tour.cpp.o.d"
+  "example_xlygetvalue_tour"
+  "example_xlygetvalue_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_xlygetvalue_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Liveness.cpp" "src/CMakeFiles/vsc.dir/analysis/Liveness.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/analysis/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/MemAlias.cpp" "src/CMakeFiles/vsc.dir/analysis/MemAlias.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/analysis/MemAlias.cpp.o.d"
+  "/root/repo/src/cfg/Biconnected.cpp" "src/CMakeFiles/vsc.dir/cfg/Biconnected.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/cfg/Biconnected.cpp.o.d"
+  "/root/repo/src/cfg/Cfg.cpp" "src/CMakeFiles/vsc.dir/cfg/Cfg.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/cfg/Cfg.cpp.o.d"
+  "/root/repo/src/cfg/CfgEdit.cpp" "src/CMakeFiles/vsc.dir/cfg/CfgEdit.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/cfg/CfgEdit.cpp.o.d"
+  "/root/repo/src/cfg/Dominators.cpp" "src/CMakeFiles/vsc.dir/cfg/Dominators.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/cfg/Dominators.cpp.o.d"
+  "/root/repo/src/cfg/Loops.cpp" "src/CMakeFiles/vsc.dir/cfg/Loops.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/cfg/Loops.cpp.o.d"
+  "/root/repo/src/frontend/CodeGen.cpp" "src/CMakeFiles/vsc.dir/frontend/CodeGen.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/frontend/CodeGen.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/vsc.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/vsc.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/vsc.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/Instr.cpp" "src/CMakeFiles/vsc.dir/ir/Instr.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/ir/Instr.cpp.o.d"
+  "/root/repo/src/ir/Opcode.cpp" "src/CMakeFiles/vsc.dir/ir/Opcode.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/ir/Opcode.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/vsc.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/vsc.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/vsc.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/machine/MachineModel.cpp" "src/CMakeFiles/vsc.dir/machine/MachineModel.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/machine/MachineModel.cpp.o.d"
+  "/root/repo/src/opt/Classical.cpp" "src/CMakeFiles/vsc.dir/opt/Classical.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/opt/Classical.cpp.o.d"
+  "/root/repo/src/opt/Inline.cpp" "src/CMakeFiles/vsc.dir/opt/Inline.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/opt/Inline.cpp.o.d"
+  "/root/repo/src/opt/RegAlloc.cpp" "src/CMakeFiles/vsc.dir/opt/RegAlloc.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/opt/RegAlloc.cpp.o.d"
+  "/root/repo/src/profile/Counters.cpp" "src/CMakeFiles/vsc.dir/profile/Counters.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/profile/Counters.cpp.o.d"
+  "/root/repo/src/profile/PdfLayout.cpp" "src/CMakeFiles/vsc.dir/profile/PdfLayout.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/profile/PdfLayout.cpp.o.d"
+  "/root/repo/src/profile/Superblock.cpp" "src/CMakeFiles/vsc.dir/profile/Superblock.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/profile/Superblock.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/CMakeFiles/vsc.dir/sim/Simulator.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/sim/Simulator.cpp.o.d"
+  "/root/repo/src/vliw/BlockExpansion.cpp" "src/CMakeFiles/vsc.dir/vliw/BlockExpansion.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/vliw/BlockExpansion.cpp.o.d"
+  "/root/repo/src/vliw/Frame.cpp" "src/CMakeFiles/vsc.dir/vliw/Frame.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/vliw/Frame.cpp.o.d"
+  "/root/repo/src/vliw/LimitedCombine.cpp" "src/CMakeFiles/vsc.dir/vliw/LimitedCombine.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/vliw/LimitedCombine.cpp.o.d"
+  "/root/repo/src/vliw/LoadStoreMotion.cpp" "src/CMakeFiles/vsc.dir/vliw/LoadStoreMotion.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/vliw/LoadStoreMotion.cpp.o.d"
+  "/root/repo/src/vliw/Pipeline.cpp" "src/CMakeFiles/vsc.dir/vliw/Pipeline.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/vliw/Pipeline.cpp.o.d"
+  "/root/repo/src/vliw/PrologTailor.cpp" "src/CMakeFiles/vsc.dir/vliw/PrologTailor.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/vliw/PrologTailor.cpp.o.d"
+  "/root/repo/src/vliw/Rename.cpp" "src/CMakeFiles/vsc.dir/vliw/Rename.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/vliw/Rename.cpp.o.d"
+  "/root/repo/src/vliw/Schedule.cpp" "src/CMakeFiles/vsc.dir/vliw/Schedule.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/vliw/Schedule.cpp.o.d"
+  "/root/repo/src/vliw/Unroll.cpp" "src/CMakeFiles/vsc.dir/vliw/Unroll.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/vliw/Unroll.cpp.o.d"
+  "/root/repo/src/vliw/Unspeculation.cpp" "src/CMakeFiles/vsc.dir/vliw/Unspeculation.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/vliw/Unspeculation.cpp.o.d"
+  "/root/repo/src/workloads/LiKernel.cpp" "src/CMakeFiles/vsc.dir/workloads/LiKernel.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/workloads/LiKernel.cpp.o.d"
+  "/root/repo/src/workloads/RandomProgram.cpp" "src/CMakeFiles/vsc.dir/workloads/RandomProgram.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/workloads/RandomProgram.cpp.o.d"
+  "/root/repo/src/workloads/Spec.cpp" "src/CMakeFiles/vsc.dir/workloads/Spec.cpp.o" "gcc" "src/CMakeFiles/vsc.dir/workloads/Spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

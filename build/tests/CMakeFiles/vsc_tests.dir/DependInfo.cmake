@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/vsc_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_biconnected.cpp" "tests/CMakeFiles/vsc_tests.dir/test_biconnected.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_biconnected.cpp.o.d"
+  "/root/repo/tests/test_block_expansion.cpp" "tests/CMakeFiles/vsc_tests.dir/test_block_expansion.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_block_expansion.cpp.o.d"
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/vsc_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_cfg.cpp" "tests/CMakeFiles/vsc_tests.dir/test_cfg.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_cfg.cpp.o.d"
+  "/root/repo/tests/test_classical.cpp" "tests/CMakeFiles/vsc_tests.dir/test_classical.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_classical.cpp.o.d"
+  "/root/repo/tests/test_combining.cpp" "tests/CMakeFiles/vsc_tests.dir/test_combining.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_combining.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/vsc_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/vsc_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_inline.cpp" "tests/CMakeFiles/vsc_tests.dir/test_inline.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_inline.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/vsc_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_loadstore_motion.cpp" "tests/CMakeFiles/vsc_tests.dir/test_loadstore_motion.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_loadstore_motion.cpp.o.d"
+  "/root/repo/tests/test_pdf_gate.cpp" "tests/CMakeFiles/vsc_tests.dir/test_pdf_gate.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_pdf_gate.cpp.o.d"
+  "/root/repo/tests/test_profiling.cpp" "tests/CMakeFiles/vsc_tests.dir/test_profiling.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_profiling.cpp.o.d"
+  "/root/repo/tests/test_prolog_tailoring.cpp" "tests/CMakeFiles/vsc_tests.dir/test_prolog_tailoring.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_prolog_tailoring.cpp.o.d"
+  "/root/repo/tests/test_regalloc.cpp" "tests/CMakeFiles/vsc_tests.dir/test_regalloc.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_regalloc.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/vsc_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/vsc_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_superblock.cpp" "tests/CMakeFiles/vsc_tests.dir/test_superblock.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_superblock.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/vsc_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_timing_properties.cpp" "tests/CMakeFiles/vsc_tests.dir/test_timing_properties.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_timing_properties.cpp.o.d"
+  "/root/repo/tests/test_unspeculation.cpp" "tests/CMakeFiles/vsc_tests.dir/test_unspeculation.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_unspeculation.cpp.o.d"
+  "/root/repo/tests/test_vliw_packing.cpp" "tests/CMakeFiles/vsc_tests.dir/test_vliw_packing.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_vliw_packing.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/vsc_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/vsc_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vsc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
