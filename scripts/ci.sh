@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: build the default and the ASan+UBSan configurations and
+# run the full test suite under both.
+#
+#   scripts/ci.sh [JOBS]
+#
+# Exits non-zero on the first failing build or test run.
+set -euo pipefail
+
+JOBS="${1:-$(nproc)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S "$ROOT" "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_config default "$ROOT/build"
+run_config sanitize "$ROOT/build-sanitize" -DVSC_SANITIZE=ON
+
+echo "=== CI green: default + sanitize ==="

@@ -1,0 +1,37 @@
+//===- audit/Audit.cpp - Pass-audit shared types ---------------------------===//
+
+#include "audit/Audit.h"
+
+using namespace vsc;
+
+const char *vsc::auditLevelName(AuditLevel L) {
+  switch (L) {
+  case AuditLevel::Off:
+    return "off";
+  case AuditLevel::Boundaries:
+    return "boundaries";
+  case AuditLevel::Full:
+    return "full";
+  }
+  return "?";
+}
+
+std::string AuditFinding::str() const {
+  std::string S = "[" + Checker + "]";
+  if (!Pass.empty())
+    S += " after '" + Pass + "'";
+  S += ": " + Fn;
+  if (!Where.empty())
+    S += ":" + Where;
+  S += ": " + Message;
+  return S;
+}
+
+std::string AuditResult::str() const {
+  std::string S;
+  for (const AuditFinding &F : Findings) {
+    S += F.str();
+    S += "\n";
+  }
+  return S;
+}

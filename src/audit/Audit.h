@@ -1,0 +1,81 @@
+//===- audit/Audit.h - Pass-audit shared types ----------------*- C++ -*-===//
+///
+/// \file
+/// Shared vocabulary of the semantic static-analysis layer (src/audit).
+/// Where ir/Verifier checks *structural* well-formedness (labels resolve,
+/// operand classes match), the audit checkers prove *semantic* invariants
+/// that the paper's code-motion passes must preserve: defs reach uses on
+/// all paths, speculation stays within the paper's safety conditions,
+/// dispatch groups respect machine latencies and unit widths, and loop
+/// structure survives unrolling/pipelining/expansion.
+///
+/// A checker appends AuditFindings to an AuditResult; the pass-boundary
+/// harness (audit/PassAudit.h) stamps each finding with the pipeline stage
+/// that broke the invariant and renders an IR diff of the offending
+/// function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_AUDIT_AUDIT_H
+#define VSC_AUDIT_AUDIT_H
+
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+/// How much auditing the pipeline performs (PipelineOptions::Audit).
+///  * Off        — no auditing (the default; ir/Verifier still runs).
+///  * Boundaries — audit at the module-level stage boundaries where the
+///                 structural verifier already runs (input, inline,
+///                 per-function optimization, regalloc, prolog, pdf-layout).
+///  * Full       — additionally audit after every individual VLIW pass
+///                 inside the per-function pipeline (load/store motion,
+///                 unspeculation, unroll+rename, pipelining, global
+///                 scheduling, combining, block expansion).
+enum class AuditLevel { Off, Boundaries, Full };
+
+/// Human-readable name ("off", "boundaries", "full").
+const char *auditLevelName(AuditLevel L);
+
+/// One invariant violation.
+struct AuditFinding {
+  /// Which checker fired: "verifier", "use-before-def",
+  /// "speculation-safety", "schedule-hazard" or "cfg-loop-integrity".
+  std::string Checker;
+  /// Pipeline stage that broke the invariant; filled by the harness
+  /// (empty when a checker is invoked standalone).
+  std::string Pass;
+  /// Function the finding is in.
+  std::string Fn;
+  /// Location: "block: instruction" (may be just a block label).
+  std::string Where;
+  /// What invariant was violated and why.
+  std::string Message;
+
+  /// Renders "[checker] after 'pass': fn:where: message".
+  std::string str() const;
+};
+
+/// The outcome of running one or more checkers.
+struct AuditResult {
+  std::vector<AuditFinding> Findings;
+  /// Printable diagnosis (findings plus an IR diff of each offending
+  /// function); filled by the pass-boundary harness, empty otherwise.
+  std::string Report;
+
+  bool ok() const { return Findings.empty(); }
+
+  void add(std::string Checker, std::string Fn, std::string Where,
+           std::string Message) {
+    Findings.push_back(AuditFinding{std::move(Checker), "", std::move(Fn),
+                                    std::move(Where), std::move(Message)});
+  }
+
+  /// All findings, one per line.
+  std::string str() const;
+};
+
+} // namespace vsc
+
+#endif // VSC_AUDIT_AUDIT_H

@@ -1,0 +1,150 @@
+//===- audit/LoopIntegrity.cpp - CFG/loop-integrity audit -------------------===//
+
+#include "audit/Checkers.h"
+
+#include "cfg/Cfg.h"
+#include "cfg/Dominators.h"
+#include "cfg/Loops.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace vsc;
+
+void vsc::auditCfgLoopIntegrity(const Function *Before, const Function &After,
+                                AuditResult &R) {
+  if (After.blocks().empty())
+    return;
+  Cfg G(const_cast<Function &>(After));
+  Dominators Dom(G);
+  LoopInfo LI(G, Dom);
+
+  // The entry block must stay predecessor-free: the prolog is materialised
+  // there, and an edge back into it would re-execute frame setup.
+  for (const BasicBlock *P : G.preds(After.entry()))
+    if (G.isReachable(P))
+      R.add("cfg-loop-integrity", After.name(), After.entry()->label(),
+            "entry block has predecessor " + P->label() +
+                "; branching back to the entry would re-execute the prolog");
+
+  // Instruction ids must stay unique: every duplicating pass is required to
+  // assign fresh ids to copies (the differential checkers rely on this).
+  std::unordered_map<uint32_t, const BasicBlock *> Seen;
+  for (const auto &BB : After.blocks())
+    for (const Instr &I : BB->instrs()) {
+      auto Ins = Seen.emplace(I.Id, BB.get());
+      if (!Ins.second)
+        R.add("cfg-loop-integrity", After.name(),
+              BB->label() + ": " + I.str(),
+              "instruction id " + std::to_string(I.Id) +
+                  " is duplicated (also in block " +
+                  Ins.first->second->label() +
+                  "); a pass cloned code without assigning fresh ids");
+    }
+
+  // No edge may enter a natural loop except through its header. For a
+  // correctly computed natural loop this is implied by dominance, so a
+  // violation means the loop machinery itself (or an in-place CFG edit that
+  // bypassed it) went wrong.
+  for (const auto &L : LI.loops())
+    for (const CfgEdge &E : G.edges()) {
+      if (!G.isReachable(E.From) || L->contains(E.From) ||
+          !L->contains(E.To) || E.To == L->Header)
+        continue;
+      R.add("cfg-loop-integrity", After.name(), E.From->label(),
+            "edge to " + E.To->label() + " enters the loop headed by " +
+                L->Header->label() + " without passing through the header");
+    }
+
+  if (!Before || Before->blocks().empty())
+    return;
+
+  // Differential back-edge preservation. A latch branch that survives a
+  // pass (same Instr::Id) and still targets its old header must still be
+  // dominated by that header — otherwise the pass turned the natural loop
+  // into an irreducible region (e.g. by jumping into the middle of an
+  // unrolled body). Retargeted branches (unrolling points latches at clone
+  // headers) and deleted branches are exempt: the surviving structure is
+  // re-derived from the new CFG at the next snapshot.
+  Cfg GB(const_cast<Function &>(*Before));
+  Dominators DomB(GB);
+  LoopInfo LIB(GB, DomB);
+
+  // A block's fingerprint: instruction ids + text. When a pass rewrites the
+  // header itself (block expansion merges it into trace copies, leaving the
+  // old label as a residual side entrance), the loop was restructured on
+  // purpose and its new shape is audited absolutely, not differentially.
+  auto fingerprint = [](const BasicBlock *BB) {
+    std::string S;
+    for (const Instr &I : BB->instrs())
+      S += std::to_string(I.Id) + ":" + I.str() + ";";
+    return S;
+  };
+
+  std::unordered_set<std::string> BeforeLabels;
+  for (const auto &BB : Before->blocks())
+    BeforeLabels.insert(BB->label());
+
+  struct BackEdge {
+    uint32_t BranchId;
+    std::string Header;
+    std::string HeaderFp;
+    std::unordered_set<std::string> Members;
+  };
+  std::vector<BackEdge> BackEdges;
+  for (const auto &L : LIB.loops()) {
+    std::unordered_set<std::string> Members;
+    for (const BasicBlock *BB : L->Blocks)
+      Members.insert(BB->label());
+    for (const BasicBlock *Latch : L->Latches)
+      for (const Instr &I : Latch->instrs())
+        if (I.isBranch() && I.Target == L->Header->label())
+          BackEdges.push_back(
+              {I.Id, L->Header->label(), fingerprint(L->Header), Members});
+  }
+
+  std::unordered_map<uint32_t, const BasicBlock *> BranchBlock;
+  for (const auto &BB : After.blocks())
+    for (const Instr &I : BB->instrs())
+      if (I.isBranch())
+        BranchBlock.emplace(I.Id, BB.get());
+
+  for (const BackEdge &BE : BackEdges) {
+    auto It = BranchBlock.find(BE.BranchId);
+    if (It == BranchBlock.end())
+      continue; // branch deleted
+    const BasicBlock *LatchNow = It->second;
+    if (!G.isReachable(LatchNow))
+      continue;
+    const Instr *Br = nullptr;
+    for (const Instr &I : LatchNow->instrs())
+      if (I.isBranch() && I.Id == BE.BranchId)
+        Br = &I;
+    if (!Br || Br->Target != BE.Header)
+      continue; // retargeted (e.g. unrolling) — new structure, new audit
+    BasicBlock *HeaderNow = After.findBlock(BE.Header);
+    if (!HeaderNow || !G.isReachable(HeaderNow))
+      continue;
+    if (fingerprint(HeaderNow) != BE.HeaderFp)
+      continue; // header rewritten — loop restructured, not broken
+    // A duplicating pass (block expansion tail-duplicates the header's
+    // compare into predecessors) may add entrances into the old loop body
+    // from freshly created blocks; that is deliberate restructuring, and
+    // the resulting region is audited absolutely above, not differentially.
+    bool Restructured = false;
+    for (const CfgEdge &E : G.edges())
+      if (G.isReachable(E.From) && !BeforeLabels.count(E.From->label()) &&
+          BE.Members.count(E.To->label()) && E.To->label() != BE.Header) {
+        Restructured = true;
+        break;
+      }
+    if (Restructured)
+      continue;
+    if (!Dom.dominates(HeaderNow, LatchNow))
+      R.add("cfg-loop-integrity", After.name(),
+            LatchNow->label() + ": " + Br->str(),
+            "back edge to " + BE.Header +
+                " survived the pass but its header no longer dominates the "
+                "latch; the natural loop became irreducible");
+  }
+}

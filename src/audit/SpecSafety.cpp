@@ -1,0 +1,191 @@
+//===- audit/SpecSafety.cpp - Differential speculation-safety audit ---------===//
+
+#include "audit/Checkers.h"
+
+#include "analysis/MemAlias.h"
+#include "cfg/Cfg.h"
+#include "cfg/Dominators.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace vsc;
+
+namespace {
+
+/// Instructions whose motion past a guarding branch is an audit concern:
+/// they can trap (loads, DIV) or have effects that must not happen on the
+/// wrong path (stores, calls, LU's base update).
+bool isGuardSensitive(const Instr &I) {
+  return I.isMemAccess() || I.isCall() || I.Op == Opcode::DIV;
+}
+
+/// One guard-sensitive instruction together with the set of conditional
+/// branches (by Instr::Id) it was control dependent on.
+struct Site {
+  const Instr *I = nullptr;
+  const BasicBlock *BB = nullptr;
+  size_t Idx = 0;
+  std::set<uint32_t> Guards;
+};
+
+/// What a conditional branch tests and where it goes. A pass that rewrites
+/// any of this (branch reversal, retargeting during unrolling or block
+/// merging) has restructured the control flow around the branch, and the
+/// old guard relation is no longer meaningful for it.
+struct BranchSig {
+  Opcode Op;
+  Reg Cond;
+  CrBit Bit;
+  std::string Target;
+
+  static BranchSig of(const Instr &I) {
+    return BranchSig{I.Op, I.Src1, I.Bit, I.Target};
+  }
+  bool operator==(const BranchSig &RHS) const {
+    return Op == RHS.Op && Cond == RHS.Cond && Bit == RHS.Bit &&
+           Target == RHS.Target;
+  }
+};
+
+struct CondBranch {
+  BranchSig Sig;
+  const BasicBlock *BB = nullptr;
+};
+
+struct FnSites {
+  std::unordered_map<uint32_t, Site> Sites; ///< keyed by Instr::Id
+  std::unordered_map<uint32_t, CondBranch> CondBranches;
+};
+
+/// Collects the guard-sensitive sites of \p F. A branch guards a site when
+/// its block dominates the site's block and the site's block does not
+/// post-dominate it: exactly then there is a path on which the branch
+/// executes but the site would not.
+FnSites collectSites(const Cfg &G, const Dominators &Dom,
+                     const Dominators &PostDom) {
+  FnSites S;
+  std::vector<std::pair<const BasicBlock *, uint32_t>> Branches;
+  for (const BasicBlock *BB : G.rpo())
+    for (const Instr &I : BB->instrs())
+      if (I.isCondBranch()) {
+        Branches.emplace_back(BB, I.Id);
+        S.CondBranches.emplace(I.Id, CondBranch{BranchSig::of(I), BB});
+      }
+  for (const BasicBlock *BB : G.rpo()) {
+    for (size_t Idx = 0; Idx != BB->instrs().size(); ++Idx) {
+      const Instr &I = BB->instrs()[Idx];
+      if (!isGuardSensitive(I))
+        continue;
+      Site St;
+      St.I = &I;
+      St.BB = BB;
+      St.Idx = Idx;
+      for (const auto &Br : Branches)
+        if (Dom.dominates(Br.first, BB) && !PostDom.dominates(BB, Br.first))
+          St.Guards.insert(Br.second);
+      S.Sites.emplace(I.Id, std::move(St));
+    }
+  }
+  return S;
+}
+
+/// The paper's second load-safety condition: a speculated load is safe when
+/// an access to provably the same address already executes on every path to
+/// it (the address is known dereferenceable).
+bool coveredByDominatingAccess(const Instr &Load, const Site &S, const Cfg &G,
+                               const Dominators &Dom) {
+  for (size_t I = 0; I != S.Idx; ++I) {
+    const Instr &A = S.BB->instrs()[I];
+    if (A.isMemAccess() && !A.IsVolatile &&
+        alias(A, Load) == AliasResult::MustAlias)
+      return true;
+  }
+  for (const BasicBlock *BB : G.rpo()) {
+    if (BB == S.BB || !Dom.dominates(BB, S.BB))
+      continue;
+    for (const Instr &A : BB->instrs())
+      if (A.isMemAccess() && !A.IsVolatile &&
+          alias(A, Load) == AliasResult::MustAlias)
+        return true;
+  }
+  return false;
+}
+
+} // namespace
+
+void vsc::auditSpeculationSafety(const Function &Before, const Function &After,
+                                 const Module &M, AuditResult &R) {
+  if (Before.blocks().empty() || After.blocks().empty())
+    return;
+  Cfg GB(const_cast<Function &>(Before));
+  Dominators DomB(GB), PostDomB(GB, /*Post=*/true);
+  FnSites B = collectSites(GB, DomB, PostDomB);
+
+  Cfg GA(const_cast<Function &>(After));
+  Dominators DomA(GA), PostDomA(GA, /*Post=*/true);
+  FnSites A = collectSites(GA, DomA, PostDomA);
+
+  for (const auto &Ent : A.Sites) {
+    const Site &SA = Ent.second;
+    // Clones carry fresh ids; only instructions that existed before the
+    // pass are compared (a cloned guard structure is re-derived from the
+    // clone's own dominators on the next snapshot).
+    auto It = B.Sites.find(Ent.first);
+    if (It == B.Sites.end())
+      continue;
+    const Site &SB = It->second;
+    for (uint32_t Guard : SB.Guards) {
+      // A deleted or rewritten branch cannot be a required guard: deletion
+      // means straighten proved it unconditional, and a rewrite (reversal,
+      // retargeting) means the pass restructured the control flow around
+      // it — the surviving structure is re-derived at the next snapshot.
+      const CondBranch &BrB = B.CondBranches.at(Guard);
+      auto BrIt = A.CondBranches.find(Guard);
+      if (BrIt == A.CondBranches.end() ||
+          !(BrIt->second.Sig == BrB.Sig) ||
+          BrIt->second.BB->label() != BrB.BB->label() ||
+          SA.Guards.count(Guard))
+        continue;
+      // The signature of genuine speculation is upward motion ABOVE the
+      // branch: the site's new block (reflexively) dominates the branch's
+      // block, so the operation now executes regardless of the branch. A
+      // site that merely lost the dominance relation while staying below
+      // the branch (block expansion relabelling a join copy, unrolling
+      // retargeting the enclosing loop's edges) was not speculated.
+      if (!DomA.dominates(SA.BB, BrIt->second.BB))
+        continue;
+      const Instr &I = *SA.I;
+      if (I.isLoad() && I.Op != Opcode::LU) {
+        if (isSafeSpeculativeLoad(I, &M) ||
+            coveredByDominatingAccess(I, SA, GA, DomA))
+          continue;
+        R.add("speculation-safety", After.name(),
+              SA.BB->label() + ": " + I.str(),
+              "load was hoisted above its guarding branch (instr id " +
+                  std::to_string(Guard) +
+                  ", block " + SB.BB->label() +
+                  " before the pass) but satisfies none of the "
+                  "speculation-safety conditions: not marked !safe, not a "
+                  "stack or covered-global access, and no dominating access "
+                  "must-aliases it");
+      } else {
+        R.add("speculation-safety", After.name(),
+              SA.BB->label() + ": " + I.str(),
+              std::string(I.isStore()  ? "store"
+                          : I.isCall() ? "call"
+                          : I.Op == Opcode::LU
+                              ? "load-with-update"
+                              : "potentially-trapping instruction") +
+                  " is no longer guarded by the conditional branch (instr "
+                  "id " +
+                  std::to_string(Guard) +
+                  ") that guarded it before the pass; instructions with "
+                  "side effects or unprovable trap safety may never be "
+                  "speculated");
+      }
+      break; // one finding per site is enough to name the pass
+    }
+  }
+}

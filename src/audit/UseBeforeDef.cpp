@@ -1,0 +1,131 @@
+//===- audit/UseBeforeDef.cpp - Must-defined dataflow audit -----------------===//
+
+#include "audit/Checkers.h"
+
+#include "analysis/Liveness.h"
+#include "cfg/Cfg.h"
+#include "support/BitVector.h"
+
+#include <unordered_map>
+
+using namespace vsc;
+
+namespace {
+
+/// Registers the RS/6000 linkage convention makes live on function entry:
+/// the stack pointer, the TOC, the argument registers, and the caller's
+/// callee-saved values (which prologs may store and RET implicitly uses).
+bool isAbiLiveIn(Reg R) {
+  if (!R.isGpr())
+    return false;
+  uint32_t Id = R.id();
+  return Id == 1 || Id == 2 || (Id >= 3 && Id <= 10) ||
+         (Id >= 13 && Id <= 31);
+}
+
+/// Registers whose post-call contents are garbage under the linkage
+/// convention (r3 carries the return value and is excluded).
+const std::vector<Reg> &callKills() {
+  static const std::vector<Reg> Kills = [] {
+    std::vector<Reg> V;
+    V.push_back(Reg::gpr(0));
+    for (uint32_t R = 4; R <= 12; ++R)
+      V.push_back(Reg::gpr(R));
+    for (uint32_t C = 0; C < 8; ++C)
+      V.push_back(Reg::cr(C));
+    V.push_back(Reg::ctr());
+    return V;
+  }();
+  return Kills;
+}
+
+} // namespace
+
+void vsc::auditUseBeforeDef(const Function &F, AuditResult &R) {
+  if (F.blocks().empty())
+    return;
+  // Cfg requires a mutable reference but is a read-only view.
+  Cfg G(const_cast<Function &>(F));
+  RegUniverse U(F);
+  size_t N = U.size();
+
+  BitVector EntryIn(N);
+  for (size_t I = 0; I != N; ++I)
+    if (isAbiLiveIn(U.regAt(I)))
+      EntryIn.set(I);
+
+  std::vector<Reg> Uses, Defs;
+  // Applies one instruction to the must-defined set, reporting undefined
+  // uses through OnUndef.
+  auto Step = [&](const Instr &I, BitVector &Set, auto &&OnUndef) {
+    Uses.clear();
+    I.collectUses(Uses);
+    for (Reg Use : Uses) {
+      int Idx = U.indexOf(Use);
+      if (Idx >= 0 && !Set.test(static_cast<size_t>(Idx)))
+        OnUndef(Use);
+    }
+    if (I.isCall()) {
+      for (Reg K : callKills()) {
+        int Idx = U.indexOf(K);
+        if (Idx >= 0)
+          Set.reset(static_cast<size_t>(Idx));
+      }
+      int Ret = U.indexOf(regs::retval());
+      if (Ret >= 0)
+        Set.set(static_cast<size_t>(Ret));
+      return;
+    }
+    Defs.clear();
+    I.collectDefs(Defs);
+    for (Reg D : Defs) {
+      int Idx = U.indexOf(D);
+      if (Idx >= 0)
+        Set.set(static_cast<size_t>(Idx));
+    }
+  };
+
+  // Forward must-defined fixpoint over the reachable blocks. Top (all
+  // defined) everywhere, entry seeded with the ABI live-ins; In[B] is the
+  // intersection of the predecessors' Outs.
+  std::unordered_map<const BasicBlock *, BitVector> Out;
+  for (const auto &BB : F.blocks())
+    Out.emplace(BB.get(), BitVector(N, true));
+
+  auto ComputeIn = [&](const BasicBlock *BB) {
+    if (BB == F.entry())
+      return EntryIn;
+    BitVector In(N, true);
+    for (const BasicBlock *P : G.preds(BB))
+      In &= Out.at(P);
+    return In;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : G.rpo()) {
+      BitVector Set = ComputeIn(BB);
+      for (const Instr &I : BB->instrs())
+        Step(I, Set, [](Reg) {});
+      if (Set != Out.at(BB)) {
+        Out.at(BB) = std::move(Set);
+        Changed = true;
+      }
+    }
+  }
+
+  // Reporting pass.
+  for (BasicBlock *BB : G.rpo()) {
+    BitVector Set = ComputeIn(BB);
+    for (const Instr &I : BB->instrs())
+      Step(I, Set, [&](Reg Use) {
+        R.add("use-before-def", F.name(), BB->label() + ": " + I.str(),
+              "register " + Use.str() +
+                  " is read but not defined on every path from the entry" +
+                  (Use.isPhysical() && !isAbiLiveIn(Use)
+                       ? " (and it is not ABI live-in)"
+                       : ""));
+      });
+  }
+}

@@ -141,9 +141,18 @@ std::string vsc::verifyModule(const Module &M) {
     if (!E.empty())
       return E;
     for (const auto &BB : F->blocks())
-      for (const Instr &I : BB->instrs())
-        if (I.isCall() && !M.findFunction(I.Sym) && !isBuiltinCallee(I.Sym))
+      for (const Instr &I : BB->instrs()) {
+        if (!I.isCall())
+          continue;
+        const Function *Callee = M.findFunction(I.Sym);
+        if (!Callee && !isBuiltinCallee(I.Sym))
           return F->name() + ": call to unknown function '" + I.Sym + "'";
+        if (Callee && static_cast<unsigned>(I.Imm) != Callee->numArgs())
+          return F->name() + ":" + BB->label() + ": " + I.str() +
+                 ": call passes " + std::to_string(I.Imm) +
+                 " argument(s) but '" + Callee->name() + "' declares " +
+                 std::to_string(Callee->numArgs());
+      }
   }
   return "";
 }

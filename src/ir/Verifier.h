@@ -28,7 +28,8 @@ class Function;
 std::string verifyFunction(const Function &F);
 
 /// Runs verifyFunction on every function and checks that CALL targets are
-/// either functions in the module or known runtime builtins.
+/// either functions in the module or known runtime builtins, and that calls
+/// to in-module functions pass exactly the callee's declared argument count.
 std::string verifyModule(const Module &M);
 
 } // namespace vsc

@@ -2,6 +2,7 @@
 
 #include "vliw/Pipeline.h"
 
+#include "audit/PassAudit.h"
 #include "cfg/CfgEdit.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
@@ -54,12 +55,36 @@ void checkStage(const Module &M, const PipelineOptions &Opts,
   std::abort();
 }
 
+void failAudit(const AuditResult &R) {
+  std::fputs(R.Report.c_str(), stderr);
+  std::abort();
+}
+
+void auditStage(PassAudit &Audit, const Module &M, const std::string &Stage) {
+  if (!Audit.enabled())
+    return;
+  AuditResult R = Audit.checkpoint(M, Stage);
+  if (!R.ok())
+    failAudit(R);
+}
+
 void optimizeFunction(Function &F, Module &M, OptLevel L,
-                      const PipelineOptions &Opts) {
+                      const PipelineOptions &Opts, PassAudit &Audit) {
+  // Per-sub-pass audit checkpoint (AuditLevel::Full only).
+  auto Sub = [&](const char *Pass) {
+    if (!Audit.full())
+      return;
+    AuditResult R = Audit.checkpointFunction(
+        F, M, std::string(Pass) + "(" + F.name() + ")");
+    if (!R.ok())
+      failAudit(R);
+  };
+
   if (L == OptLevel::None)
     return;
 
   runClassicalPipeline(F);
+  Sub("classical");
   if (L == OptLevel::Classical)
     return;
 
@@ -67,54 +92,75 @@ void optimizeFunction(Function &F, Module &M, OptLevel L,
   if (Opts.Superblocks && Opts.Profile) {
     formSuperblocks(F, *Opts.Profile);
     runClassicalPipeline(F);
+    Sub("superblocks");
   }
   if (Opts.LoadStoreMotion) {
     speculativeLoadStoreMotion(F, M);
     runClassicalPipeline(F);
+    Sub("loadstore-motion");
   }
-  if (Opts.Unspeculation)
+  if (Opts.Unspeculation) {
     unspeculate(F);
+    Sub("unspeculation");
+  }
   if (Opts.UnrollAndRename) {
     unrollInnermostLoops(F, Opts.UnrollFactor);
     straighten(F);
     renameInnermostLoops(F);
+    Sub("unroll+rename");
   }
-  if (Opts.Pipelining)
+  if (Opts.Pipelining) {
     pipelineInnermostLoops(F, Opts.Machine, M);
+    Sub("pipelining");
+  }
   if (Opts.GlobalScheduling) {
     GlobalScheduleOptions GS;
     GS.Profile = Opts.Profile;
     globalSchedule(F, Opts.Machine, M, GS);
+    Sub("global-schedule");
   }
   if (Opts.Combining) {
     limitedCombine(F);
     copyPropagate(F);
     deadCodeElim(F);
+    Sub("combining");
   }
   straighten(F);
   // PDF layout runs at module level after prologs (optimize() below), so
   // the measured gate can simulate real code.
-  if (Opts.BlockExpansion)
+  if (Opts.BlockExpansion) {
     expandBasicBlocks(F, Opts.Machine);
+    Sub("block-expansion");
+  }
   straighten(F);
+  Sub("straighten");
 }
 
 } // namespace
 
 void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
+  PassAudit Audit(Opts.Audit, Opts.Machine);
   checkStage(M, Opts, "input");
+  if (Audit.enabled()) {
+    AuditResult R = Audit.begin(M);
+    if (!R.ok())
+      failAudit(R);
+  }
   if (L == OptLevel::Vliw && Opts.Inlining) {
     inlineLeafFunctions(M);
     checkStage(M, Opts, "inline");
+    auditStage(Audit, M, "inline");
   }
   for (auto &F : M.functions()) {
-    optimizeFunction(*F, M, L, Opts);
+    optimizeFunction(*F, M, L, Opts, Audit);
     checkStage(M, Opts, ("optimize(" + F->name() + ")").c_str());
+    auditStage(Audit, M, "optimize(" + F->name() + ")");
   }
   if (Opts.AllocateRegisters) {
     for (auto &F : M.functions())
       allocateRegisters(*F);
     checkStage(M, Opts, "regalloc");
+    auditStage(Audit, M, "regalloc");
   }
   // Prologs last: the spill code must not be rescheduled away from the
   // frame adjustment.
@@ -124,12 +170,14 @@ void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
                                  Opts.TailorProlog);
     }
     checkStage(M, Opts, "prolog");
+    auditStage(Audit, M, "prolog");
   }
   // Profile-directed layout, gated by re-simulating the training input
   // when one is supplied.
   if (L == OptLevel::Vliw && Opts.Profile) {
     pdfLayoutMeasured(M, *Opts.Profile, Opts.Machine, Opts.TrainInput);
     checkStage(M, Opts, "pdf-layout");
+    auditStage(Audit, M, "pdf-layout");
   }
   for (auto &F : M.functions())
     F->renumber();

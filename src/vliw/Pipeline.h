@@ -22,6 +22,7 @@
 #ifndef VSC_VLIW_PIPELINE_H
 #define VSC_VLIW_PIPELINE_H
 
+#include "audit/Audit.h"
 #include "ir/Module.h"
 #include "machine/MachineModel.h"
 #include "sim/Simulator.h"
@@ -72,6 +73,12 @@ struct PipelineOptions {
   /// Verify the module between pass stages (aborts with the stage name on
   /// breakage) — on by default; this project treats it as a regression net.
   bool Verify = true;
+  /// Semantic pass auditing (audit/PassAudit.h): Off, Boundaries (audit at
+  /// the same module-level stage boundaries Verify checks), or Full
+  /// (additionally after every individual VLIW pass inside the per-function
+  /// pipeline). On failure the pipeline aborts, naming the pass that broke
+  /// the invariant and printing an IR diff of the offending function.
+  AuditLevel Audit = AuditLevel::Off;
 
   PipelineOptions();
 };

@@ -38,13 +38,22 @@ RunResult runIt(const Module &M, const MachineModel &Machine) {
   return simulate(M, Machine, Opts);
 }
 
+/// Every fuzzed pipeline run carries the semantic audits at Boundaries
+/// level, so all 40 seeds exercise the checkers across the whole pipeline
+/// (the audit aborts the process on a finding).
+PipelineOptions auditedOptions() {
+  PipelineOptions Opts;
+  Opts.Audit = AuditLevel::Boundaries;
+  return Opts;
+}
+
 } // namespace
 
 TEST_P(FuzzTest, AllLevelsAgree) {
   uint64_t Seed = GetParam();
   auto Base = compileSeed(Seed);
   ASSERT_TRUE(Base);
-  optimize(*Base, OptLevel::None);
+  optimize(*Base, OptLevel::None, auditedOptions());
   RunResult RB = runIt(*Base, rs6000());
   ASSERT_FALSE(RB.Trapped) << "seed " << Seed << ": " << RB.TrapMsg << "\n"
                            << generateRandomMiniC(Seed);
@@ -52,7 +61,7 @@ TEST_P(FuzzTest, AllLevelsAgree) {
   for (OptLevel L : {OptLevel::Classical, OptLevel::Vliw}) {
     auto M = compileSeed(Seed);
     ASSERT_TRUE(M);
-    optimize(*M, L);
+    optimize(*M, L, auditedOptions());
     ASSERT_EQ(verifyModule(*M), "") << "seed " << Seed;
     RunResult R = runIt(*M, rs6000());
     EXPECT_EQ(RB.fingerprint(), R.fingerprint())
@@ -65,7 +74,7 @@ TEST_P(FuzzTest, MachinesAgreeFunctionally) {
   uint64_t Seed = GetParam();
   auto M = compileSeed(Seed);
   ASSERT_TRUE(M);
-  PipelineOptions Opts;
+  PipelineOptions Opts = auditedOptions();
   Opts.Machine = power2();
   optimize(*M, OptLevel::Vliw, Opts);
   RunResult R1 = runIt(*M, rs6000());
@@ -91,7 +100,7 @@ TEST_P(FuzzTest, PdfAgrees) {
   TrainOpts.Args = {2};
   TrainOpts.MaxInstrs = 20'000'000;
   ProfileData P = collectProfile(*Train, *Target, rs6000(), TrainOpts);
-  PipelineOptions Opts;
+  PipelineOptions Opts = auditedOptions();
   Opts.Profile = &P;
   optimize(*Target, OptLevel::Vliw, Opts);
   ASSERT_EQ(verifyModule(*Target), "") << "seed " << Seed;

@@ -268,7 +268,8 @@ TEST(Function, BlockEditing) {
   BasicBlock *New = F->insertBlock(1, "fresh");
   EXPECT_EQ(F->indexOf(New), 1u);
   EXPECT_EQ(F->size(), 4u);
+  std::string NewLabel = New->label(); // eraseBlock destroys *New
   F->eraseBlock(1);
   EXPECT_EQ(F->size(), 3u);
-  EXPECT_EQ(F->findBlock(New->label()), nullptr);
+  EXPECT_EQ(F->findBlock(NewLabel), nullptr);
 }
