@@ -1,0 +1,79 @@
+//===- bench/bench_oracle_overhead.cpp - ExecOracle compile-time cost -------===//
+///
+/// Measures the compile-time overhead of the differential execution
+/// oracle on the SPECint workload table: optimize() at OptLevel::Vliw
+/// with OracleLevel::Off vs Boundaries (the level the fuzz suite runs at)
+/// vs Full (a differential execution after every sub-pass). Unlike the
+/// static audits, the oracle actually runs every changed function on its
+/// input battery, so its cost scales with battery size and step budget —
+/// the table quantifies what the translation-validation net costs when
+/// left on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <chrono>
+
+using namespace vsc;
+
+namespace {
+
+double compileSeconds(const Workload &W, OracleLevel Oracle, int Reps = 5) {
+  using Clock = std::chrono::steady_clock;
+  double Best = 1e30;
+  for (int R = 0; R != Reps; ++R) {
+    auto M = buildWorkload(W);
+    PipelineOptions Opts;
+    Opts.Oracle = Oracle;
+    auto T0 = Clock::now();
+    optimize(*M, OptLevel::Vliw, Opts);
+    auto T1 = Clock::now();
+    Best = std::min(Best,
+                    std::chrono::duration<double>(T1 - T0).count());
+  }
+  return Best;
+}
+
+} // namespace
+
+static void BM_VliwOracle(benchmark::State &State) {
+  const Workload &W = specWorkloads()[static_cast<size_t>(State.range(0))];
+  OracleLevel Level = static_cast<OracleLevel>(State.range(1));
+  for (auto _ : State) {
+    auto M = buildWorkload(W);
+    PipelineOptions Opts;
+    Opts.Oracle = Level;
+    optimize(*M, OptLevel::Vliw, Opts);
+    benchmark::DoNotOptimize(M->instrCount());
+  }
+  State.SetLabel(W.Name + "/" + oracleLevelName(Level));
+}
+BENCHMARK(BM_VliwOracle)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 5, 1),
+                   {static_cast<long>(OracleLevel::Off),
+                    static_cast<long>(OracleLevel::Boundaries),
+                    static_cast<long>(OracleLevel::Full)}})
+    ->Unit(benchmark::kMillisecond);
+
+int main(int Argc, char **Argv) {
+  std::printf("ExecOracle compile-time overhead on the VLIW pipeline "
+              "(best of 5)\n");
+  std::printf("%-10s %10s %14s %12s %10s %10s\n", "Benchmark", "off(ms)",
+              "boundaries(ms)", "full(ms)", "bnd ovh", "full ovh");
+  std::vector<double> BndRatios, FullRatios;
+  for (const Workload &W : specWorkloads()) {
+    double Off = compileSeconds(W, OracleLevel::Off);
+    double Bnd = compileSeconds(W, OracleLevel::Boundaries);
+    double Full = compileSeconds(W, OracleLevel::Full);
+    BndRatios.push_back(Bnd / Off);
+    FullRatios.push_back(Full / Off);
+    std::printf("%-10s %10.2f %14.2f %12.2f %9.0f%% %9.0f%%\n",
+                W.Name.c_str(), Off * 1e3, Bnd * 1e3, Full * 1e3,
+                (Bnd / Off - 1.0) * 100.0, (Full / Off - 1.0) * 100.0);
+  }
+  std::printf("%-10s %10s %14s %12s %9.0f%% %9.0f%%\n\n", "geomean", "", "",
+              "", (geomean(BndRatios) - 1.0) * 100.0,
+              (geomean(FullRatios) - 1.0) * 100.0);
+  return runRegisteredBenchmarks(Argc, Argv);
+}

@@ -20,6 +20,14 @@
 ///                          OptLevel::Vliw pipeline over it with the audit
 ///                          harness at LEVEL (boundaries | full; default
 ///                          full) — the pipeline aborts on the first finding
+///     --oracle[=LEVEL]     additionally run the differential execution
+///                          oracle (oracle/ExecOracle.h) at LEVEL
+///                          (boundaries | full; default full): every changed
+///                          function is executed against its pre-pass
+///                          snapshot on a battery of inputs, and the
+///                          pipeline aborts with the offending pass, the
+///                          reproducing input and an interleaved execution
+///                          trace on any divergence. Implies --pipeline.
 ///
 /// Exit status: 0 when the audit is clean, 1 when findings were reported,
 /// 2 on usage/parse errors.
@@ -63,6 +71,7 @@ int main(int Argc, char **Argv) {
   MachineModel Machine = rs6000();
   bool RunPipeline = false;
   AuditLevel Level = AuditLevel::Full;
+  OracleLevel Oracle = OracleLevel::Off;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--machine=rs6000")
@@ -80,6 +89,12 @@ int main(int Argc, char **Argv) {
     else if (A == "--pipeline=boundaries") {
       RunPipeline = true;
       Level = AuditLevel::Boundaries;
+    } else if (A == "--oracle" || A == "--oracle=full") {
+      RunPipeline = true;
+      Oracle = OracleLevel::Full;
+    } else if (A == "--oracle=boundaries") {
+      RunPipeline = true;
+      Oracle = OracleLevel::Boundaries;
     } else if (A[0] != '-')
       Path = A;
     else {
@@ -90,7 +105,7 @@ int main(int Argc, char **Argv) {
   if (Path.empty()) {
     std::fprintf(stderr,
                  "usage: %s FILE.vir [--machine=NAME] [--before=FILE.vir] "
-                 "[--pipeline[=boundaries|full]]\n",
+                 "[--pipeline[=boundaries|full]] [--oracle[=boundaries|full]]\n",
                  Argv[0]);
     return 2;
   }
@@ -109,10 +124,16 @@ int main(int Argc, char **Argv) {
     PipelineOptions Opts;
     Opts.Machine = Machine;
     Opts.Audit = Level;
+    Opts.Oracle = Oracle;
     // The harness aborts with the offending pass + IR diff on a finding.
     optimize(*M, OptLevel::Vliw, Opts);
-    std::printf("%s: pipeline audit (%s) clean\n", Path.c_str(),
-                auditLevelName(Level));
+    if (Oracle != OracleLevel::Off)
+      std::printf("%s: pipeline audit (%s) + execution oracle (%s) clean\n",
+                  Path.c_str(), auditLevelName(Level),
+                  oracleLevelName(Oracle));
+    else
+      std::printf("%s: pipeline audit (%s) clean\n", Path.c_str(),
+                  auditLevelName(Level));
     return 0;
   }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Benchmark entry point: build the default configuration and run the
+# oracle-overhead benchmark, leaving its google-benchmark JSON at the repo
+# root as BENCH_oracle.json (the human-readable table goes to stdout).
+#
+#   scripts/bench.sh [JOBS]
+set -euo pipefail
+
+JOBS="${1:-$(nproc)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS" --target bench_oracle_overhead
+
+"$ROOT/build/bench/bench_oracle_overhead" \
+  --benchmark_out="$ROOT/BENCH_oracle.json" \
+  --benchmark_out_format=json
+
+echo "wrote $ROOT/BENCH_oracle.json"

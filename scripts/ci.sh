@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: build the default and the ASan+UBSan configurations and
-# run the full test suite under both.
+# run the full test suite under both. Each configuration then re-runs the
+# fuzz suite — which carries the semantic audits and the differential
+# execution oracle at Boundaries level — on a shifted VSC_FUZZ_SEED, so
+# every CI run also validates the pipeline on 40 programs no previous run
+# has seen.
 #
 #   scripts/ci.sh [JOBS]
 #
@@ -9,6 +13,8 @@ set -euo pipefail
 
 JOBS="${1:-$(nproc)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+# Fresh fuzz programs per day; override with VSC_FUZZ_SEED=N scripts/ci.sh.
+FUZZ_SEED="${VSC_FUZZ_SEED:-$(( $(date +%Y%m%d) * 100 ))}"
 
 run_config() {
   local name="$1" dir="$2"
@@ -19,6 +25,9 @@ run_config() {
   cmake --build "$dir" -j "$JOBS"
   echo "=== [$name] ctest ==="
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  echo "=== [$name] oracle-enabled fuzz, seed base $FUZZ_SEED ==="
+  VSC_FUZZ_SEED="$FUZZ_SEED" \
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -R Fuzz
 }
 
 run_config default "$ROOT/build"

@@ -2,6 +2,8 @@
 
 #include "ir/Instr.h"
 
+#include "ir/Abi.h"
+
 #include <cassert>
 
 using namespace vsc;
@@ -52,13 +54,9 @@ void Instr::collectDefs(std::vector<Reg> &Defs) const {
   case Opcode::CALL:
     // Under the RS/6000 linkage convention a call clobbers r0, the argument
     // registers r3..r12, every physical condition register, and the count
-    // register. r1 (SP), r2 (TOC) and r13..r31 are preserved.
-    Defs.push_back(Reg::gpr(0));
-    for (uint32_t R = 3; R <= 12; ++R)
-      Defs.push_back(Reg::gpr(R));
-    for (uint32_t C = 0; C < 8; ++C)
-      Defs.push_back(Reg::cr(C));
-    Defs.push_back(Reg::ctr());
+    // register. r1 (SP), r2 (TOC) and r13..r31 are preserved. The set lives
+    // in ir/Abi.h, shared with both execution engines.
+    abi::forEachCallClobber([&](Reg R) { Defs.push_back(R); });
     break;
   default:
     break;

@@ -1,0 +1,292 @@
+//===- oracle/ExecOracle.cpp - Differential execution oracle ----------------===//
+
+#include "oracle/ExecOracle.h"
+
+#include "audit/PassAudit.h" // cloneFunction
+#include "ir/Printer.h"
+
+#include <algorithm>
+
+using namespace vsc;
+
+const char *vsc::oracleLevelName(OracleLevel L) {
+  switch (L) {
+  case OracleLevel::Off:
+    return "off";
+  case OracleLevel::Boundaries:
+    return "boundaries";
+  case OracleLevel::Full:
+    return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+/// SplitMix64, as in workloads/RandomProgram.cpp.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(next() %
+                                     static_cast<uint64_t>(Hi - Lo + 1));
+  }
+
+private:
+  uint64_t State;
+};
+
+std::string argsStr(const std::vector<int64_t> &Args) {
+  std::string S = "[";
+  for (size_t I = 0; I != Args.size(); ++I)
+    S += (I ? "," : "") + std::to_string(Args[I]);
+  return S + "]";
+}
+
+InterpResult runVersion(const Module &M, const Function &Body,
+                        const std::vector<int64_t> &Args,
+                        const OracleOptions &Opts, bool TraceMemory = false,
+                        bool TraceExec = false) {
+  InterpOptions IO;
+  IO.EntryFunction = Body.name();
+  IO.Args = Args;
+  IO.Input = Opts.Input;
+  IO.MaxSteps = Opts.MaxSteps;
+  IO.MemBytes = Opts.MemBytes;
+  IO.PageZeroReadable = Opts.PageZeroReadable;
+  IO.TraceMemory = TraceMemory;
+  IO.TraceExec = TraceExec;
+  IO.Override = &Body;
+  return interpret(M, IO);
+}
+
+/// Fixed argument vectors plus coverage-guided random ones, derived by
+/// executing \p Body: a vector earns its battery slot by reaching a block
+/// no earlier vector reached (the first conclusive vector always
+/// qualifies).
+std::vector<std::vector<int64_t>>
+buildBattery(const Function &Body, const Module &M,
+             const OracleOptions &Opts) {
+  unsigned K = Body.numArgs();
+  std::vector<std::vector<int64_t>> Candidates;
+  auto FromPattern = [&](std::vector<int64_t> Pattern) {
+    std::vector<int64_t> V(K);
+    for (unsigned I = 0; I != K; ++I)
+      V[I] = Pattern[I % Pattern.size()];
+    Candidates.push_back(std::move(V));
+  };
+  FromPattern({0});
+  if (K) {
+    FromPattern({1});
+    FromPattern({2});
+    FromPattern({6});
+    FromPattern({-1, 63});
+    FromPattern({5, 3, 7});
+    Rng R(Opts.Seed ^ std::hash<std::string>()(Body.name()));
+    for (unsigned T = 0; T != Opts.RandomTries; ++T) {
+      std::vector<int64_t> V(K);
+      for (unsigned I = 0; I != K; ++I)
+        V[I] = R.range(-64, 64);
+      Candidates.push_back(std::move(V));
+    }
+  }
+
+  std::vector<std::vector<int64_t>> Battery;
+  std::unordered_set<const BasicBlock *> Covered;
+  for (auto &V : Candidates) {
+    if (Battery.size() >= Opts.MaxInputs)
+      break;
+    InterpResult R = runVersion(M, Body, V, Opts);
+    if (R.BudgetExceeded)
+      continue; // inconclusive input: skip rather than half-compare
+    bool New = Battery.empty();
+    for (const BasicBlock *BB : R.Coverage)
+      if (Covered.insert(BB).second)
+        New = true;
+    if (New)
+      Battery.push_back(std::move(V));
+  }
+  return Battery;
+}
+
+/// Interleaves the two execution traces around their first difference.
+std::string traceDiff(const std::vector<std::string> &B,
+                      const std::vector<std::string> &A) {
+  size_t N = std::min(B.size(), A.size());
+  size_t D = 0;
+  while (D < N && B[D] == A[D])
+    ++D;
+  size_t Lo = D > 8 ? D - 8 : 0;
+  std::string Out;
+  if (Lo)
+    Out += "  ... " + std::to_string(Lo) + " identical step(s) ...\n";
+  for (size_t I = Lo; I < std::min(D + 8, std::max(B.size(), A.size()));
+       ++I) {
+    bool Same = I < N && B[I] == A[I];
+    if (Same) {
+      Out += "  = " + B[I] + "\n";
+    } else {
+      if (I < B.size())
+        Out += "  < " + B[I] + "\n";
+      if (I < A.size())
+        Out += "  > " + A[I] + "\n";
+    }
+  }
+  if (B.size() != A.size())
+    Out += "  (trace lengths: before " + std::to_string(B.size()) +
+           ", after " + std::to_string(A.size()) + ")\n";
+  return Out;
+}
+
+/// Compares one input vector; appends a divergence on mismatch.
+void compareOnInput(const Function &Before, const Function &After,
+                    const Module &M, const std::string &Pass,
+                    const std::vector<int64_t> &Args,
+                    const OracleOptions &Opts, OracleResult &R) {
+  InterpResult RB = runVersion(M, Before, Args, Opts);
+  InterpResult RA = runVersion(M, After, Args, Opts);
+  if (RB.BudgetExceeded || RA.BudgetExceeded)
+    return; // inconclusive on this input
+
+  std::string Detail;
+  std::string FB = RB.fingerprint(), FA = RA.fingerprint();
+  if (FB != FA)
+    Detail = "fingerprint mismatch:\n  before: " + FB + "\n  after:  " + FA;
+  else if (Opts.CompareStoreTrace && (RB.StoreDigest != RA.StoreDigest ||
+                                      RB.StoreCount != RA.StoreCount))
+    Detail = "store trace mismatch (before " + std::to_string(RB.StoreCount) +
+             " store(s), after " + std::to_string(RA.StoreCount) + ")";
+  else if (Opts.CompareCallTrace && (RB.CallDigest != RA.CallDigest ||
+                                     RB.CallCount != RA.CallCount))
+    Detail = "call trace mismatch (before " + std::to_string(RB.CallCount) +
+             " call(s), after " + std::to_string(RA.CallCount) + ")";
+  if (Detail.empty())
+    return;
+  R.Divergences.push_back(OracleDivergence{Pass, Before.name(), Args,
+                                           std::move(Detail)});
+}
+
+void renderReport(const Function &Before, const Function &After,
+                  const Module &M, const OracleOptions &Opts,
+                  OracleResult &R) {
+  if (R.ok())
+    return;
+  const OracleDivergence &D = R.Divergences.front();
+  R.Report += "ExecOracle: " + std::to_string(R.Divergences.size()) +
+              " divergence(s) after '" + D.Pass + "' in '" + D.Fn + "'\n";
+  R.Report += "reproducing input: args " + argsStr(D.Args) + ", read_int " +
+              argsStr(Opts.Input) + "\n";
+  R.Report += D.Detail + "\n";
+  // Replay the first divergence with full tracing for the interleaved
+  // dump.
+  InterpResult RB = runVersion(M, Before, D.Args, Opts, /*TraceMemory=*/true,
+                               /*TraceExec=*/true);
+  InterpResult RA = runVersion(M, After, D.Args, Opts, /*TraceMemory=*/true,
+                               /*TraceExec=*/true);
+  R.Report += "--- interleaved execution trace (= common, < before, > "
+              "after) ---\n" +
+              traceDiff(RB.ExecTrace, RA.ExecTrace);
+  R.Report += "--- '" + Before.name() + "' before '" + D.Pass + "' ---\n" +
+              printFunction(Before);
+  R.Report += "--- '" + After.name() + "' after '" + D.Pass + "' ---\n" +
+              printFunction(After);
+}
+
+OracleResult diffWithBattery(const Function &Before, const Function &After,
+                             const Module &M, const std::string &Pass,
+                             const OracleOptions &Opts,
+                             const std::vector<std::vector<int64_t>> &Battery) {
+  OracleResult R;
+  for (const auto &Args : Battery) {
+    compareOnInput(Before, After, M, Pass, Args, Opts, R);
+    if (!R.ok())
+      break; // first reproducing input is enough for the report
+  }
+  renderReport(Before, After, M, Opts, R);
+  return R;
+}
+
+} // namespace
+
+OracleResult vsc::diffFunctions(const Function &Before, const Function &After,
+                                const Module &M, const std::string &Pass,
+                                const OracleOptions &Opts) {
+  return diffWithBattery(Before, After, M, Pass, Opts,
+                         buildBattery(Before, M, Opts));
+}
+
+OracleResult ExecOracle::begin(const Module &M) {
+  OracleResult R;
+  if (!enabled())
+    return R;
+  for (const auto &F : M.functions()) {
+    SnapText[F->name()] = printFunction(*F);
+    Snap[F->name()] = cloneFunction(*F);
+  }
+  return R;
+}
+
+void ExecOracle::diffOne(const Function &F, const Module &M,
+                         const std::string &Stage, OracleResult &R,
+                         std::vector<const Function *> &Changed) {
+  std::string Text = printFunction(F);
+  auto TextIt = SnapText.find(F.name());
+  if (TextIt != SnapText.end() && TextIt->second == Text)
+    return; // untouched since the last clean checkpoint
+  Changed.push_back(&F);
+  auto SnapIt = Snap.find(F.name());
+  if (SnapIt == Snap.end())
+    return; // new function: becomes a baseline at finalize
+  auto BatIt = Battery.find(F.name());
+  if (BatIt == Battery.end())
+    BatIt = Battery
+                .emplace(F.name(),
+                         buildBattery(*SnapIt->second, M, Opts))
+                .first;
+  OracleResult D =
+      diffWithBattery(*SnapIt->second, F, M, Stage, Opts, BatIt->second);
+  for (OracleDivergence &Div : D.Divergences)
+    R.Divergences.push_back(std::move(Div));
+  R.Report += D.Report;
+}
+
+void ExecOracle::finalize(OracleResult &R,
+                          const std::vector<const Function *> &Changed) {
+  if (!R.ok())
+    return; // keep the snapshots: the caller can replay against them
+  for (const Function *F : Changed) {
+    SnapText[F->name()] = printFunction(*F);
+    Snap[F->name()] = cloneFunction(*F);
+  }
+}
+
+OracleResult ExecOracle::checkpoint(const Module &M,
+                                    const std::string &Stage) {
+  OracleResult R;
+  if (!enabled())
+    return R;
+  std::vector<const Function *> Changed;
+  for (const auto &F : M.functions())
+    diffOne(*F, M, Stage, R, Changed);
+  finalize(R, Changed);
+  return R;
+}
+
+OracleResult ExecOracle::checkpointFunction(const Function &F,
+                                            const Module &M,
+                                            const std::string &Stage) {
+  OracleResult R;
+  if (!enabled())
+    return R;
+  std::vector<const Function *> Changed;
+  diffOne(F, M, Stage, R, Changed);
+  finalize(R, Changed);
+  return R;
+}

@@ -1,0 +1,136 @@
+//===- oracle/ExecOracle.h - Differential execution oracle ----*- C++ -*-===//
+///
+/// \file
+/// Per-pass translation validation by differential execution: where
+/// audit/PassAudit.h proves static invariants at pass boundaries, this
+/// harness proves observable behaviour unchanged on concrete inputs. It
+/// keeps a snapshot of every function (like PassAudit); at each checkpoint
+/// every function whose text changed is executed — snapshot body vs
+/// current body, via oracle/Interp.h with InterpOptions::Override — on a
+/// battery of inputs (fixed vectors plus coverage-guided random ones), and
+/// the observable state is diffed: trap status, return value, output,
+/// final memory, and the volatile/builtin effect trace. Optionally the
+/// full store and call traces are compared too, for passes that must
+/// preserve them exactly (unroll, rename, scheduling) — the default leaves
+/// them off because store sinking (LoadStoreMotion) and inlining legally
+/// change them.
+///
+/// On divergence the report names the offending pass and function, the
+/// reproducing input vector, an IR dump of both versions and an
+/// interleaved execution trace around the first difference.
+///
+/// Wired into vliw/Pipeline as PipelineOptions::Oracle:
+///  * Off        — no dynamic validation (the default).
+///  * Boundaries — validate at the module-level stage boundaries the
+///                 verifier and PassAudit already use.
+///  * Full       — additionally validate after every individual VLIW pass
+///                 inside the per-function pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_ORACLE_EXECORACLE_H
+#define VSC_ORACLE_EXECORACLE_H
+
+#include "oracle/Interp.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vsc {
+
+/// How much differential execution the pipeline performs.
+enum class OracleLevel { Off, Boundaries, Full };
+
+/// Human-readable name ("off", "boundaries", "full").
+const char *oracleLevelName(OracleLevel L);
+
+struct OracleOptions {
+  /// Seed for the random part of the input battery (deterministic).
+  uint64_t Seed = 0x5eed;
+  /// Random argument vectors tried during battery construction.
+  unsigned RandomTries = 5;
+  /// Cap on battery size (fixed + kept random vectors).
+  unsigned MaxInputs = 6;
+  /// Per-run step budget; runs exceeding it are skipped as inconclusive,
+  /// never reported as divergences.
+  uint64_t MaxSteps = 80'000;
+  uint64_t MemBytes = 1u << 20;
+  /// Mirror of MachineModel::PageZeroReadable.
+  bool PageZeroReadable = true;
+  /// Also require the digest of all global-area stores / of all calls to
+  /// match. Sound only for passes that preserve those traces; see file
+  /// comment.
+  bool CompareStoreTrace = false;
+  bool CompareCallTrace = false;
+  /// read_int stream fed to every run.
+  std::vector<int64_t> Input = {5, -3, 17, 0, 9, 1, 42, 7};
+};
+
+/// One observed behaviour difference.
+struct OracleDivergence {
+  std::string Pass;
+  std::string Fn;
+  /// Argument vector that exposed it.
+  std::vector<int64_t> Args;
+  /// What differed (fingerprints, trace digests, ...).
+  std::string Detail;
+};
+
+struct OracleResult {
+  std::vector<OracleDivergence> Divergences;
+  /// Printable diagnosis: divergences, both IR versions and an interleaved
+  /// execution trace around the first difference.
+  std::string Report;
+
+  bool ok() const { return Divergences.empty(); }
+};
+
+/// Differentially executes two versions of one function against module
+/// \p M (either version may live in M or stand alone; lookup of the
+/// entry and of recursive self-calls is overridden per run). The battery
+/// is derived from \p Before. \p Pass is stamped into any divergence.
+OracleResult diffFunctions(const Function &Before, const Function &After,
+                           const Module &M, const std::string &Pass,
+                           const OracleOptions &Opts = {});
+
+class ExecOracle {
+public:
+  ExecOracle(OracleLevel Level, OracleOptions Opts = {})
+      : Level(Level), Opts(std::move(Opts)) {}
+
+  OracleLevel level() const { return Level; }
+  bool enabled() const { return Level != OracleLevel::Off; }
+  /// \returns true when per-sub-pass checkpoints should run.
+  bool full() const { return Level == OracleLevel::Full; }
+
+  /// First checkpoint: snapshots every function (no execution yet).
+  OracleResult begin(const Module &M);
+
+  /// Differentially executes every function of \p M whose printed form
+  /// changed since its snapshot. Advances the snapshots only when clean.
+  OracleResult checkpoint(const Module &M, const std::string &Stage);
+
+  /// Single-function checkpoint (per-sub-pass validation at Full level).
+  OracleResult checkpointFunction(const Function &F, const Module &M,
+                                  const std::string &Stage);
+
+private:
+  void diffOne(const Function &F, const Module &M, const std::string &Stage,
+               OracleResult &R, std::vector<const Function *> &Changed);
+  void finalize(OracleResult &R,
+                const std::vector<const Function *> &Changed);
+
+  OracleLevel Level;
+  OracleOptions Opts;
+  std::unordered_map<std::string, std::unique_ptr<Function>> Snap;
+  std::unordered_map<std::string, std::string> SnapText;
+  /// Input battery per function, built lazily from the first snapshot that
+  /// needs it and reused for every later stage.
+  std::unordered_map<std::string, std::vector<std::vector<int64_t>>> Battery;
+};
+
+} // namespace vsc
+
+#endif // VSC_ORACLE_EXECORACLE_H

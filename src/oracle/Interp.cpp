@@ -1,0 +1,569 @@
+//===- oracle/Interp.cpp - Reference IR interpreter -------------------------===//
+
+#include "oracle/Interp.h"
+
+#include "ir/Abi.h"
+#include "sim/Simulator.h" // computeGlobalLayout
+
+#include <algorithm>
+
+using namespace vsc;
+
+namespace {
+
+constexpr uint64_t FnvOffset = 1469598103934665603ULL;
+constexpr uint64_t FnvPrime = 1099511628211ULL;
+
+inline void fnv(uint64_t &H, uint64_t V) {
+  for (unsigned B = 0; B != 8; ++B) {
+    H ^= (V >> (8 * B)) & 0xff;
+    H *= FnvPrime;
+  }
+}
+
+struct CrVal {
+  bool Lt = false, Gt = false, Eq = false;
+
+  bool bit(CrBit B) const {
+    switch (B) {
+    case CrBit::Lt:
+      return Lt;
+    case CrBit::Gt:
+      return Gt;
+    case CrBit::Eq:
+      return Eq;
+    }
+    return false;
+  }
+  std::string str() const {
+    return std::string(Lt ? "lt" : "") + (Gt ? "gt" : "") + (Eq ? "eq" : "");
+  }
+};
+
+/// Architectural state. Virtual registers are function-private (saved and
+/// restored at calls), as in the simulator.
+struct RegFile {
+  int64_t Phys[32] = {0};
+  CrVal PhysCr[8];
+  int64_t Ctr = 0;
+  std::vector<int64_t> Virt;
+  std::vector<CrVal> VirtCr;
+
+  int64_t &gpr(uint32_t Id) {
+    if (Id < 32)
+      return Phys[Id];
+    size_t V = Id - 32;
+    if (V >= Virt.size())
+      Virt.resize(V + 1, 0);
+    return Virt[V];
+  }
+  CrVal &cr(uint32_t Id) {
+    if (Id < 8)
+      return PhysCr[Id];
+    size_t V = Id - 8;
+    if (V >= VirtCr.size())
+      VirtCr.resize(V + 1);
+    return VirtCr[V];
+  }
+};
+
+/// Saved caller context. Besides the virtual registers, the interpreter
+/// snapshots the call-preserved physical registers and restores them at
+/// the matching return — the linkage contract itself, independent of
+/// whether prologs have been inserted yet (see the header comment).
+struct Frame {
+  const Function *F = nullptr;
+  size_t BlockIdx = 0, InstrIdx = 0;
+  std::vector<int64_t> Virt;
+  std::vector<CrVal> VirtCr;
+  int64_t Preserved[32] = {0};
+};
+
+class Interp {
+public:
+  Interp(const Module &M, const InterpOptions &Opts) : M(M), Opts(Opts) {
+    Mem.assign(Opts.MemBytes, 0);
+    GlobalBase = computeGlobalLayout(M);
+    DataEnd = 4096;
+    for (const Global &G : M.globals()) {
+      uint64_t Addr = GlobalBase.at(G.Name);
+      for (size_t I = 0; I != G.Init.size() && Addr + I < Mem.size(); ++I)
+        Mem[Addr + I] = G.Init[I];
+      DataEnd = std::max(DataEnd, Addr + G.Size);
+    }
+  }
+
+  InterpResult run() {
+    InterpResult R;
+    R.StoreDigest = FnvOffset;
+    R.CallDigest = FnvOffset;
+    const Function *F = resolve(Opts.EntryFunction);
+    if (!F || F->blocks().empty()) {
+      R.Trapped = true;
+      R.TrapMsg = "no entry function '" + Opts.EntryFunction + "'";
+      return R;
+    }
+    Regs.gpr(1) = static_cast<int64_t>(Mem.size() - 4096); // stack top
+    Regs.gpr(2) = 4096;                                    // TOC anchor
+    for (size_t I = 0; I < Opts.Args.size() && I < 8; ++I)
+      Regs.gpr(3 + static_cast<uint32_t>(I)) = Opts.Args[I];
+
+    CurF = F;
+    BlockIdx = 0;
+    InstrIdx = 0;
+    enterBlock(R);
+
+    while (true) {
+      while (InstrIdx >= CurF->blocks()[BlockIdx]->size()) {
+        if (BlockIdx + 1 >= CurF->blocks().size())
+          return trap(R, "fell off the end of function " + CurF->name());
+        ++BlockIdx;
+        InstrIdx = 0;
+        enterBlock(R);
+      }
+      const Instr &I = CurF->blocks()[BlockIdx]->instrs()[InstrIdx];
+      ++InstrIdx;
+      if (++R.Steps > Opts.MaxSteps) {
+        R.BudgetExceeded = true;
+        return finish(R);
+      }
+
+      bool Done = false;
+      if (!step(I, R, Done))
+        return finish(R); // trap already recorded
+      if (Done)
+        return finish(R);
+    }
+  }
+
+private:
+  /// Function lookup honouring InterpOptions::Override.
+  const Function *resolve(const std::string &Name) const {
+    if (Opts.Override && Opts.Override->name() == Name)
+      return Opts.Override;
+    return M.findFunction(Name);
+  }
+
+  int64_t readMem(uint64_t Addr, unsigned Size) const {
+    uint64_t V = 0;
+    for (unsigned B = 0; B != Size; ++B)
+      V |= static_cast<uint64_t>(Mem[Addr + B]) << (8 * B);
+    if (Size < 8) {
+      uint64_t SignBit = 1ULL << (Size * 8 - 1);
+      if (V & SignBit)
+        V |= ~((SignBit << 1) - 1);
+    }
+    return static_cast<int64_t>(V);
+  }
+
+  void enterBlock(InterpResult &R) {
+    R.Coverage.insert(CurF->blocks()[BlockIdx].get());
+  }
+
+  bool jumpTo(const std::string &Label, InterpResult &R) {
+    for (size_t I = 0, E = CurF->blocks().size(); I != E; ++I) {
+      if (CurF->blocks()[I]->label() == Label) {
+        BlockIdx = I;
+        InstrIdx = 0;
+        enterBlock(R);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  InterpResult &trap(InterpResult &R, const std::string &Msg) {
+    R.Trapped = true;
+    R.TrapMsg = Msg;
+    return finish(R);
+  }
+
+  InterpResult &finish(InterpResult &R) {
+    uint64_t H = FnvOffset;
+    for (uint64_t A = 4096; A < DataEnd && A < Mem.size(); ++A) {
+      H ^= Mem[A];
+      H *= FnvPrime;
+    }
+    R.MemDigest = H;
+    return R;
+  }
+
+  void scrubCallClobbers(int64_t KeepArgs) {
+    abi::forEachCallClobber([&](Reg D) {
+      if (D.isGpr()) {
+        if (D.id() >= 3 &&
+            static_cast<int64_t>(D.id()) < 3 + std::min<int64_t>(KeepArgs, 8))
+          return;
+        Regs.gpr(D.id()) = abi::ClobberPoison;
+      } else if (D.isCr()) {
+        Regs.cr(D.id()) = CrVal{true, true, true};
+      } else if (D.isCtr()) {
+        Regs.Ctr = abi::ClobberPoison;
+      }
+    });
+  }
+
+  void traceStore(InterpResult &R, uint64_t Addr, unsigned Size, int64_t Val,
+                  bool Volatile) {
+    bool Observable = Volatile;
+    bool InData = Addr >= 4096 && Addr < DataEnd;
+    if (InData || Observable) {
+      fnv(R.StoreDigest, Addr);
+      fnv(R.StoreDigest, Size);
+      fnv(R.StoreDigest, static_cast<uint64_t>(Val));
+      ++R.StoreCount;
+      if (Opts.TraceMemory || Observable) {
+        std::string E = "ST:" + std::to_string(Size) + "[" +
+                        std::to_string(Addr) + "]=" + std::to_string(Val) +
+                        (Volatile ? " !volatile" : "");
+        if (Observable)
+          R.ObsTrace.push_back(E);
+        if (Opts.TraceMemory)
+          R.StoreTrace.push_back(std::move(E));
+      }
+    }
+  }
+
+  void traceCall(InterpResult &R, const Instr &I) {
+    uint64_t ArgHash = FnvOffset;
+    std::string ArgsStr;
+    for (int64_t A = 0; A < std::min<int64_t>(I.Imm, 8); ++A) {
+      int64_t V = Regs.gpr(3 + static_cast<uint32_t>(A));
+      fnv(ArgHash, static_cast<uint64_t>(V));
+      if (Opts.TraceMemory || abi::isBuiltin(I.Sym))
+        ArgsStr += (A ? "," : "") + std::to_string(V);
+    }
+    for (char Ch : I.Sym)
+      fnv(R.CallDigest, static_cast<uint8_t>(Ch));
+    fnv(R.CallDigest, ArgHash);
+    ++R.CallCount;
+    if (Opts.TraceMemory || abi::isBuiltin(I.Sym)) {
+      std::string E = "CALL:" + I.Sym + "(" + ArgsStr + ")";
+      if (abi::isBuiltin(I.Sym))
+        R.ObsTrace.push_back(E);
+      if (Opts.TraceMemory)
+        R.CallTrace.push_back(std::move(E));
+    }
+  }
+
+  void traceExec(InterpResult &R, const Instr &I) {
+    if (!Opts.TraceExec)
+      return;
+    if (R.ExecTrace.size() >= Opts.MaxExecTrace) {
+      R.ExecTraceTruncated = true;
+      return;
+    }
+    std::string Line = CurF->name() + ":" +
+                       CurF->blocks()[BlockIdx]->label() + "+" +
+                       std::to_string(InstrIdx - 1) + ": " + I.str();
+    // Values written, for trace diffing.
+    if (opcodeInfo(I.Op).HasDst && I.Dst.isValid()) {
+      if (I.Dst.isGpr())
+        Line += " ; " + I.Dst.str() + "=" + std::to_string(Regs.gpr(I.Dst.id()));
+      else if (I.Dst.isCr())
+        Line += " ; " + I.Dst.str() + "=" + Regs.cr(I.Dst.id()).str();
+      else if (I.Dst.isCtr())
+        Line += " ; ctr=" + std::to_string(Regs.Ctr);
+    }
+    if (I.Op == Opcode::LU)
+      Line += " ; " + I.Src1.str() + "=" + std::to_string(Regs.gpr(I.Src1.id()));
+    R.ExecTrace.push_back(std::move(Line));
+  }
+
+  /// Executes one instruction. \returns false on trap; sets \p Done when
+  /// the program finished normally.
+  bool step(const Instr &I, InterpResult &R, bool &Done);
+
+  const Module &M;
+  const InterpOptions &Opts;
+
+  std::vector<uint8_t> Mem;
+  std::unordered_map<std::string, uint64_t> GlobalBase;
+  uint64_t DataEnd = 4096;
+
+  RegFile Regs;
+  const Function *CurF = nullptr;
+  size_t BlockIdx = 0, InstrIdx = 0;
+  std::vector<Frame> CallStack;
+  size_t InputPos = 0;
+};
+
+bool Interp::step(const Instr &I, InterpResult &R, bool &Done) {
+  Done = false;
+  auto S1 = [&]() { return Regs.gpr(I.Src1.id()); };
+  auto S2 = [&]() { return Regs.gpr(I.Src2.id()); };
+
+  bool Taken = false;
+
+  switch (I.Op) {
+  case Opcode::LI:
+    Regs.gpr(I.Dst.id()) = I.Imm;
+    break;
+  case Opcode::LR:
+    Regs.gpr(I.Dst.id()) = S1();
+    break;
+  case Opcode::A:
+    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) +
+                                                static_cast<uint64_t>(S2()));
+    break;
+  case Opcode::S:
+    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) -
+                                                static_cast<uint64_t>(S2()));
+    break;
+  case Opcode::MUL:
+    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) *
+                                                static_cast<uint64_t>(S2()));
+    break;
+  case Opcode::DIV: {
+    int64_t D = S2();
+    if (D == 0) {
+      trap(R, "divide by zero");
+      return false;
+    }
+    if (S1() == INT64_MIN && D == -1)
+      Regs.gpr(I.Dst.id()) = INT64_MIN;
+    else
+      Regs.gpr(I.Dst.id()) = S1() / D;
+    break;
+  }
+  case Opcode::AND:
+    Regs.gpr(I.Dst.id()) = S1() & S2();
+    break;
+  case Opcode::OR:
+    Regs.gpr(I.Dst.id()) = S1() | S2();
+    break;
+  case Opcode::XOR:
+    Regs.gpr(I.Dst.id()) = S1() ^ S2();
+    break;
+  case Opcode::SL:
+    Regs.gpr(I.Dst.id()) =
+        static_cast<int64_t>(static_cast<uint64_t>(S1()) << (S2() & 63));
+    break;
+  case Opcode::SR:
+    Regs.gpr(I.Dst.id()) =
+        static_cast<int64_t>(static_cast<uint64_t>(S1()) >> (S2() & 63));
+    break;
+  case Opcode::SRA:
+    Regs.gpr(I.Dst.id()) = S1() >> (S2() & 63);
+    break;
+  case Opcode::AI:
+  case Opcode::LA:
+    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) +
+                                                static_cast<uint64_t>(I.Imm));
+    break;
+  case Opcode::SI:
+    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) -
+                                                static_cast<uint64_t>(I.Imm));
+    break;
+  case Opcode::MULI:
+    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) *
+                                                static_cast<uint64_t>(I.Imm));
+    break;
+  case Opcode::ANDI:
+    Regs.gpr(I.Dst.id()) = S1() & I.Imm;
+    break;
+  case Opcode::ORI:
+    Regs.gpr(I.Dst.id()) = S1() | I.Imm;
+    break;
+  case Opcode::XORI:
+    Regs.gpr(I.Dst.id()) = S1() ^ I.Imm;
+    break;
+  case Opcode::SLI:
+    Regs.gpr(I.Dst.id()) =
+        static_cast<int64_t>(static_cast<uint64_t>(S1()) << (I.Imm & 63));
+    break;
+  case Opcode::SRI:
+    Regs.gpr(I.Dst.id()) =
+        static_cast<int64_t>(static_cast<uint64_t>(S1()) >> (I.Imm & 63));
+    break;
+  case Opcode::SRAI:
+    Regs.gpr(I.Dst.id()) = S1() >> (I.Imm & 63);
+    break;
+  case Opcode::NEG:
+    Regs.gpr(I.Dst.id()) =
+        static_cast<int64_t>(0 - static_cast<uint64_t>(S1()));
+    break;
+  case Opcode::LTOC: {
+    auto It = GlobalBase.find(I.Sym);
+    if (It == GlobalBase.end()) {
+      trap(R, "LTOC of unknown global '" + I.Sym + "'");
+      return false;
+    }
+    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(It->second);
+    break;
+  }
+  case Opcode::L:
+  case Opcode::LU: {
+    uint64_t Addr = static_cast<uint64_t>(S1() + I.Imm);
+    int64_t V = 0;
+    bool PageZero = Addr + I.MemSize <= 4096;
+    bool Unmapped = !PageZero && (Addr < 4096 || Addr + I.MemSize > Mem.size());
+    if ((PageZero && !Opts.PageZeroReadable) || Unmapped) {
+      // The paper's !safe loads are guaranteed non-trapping: a faulting
+      // speculative load reads zero instead of killing the program.
+      if (!I.SpecSafe) {
+        trap(R, (Unmapped ? "load from unmapped address "
+                          : "load from page zero at ") +
+                    std::to_string(Addr));
+        return false;
+      }
+      ++R.SpecFaults;
+    } else if (!PageZero) {
+      V = readMem(Addr, I.MemSize);
+    }
+    if (I.IsVolatile)
+      R.ObsTrace.push_back("L:" + std::to_string(I.MemSize) + "[" +
+                           std::to_string(Addr) + "]=" + std::to_string(V) +
+                           " !volatile");
+    if (I.Op == Opcode::LU)
+      Regs.gpr(I.Src1.id()) = S1() + I.Imm;
+    Regs.gpr(I.Dst.id()) = V;
+    break;
+  }
+  case Opcode::ST: {
+    uint64_t Addr = static_cast<uint64_t>(S2() + I.Imm);
+    if (Addr < 4096 || Addr + I.MemSize > Mem.size()) {
+      trap(R, "store to unmapped address " + std::to_string(Addr));
+      return false;
+    }
+    int64_t Val = S1();
+    for (unsigned B = 0; B != I.MemSize; ++B)
+      Mem[Addr + B] =
+          static_cast<uint8_t>(static_cast<uint64_t>(Val) >> (8 * B));
+    traceStore(R, Addr, I.MemSize, Val, I.IsVolatile);
+    break;
+  }
+  case Opcode::C:
+  case Opcode::CI: {
+    int64_t A = S1();
+    int64_t B = I.Op == Opcode::C ? S2() : I.Imm;
+    CrVal &Cr = Regs.cr(I.Dst.id());
+    Cr.Lt = A < B;
+    Cr.Gt = A > B;
+    Cr.Eq = A == B;
+    break;
+  }
+  case Opcode::MTCTR:
+    Regs.Ctr = S1();
+    break;
+  case Opcode::B:
+    Taken = true;
+    break;
+  case Opcode::BT:
+  case Opcode::BF: {
+    bool Bit = Regs.cr(I.Src1.id()).bit(I.Bit);
+    Taken = (I.Op == Opcode::BT) ? Bit : !Bit;
+    break;
+  }
+  case Opcode::BCT:
+    Taken = (--Regs.Ctr != 0);
+    break;
+  case Opcode::CALL:
+  case Opcode::RET:
+    break;
+  default:
+    trap(R, "unimplemented opcode");
+    return false;
+  }
+
+  traceExec(R, I);
+
+  if (I.Op == Opcode::B || ((I.Op == Opcode::BT || I.Op == Opcode::BF ||
+                             I.Op == Opcode::BCT) &&
+                            Taken)) {
+    if (!jumpTo(I.Target, R)) {
+      trap(R, "branch to unknown label '" + I.Target + "'");
+      return false;
+    }
+    return true;
+  }
+
+  if (I.Op == Opcode::CALL) {
+    traceCall(R, I);
+    if (abi::isBuiltin(I.Sym)) {
+      int64_t A0 = Regs.gpr(3);
+      scrubCallClobbers(/*KeepArgs=*/0);
+      if (I.Sym == "print_int") {
+        R.Output += std::to_string(A0) + "\n";
+        Regs.gpr(3) = A0;
+      } else if (I.Sym == "print_char") {
+        R.Output += static_cast<char>(A0 & 0xff);
+        Regs.gpr(3) = A0;
+      } else if (I.Sym == "read_int") {
+        Regs.gpr(3) =
+            InputPos < Opts.Input.size() ? Opts.Input[InputPos++] : 0;
+      } else { // exit
+        R.ExitCode = A0;
+        Done = true;
+      }
+      return true;
+    }
+    const Function *Callee = resolve(I.Sym);
+    if (!Callee || Callee->blocks().empty()) {
+      trap(R, "call to unknown function '" + I.Sym + "'");
+      return false;
+    }
+    if (CallStack.size() >= Opts.MaxCallDepth) {
+      trap(R, "call depth limit exceeded in '" + CurF->name() + "'");
+      return false;
+    }
+    Frame Fr;
+    Fr.F = CurF;
+    Fr.BlockIdx = BlockIdx;
+    Fr.InstrIdx = InstrIdx;
+    Fr.Virt = std::move(Regs.Virt);
+    Fr.VirtCr = std::move(Regs.VirtCr);
+    for (uint32_t G = 0; G != 32; ++G)
+      Fr.Preserved[G] = Regs.Phys[G];
+    CallStack.push_back(std::move(Fr));
+    Regs.Virt.clear();
+    Regs.VirtCr.clear();
+    scrubCallClobbers(I.Imm);
+    CurF = Callee;
+    BlockIdx = 0;
+    InstrIdx = 0;
+    enterBlock(R);
+    return true;
+  }
+
+  if (I.Op == Opcode::RET) {
+    if (CallStack.empty()) {
+      R.ExitCode = Regs.gpr(3);
+      Done = true;
+      return true;
+    }
+    Frame Fr = std::move(CallStack.back());
+    CallStack.pop_back();
+    CurF = Fr.F;
+    BlockIdx = Fr.BlockIdx;
+    InstrIdx = Fr.InstrIdx;
+    Regs.Virt = std::move(Fr.Virt);
+    Regs.VirtCr = std::move(Fr.VirtCr);
+    // Contract semantics: the preserved registers come back regardless of
+    // whether the callee had prologs yet.
+    for (uint32_t G = 0; G != 32; ++G)
+      if (abi::isCallPreservedGpr(G))
+        Regs.Phys[G] = Fr.Preserved[G];
+    return true;
+  }
+
+  return true;
+}
+
+} // namespace
+
+std::string InterpResult::fingerprint() const {
+  uint64_t ObsHash = FnvOffset;
+  for (const std::string &E : ObsTrace)
+    for (char Ch : E)
+      fnv(ObsHash, static_cast<uint8_t>(Ch));
+  return (Trapped ? "TRAP:" + TrapMsg : "ok") +
+         "|exit=" + std::to_string(ExitCode) + "|out=" + Output +
+         "|mem=" + std::to_string(MemDigest) +
+         "|obs=" + std::to_string(ObsHash);
+}
+
+InterpResult vsc::interpret(const Module &M, const InterpOptions &Opts) {
+  Interp In(M, Opts);
+  return In.run();
+}

@@ -2,6 +2,8 @@
 
 #include "sim/Simulator.h"
 
+#include "ir/Abi.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -291,6 +293,29 @@ private:
   /// Issues \p I, returning its issue cycle. \p IsBranchTaken matters only
   /// for control instructions.
   uint64_t issue(const Instr &I, bool IsBranchTaken, RunResult &R);
+
+  /// Kills everything the linkage convention says a call clobbers, writing
+  /// the shared poison from ir/Abi.h, so code that wrongly relies on a
+  /// caller-saved register surviving a call fails loudly — and identically
+  /// in the reference interpreter. Argument registers still carrying live
+  /// arguments (r3..r3+KeepArgs-1) are spared; ready times are left alone
+  /// so the timing model is unchanged.
+  void scrubCallClobbers(int64_t KeepArgs) {
+    abi::forEachCallClobber([&](Reg D) {
+      if (D.isGpr()) {
+        if (D.id() >= 3 &&
+            static_cast<int64_t>(D.id()) < 3 + std::min<int64_t>(KeepArgs, 8))
+          return;
+        Regs.gpr(D.id()) = abi::ClobberPoison;
+      } else if (D.isCr()) {
+        // All three bits set is unreachable for a real compare result,
+        // which makes poisoned condition registers recognizable.
+        Regs.cr(D.id()) = CrVal{true, true, true};
+      } else if (D.isCtr()) {
+        Regs.Ctr = abi::ClobberPoison;
+      }
+    });
+  }
 
   // --- state --------------------------------------------------------------
 
@@ -598,24 +623,31 @@ bool Machine::step(const Instr &I, RunResult &R, bool &Done) {
   }
 
   if (I.Op == Opcode::CALL) {
-    // Builtins.
-    if (I.Sym == "print_int") {
-      R.Output += std::to_string(Regs.gpr(3)) + "\n";
-      Regs.gprReady(3) = C + Model.AluLatency;
-      return true;
-    }
-    if (I.Sym == "print_char") {
-      R.Output += static_cast<char>(Regs.gpr(3) & 0xff);
-      return true;
-    }
-    if (I.Sym == "read_int") {
-      Regs.gpr(3) =
-          InputPos < Opts.Input.size() ? Opts.Input[InputPos++] : 0;
-      Regs.gprReady(3) = C + Model.AluLatency;
-      return true;
-    }
-    if (I.Sym == "exit") {
-      R.ExitCode = Regs.gpr(3);
+    // Builtins. Their r3 on return is pinned in ir/Abi.h (print builtins
+    // return their argument, read_int the value read); everything else in
+    // the clobber set dies.
+    if (abi::isBuiltin(I.Sym)) {
+      int64_t A0 = Regs.gpr(3);
+      scrubCallClobbers(/*KeepArgs=*/0);
+      if (I.Sym == "print_int") {
+        R.Output += std::to_string(A0) + "\n";
+        Regs.gpr(3) = A0;
+        Regs.gprReady(3) = C + Model.AluLatency;
+        return true;
+      }
+      if (I.Sym == "print_char") {
+        R.Output += static_cast<char>(A0 & 0xff);
+        Regs.gpr(3) = A0;
+        return true;
+      }
+      if (I.Sym == "read_int") {
+        Regs.gpr(3) =
+            InputPos < Opts.Input.size() ? Opts.Input[InputPos++] : 0;
+        Regs.gprReady(3) = C + Model.AluLatency;
+        return true;
+      }
+      // exit
+      R.ExitCode = A0;
       Done = true;
       return true;
     }
@@ -624,6 +656,7 @@ bool Machine::step(const Instr &I, RunResult &R, bool &Done) {
       trap(R, "call to unknown function '" + I.Sym + "'");
       return false;
     }
+    scrubCallClobbers(I.Imm);
     Frame Fr;
     Fr.F = CurF;
     Fr.BlockIdx = BlockIdx;

@@ -42,6 +42,21 @@ const char *vsc::optLevelName(OptLevel L) {
 
 namespace {
 
+std::function<std::string()> &failureHook() {
+  static std::function<std::string()> Hook;
+  return Hook;
+}
+
+/// Prints the harness-supplied reproduction context, if any, and aborts.
+[[noreturn]] void failPipeline() {
+  if (const auto &Hook = failureHook()) {
+    std::string Ctx = Hook();
+    if (!Ctx.empty())
+      std::fputs(Ctx.c_str(), stderr);
+  }
+  std::abort();
+}
+
 void checkStage(const Module &M, const PipelineOptions &Opts,
                 const char *Stage) {
   if (!Opts.Verify)
@@ -52,12 +67,12 @@ void checkStage(const Module &M, const PipelineOptions &Opts,
   std::fprintf(stderr,
                "pipeline verification failed after stage '%s': %s\n%s\n",
                Stage, E.c_str(), printModule(M).c_str());
-  std::abort();
+  failPipeline();
 }
 
 void failAudit(const AuditResult &R) {
   std::fputs(R.Report.c_str(), stderr);
-  std::abort();
+  failPipeline();
 }
 
 void auditStage(PassAudit &Audit, const Module &M, const std::string &Stage) {
@@ -68,16 +83,36 @@ void auditStage(PassAudit &Audit, const Module &M, const std::string &Stage) {
     failAudit(R);
 }
 
+void failOracle(const OracleResult &R) {
+  std::fputs(R.Report.c_str(), stderr);
+  failPipeline();
+}
+
+void oracleStage(ExecOracle &Oracle, const Module &M,
+                 const std::string &Stage) {
+  if (!Oracle.enabled())
+    return;
+  OracleResult R = Oracle.checkpoint(M, Stage);
+  if (!R.ok())
+    failOracle(R);
+}
+
 void optimizeFunction(Function &F, Module &M, OptLevel L,
-                      const PipelineOptions &Opts, PassAudit &Audit) {
-  // Per-sub-pass audit checkpoint (AuditLevel::Full only).
+                      const PipelineOptions &Opts, PassAudit &Audit,
+                      ExecOracle &Oracle) {
+  // Per-sub-pass audit + oracle checkpoint (Full levels only).
   auto Sub = [&](const char *Pass) {
-    if (!Audit.full())
-      return;
-    AuditResult R = Audit.checkpointFunction(
-        F, M, std::string(Pass) + "(" + F.name() + ")");
-    if (!R.ok())
-      failAudit(R);
+    std::string Stage = std::string(Pass) + "(" + F.name() + ")";
+    if (Audit.full()) {
+      AuditResult R = Audit.checkpointFunction(F, M, Stage);
+      if (!R.ok())
+        failAudit(R);
+    }
+    if (Oracle.full()) {
+      OracleResult R = Oracle.checkpointFunction(F, M, Stage);
+      if (!R.ok())
+        failOracle(R);
+    }
   };
 
   if (L == OptLevel::None)
@@ -138,29 +173,41 @@ void optimizeFunction(Function &F, Module &M, OptLevel L,
 
 } // namespace
 
+void vsc::setPipelineFailureHook(std::function<std::string()> Hook) {
+  failureHook() = std::move(Hook);
+}
+
 void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
   PassAudit Audit(Opts.Audit, Opts.Machine);
+  OracleOptions OracleCfg = Opts.OracleCfg;
+  OracleCfg.PageZeroReadable = Opts.Machine.PageZeroReadable;
+  ExecOracle Oracle(Opts.Oracle, OracleCfg);
   checkStage(M, Opts, "input");
   if (Audit.enabled()) {
     AuditResult R = Audit.begin(M);
     if (!R.ok())
       failAudit(R);
   }
+  if (Oracle.enabled())
+    Oracle.begin(M);
   if (L == OptLevel::Vliw && Opts.Inlining) {
     inlineLeafFunctions(M);
     checkStage(M, Opts, "inline");
     auditStage(Audit, M, "inline");
+    oracleStage(Oracle, M, "inline");
   }
   for (auto &F : M.functions()) {
-    optimizeFunction(*F, M, L, Opts, Audit);
+    optimizeFunction(*F, M, L, Opts, Audit, Oracle);
     checkStage(M, Opts, ("optimize(" + F->name() + ")").c_str());
     auditStage(Audit, M, "optimize(" + F->name() + ")");
+    oracleStage(Oracle, M, "optimize(" + F->name() + ")");
   }
   if (Opts.AllocateRegisters) {
     for (auto &F : M.functions())
       allocateRegisters(*F);
     checkStage(M, Opts, "regalloc");
     auditStage(Audit, M, "regalloc");
+    oracleStage(Oracle, M, "regalloc");
   }
   // Prologs last: the spill code must not be rescheduled away from the
   // frame adjustment.
@@ -171,6 +218,7 @@ void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
     }
     checkStage(M, Opts, "prolog");
     auditStage(Audit, M, "prolog");
+    oracleStage(Oracle, M, "prolog");
   }
   // Profile-directed layout, gated by re-simulating the training input
   // when one is supplied.
@@ -178,6 +226,7 @@ void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
     pdfLayoutMeasured(M, *Opts.Profile, Opts.Machine, Opts.TrainInput);
     checkStage(M, Opts, "pdf-layout");
     auditStage(Audit, M, "pdf-layout");
+    oracleStage(Oracle, M, "pdf-layout");
   }
   for (auto &F : M.functions())
     F->renumber();

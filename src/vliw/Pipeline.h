@@ -25,7 +25,10 @@
 #include "audit/Audit.h"
 #include "ir/Module.h"
 #include "machine/MachineModel.h"
+#include "oracle/ExecOracle.h"
 #include "sim/Simulator.h"
+
+#include <functional>
 
 namespace vsc {
 
@@ -79,6 +82,14 @@ struct PipelineOptions {
   /// pipeline). On failure the pipeline aborts, naming the pass that broke
   /// the invariant and printing an IR diff of the offending function.
   AuditLevel Audit = AuditLevel::Off;
+  /// Differential execution oracle (oracle/ExecOracle.h): Off, Boundaries
+  /// (execute changed functions against their snapshot at the stage
+  /// boundaries Verify checks) or Full (additionally after every
+  /// individual VLIW pass). On divergence the pipeline aborts, naming the
+  /// pass and printing the reproducing input plus an interleaved execution
+  /// trace. PageZeroReadable is taken from Machine, not from OracleCfg.
+  OracleLevel Oracle = OracleLevel::Off;
+  OracleOptions OracleCfg;
 
   PipelineOptions();
 };
@@ -91,6 +102,12 @@ inline void optimize(Module &M, OptLevel L) {
 
 /// Human-readable name for reports.
 const char *optLevelName(OptLevel L);
+
+/// Installs a hook whose string is printed to stderr right before the
+/// pipeline aborts on a verification/audit/oracle failure. Harnesses use
+/// it to attach reproduction context (e.g. the fuzz seed and generated
+/// source) to otherwise-anonymous aborts. Pass nullptr to clear.
+void setPipelineFailureHook(std::function<std::string()> Hook);
 
 } // namespace vsc
 

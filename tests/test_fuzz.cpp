@@ -16,11 +16,38 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace vsc;
 
 namespace {
 
 class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Base added to every generator seed, from VSC_FUZZ_SEED (default 0) —
+/// CI shifts the whole suite onto fresh programs without a recompile, and
+/// a failure is replayed exactly by exporting the value a report names.
+uint64_t fuzzBaseSeed() {
+  if (const char *E = std::getenv("VSC_FUZZ_SEED"))
+    return std::strtoull(E, nullptr, 10);
+  return 0;
+}
+
+/// While a fuzz case runs, any pipeline abort (verifier, audit or oracle
+/// finding) appends the reproduction context to its report: the absolute
+/// seed, the command replaying it, and the generated source.
+class FuzzContext {
+public:
+  explicit FuzzContext(uint64_t Seed) {
+    setPipelineFailureHook([Seed] {
+      return "fuzz seed " + std::to_string(Seed) +
+             " (replay: VSC_FUZZ_SEED=" + std::to_string(Seed - 1) +
+             " ctest -R Fuzz, first instance)\n--- generated source ---\n" +
+             generateRandomMiniC(Seed);
+    });
+  }
+  ~FuzzContext() { setPipelineFailureHook(nullptr); }
+};
 
 std::unique_ptr<Module> compileSeed(uint64_t Seed) {
   FrontendOptions Opts;
@@ -38,19 +65,22 @@ RunResult runIt(const Module &M, const MachineModel &Machine) {
   return simulate(M, Machine, Opts);
 }
 
-/// Every fuzzed pipeline run carries the semantic audits at Boundaries
-/// level, so all 40 seeds exercise the checkers across the whole pipeline
-/// (the audit aborts the process on a finding).
+/// Every fuzzed pipeline run carries the semantic audits AND the
+/// differential execution oracle at Boundaries level, so all 40 seeds
+/// exercise both checkers across the whole pipeline (each aborts the
+/// process on a finding, with the FuzzContext reproduction info).
 PipelineOptions auditedOptions() {
   PipelineOptions Opts;
   Opts.Audit = AuditLevel::Boundaries;
+  Opts.Oracle = OracleLevel::Boundaries;
   return Opts;
 }
 
 } // namespace
 
 TEST_P(FuzzTest, AllLevelsAgree) {
-  uint64_t Seed = GetParam();
+  uint64_t Seed = fuzzBaseSeed() + GetParam();
+  FuzzContext Ctx(Seed);
   auto Base = compileSeed(Seed);
   ASSERT_TRUE(Base);
   optimize(*Base, OptLevel::None, auditedOptions());
@@ -71,7 +101,8 @@ TEST_P(FuzzTest, AllLevelsAgree) {
 }
 
 TEST_P(FuzzTest, MachinesAgreeFunctionally) {
-  uint64_t Seed = GetParam();
+  uint64_t Seed = fuzzBaseSeed() + GetParam();
+  FuzzContext Ctx(Seed);
   auto M = compileSeed(Seed);
   ASSERT_TRUE(M);
   PipelineOptions Opts = auditedOptions();
@@ -86,7 +117,8 @@ TEST_P(FuzzTest, MachinesAgreeFunctionally) {
 }
 
 TEST_P(FuzzTest, PdfAgrees) {
-  uint64_t Seed = GetParam();
+  uint64_t Seed = fuzzBaseSeed() + GetParam();
+  FuzzContext Ctx(Seed);
   auto Base = compileSeed(Seed);
   ASSERT_TRUE(Base);
   optimize(*Base, OptLevel::None);
