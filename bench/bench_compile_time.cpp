@@ -2,30 +2,96 @@
 ///
 /// The paper quotes "an average compile time increase of 36%" for the VLIW
 /// pipeline over -O, dominated by VLIW scheduling. This bench measures
-/// wall-clock optimize() time per workload at each level.
+/// wall-clock optimize() time per workload at each level, reports the
+/// analysis-cache hit rate the pass manager achieves, and sweeps the
+/// parallel driver's thread count over the whole six-kernel module set,
+/// writing the sweep as BENCH_compile_parallel.json (override the path
+/// with --parallel-out=FILE).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
 #include <chrono>
+#include <cstring>
+#include <thread>
 
 using namespace vsc;
 
 namespace {
 
-double compileSeconds(const Workload &W, OptLevel L, int Reps = 5) {
+double compileSeconds(const Workload &W, OptLevel L, int Reps = 5,
+                      unsigned Threads = 1,
+                      PipelineStats *Stats = nullptr) {
   using Clock = std::chrono::steady_clock;
   double Best = 1e30;
   for (int R = 0; R != Reps; ++R) {
     auto M = buildWorkload(W);
+    PipelineOptions Opts;
+    Opts.Threads = Threads;
+    if (R == 0)
+      Opts.Stats = Stats; // hit counts are deterministic; record once
     auto T0 = Clock::now();
-    optimize(*M, L);
+    optimize(*M, L, Opts);
     auto T1 = Clock::now();
     Best = std::min(Best,
                     std::chrono::duration<double>(T1 - T0).count());
   }
   return Best;
+}
+
+/// One full compile of every kernel at the given thread count.
+double compileAllSeconds(OptLevel L, unsigned Threads, int Reps = 3) {
+  using Clock = std::chrono::steady_clock;
+  double Best = 1e30;
+  for (int R = 0; R != Reps; ++R) {
+    std::vector<std::unique_ptr<Module>> Ms;
+    for (const Workload &W : specWorkloads())
+      Ms.push_back(buildWorkload(W));
+    PipelineOptions Opts;
+    Opts.Threads = Threads;
+    auto T0 = Clock::now();
+    for (auto &M : Ms)
+      optimize(*M, L, Opts);
+    auto T1 = Clock::now();
+    Best = std::min(Best,
+                    std::chrono::duration<double>(T1 - T0).count());
+  }
+  return Best;
+}
+
+void threadSweep(const std::string &OutPath) {
+  std::printf("Parallel driver thread sweep (all six kernels, VLIW, best "
+              "of 3; host has %u core(s))\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-10s %14s %10s\n", "threads", "total(ms)", "speedup");
+  const unsigned Counts[] = {1, 2, 4};
+  double Base = 0;
+  std::string Json = "{\n  \"bench\": \"compile_parallel\",\n"
+                     "  \"host_cores\": " +
+                     std::to_string(std::thread::hardware_concurrency()) +
+                     ",\n  \"sweep\": [\n";
+  for (size_t I = 0; I != 3; ++I) {
+    unsigned T = Counts[I];
+    double S = compileAllSeconds(OptLevel::Vliw, T);
+    if (T == 1)
+      Base = S;
+    std::printf("%-10u %14.2f %9.2fx\n", T, S * 1e3, Base / S);
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"threads\": %u, \"seconds\": %.6f, "
+                  "\"speedup\": %.3f}%s\n",
+                  T, S, Base / S, I + 1 != 3 ? "," : "");
+    Json += Buf;
+  }
+  Json += "  ]\n}\n";
+  if (FILE *F = std::fopen(OutPath.c_str(), "w")) {
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n\n", OutPath.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+  }
 }
 
 } // namespace
@@ -43,18 +109,37 @@ BENCHMARK(BM_CompileVliw)->DenseRange(0, 5)
     ->Unit(benchmark::kMillisecond);
 
 int main(int Argc, char **Argv) {
+  // Peel off --parallel-out=FILE before google-benchmark sees the args.
+  std::string OutPath = "BENCH_compile_parallel.json";
+  std::vector<char *> Rest;
+  for (int I = 0; I != Argc; ++I) {
+    if (std::strncmp(Argv[I], "--parallel-out=", 15) == 0)
+      OutPath = Argv[I] + 15;
+    else
+      Rest.push_back(Argv[I]);
+  }
+  int RestArgc = static_cast<int>(Rest.size());
+
   std::printf("Compile time: classical vs VLIW pipeline (best of 5)\n");
-  std::printf("%-10s %14s %14s %10s\n", "Benchmark", "classical(ms)",
-              "vliw(ms)", "increase");
+  std::printf("%-10s %14s %14s %10s %10s\n", "Benchmark", "classical(ms)",
+              "vliw(ms)", "increase", "cache-hit");
   std::vector<double> Ratios;
   for (const Workload &W : specWorkloads()) {
     double C = compileSeconds(W, OptLevel::Classical);
-    double V = compileSeconds(W, OptLevel::Vliw);
+    PipelineStats Stats;
+    double V = compileSeconds(W, OptLevel::Vliw, 5, 1, &Stats);
     Ratios.push_back(V / C);
-    std::printf("%-10s %14.2f %14.2f %9.0f%%\n", W.Name.c_str(), C * 1e3,
-                V * 1e3, (V / C - 1.0) * 100.0);
+    double Queries =
+        static_cast<double>(Stats.AnalysisHits + Stats.AnalysisMisses);
+    std::printf("%-10s %14.2f %14.2f %9.0f%% %9.0f%%\n", W.Name.c_str(),
+                C * 1e3, V * 1e3, (V / C - 1.0) * 100.0,
+                Queries ? 100.0 * static_cast<double>(Stats.AnalysisHits) /
+                              Queries
+                        : 0.0);
   }
   std::printf("%-10s %14s %14s %9.0f%%   (paper: +36%%)\n\n", "geomean", "",
               "", (geomean(Ratios) - 1.0) * 100.0);
-  return runRegisteredBenchmarks(Argc, Argv);
+
+  threadSweep(OutPath);
+  return runRegisteredBenchmarks(RestArgc, Rest.data());
 }

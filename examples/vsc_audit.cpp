@@ -28,6 +28,10 @@
 ///                          pipeline aborts with the offending pass, the
 ///                          reproducing input and an interleaved execution
 ///                          trace on any divergence. Implies --pipeline.
+///     --threads=N          with --pipeline: compile functions on N worker
+///                          threads. Boundaries-level checkpoints run at
+///                          every thread count; Full-level instrumentation
+///                          forces the run serial.
 ///
 /// Exit status: 0 when the audit is clean, 1 when findings were reported,
 /// 2 on usage/parse errors.
@@ -40,6 +44,7 @@
 #include "vliw/Pipeline.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -72,6 +77,7 @@ int main(int Argc, char **Argv) {
   bool RunPipeline = false;
   AuditLevel Level = AuditLevel::Full;
   OracleLevel Oracle = OracleLevel::Off;
+  unsigned Threads = 0; // 0 = VSC_THREADS (default 1)
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--machine=rs6000")
@@ -95,6 +101,12 @@ int main(int Argc, char **Argv) {
     } else if (A == "--oracle=boundaries") {
       RunPipeline = true;
       Oracle = OracleLevel::Boundaries;
+    } else if (A.rfind("--threads=", 0) == 0) {
+      Threads = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+      if (!Threads) {
+        std::fprintf(stderr, "--threads wants a positive count\n");
+        return 2;
+      }
     } else if (A[0] != '-')
       Path = A;
     else {
@@ -105,7 +117,8 @@ int main(int Argc, char **Argv) {
   if (Path.empty()) {
     std::fprintf(stderr,
                  "usage: %s FILE.vir [--machine=NAME] [--before=FILE.vir] "
-                 "[--pipeline[=boundaries|full]] [--oracle[=boundaries|full]]\n",
+                 "[--pipeline[=boundaries|full]] [--oracle[=boundaries|full]] "
+                 "[--threads=N]\n",
                  Argv[0]);
     return 2;
   }
@@ -125,6 +138,7 @@ int main(int Argc, char **Argv) {
     Opts.Machine = Machine;
     Opts.Audit = Level;
     Opts.Oracle = Oracle;
+    Opts.Threads = Threads;
     // The harness aborts with the offending pass + IR diff on a finding.
     optimize(*M, OptLevel::Vliw, Opts);
     if (Oracle != OracleLevel::Off)

@@ -10,6 +10,9 @@
 ///                          profile-directed feedback
 ///     --inline             inline small leaf functions first
 ///     --regalloc           run linear-scan register allocation
+///     --threads=N          compile functions on N worker threads (output
+///                          is byte-identical for every N; default 1, or
+///                          the VSC_THREADS environment variable)
 ///     --emit-ir            print the optimized IR instead of running
 ///     --stats              print cycles / pathlength / stall breakdown
 ///     -- A B C             integer arguments passed to main()
@@ -32,7 +35,7 @@ using namespace vsc;
 static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s FILE.c [-O0|-O2|-O3] [--machine=NAME] [--pdf] "
-               "[--emit-ir] [--stats] [-- args...]\n",
+               "[--threads=N] [--emit-ir] [--stats] [-- args...]\n",
                Prog);
   return 2;
 }
@@ -46,6 +49,7 @@ int main(int Argc, char **Argv) {
   MachineModel Machine = rs6000();
   bool EmitIr = false, Stats = false, Pdf = false;
   bool DoInline = false, DoRegalloc = false;
+  unsigned Threads = 0; // 0 = VSC_THREADS (default 1)
   std::vector<int64_t> Args;
   bool InArgs = false;
 
@@ -79,6 +83,12 @@ int main(int Argc, char **Argv) {
       DoInline = true;
     } else if (A == "--regalloc") {
       DoRegalloc = true;
+    } else if (A.rfind("--threads=", 0) == 0) {
+      Threads = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+      if (!Threads) {
+        std::fprintf(stderr, "--threads wants a positive count\n");
+        return 2;
+      }
     } else if (A == "--emit-ir") {
       EmitIr = true;
     } else if (A == "--stats") {
@@ -114,6 +124,7 @@ int main(int Argc, char **Argv) {
   Opts.Machine = Machine;
   Opts.Inlining = DoInline;
   Opts.AllocateRegisters = DoRegalloc;
+  Opts.Threads = Threads;
   ProfileData Profile;
   RunOptions TrainOpts;
   TrainOpts.Args = Args;

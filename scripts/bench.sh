@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Benchmark entry point: build the default configuration and run the
-# oracle-overhead benchmark, leaving its google-benchmark JSON at the repo
-# root as BENCH_oracle.json (the human-readable table goes to stdout).
+# oracle-overhead and compile-time benchmarks, leaving google-benchmark
+# JSON at the repo root as BENCH_oracle.json plus the parallel-driver
+# thread sweep as BENCH_compile_parallel.json (human-readable tables go
+# to stdout).
 #
 #   scripts/bench.sh [JOBS]
 set -euo pipefail
@@ -10,10 +12,16 @@ JOBS="${1:-$(nproc)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 cmake -B "$ROOT/build" -S "$ROOT"
-cmake --build "$ROOT/build" -j "$JOBS" --target bench_oracle_overhead
+cmake --build "$ROOT/build" -j "$JOBS" \
+  --target bench_oracle_overhead --target bench_compile_time
 
 "$ROOT/build/bench/bench_oracle_overhead" \
   --benchmark_out="$ROOT/BENCH_oracle.json" \
   --benchmark_out_format=json
 
+"$ROOT/build/bench/bench_compile_time" \
+  --parallel-out="$ROOT/BENCH_compile_parallel.json" \
+  --benchmark_filter='^$'
+
 echo "wrote $ROOT/BENCH_oracle.json"
+echo "wrote $ROOT/BENCH_compile_parallel.json"

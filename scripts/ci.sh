@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: build the default and the ASan+UBSan configurations and
-# run the full test suite under both. Each configuration then re-runs the
+# run the full test suite under both, at VSC_THREADS=1 and VSC_THREADS=4
+# (the parallel per-function driver must be byte-identical and
+# divergence-free at every thread count — the sanitize x threads=4 cell
+# doubles as the data-race check). Each configuration then re-runs the
 # fuzz suite — which carries the semantic audits and the differential
 # execution oracle at Boundaries level — on a shifted VSC_FUZZ_SEED, so
 # every CI run also validates the pipeline on 40 programs no previous run
-# has seen.
+# has seen, with the analysis-cache recompute-and-compare checker forced
+# on (VSC_CHECK_ANALYSES=1).
 #
 #   scripts/ci.sh [JOBS]
 #
@@ -23,10 +27,13 @@ run_config() {
   cmake -B "$dir" -S "$ROOT" "$@"
   echo "=== [$name] build ==="
   cmake --build "$dir" -j "$JOBS"
-  echo "=== [$name] ctest ==="
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
-  echo "=== [$name] oracle-enabled fuzz, seed base $FUZZ_SEED ==="
-  VSC_FUZZ_SEED="$FUZZ_SEED" \
+  for threads in 1 4; do
+    echo "=== [$name] ctest, VSC_THREADS=$threads ==="
+    VSC_THREADS="$threads" \
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  done
+  echo "=== [$name] oracle-enabled fuzz + analysis checking, seed base $FUZZ_SEED ==="
+  VSC_FUZZ_SEED="$FUZZ_SEED" VSC_CHECK_ANALYSES=1 \
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -R Fuzz
 }
 

@@ -116,6 +116,7 @@ void vsc::layoutBlocks(Function &F, const std::vector<BasicBlock *> &Order) {
     if (Next != It->second)
       appendBranch(F, BB, It->second->label());
   }
+  F.noteCfgEdit();
 }
 
 size_t vsc::removeUnreachableBlocks(Function &F) {
@@ -238,6 +239,9 @@ bool vsc::straighten(Function &F) {
   bool Any = false;
   while (straightenOnce(F)) {
     Any = true;
+    // Rounds (a)/(b) delete or retarget branches in place, which no
+    // block-list mutator sees — record the structural edit explicitly.
+    F.noteCfgEdit();
     removeUnreachableBlocks(F);
   }
   removeUnreachableBlocks(F);

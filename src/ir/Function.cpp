@@ -9,6 +9,7 @@ using namespace vsc;
 BasicBlock *Function::addBlock(std::string Label) {
   assert(!findBlock(Label) && "duplicate block label");
   Blocks.push_back(std::make_unique<BasicBlock>(std::move(Label)));
+  noteCfgEdit();
   return Blocks.back().get();
 }
 
@@ -17,12 +18,14 @@ BasicBlock *Function::insertBlock(size_t Index, const std::string &Hint) {
   auto BB = std::make_unique<BasicBlock>(freshLabel(Hint));
   BasicBlock *Ptr = BB.get();
   Blocks.insert(Blocks.begin() + Index, std::move(BB));
+  noteCfgEdit();
   return Ptr;
 }
 
 void Function::eraseBlock(size_t Index) {
   assert(Index < Blocks.size() && "erase position out of range");
   Blocks.erase(Blocks.begin() + Index);
+  noteCfgEdit();
 }
 
 void Function::moveBlock(size_t From, size_t To) {
@@ -32,6 +35,7 @@ void Function::moveBlock(size_t From, size_t To) {
   auto BB = std::move(Blocks[From]);
   Blocks.erase(Blocks.begin() + From);
   Blocks.insert(Blocks.begin() + To, std::move(BB));
+  noteCfgEdit();
 }
 
 BasicBlock *Function::findBlock(const std::string &L) const {

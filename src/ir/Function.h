@@ -80,6 +80,18 @@ public:
   /// Total static instruction count (the paper's code-size metric).
   size_t instrCount() const;
 
+  /// Monotone counter bumped by every structural CFG edit (block
+  /// creation/removal/reordering and the cfg/CfgEdit.h surgery helpers).
+  /// pm/Analysis.h compares it against the value captured when an analysis
+  /// was computed, so cached Cfg/Dominators/Loops views self-invalidate
+  /// after block-level surgery. Instruction-level edits that change
+  /// control flow or register contents without touching the block list do
+  /// NOT bump it — passes declare those through PreservedAnalyses.
+  uint64_t cfgEpoch() const { return CfgEpoch; }
+  /// Records a structural edit made without going through the block-list
+  /// mutators (e.g. retargeting or deleting a branch in place).
+  void noteCfgEdit() { ++CfgEpoch; }
+
 private:
   std::string Name;
   unsigned NumArgs = 0;
@@ -88,6 +100,7 @@ private:
   uint32_t NextCr = Reg::FirstVirtualCr;
   uint32_t NextInstrId = 1;
   uint32_t NextLabelId = 0;
+  uint64_t CfgEpoch = 0;
 };
 
 } // namespace vsc

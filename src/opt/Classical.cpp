@@ -216,11 +216,13 @@ bool vsc::localValueNumbering(Function &F) {
 // Dead code elimination
 //===----------------------------------------------------------------------===//
 
-/// One DCE sweep. \returns true if an instruction died.
-static bool dceOnce(Function &F) {
-  Cfg G(F);
-  RegUniverse U(F);
-  Liveness L(G, U);
+/// One DCE sweep. \returns true if an instruction died. All three
+/// analyses are fetched up front, before any erase, so the sweep works on
+/// a consistent snapshot; the caller invalidates after a changed sweep.
+static bool dceOnce(Function &F, FunctionAnalyses &FA) {
+  const Cfg &G = FA.cfg();
+  const RegUniverse &U = FA.universe();
+  const Liveness &L = FA.liveness();
   bool Changed = false;
   std::vector<Reg> Defs;
 
@@ -265,11 +267,20 @@ static bool dceOnce(Function &F) {
   return Changed;
 }
 
-bool vsc::deadCodeElim(Function &F) {
+bool vsc::deadCodeElim(Function &F, FunctionAnalyses &FA) {
   bool Any = false;
-  while (dceOnce(F))
+  while (dceOnce(F, FA)) {
+    // Erasing instructions shifts CfgEdge::TermIdx — structural, even
+    // though the graph shape is unchanged.
+    FA.invalidateAll();
     Any = true;
+  }
   return Any;
+}
+
+bool vsc::deadCodeElim(Function &F) {
+  FunctionAnalyses FA(F);
+  return deadCodeElim(F, FA);
 }
 
 //===----------------------------------------------------------------------===//
@@ -372,44 +383,65 @@ static bool licmOnLoop(Function &F, Loop &L, const Cfg &G,
   return Changed;
 }
 
-bool vsc::classicalLicm(Function &F) {
+bool vsc::classicalLicm(Function &F, FunctionAnalyses &FA) {
   bool Any = false;
   bool Changed = true;
   unsigned Guard = 0;
   while (Changed && Guard++ < 8) {
     Changed = false;
-    Cfg G(F);
-    Dominators Dom(G);
-    LoopInfo LI(G, Dom);
-    for (Loop *L : LI.innermostLoops()) {
+    const Cfg &G = FA.cfg();
+    const Dominators &Dom = FA.dominators();
+    for (Loop *L : FA.loops().innermostLoops()) {
       if (licmOnLoop(F, *L, G, Dom)) {
+        // Hoisting moved instructions (and may have made a preheader);
+        // drop everything and recompute on the next round.
+        FA.invalidateAll();
         Changed = true;
         Any = true;
-        break; // CFG changed; recompute everything
+        break;
       }
     }
   }
   return Any;
 }
 
+bool vsc::classicalLicm(Function &F) {
+  FunctionAnalyses FA(F);
+  return classicalLicm(F, FA);
+}
+
 //===----------------------------------------------------------------------===//
 // Pipeline
 //===----------------------------------------------------------------------===//
 
-bool vsc::runClassicalPipeline(Function &F) {
+bool vsc::runClassicalPipeline(Function &F, FunctionAnalyses &FA) {
   bool Any = false;
   for (unsigned Round = 0; Round < 8; ++Round) {
     bool Changed = false;
-    Changed |= copyPropagate(F);
-    Changed |= localValueNumbering(F);
-    Changed |= deadCodeElim(F);
-    Changed |= classicalLicm(F);
+    // Copy propagation and LVN rewrite instructions in place — branches
+    // and block boundaries survive, register contents do not.
+    if (copyPropagate(F)) {
+      FA.invalidate(PreservedAnalyses::structure());
+      Changed = true;
+    }
+    if (localValueNumbering(F)) {
+      FA.invalidate(PreservedAnalyses::structure());
+      Changed = true;
+    }
+    Changed |= deadCodeElim(F, FA);
+    Changed |= classicalLicm(F, FA);
+    // straighten() bumps the CFG epoch itself when it edits.
     Changed |= straighten(F);
     if (!Changed)
       break;
     Any = true;
   }
   return Any;
+}
+
+bool vsc::runClassicalPipeline(Function &F) {
+  FunctionAnalyses FA(F);
+  return runClassicalPipeline(F, FA);
 }
 
 void vsc::runClassicalPipeline(Module &M) {

@@ -22,6 +22,7 @@
 
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "pm/Analysis.h"
 
 namespace vsc {
 
@@ -35,8 +36,10 @@ bool copyPropagate(Function &F);
 bool localValueNumbering(Function &F);
 
 /// Removes instructions whose results are dead and which have no side
-/// effects. Iterates to a fixed point.
+/// effects. Iterates to a fixed point. The \p FA overload reads liveness
+/// from the cache and invalidates it after each mutating sweep.
 bool deadCodeElim(Function &F);
+bool deadCodeElim(Function &F, FunctionAnalyses &FA);
 
 /// Classical (non-speculative) loop-invariant code motion: hoists pure
 /// ALU ops whose operands are loop-invariant and, conservatively, loads
@@ -44,9 +47,13 @@ bool deadCodeElim(Function &F);
 /// This deliberately refuses the conditional loads/stores the paper's
 /// speculative load/store motion handles — that contrast is experiment E7.
 bool classicalLicm(Function &F);
+bool classicalLicm(Function &F, FunctionAnalyses &FA);
 
-/// The full baseline pipeline; \returns true if anything changed.
+/// The full baseline pipeline; \returns true if anything changed. The
+/// \p FA overload threads the analysis cache through every sub-pass (the
+/// free-function form builds a throwaway cache).
 bool runClassicalPipeline(Function &F);
+bool runClassicalPipeline(Function &F, FunctionAnalyses &FA);
 void runClassicalPipeline(Module &M);
 
 } // namespace vsc

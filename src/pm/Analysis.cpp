@@ -1,0 +1,317 @@
+//===- pm/Analysis.cpp - Cached per-function analyses ----------------------===//
+
+#include "pm/Analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace vsc;
+
+//===----------------------------------------------------------------------===//
+// FunctionAnalyses
+//===----------------------------------------------------------------------===//
+
+void FunctionAnalyses::freshen() {
+  if (Epoch == F.cfgEpoch())
+    return;
+  invalidateAll();
+}
+
+const Cfg &FunctionAnalyses::cfg() {
+  freshen();
+  count(CfgA != nullptr);
+  if (!CfgA)
+    CfgA = std::make_unique<Cfg>(F);
+  return *CfgA;
+}
+
+const Dominators &FunctionAnalyses::dominators() {
+  freshen();
+  count(DomA != nullptr);
+  if (!DomA)
+    DomA = std::make_unique<Dominators>(cfg());
+  return *DomA;
+}
+
+const Dominators &FunctionAnalyses::postDominators() {
+  freshen();
+  count(PostDomA != nullptr);
+  if (!PostDomA)
+    PostDomA = std::make_unique<Dominators>(cfg(), /*Post=*/true);
+  return *PostDomA;
+}
+
+const LoopInfo &FunctionAnalyses::loops() {
+  freshen();
+  count(LoopsA != nullptr);
+  if (!LoopsA) {
+    const Cfg &G = cfg();
+    LoopsA = std::make_unique<LoopInfo>(G, dominators());
+  }
+  return *LoopsA;
+}
+
+const BiconnectedComponents &FunctionAnalyses::biconnected() {
+  freshen();
+  count(BiconA != nullptr);
+  if (!BiconA)
+    BiconA = std::make_unique<BiconnectedComponents>(cfg());
+  return *BiconA;
+}
+
+const RegUniverse &FunctionAnalyses::universe() {
+  freshen();
+  count(UnivA != nullptr);
+  if (!UnivA)
+    UnivA = std::make_unique<RegUniverse>(F);
+  return *UnivA;
+}
+
+const Liveness &FunctionAnalyses::liveness() {
+  freshen();
+  count(LiveA != nullptr);
+  if (!LiveA) {
+    const Cfg &G = cfg();
+    LiveA = std::make_unique<Liveness>(G, universe());
+  }
+  return *LiveA;
+}
+
+void FunctionAnalyses::invalidate(const PreservedAnalyses &PA) {
+  freshen();
+  if (PA.preservesAll())
+    return;
+
+  // Dependency closure over the declared claim: Cfg feeds everything;
+  // Dominators feed Loops; the RegUniverse/Liveness pair lives and dies
+  // together (Liveness holds a reference into its universe).
+  bool DropCfg = !PA.preserves(AnalysisKind::Cfg);
+  bool DropDom = DropCfg || !PA.preserves(AnalysisKind::Dominators);
+  bool DropPostDom = DropCfg || !PA.preserves(AnalysisKind::PostDominators);
+  bool DropLoops = DropDom || !PA.preserves(AnalysisKind::Loops);
+  bool DropBicon = DropCfg || !PA.preserves(AnalysisKind::Biconnected);
+  bool DropLive = DropCfg || !PA.preserves(AnalysisKind::Liveness);
+
+  // Destruction order: dependents first (Liveness references the
+  // universe; LoopInfo holds Cfg edges).
+  if (DropLive) {
+    LiveA.reset();
+    UnivA.reset();
+  }
+  if (DropLoops)
+    LoopsA.reset();
+  if (DropBicon)
+    BiconA.reset();
+  if (DropPostDom)
+    PostDomA.reset();
+  if (DropDom)
+    DomA.reset();
+  if (DropCfg)
+    CfgA.reset();
+}
+
+void FunctionAnalyses::invalidateAll() {
+  LiveA.reset();
+  UnivA.reset();
+  LoopsA.reset();
+  BiconA.reset();
+  PostDomA.reset();
+  DomA.reset();
+  CfgA.reset();
+  Epoch = F.cfgEpoch();
+}
+
+bool FunctionAnalyses::hasCached(AnalysisKind K) const {
+  if (Epoch != F.cfgEpoch())
+    return false;
+  switch (K) {
+  case AnalysisKind::Cfg:
+    return CfgA != nullptr;
+  case AnalysisKind::Dominators:
+    return DomA != nullptr;
+  case AnalysisKind::PostDominators:
+    return PostDomA != nullptr;
+  case AnalysisKind::Loops:
+    return LoopsA != nullptr;
+  case AnalysisKind::Biconnected:
+    return BiconA != nullptr;
+  case AnalysisKind::Liveness:
+    return UnivA != nullptr && LiveA != nullptr;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Debug recompute-and-compare
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string summarizeCfg(const Function &F, const Cfg &G) {
+  std::ostringstream OS;
+  for (const auto &BBPtr : F.blocks()) {
+    const BasicBlock *BB = BBPtr.get();
+    OS << BB->label() << "[" << G.rpoIndex(BB) << "]:";
+    for (const CfgEdge &E : G.succs(BB))
+      OS << " " << E.To->label() << (E.IsTaken ? "/t" : "/f") << "@"
+         << E.TermIdx;
+    OS << ";";
+  }
+  return OS.str();
+}
+
+std::string summarizeDom(const Function &F, const Dominators &D) {
+  std::ostringstream OS;
+  for (const auto &BBPtr : F.blocks()) {
+    const BasicBlock *Idom = D.idom(BBPtr.get());
+    OS << BBPtr->label() << "<-" << (Idom ? Idom->label() : "-") << ";";
+  }
+  return OS.str();
+}
+
+std::string summarizeLoops(const LoopInfo &LI) {
+  std::ostringstream OS;
+  for (const auto &LPtr : LI.loops()) {
+    const Loop &L = *LPtr;
+    OS << L.Header->label() << "(d" << L.Depth << ",p"
+       << (L.Parent ? L.Parent->Header->label() : "-") << "){";
+    for (const BasicBlock *BB : L.Blocks)
+      OS << BB->label() << " ";
+    OS << "|latch:";
+    for (const BasicBlock *BB : L.Latches)
+      OS << BB->label() << " ";
+    OS << "|exit:";
+    for (const CfgEdge &E : L.Exits)
+      OS << E.From->label() << ">" << E.To->label()
+         << (E.IsTaken ? "/t" : "/f") << "@" << E.TermIdx << " ";
+    OS << "};";
+  }
+  return OS.str();
+}
+
+std::string summarizeBicon(const BiconnectedComponents &BC) {
+  std::ostringstream OS;
+  OS << "root" << BC.rootComponent() << ";";
+  for (const auto &C : BC.components()) {
+    OS << "(p" << C.Parent << ",s"
+       << (C.SharedWithParent ? C.SharedWithParent->label() : "-") << "){";
+    for (const BasicBlock *BB : C.Blocks)
+      OS << BB->label() << " ";
+    OS << "};";
+  }
+  for (const BasicBlock *BB : BC.articulationPoints())
+    OS << "art:" << BB->label() << ";";
+  return OS.str();
+}
+
+std::string summarizeLiveness(const Function &F, const RegUniverse &U,
+                              const Liveness &L) {
+  // RegUniverse enumerates registers in instruction order, so two
+  // universes over semantically identical code can index the same set
+  // differently (e.g. after a legal within-block reorder). Sort the
+  // names so the summary compares sets, not enumerations.
+  auto Names = [&U](const BitVector &S) {
+    std::vector<std::string> Rs;
+    for (size_t I = 0, E = U.size(); I != E; ++I)
+      if (S.test(I))
+        Rs.push_back(U.regAt(I).str());
+    std::sort(Rs.begin(), Rs.end());
+    std::string Out;
+    for (const std::string &R : Rs)
+      Out += R + " ";
+    return Out;
+  };
+  std::ostringstream OS;
+  for (const auto &BBPtr : F.blocks()) {
+    const BasicBlock *BB = BBPtr.get();
+    OS << BB->label() << " in:" << Names(L.liveIn(BB))
+       << "out:" << Names(L.liveOut(BB)) << ";";
+  }
+  return OS.str();
+}
+
+} // namespace
+
+std::string FunctionAnalyses::verifyCache() {
+  // An epoch mismatch means the cache is already logically empty — the
+  // next getter recomputes — so only epoch-fresh entries can lie.
+  freshen();
+
+  if (CfgA) {
+    Cfg Fresh(F);
+    if (summarizeCfg(F, *CfgA) != summarizeCfg(F, Fresh))
+      return "stale Cfg for @" + F.name() +
+             ": a pass mutated control flow but claimed to preserve Cfg";
+    if (DomA && summarizeDom(F, *DomA) !=
+                    summarizeDom(F, Dominators(Fresh, /*Post=*/false)))
+      return "stale Dominators for @" + F.name() +
+             ": a pass mutated control flow but claimed to preserve "
+             "Dominators";
+    if (PostDomA && summarizeDom(F, *PostDomA) !=
+                        summarizeDom(F, Dominators(Fresh, /*Post=*/true)))
+      return "stale PostDominators for @" + F.name() +
+             ": a pass mutated control flow but claimed to preserve "
+             "PostDominators";
+    if (LoopsA) {
+      Dominators FreshDom(Fresh, /*Post=*/false);
+      if (summarizeLoops(*LoopsA) != summarizeLoops(LoopInfo(Fresh, FreshDom)))
+        return "stale Loops for @" + F.name() +
+               ": a pass mutated control flow but claimed to preserve Loops";
+    }
+    if (BiconA && summarizeBicon(*BiconA) !=
+                      summarizeBicon(BiconnectedComponents(Fresh)))
+      return "stale Biconnected for @" + F.name() +
+             ": a pass mutated control flow but claimed to preserve "
+             "Biconnected";
+    if (UnivA && LiveA) {
+      RegUniverse FreshU(F);
+      if (summarizeLiveness(F, *UnivA, *LiveA) !=
+          summarizeLiveness(F, FreshU, Liveness(Fresh, FreshU)))
+        return "stale Liveness for @" + F.name() +
+               ": a pass changed register contents or control flow but "
+               "claimed to preserve Liveness";
+    }
+  }
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionAnalysisManager
+//===----------------------------------------------------------------------===//
+
+FunctionAnalyses &FunctionAnalysisManager::on(Function &F) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Entries[&F];
+  if (!Slot)
+    Slot = std::make_unique<FunctionAnalyses>(F);
+  return *Slot;
+}
+
+void FunctionAnalysisManager::invalidateAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &KV : Entries)
+    KV.second->invalidateAll();
+}
+
+void FunctionAnalysisManager::refresh() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    bool Alive = false;
+    for (const auto &F : M.functions())
+      if (F.get() == It->first) {
+        Alive = true;
+        break;
+      }
+    It = Alive ? std::next(It) : Entries.erase(It);
+  }
+}
+
+FunctionAnalyses::Stats FunctionAnalysisManager::totalStats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  FunctionAnalyses::Stats Total;
+  for (const auto &KV : Entries) {
+    Total.Hits += KV.second->stats().Hits;
+    Total.Misses += KV.second->stats().Misses;
+  }
+  return Total;
+}

@@ -1,0 +1,210 @@
+//===- pm/Analysis.h - Cached per-function analyses -----------*- C++ -*-===//
+///
+/// \file
+/// The analysis-caching half of the pass manager (pm/PassManager.h).
+///
+/// FunctionAnalyses owns at most one cached instance of each analysis the
+/// pipeline uses (Cfg, Dominators, PostDominators, LoopInfo,
+/// BiconnectedComponents, RegUniverse+Liveness) for one function. Getters
+/// compute on first use and return a cached const reference afterwards.
+///
+/// Invalidation is two-layered:
+///
+///  1. Structural (automatic): Function keeps a CFG-edit epoch
+///     (Function::cfgEpoch(), bumped by block-list mutators and the
+///     cfg/CfgEdit.h surgery helpers). Every getter compares the epoch
+///     against the value captured when the cache was filled and drops
+///     everything on mismatch. A pass cannot "forget" to invalidate after
+///     block surgery.
+///
+///  2. Declared (PreservedAnalyses): after a pass runs, the manager calls
+///     invalidate() with the pass's PreservedAnalyses return value. The
+///     dependency closure is applied automatically: dropping Cfg drops
+///     all derived analyses, dropping Dominators drops Loops, dropping
+///     Liveness drops the RegUniverse it was numbered against.
+///
+/// The preservation rules passes follow (see DESIGN.md §9):
+///  - inserting or erasing ANY instruction invalidates structurally — even
+///    when the graph shape is unchanged — because CfgEdge::TermIdx indexes
+///    a branch inside its block's instruction vector, and Loop::Exits
+///    store such edges;
+///  - rewriting instructions in place (operand/opcode changes that leave
+///    branches and block boundaries alone) preserves structure() but not
+///    Liveness;
+///  - reordering only the non-terminator prefix of a block (local
+///    scheduling) preserves all().
+///
+/// References returned by getters are valid until the next invalidation —
+/// including the implicit epoch check a later getter performs. A pass that
+/// mutates its function must not mix pre-mutation references with
+/// post-mutation getter calls.
+///
+/// Debug mode (VSC_CHECK_ANALYSES=1 or FunctionPassManager flag):
+/// verifyCache() recomputes every cached analysis from scratch and
+/// compares; a pass that mutated the CFG while claiming preservation is
+/// reported by name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_PM_ANALYSIS_H
+#define VSC_PM_ANALYSIS_H
+
+#include "analysis/Liveness.h"
+#include "cfg/Biconnected.h"
+#include "cfg/Dominators.h"
+#include "cfg/Loops.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace vsc {
+
+/// Every analysis the manager can cache. Liveness covers the
+/// RegUniverse/Liveness pair (Liveness holds a reference into the
+/// universe it was numbered against, so they cache and die together).
+enum class AnalysisKind : unsigned {
+  Cfg = 0,
+  Dominators,
+  PostDominators,
+  Loops,
+  Biconnected,
+  Liveness,
+};
+constexpr unsigned NumAnalysisKinds = 6;
+
+/// What a pass kept intact, as a bitmask over AnalysisKind. Passes build
+/// one of these as their return value; the manager applies it (plus the
+/// dependency closure) to the cache.
+class PreservedAnalyses {
+public:
+  /// Nothing survives. The safe default for any pass that inserts or
+  /// erases instructions (see the TermIdx rule in the file comment).
+  static PreservedAnalyses none() { return PreservedAnalyses(0); }
+
+  /// Everything survives. Correct only for passes that change nothing or
+  /// only reorder the non-terminator prefix of blocks.
+  static PreservedAnalyses all() { return PreservedAnalyses(AllMask); }
+
+  /// Structure survives, register contents do not: Cfg, Dominators,
+  /// PostDominators, Loops and Biconnected are kept, Liveness is dropped.
+  /// Correct for in-place rewrites that leave every branch and block
+  /// boundary untouched (copy propagation, local value numbering).
+  static PreservedAnalyses structure() {
+    PreservedAnalyses PA = all();
+    return PA.abandon(AnalysisKind::Liveness);
+  }
+
+  PreservedAnalyses &preserve(AnalysisKind K) {
+    Mask |= bit(K);
+    return *this;
+  }
+  PreservedAnalyses &abandon(AnalysisKind K) {
+    Mask &= ~bit(K);
+    return *this;
+  }
+
+  bool preserves(AnalysisKind K) const { return (Mask & bit(K)) != 0; }
+  bool preservesAll() const { return Mask == AllMask; }
+  bool preservesNone() const { return Mask == 0; }
+
+private:
+  explicit PreservedAnalyses(unsigned Mask) : Mask(Mask) {}
+  static unsigned bit(AnalysisKind K) {
+    return 1u << static_cast<unsigned>(K);
+  }
+  static constexpr unsigned AllMask = (1u << NumAnalysisKinds) - 1;
+  unsigned Mask = 0;
+};
+
+/// The cached analyses of one function. Not thread-safe by itself; the
+/// parallel driver gives each worker exclusive access to the entries of
+/// the functions it is compiling.
+class FunctionAnalyses {
+public:
+  struct Stats {
+    uint64_t Hits = 0;   ///< getter served from cache
+    uint64_t Misses = 0; ///< getter had to compute
+  };
+
+  explicit FunctionAnalyses(Function &F) : F(F), Epoch(F.cfgEpoch()) {}
+
+  Function &function() const { return F; }
+
+  const Cfg &cfg();
+  const Dominators &dominators();
+  const Dominators &postDominators();
+  const LoopInfo &loops();
+  const BiconnectedComponents &biconnected();
+  const RegUniverse &universe();
+  const Liveness &liveness();
+
+  /// Applies a pass's preservation claim: drops every analysis the claim
+  /// abandons, plus everything depending on a dropped analysis.
+  void invalidate(const PreservedAnalyses &PA);
+  void invalidateAll();
+
+  /// \returns true if \p K is cached AND still structurally fresh (an
+  /// epoch mismatch counts as not cached). Test/bench introspection.
+  bool hasCached(AnalysisKind K) const;
+
+  const Stats &stats() const { return Counters; }
+
+  /// Debug check: recomputes every cached analysis from the function's
+  /// current state and compares against the cache. \returns "" when
+  /// consistent, else a message naming the stale analysis — evidence of a
+  /// pass that mutated the CFG while claiming preservation.
+  std::string verifyCache();
+
+private:
+  /// Drops everything if the function's CFG epoch moved past the cache.
+  void freshen();
+  void count(bool Hit) { Hit ? ++Counters.Hits : ++Counters.Misses; }
+
+  Function &F;
+  uint64_t Epoch;
+  Stats Counters;
+
+  std::unique_ptr<Cfg> CfgA;
+  std::unique_ptr<Dominators> DomA;
+  std::unique_ptr<Dominators> PostDomA;
+  std::unique_ptr<LoopInfo> LoopsA;
+  std::unique_ptr<BiconnectedComponents> BiconA;
+  std::unique_ptr<RegUniverse> UnivA;
+  std::unique_ptr<Liveness> LiveA;
+};
+
+/// Per-module registry of FunctionAnalyses. Entry creation is
+/// mutex-guarded so parallel workers can each fetch their function's
+/// entry; everything past on() is single-owner by the driver's contract.
+class FunctionAnalysisManager {
+public:
+  explicit FunctionAnalysisManager(Module &M) : M(M) {}
+
+  Module &module() const { return M; }
+
+  FunctionAnalyses &on(Function &F);
+
+  /// Drops every cache (module-level passes mutate arbitrary functions).
+  void invalidateAll();
+
+  /// Reconciles with the module after functions were added or removed
+  /// (e.g. inlining): entries of vanished functions are destroyed so no
+  /// dangling Function& survives.
+  void refresh();
+
+  /// Aggregate hit/miss counters across all entries (bench reporting).
+  FunctionAnalyses::Stats totalStats() const;
+
+private:
+  Module &M;
+  mutable std::mutex Mu;
+  std::unordered_map<Function *, std::unique_ptr<FunctionAnalyses>> Entries;
+};
+
+} // namespace vsc
+
+#endif // VSC_PM_ANALYSIS_H

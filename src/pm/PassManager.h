@@ -1,0 +1,178 @@
+//===- pm/PassManager.h - Function/module pass managers -------*- C++ -*-===//
+///
+/// \file
+/// The pass-management layer the pipeline (vliw/Pipeline.cpp) is built
+/// on, modelled on the LLVM new-PM split:
+///
+///  - FunctionPass: runs on one function, takes its analyses from a
+///    FunctionAnalyses cache, and RETURNS what it preserved. Pass objects
+///    are shared across worker threads, so run() must be re-entrant for
+///    distinct functions (the wrappers in pm/Passes.h are stateless).
+///
+///  - FunctionPassManager: a pass chain for one function. After every
+///    pass it applies the returned PreservedAnalyses to the cache and —
+///    when analysis checking is on (VSC_CHECK_ANALYSES=1 or
+///    setCheckAnalyses(true)) — recomputes and compares, so a pass that
+///    lies about preservation is reported by name.
+///
+///  - ModulePass / ModulePassManager: serial module-level stages
+///    (inlining, register allocation, layout). These act as barriers
+///    between parallel function-pass regions.
+///
+///  - FunctionToModulePassAdaptor: runs a FunctionPassManager over every
+///    function, optionally in parallel on a work-stealing ThreadPool.
+///
+/// Determinism contract of the parallel adaptor: function passes touch
+/// only their own function (plus the read-only Module), fresh labels and
+/// registers come from per-function counters, and no pass uses global
+/// mutable state — so the compiled module is byte-identical for every
+/// thread count, and tests assert exactly that.
+///
+/// Instrumentation (verifier / PassAudit / ExecOracle checkpoints)
+/// registers through PassInstrumentation instead of being spliced into
+/// the pipeline by hand:
+///
+///  - AfterFunctionChain fires once per function after its whole chain,
+///    SERIALLY in module layout order on the calling thread, after the
+///    parallel region's barrier. Checks that execute code (the oracle
+///    re-runs functions and may read callee bodies) are therefore never
+///    concurrent with a mutation.
+///
+///  - AfterFunctionPass fires after every single pass on a function. Any
+///    registered AfterFunctionPass callback forces the adaptor serial,
+///    because the callback observes cross-function state mid-chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_PM_PASSMANAGER_H
+#define VSC_PM_PASSMANAGER_H
+
+#include "pm/Analysis.h"
+#include "support/ThreadPool.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+class FunctionPass {
+public:
+  virtual ~FunctionPass() = default;
+
+  /// Stable pass name; doubles as the audit/oracle stage label for
+  /// per-pass checkpoints.
+  virtual const char *name() const = 0;
+
+  /// Transforms \p F, reading analyses from \p FA, and returns what it
+  /// kept valid. \p M is read-only context (globals, callee prototypes);
+  /// mutating other functions from a function pass breaks the parallel
+  /// driver's contract.
+  virtual PreservedAnalyses run(Function &F, Module &M,
+                                FunctionAnalyses &FA) = 0;
+};
+
+class ModulePass {
+public:
+  virtual ~ModulePass() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Transforms \p M. Responsible for its own invalidation through
+  /// \p FAM (most call FAM.invalidateAll(); ones that add or remove
+  /// functions also FAM.refresh()). \returns "" on success, else a
+  /// diagnostic that fails the pipeline.
+  virtual std::string run(Module &M, FunctionAnalysisManager &FAM) = 0;
+};
+
+/// Observation hooks, all optional. See the file comment for when each
+/// fires and the threading guarantees.
+struct PassInstrumentation {
+  /// After one pass of a function chain. Forces serial execution.
+  std::function<void(const FunctionPass &, Function &)> AfterFunctionPass;
+  /// After a function's full chain; serial, module order, post-barrier.
+  /// \p Stage is the adaptor's stage name.
+  std::function<void(Function &, const std::string &Stage)>
+      AfterFunctionChain;
+  /// After each module pass.
+  std::function<void(const ModulePass &, Module &)> AfterModulePass;
+};
+
+class FunctionPassManager {
+public:
+  FunctionPassManager();
+
+  void add(std::unique_ptr<FunctionPass> P) {
+    Passes.push_back(std::move(P));
+  }
+
+  /// Recompute-and-compare after every pass (expensive; tests and debug
+  /// runs). Defaults to the VSC_CHECK_ANALYSES environment variable.
+  void setCheckAnalyses(bool On) { CheckAnalyses = On; }
+  bool checkAnalyses() const { return CheckAnalyses; }
+
+  bool empty() const { return Passes.empty(); }
+  const std::vector<std::unique_ptr<FunctionPass>> &passes() const {
+    return Passes;
+  }
+
+  /// Runs the chain on \p F. \returns "" on success, else the analysis-
+  /// checker diagnostic naming the lying pass.
+  std::string run(Function &F, Module &M, FunctionAnalyses &FA,
+                  const PassInstrumentation *PI = nullptr) const;
+
+private:
+  std::vector<std::unique_ptr<FunctionPass>> Passes;
+  bool CheckAnalyses = false;
+};
+
+/// Runs a FunctionPassManager over every function of the module, in
+/// parallel when \p Threads > 1 (and no AfterFunctionPass instrumentation
+/// is registered). Failure reporting is deterministic: the diagnostic of
+/// the lowest-index failing function wins regardless of schedule.
+class FunctionToModulePassAdaptor : public ModulePass {
+public:
+  FunctionToModulePassAdaptor(std::string StageName, FunctionPassManager FPM,
+                              unsigned Threads)
+      : StageName(std::move(StageName)), FPM(std::move(FPM)),
+        Threads(Threads) {}
+
+  const char *name() const override { return StageName.c_str(); }
+  const FunctionPassManager &functionPassManager() const { return FPM; }
+
+  std::string run(Module &M, FunctionAnalysisManager &FAM) override;
+
+  /// Set by the ModulePassManager before run() so per-function hooks fire.
+  void setInstrumentation(const PassInstrumentation *PI) { Instr = PI; }
+
+private:
+  std::string StageName;
+  FunctionPassManager FPM;
+  unsigned Threads;
+  const PassInstrumentation *Instr = nullptr;
+};
+
+class ModulePassManager {
+public:
+  explicit ModulePassManager(PassInstrumentation PI = {})
+      : Instr(std::move(PI)) {}
+
+  void add(std::unique_ptr<ModulePass> P) { Passes.push_back(std::move(P)); }
+
+  /// Convenience: wraps \p FPM in a FunctionToModulePassAdaptor.
+  void addFunctionPasses(std::string StageName, FunctionPassManager FPM,
+                         unsigned Threads);
+
+  /// Runs every module pass in order. Stops at the first failure and
+  /// returns its diagnostic; "" on success.
+  std::string run(Module &M, FunctionAnalysisManager &FAM) const;
+
+private:
+  std::vector<std::unique_ptr<ModulePass>> Passes;
+  PassInstrumentation Instr;
+};
+
+} // namespace vsc
+
+#endif // VSC_PM_PASSMANAGER_H

@@ -1,0 +1,182 @@
+//===- pm/Passes.h - Pass-interface wrappers ------------------*- C++ -*-===//
+///
+/// \file
+/// FunctionPass / ModulePass wrappers around the transforms in src/opt,
+/// src/vliw and src/profile, in the order the VLIW pipeline runs them.
+/// Each wrapper's name() matches the stage label the old hand-rolled
+/// pipeline used, so audit/oracle reports and snapshots keep their
+/// familiar names.
+///
+/// Preservation discipline: every wrapped transform that takes a
+/// FunctionAnalyses parameter maintains the cache itself (invalidating
+/// exactly when it mutates), so its wrapper returns
+/// PreservedAnalyses::all() — "the cache is already consistent". Wrappers
+/// around transforms that do NOT thread the cache (superblock formation,
+/// register allocation, prolog insertion) return none().
+///
+/// All wrappers are stateless apart from immutable configuration captured
+/// at construction, which makes them safe to share across the parallel
+/// driver's worker threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_PM_PASSES_H
+#define VSC_PM_PASSES_H
+
+#include "machine/MachineModel.h"
+#include "pm/PassManager.h"
+#include "vliw/Schedule.h"
+
+namespace vsc {
+
+class ProfileData;
+struct RunOptions;
+
+/// opt/Classical.h: copy propagation, LVN, DCE, LICM, straightening to a
+/// fixed point.
+class ClassicalPass : public FunctionPass {
+public:
+  const char *name() const override { return "classical"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+};
+
+/// profile/Superblock.h: trace-driven tail duplication, followed by a
+/// classical cleanup round.
+class SuperblockPass : public FunctionPass {
+public:
+  explicit SuperblockPass(const ProfileData &Profile) : Profile(Profile) {}
+  const char *name() const override { return "superblocks"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+
+private:
+  const ProfileData &Profile;
+};
+
+/// vliw/LoadStoreMotion.h plus a classical cleanup round.
+class LoadStoreMotionPass : public FunctionPass {
+public:
+  const char *name() const override { return "loadstore-motion"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+};
+
+/// vliw/Unspeculation.h.
+class UnspeculationPass : public FunctionPass {
+public:
+  const char *name() const override { return "unspeculation"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+};
+
+/// vliw/Unroll.h + cfg straightening + vliw/Rename.h, as one stage (the
+/// paper applies renaming to the freshly unrolled bodies).
+class UnrollRenamePass : public FunctionPass {
+public:
+  explicit UnrollRenamePass(unsigned Factor) : Factor(Factor) {}
+  const char *name() const override { return "unroll+rename"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+
+private:
+  unsigned Factor;
+};
+
+/// Enhanced pipeline scheduling (vliw/Schedule.h).
+class PipeliningPass : public FunctionPass {
+public:
+  explicit PipeliningPass(const MachineModel &MM) : MM(MM) {}
+  const char *name() const override { return "pipelining"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+
+private:
+  const MachineModel &MM;
+};
+
+/// Global scheduling (vliw/Schedule.h).
+class GlobalSchedulePass : public FunctionPass {
+public:
+  GlobalSchedulePass(const MachineModel &MM, GlobalScheduleOptions Opts)
+      : MM(MM), Opts(Opts) {}
+  const char *name() const override { return "global-schedule"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+
+private:
+  const MachineModel &MM;
+  GlobalScheduleOptions Opts;
+};
+
+/// vliw/LimitedCombine.h followed by copy propagation and DCE (the
+/// combining stage of the old pipeline).
+class CombiningPass : public FunctionPass {
+public:
+  const char *name() const override { return "combining"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+};
+
+/// cfg/CfgEdit.h straightening as a standalone stage.
+class StraightenPass : public FunctionPass {
+public:
+  const char *name() const override { return "straighten"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+};
+
+/// vliw/BlockExpansion.h.
+class BlockExpansionPass : public FunctionPass {
+public:
+  explicit BlockExpansionPass(const MachineModel &MM) : MM(MM) {}
+  const char *name() const override { return "block-expansion"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+
+private:
+  const MachineModel &MM;
+};
+
+/// opt/RegAlloc.h linear scan, per function.
+class RegAllocPass : public FunctionPass {
+public:
+  const char *name() const override { return "regalloc"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+};
+
+/// vliw/PrologTailor.h callee-save prolog/epilog insertion.
+class PrologPass : public FunctionPass {
+public:
+  explicit PrologPass(bool Tailored) : Tailored(Tailored) {}
+  const char *name() const override { return "prolog"; }
+  PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+
+private:
+  bool Tailored;
+};
+
+/// opt/Inline.h leaf inlining — a true module pass (rewrites callers,
+/// reads callee bodies), so it runs as a serial barrier.
+class InlinePass : public ModulePass {
+public:
+  const char *name() const override { return "inline"; }
+  std::string run(Module &M, FunctionAnalysisManager &FAM) override;
+};
+
+/// profile/PdfLayout.h measured layout gate — module-level (re-simulates
+/// the whole module on the training input).
+class PdfLayoutPass : public ModulePass {
+public:
+  PdfLayoutPass(const ProfileData &Profile, const MachineModel &MM,
+                const RunOptions *TrainInput)
+      : Profile(Profile), MM(MM), TrainInput(TrainInput) {}
+  const char *name() const override { return "pdf-layout"; }
+  std::string run(Module &M, FunctionAnalysisManager &FAM) override;
+
+private:
+  const ProfileData &Profile;
+  const MachineModel &MM;
+  const RunOptions *TrainInput;
+};
+
+/// Final instruction-id renumbering across the module.
+class RenumberPass : public ModulePass {
+public:
+  const char *name() const override { return "renumber"; }
+  std::string run(Module &M, FunctionAnalysisManager &FAM) override;
+};
+
+} // namespace vsc
+
+#endif // VSC_PM_PASSES_H

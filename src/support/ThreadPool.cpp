@@ -1,0 +1,112 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool ------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace vsc;
+
+unsigned ThreadPool::defaultThreadCount() {
+  const char *E = std::getenv("VSC_THREADS");
+  if (!E || !*E)
+    return 1;
+  char *End = nullptr;
+  long V = std::strtol(E, &End, 10);
+  if (End == E || V < 1)
+    return 1;
+  return V > 64 ? 64u : static_cast<unsigned>(V);
+}
+
+namespace {
+
+/// Shared state of one parallelFor invocation: a mutex-guarded deque per
+/// worker. Contention is negligible at this granularity (tasks are whole
+/// per-function pass chains; steals happen only at the tail of a run).
+struct WorkQueues {
+  struct Queue {
+    std::mutex Mu;
+    std::deque<size_t> Items;
+  };
+  std::vector<Queue> Queues;
+
+  explicit WorkQueues(unsigned Workers, size_t N) : Queues(Workers) {
+    // Deal indices round-robin so every worker starts with a local run of
+    // tasks spread across the module (not one contiguous chunk whose cost
+    // may be skewed).
+    for (size_t I = 0; I != N; ++I)
+      Queues[I % Workers].Items.push_back(I);
+  }
+
+  /// Pops the next index for \p Worker: front of its own deque, else a
+  /// steal from the back of the currently longest sibling deque.
+  bool pop(unsigned Worker, size_t &Out) {
+    {
+      Queue &Q = Queues[Worker];
+      std::lock_guard<std::mutex> Lock(Q.Mu);
+      if (!Q.Items.empty()) {
+        Out = Q.Items.front();
+        Q.Items.pop_front();
+        return true;
+      }
+    }
+    // Steal: scan siblings, take from the richest so the load rebalances
+    // in O(log) steals rather than one item at a time from a fixed victim.
+    for (size_t Attempt = 0; Attempt != Queues.size(); ++Attempt) {
+      size_t Victim = 0, Best = 0;
+      for (size_t I = 0; I != Queues.size(); ++I) {
+        if (I == Worker)
+          continue;
+        std::lock_guard<std::mutex> Lock(Queues[I].Mu);
+        if (Queues[I].Items.size() > Best) {
+          Best = Queues[I].Items.size();
+          Victim = I;
+        }
+      }
+      if (Best == 0)
+        return false; // everything drained (or in flight elsewhere)
+      Queue &Q = Queues[Victim];
+      std::lock_guard<std::mutex> Lock(Q.Mu);
+      if (Q.Items.empty())
+        continue; // lost the race; rescan
+      Out = Q.Items.back();
+      Q.Items.pop_back();
+      return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) const {
+  if (N == 0)
+    return;
+  unsigned Workers = NumThreads;
+  if (Workers > N)
+    Workers = static_cast<unsigned>(N);
+  if (Workers <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+
+  WorkQueues Work(Workers, N);
+  auto Run = [&](unsigned Worker) {
+    size_t Idx;
+    while (Work.pop(Worker, Idx))
+      Fn(Idx);
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Workers - 1);
+  for (unsigned W = 1; W != Workers; ++W)
+    Threads.emplace_back(Run, W);
+  Run(0); // the calling thread is worker 0
+  for (std::thread &T : Threads)
+    T.join();
+}

@@ -1,0 +1,59 @@
+//===- support/ThreadPool.h - Work-stealing thread pool -------*- C++ -*-===//
+///
+/// \file
+/// A small work-stealing thread pool for the parallel per-function
+/// compilation driver (pm/PassManager.h). parallelFor(N, Fn) runs Fn(i)
+/// for every i in [0, N) across the pool's workers and returns when all
+/// indices have completed; the calling thread participates as worker 0.
+///
+/// Work distribution: indices are dealt round-robin into one deque per
+/// worker. A worker drains its own deque from the front and, when empty,
+/// steals from the back of the longest sibling deque — cheap dynamic load
+/// balancing for the skewed function-size distributions real modules have
+/// (one large hot function plus many small helpers).
+///
+/// Determinism contract: parallelFor guarantees nothing about execution
+/// order, so callers must only submit tasks that are independent (the
+/// driver runs one function's pass chain per task, with no shared mutable
+/// state). Under that restriction the observable result is schedule-
+/// independent and therefore identical to a serial run.
+///
+/// Thread count resolution: ThreadPool::defaultThreadCount() reads the
+/// VSC_THREADS environment variable (clamped to [1, 64]; unset/invalid
+/// means 1), which PipelineOptions::Threads == 0 defers to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_SUPPORT_THREADPOOL_H
+#define VSC_SUPPORT_THREADPOOL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace vsc {
+
+class ThreadPool {
+public:
+  /// \p Threads total workers, including the calling thread. 0 and 1 both
+  /// mean "run inline, spawn nothing".
+  explicit ThreadPool(unsigned Threads) : NumThreads(Threads ? Threads : 1) {}
+
+  unsigned threadCount() const { return NumThreads; }
+
+  /// Runs \p Fn(i) for every i in [0, N), blocking until all complete.
+  /// Tasks must be independent; any task may run on any worker. A task
+  /// that throws terminates the process (tasks in this project abort on
+  /// failure instead of throwing).
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn) const;
+
+  /// VSC_THREADS environment variable, clamped to [1, 64]; 1 when unset
+  /// or unparsable.
+  static unsigned defaultThreadCount();
+
+private:
+  unsigned NumThreads = 1;
+};
+
+} // namespace vsc
+
+#endif // VSC_SUPPORT_THREADPOOL_H

@@ -193,12 +193,15 @@ void cloneChain(Function &F, BasicBlock *P, const std::string Target,
 } // namespace
 
 bool vsc::expandBasicBlocks(Function &F, const MachineModel &MM,
-                            const ExpansionOptions &Opts) {
+                            const ExpansionOptions &Opts,
+                            FunctionAnalyses &FA) {
   bool Any = false;
   unsigned Applied = 0;
   // Each expansion restructures the layout; restart the scan after one.
+  // cloneChain inserts blocks, so the epoch bump refreshes the cached Cfg
+  // on the next round automatically.
   for (unsigned Guard = 0; Guard < Opts.MaxExpansions; ++Guard) {
-    Cfg G(F);
+    const Cfg &G = FA.cfg();
     bool Changed = false;
     for (auto &BBPtr : F.blocks()) {
       BasicBlock *P = BBPtr.get();
@@ -236,4 +239,10 @@ bool vsc::expandBasicBlocks(Function &F, const MachineModel &MM,
   }
   (void)Applied;
   return Any;
+}
+
+bool vsc::expandBasicBlocks(Function &F, const MachineModel &MM,
+                            const ExpansionOptions &Opts) {
+  FunctionAnalyses FA(F);
+  return expandBasicBlocks(F, MM, Opts, FA);
 }

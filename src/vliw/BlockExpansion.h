@@ -27,6 +27,7 @@
 
 #include "ir/Function.h"
 #include "machine/MachineModel.h"
+#include "pm/Analysis.h"
 
 namespace vsc {
 
@@ -40,6 +41,8 @@ struct ExpansionOptions {
 /// Runs basic block expansion under \p MM's rules. \returns true on change.
 bool expandBasicBlocks(Function &F, const MachineModel &MM,
                        const ExpansionOptions &Opts = {});
+bool expandBasicBlocks(Function &F, const MachineModel &MM,
+                       const ExpansionOptions &Opts, FunctionAnalyses &FA);
 
 } // namespace vsc
 

@@ -382,12 +382,12 @@ bool coalesceOnce(Function &F, const Cfg &G, const Liveness &Live) {
 
 } // namespace
 
-bool vsc::limitedCombine(Function &F, const CombineOptions &Opts) {
+bool vsc::limitedCombine(Function &F, const CombineOptions &Opts,
+                         FunctionAnalyses &FA) {
   bool Any = false;
   for (unsigned Guard = 0; Guard < 64; ++Guard) {
-    Cfg G(F);
-    RegUniverse U(F);
-    Liveness Live(G, U);
+    const Cfg &G = FA.cfg();
+    const Liveness &Live = FA.liveness();
     bool Changed = false;
     for (auto &BBPtr : F.blocks()) {
       BasicBlock *BB = BBPtr.get();
@@ -409,8 +409,14 @@ bool vsc::limitedCombine(Function &F, const CombineOptions &Opts) {
       Changed = coalesceOnce(F, G, Live);
     if (!Changed)
       break;
+    FA.invalidateAll();
     Any = true;
     removeUnreachableBlocks(F);
   }
   return Any;
+}
+
+bool vsc::limitedCombine(Function &F, const CombineOptions &Opts) {
+  FunctionAnalyses FA(F);
+  return limitedCombine(F, Opts, FA);
 }

@@ -21,6 +21,7 @@
 #define VSC_VLIW_LIMITEDCOMBINE_H
 
 #include "ir/Function.h"
+#include "pm/Analysis.h"
 
 namespace vsc {
 
@@ -33,6 +34,8 @@ struct CombineOptions {
 
 /// Runs limited combining to a fixed point. \returns true on change.
 bool limitedCombine(Function &F, const CombineOptions &Opts = {});
+bool limitedCombine(Function &F, const CombineOptions &Opts,
+                    FunctionAnalyses &FA);
 
 } // namespace vsc
 

@@ -174,24 +174,26 @@ bool processLoop(Function &F, const Module &M, const Cfg &G, Loop &L) {
 
 } // namespace
 
-bool vsc::speculativeLoadStoreMotion(Function &F, const Module &M) {
+bool vsc::speculativeLoadStoreMotion(Function &F, const Module &M,
+                                     FunctionAnalyses &FA) {
   bool Any = false;
   bool Changed = true;
   unsigned Guard = 0;
   while (Changed && Guard++ < 64) {
     Changed = false;
-    Cfg G(F);
-    Dominators Dom(G);
-    LoopInfo LI(G, Dom);
+    const Cfg &G = FA.cfg();
     // Innermost loops first (deepest first), as the paper recommends when
     // infrequently executed inner-loop accesses might slow an outer loop.
     std::vector<Loop *> Loops;
-    for (const auto &L : LI.loops())
+    for (const auto &L : FA.loops().loops())
       Loops.push_back(L.get());
     std::sort(Loops.begin(), Loops.end(),
               [](Loop *A, Loop *B) { return A->Depth > B->Depth; });
     for (Loop *L : Loops) {
       if (processLoop(F, M, G, *L)) {
+        // Motion split edges and rewrote accesses; start the next round
+        // from scratch.
+        FA.invalidateAll();
         Changed = true;
         Any = true;
         break;
@@ -199,6 +201,11 @@ bool vsc::speculativeLoadStoreMotion(Function &F, const Module &M) {
     }
   }
   return Any;
+}
+
+bool vsc::speculativeLoadStoreMotion(Function &F, const Module &M) {
+  FunctionAnalyses FA(F);
+  return speculativeLoadStoreMotion(F, M, FA);
 }
 
 bool vsc::speculativeLoadStoreMotion(Module &M) {

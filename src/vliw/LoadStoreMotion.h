@@ -29,12 +29,15 @@
 #define VSC_VLIW_LOADSTOREMOTION_H
 
 #include "ir/Module.h"
+#include "pm/Analysis.h"
 
 namespace vsc {
 
 /// Runs the pass on one function; \p M provides global sizes for the
 /// safety check. \returns true if any group was moved.
 bool speculativeLoadStoreMotion(Function &F, const Module &M);
+bool speculativeLoadStoreMotion(Function &F, const Module &M,
+                                FunctionAnalyses &FA);
 
 /// Module-wide driver.
 bool speculativeLoadStoreMotion(Module &M);

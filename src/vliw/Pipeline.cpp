@@ -1,26 +1,36 @@
 //===- vliw/Pipeline.cpp - Optimization pipelines ----------------------------===//
+//
+// The driver is built on the pass manager (pm/PassManager.h): the
+// per-function pipeline is a FunctionPassManager run by a (possibly
+// parallel) FunctionToModulePassAdaptor, module-level stages are
+// ModulePasses acting as serial barriers, and the Verifier / PassAudit /
+// ExecOracle checkpoints are pass-instrumentation callbacks instead of
+// hand-spliced calls:
+//
+//  - AfterFunctionPass (registered only at Audit/Oracle Full): per-pass
+//    checkpoints with the old "pass(function)" stage names. Registering
+//    it forces the adaptor serial — the oracle executes code and may read
+//    callee bodies, which must not race with other workers.
+//
+//  - AfterFunctionChain: fires serially in module layout order after the
+//    parallel region's barrier; per-function verify plus Boundaries-level
+//    audit/oracle under the old "optimize(function)" stage names.
+//
+//  - AfterModulePass: whole-module verify/audit/oracle at the stage
+//    boundaries ("inline", "regalloc", "prolog", "pdf-layout").
+//
+//===----------------------------------------------------------------------===//
 
 #include "vliw/Pipeline.h"
 
 #include "audit/PassAudit.h"
-#include "cfg/CfgEdit.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
-#include "opt/Classical.h"
-#include "opt/Inline.h"
-#include "opt/RegAlloc.h"
-#include "profile/PdfLayout.h"
+#include "pm/Passes.h"
 #include "profile/ProfileData.h"
-#include "profile/Superblock.h"
-#include "vliw/BlockExpansion.h"
-#include "vliw/LimitedCombine.h"
-#include "vliw/LoadStoreMotion.h"
-#include "vliw/PrologTailor.h"
-#include "vliw/Rename.h"
-#include "vliw/Schedule.h"
-#include "vliw/Unroll.h"
-#include "vliw/Unspeculation.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -97,78 +107,43 @@ void oracleStage(ExecOracle &Oracle, const Module &M,
     failOracle(R);
 }
 
-void optimizeFunction(Function &F, Module &M, OptLevel L,
-                      const PipelineOptions &Opts, PassAudit &Audit,
-                      ExecOracle &Oracle) {
-  // Per-sub-pass audit + oracle checkpoint (Full levels only).
-  auto Sub = [&](const char *Pass) {
-    std::string Stage = std::string(Pass) + "(" + F.name() + ")";
-    if (Audit.full()) {
-      AuditResult R = Audit.checkpointFunction(F, M, Stage);
-      if (!R.ok())
-        failAudit(R);
-    }
-    if (Oracle.full()) {
-      OracleResult R = Oracle.checkpointFunction(F, M, Stage);
-      if (!R.ok())
-        failOracle(R);
-    }
-  };
-
+/// The per-function chain for level \p L (empty at OptLevel::None — the
+/// adaptor still runs so the per-function checkpoints fire).
+FunctionPassManager buildFunctionPipeline(OptLevel L,
+                                          const PipelineOptions &Opts) {
+  FunctionPassManager FPM;
   if (L == OptLevel::None)
-    return;
+    return FPM;
 
-  runClassicalPipeline(F);
-  Sub("classical");
+  FPM.add(std::make_unique<ClassicalPass>());
   if (L == OptLevel::Classical)
-    return;
+    return FPM;
 
   // --- the VLIW prototype pipeline ---
-  if (Opts.Superblocks && Opts.Profile) {
-    formSuperblocks(F, *Opts.Profile);
-    runClassicalPipeline(F);
-    Sub("superblocks");
-  }
-  if (Opts.LoadStoreMotion) {
-    speculativeLoadStoreMotion(F, M);
-    runClassicalPipeline(F);
-    Sub("loadstore-motion");
-  }
-  if (Opts.Unspeculation) {
-    unspeculate(F);
-    Sub("unspeculation");
-  }
-  if (Opts.UnrollAndRename) {
-    unrollInnermostLoops(F, Opts.UnrollFactor);
-    straighten(F);
-    renameInnermostLoops(F);
-    Sub("unroll+rename");
-  }
-  if (Opts.Pipelining) {
-    pipelineInnermostLoops(F, Opts.Machine, M);
-    Sub("pipelining");
-  }
+  if (Opts.Superblocks && Opts.Profile)
+    FPM.add(std::make_unique<SuperblockPass>(*Opts.Profile));
+  if (Opts.LoadStoreMotion)
+    FPM.add(std::make_unique<LoadStoreMotionPass>());
+  if (Opts.Unspeculation)
+    FPM.add(std::make_unique<UnspeculationPass>());
+  if (Opts.UnrollAndRename)
+    FPM.add(std::make_unique<UnrollRenamePass>(Opts.UnrollFactor));
+  if (Opts.Pipelining)
+    FPM.add(std::make_unique<PipeliningPass>(Opts.Machine));
   if (Opts.GlobalScheduling) {
     GlobalScheduleOptions GS;
     GS.Profile = Opts.Profile;
-    globalSchedule(F, Opts.Machine, M, GS);
-    Sub("global-schedule");
+    FPM.add(std::make_unique<GlobalSchedulePass>(Opts.Machine, GS));
   }
-  if (Opts.Combining) {
-    limitedCombine(F);
-    copyPropagate(F);
-    deadCodeElim(F);
-    Sub("combining");
-  }
-  straighten(F);
-  // PDF layout runs at module level after prologs (optimize() below), so
-  // the measured gate can simulate real code.
-  if (Opts.BlockExpansion) {
-    expandBasicBlocks(F, Opts.Machine);
-    Sub("block-expansion");
-  }
-  straighten(F);
-  Sub("straighten");
+  if (Opts.Combining)
+    FPM.add(std::make_unique<CombiningPass>());
+  FPM.add(std::make_unique<StraightenPass>());
+  // PDF layout runs at module level after prologs, so the measured gate
+  // can simulate real code.
+  if (Opts.BlockExpansion)
+    FPM.add(std::make_unique<BlockExpansionPass>(Opts.Machine));
+  FPM.add(std::make_unique<StraightenPass>());
+  return FPM;
 }
 
 } // namespace
@@ -190,44 +165,105 @@ void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
   }
   if (Oracle.enabled())
     Oracle.begin(M);
-  if (L == OptLevel::Vliw && Opts.Inlining) {
-    inlineLeafFunctions(M);
-    checkStage(M, Opts, "inline");
-    auditStage(Audit, M, "inline");
-    oracleStage(Oracle, M, "inline");
+
+  unsigned Threads = Opts.Threads ? std::min(Opts.Threads, 64u)
+                                  : ThreadPool::defaultThreadCount();
+
+  PassInstrumentation PI;
+  if (Audit.full() || Oracle.full()) {
+    // Per-pass checkpoints; registering this callback forces the function
+    // adaptors serial (see pm/PassManager.h).
+    PI.AfterFunctionPass = [&Audit, &Oracle, &M](const FunctionPass &P,
+                                                 Function &F) {
+      std::string Stage = std::string(P.name()) + "(" + F.name() + ")";
+      if (Audit.full()) {
+        AuditResult R = Audit.checkpointFunction(F, M, Stage);
+        if (!R.ok())
+          failAudit(R);
+      }
+      if (Oracle.full()) {
+        OracleResult R = Oracle.checkpointFunction(F, M, Stage);
+        if (!R.ok())
+          failOracle(R);
+      }
+    };
   }
-  for (auto &F : M.functions()) {
-    optimizeFunction(*F, M, L, Opts, Audit, Oracle);
-    checkStage(M, Opts, ("optimize(" + F->name() + ")").c_str());
-    auditStage(Audit, M, "optimize(" + F->name() + ")");
-    oracleStage(Oracle, M, "optimize(" + F->name() + ")");
-  }
+  PI.AfterFunctionChain = [&Audit, &Oracle, &M, &Opts](
+                              Function &F, const std::string &StageName) {
+    // Per-function boundary checks belong to the main optimize stage; the
+    // regalloc/prolog stages keep their whole-module checkpoints below.
+    if (StageName != "optimize")
+      return;
+    std::string Stage = "optimize(" + F.name() + ")";
+    if (Opts.Verify) {
+      std::string E = verifyFunction(F);
+      if (!E.empty()) {
+        std::fprintf(stderr,
+                     "pipeline verification failed after stage '%s': %s\n%s\n",
+                     Stage.c_str(), E.c_str(), printFunction(F).c_str());
+        failPipeline();
+      }
+    }
+    if (Audit.enabled()) {
+      AuditResult R = Audit.checkpointFunction(F, M, Stage);
+      if (!R.ok())
+        failAudit(R);
+    }
+    if (Oracle.enabled()) {
+      OracleResult R = Oracle.checkpointFunction(F, M, Stage);
+      if (!R.ok())
+        failOracle(R);
+    }
+  };
+  PI.AfterModulePass = [&Audit, &Oracle, &Opts](const ModulePass &P,
+                                                Module &Mod) {
+    std::string Stage = P.name();
+    if (Stage == "renumber")
+      return; // last pass; audit matches instructions by id
+    if (Stage == "optimize") {
+      // Function-level checks already ran; add the whole-module verify
+      // (call-target resolution etc.) the old per-function loop provided.
+      checkStage(Mod, Opts, Stage.c_str());
+      return;
+    }
+    checkStage(Mod, Opts, Stage.c_str());
+    auditStage(Audit, Mod, Stage);
+    oracleStage(Oracle, Mod, Stage);
+  };
+
+  ModulePassManager MPM(std::move(PI));
+  if (L == OptLevel::Vliw && Opts.Inlining)
+    MPM.add(std::make_unique<InlinePass>());
+  MPM.addFunctionPasses("optimize", buildFunctionPipeline(L, Opts), Threads);
   if (Opts.AllocateRegisters) {
-    for (auto &F : M.functions())
-      allocateRegisters(*F);
-    checkStage(M, Opts, "regalloc");
-    auditStage(Audit, M, "regalloc");
-    oracleStage(Oracle, M, "regalloc");
+    FunctionPassManager RA;
+    RA.add(std::make_unique<RegAllocPass>());
+    MPM.addFunctionPasses("regalloc", std::move(RA), Threads);
   }
   // Prologs last: the spill code must not be rescheduled away from the
   // frame adjustment.
   if (Opts.InsertPrologs) {
-    for (auto &F : M.functions()) {
-      insertPrologEpilog(*F, /*Tailored=*/L == OptLevel::Vliw &&
-                                 Opts.TailorProlog);
-    }
-    checkStage(M, Opts, "prolog");
-    auditStage(Audit, M, "prolog");
-    oracleStage(Oracle, M, "prolog");
+    FunctionPassManager PL;
+    PL.add(std::make_unique<PrologPass>(L == OptLevel::Vliw &&
+                                        Opts.TailorProlog));
+    MPM.addFunctionPasses("prolog", std::move(PL), Threads);
   }
   // Profile-directed layout, gated by re-simulating the training input
   // when one is supplied.
-  if (L == OptLevel::Vliw && Opts.Profile) {
-    pdfLayoutMeasured(M, *Opts.Profile, Opts.Machine, Opts.TrainInput);
-    checkStage(M, Opts, "pdf-layout");
-    auditStage(Audit, M, "pdf-layout");
-    oracleStage(Oracle, M, "pdf-layout");
+  if (L == OptLevel::Vliw && Opts.Profile)
+    MPM.add(std::make_unique<PdfLayoutPass>(*Opts.Profile, Opts.Machine,
+                                            Opts.TrainInput));
+  MPM.add(std::make_unique<RenumberPass>());
+
+  FunctionAnalysisManager FAM(M);
+  std::string Err = MPM.run(M, FAM);
+  if (!Err.empty()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", Err.c_str());
+    failPipeline();
   }
-  for (auto &F : M.functions())
-    F->renumber();
+  if (Opts.Stats) {
+    FunctionAnalyses::Stats S = FAM.totalStats();
+    Opts.Stats->AnalysisHits += S.Hits;
+    Opts.Stats->AnalysisMisses += S.Misses;
+  }
 }

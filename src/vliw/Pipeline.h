@@ -36,6 +36,14 @@ class ProfileData;
 
 enum class OptLevel { None, Classical, Vliw };
 
+/// Aggregate counters the driver can export after a run (see
+/// bench_compile_time's cache-hit column).
+struct PipelineStats {
+  /// Analysis-cache hits/misses across every function (pm/Analysis.h).
+  uint64_t AnalysisHits = 0;
+  uint64_t AnalysisMisses = 0;
+};
+
 struct PipelineOptions {
   MachineModel Machine;
   unsigned UnrollFactor = 2;
@@ -90,6 +98,15 @@ struct PipelineOptions {
   /// trace. PageZeroReadable is taken from Machine, not from OracleCfg.
   OracleLevel Oracle = OracleLevel::Off;
   OracleOptions OracleCfg;
+  /// Worker threads for the per-function pass stages. 0 defers to the
+  /// VSC_THREADS environment variable (default 1); values are clamped to
+  /// [1, 64]. Output is byte-identical at every thread count; module-level
+  /// stages (inlining, PDF layout) always run serially, and Full-level
+  /// audit/oracle instrumentation forces the whole run serial because its
+  /// per-pass checkpoints observe cross-function state mid-chain.
+  unsigned Threads = 0;
+  /// When set, analysis-cache counters are accumulated here after the run.
+  PipelineStats *Stats = nullptr;
 
   PipelineOptions();
 };

@@ -71,7 +71,8 @@ std::vector<BasicBlock *> reachableFrom(const Cfg &G, BasicBlock *From) {
 
 } // namespace
 
-unsigned vsc::insertPrologEpilog(Function &F, bool Tailored) {
+unsigned vsc::insertPrologEpilog(Function &F, bool Tailored,
+                                 FunctionAnalyses &FA) {
   std::vector<Reg> Regs = killedCalleeSaved(F);
   if (Regs.empty())
     return 0;
@@ -82,9 +83,12 @@ unsigned vsc::insertPrologEpilog(Function &F, bool Tailored) {
     return SpillBase + 8 * (It - Regs.begin());
   };
 
-  Cfg G(F);
-  Dominators Dom(G);
-  LoopInfo LI(G, Dom);
+  // growFrame edited instructions without touching the block list; any
+  // caches carried over from earlier stages are stale now.
+  FA.invalidateAll();
+  const Cfg &G = FA.cfg();
+  const Dominators &Dom = FA.dominators();
+  const LoopInfo &LI = FA.loops();
 
   for (Reg R : Regs) {
     // Save placement.
@@ -171,6 +175,11 @@ unsigned vsc::insertPrologEpilog(Function &F, bool Tailored) {
     }
   }
   return static_cast<unsigned>(Regs.size());
+}
+
+unsigned vsc::insertPrologEpilog(Function &F, bool Tailored) {
+  FunctionAnalyses FA(F);
+  return insertPrologEpilog(F, Tailored, FA);
 }
 
 std::string vsc::verifyUnwindInvariant(Function &F) {

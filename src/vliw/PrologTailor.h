@@ -34,6 +34,7 @@
 #define VSC_VLIW_PROLOGTAILOR_H
 
 #include "ir/Function.h"
+#include "pm/Analysis.h"
 
 #include <string>
 
@@ -44,6 +45,8 @@ namespace vsc {
 /// every return); true = the paper's tailored placement.
 /// \returns number of registers saved.
 unsigned insertPrologEpilog(Function &F, bool Tailored);
+unsigned insertPrologEpilog(Function &F, bool Tailored,
+                            FunctionAnalyses &FA);
 
 /// Checks the paper's unwind invariant on a function processed by
 /// insertPrologEpilog: every join point must be reached with one unique

@@ -174,26 +174,30 @@ bool vsc::renameLoopLiveRanges(Function &F, const Loop &L) {
   return Renamed;
 }
 
-unsigned vsc::renameInnermostLoops(Function &F) {
+unsigned vsc::renameInnermostLoops(Function &F, FunctionAnalyses &FA) {
   unsigned Count = 0;
   std::unordered_set<std::string> Done;
   for (unsigned Guard = 0; Guard < 32; ++Guard) {
-    Cfg G(F);
-    Dominators Dom(G);
-    LoopInfo LI(G, Dom);
     bool Changed = false;
-    for (Loop *L : LI.innermostLoops()) {
+    for (Loop *L : FA.loops().innermostLoops()) {
       if (Done.count(L->Header->label()))
         continue;
       Done.insert(L->Header->label());
       if (renameLoopLiveRanges(F, *L)) {
+        // Renaming rewrites instructions and may split exit edges.
+        FA.invalidateAll();
         ++Count;
         Changed = true;
-        break; // CFG changed (split exits); recompute
+        break;
       }
     }
     if (!Changed)
       break;
   }
   return Count;
+}
+
+unsigned vsc::renameInnermostLoops(Function &F) {
+  FunctionAnalyses FA(F);
+  return renameInnermostLoops(F, FA);
 }

@@ -23,6 +23,7 @@
 
 #include "cfg/Loops.h"
 #include "ir/Function.h"
+#include "pm/Analysis.h"
 
 namespace vsc {
 
@@ -36,6 +37,7 @@ bool renameLoopLiveRanges(Function &F, const Loop &L);
 
 /// Runs renaming on every innermost chain-shaped loop. \returns count.
 unsigned renameInnermostLoops(Function &F);
+unsigned renameInnermostLoops(Function &F, FunctionAnalyses &FA);
 
 } // namespace vsc
 

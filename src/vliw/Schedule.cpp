@@ -539,19 +539,23 @@ bool hoistOnce(Function &F, const Module &M, const MachineModel &MM,
 } // namespace
 
 bool vsc::globalSchedule(Function &F, const MachineModel &MM,
-                         const Module &M,
-                         const GlobalScheduleOptions &Opts) {
+                         const Module &M, const GlobalScheduleOptions &Opts,
+                         FunctionAnalyses &FA) {
+  // Local scheduling reorders only the non-terminator prefix of each
+  // block, which every cached analysis survives.
   bool Any = false;
   for (auto &BB : F.blocks())
     Any |= scheduleBlock(*BB, MM);
 
   std::unordered_map<const BasicBlock *, unsigned> HoistedInto;
   for (unsigned Guard = 0; Guard < 256; ++Guard) {
-    Cfg G(F);
-    Dominators Dom(G);
-    LoopInfo LI(G, Dom);
-    RegUniverse U(F);
-    Liveness Live(G, U);
+    // Analyses come from the cache: on rounds where no hoist landed (and
+    // after the final round) nothing is rebuilt. This also fixes the old
+    // duplicate Dominators construction here vs pipelineInnermostLoops —
+    // both now share one cached tree until a real CFG edit.
+    const Cfg &G = FA.cfg();
+    const LoopInfo &LI = FA.loops();
+    const Liveness &Live = FA.liveness();
     bool Changed = false;
     for (auto &BBPtr : F.blocks()) {
       BasicBlock *P = BBPtr.get();
@@ -560,6 +564,8 @@ bool vsc::globalSchedule(Function &F, const MachineModel &MM,
       if (HoistedInto[P] >= Opts.MaxHoistPerBlock)
         continue;
       if (hoistOnce(F, M, MM, P, G, Live, LI, Opts)) {
+        // The hoist erased and inserted instructions across blocks.
+        FA.invalidateAll();
         ++HoistedInto[P];
         Changed = true;
         Any = true;
@@ -570,6 +576,13 @@ bool vsc::globalSchedule(Function &F, const MachineModel &MM,
       break;
   }
   return Any;
+}
+
+bool vsc::globalSchedule(Function &F, const MachineModel &MM,
+                         const Module &M,
+                         const GlobalScheduleOptions &Opts) {
+  FunctionAnalyses FA(F);
+  return globalSchedule(F, MM, M, Opts, FA);
 }
 
 //===----------------------------------------------------------------------===//
@@ -700,16 +713,16 @@ unsigned pipelineLoop(Function &F, const MachineModel &MM, const Module &M,
 } // namespace
 
 unsigned vsc::pipelineInnermostLoops(Function &F, const MachineModel &MM,
-                                     const Module &M,
-                                     unsigned MaxRotations) {
+                                     const Module &M, unsigned MaxRotations,
+                                     FunctionAnalyses &FA) {
   unsigned Total = 0;
   std::unordered_set<std::string> Done;
   for (unsigned Guard = 0; Guard < 32; ++Guard) {
-    Cfg G(F);
-    Dominators Dom(G);
-    LoopInfo LI(G, Dom);
+    // Loop discovery reads the cache; when pipelineLoop creates a
+    // preheader the CFG epoch bump refreshes it automatically, and kept
+    // rotations (instruction motion with no block edit) invalidate below.
     Loop *Todo = nullptr;
-    for (Loop *L : LI.innermostLoops())
+    for (Loop *L : FA.loops().innermostLoops())
       if (!Done.count(L->Header->label())) {
         Todo = L;
         break;
@@ -717,7 +730,17 @@ unsigned vsc::pipelineInnermostLoops(Function &F, const MachineModel &MM,
     if (!Todo)
       break;
     Done.insert(Todo->Header->label());
-    Total += pipelineLoop(F, MM, M, *Todo, MaxRotations);
+    unsigned Kept = pipelineLoop(F, MM, M, *Todo, MaxRotations);
+    if (Kept)
+      FA.invalidateAll();
+    Total += Kept;
   }
   return Total;
+}
+
+unsigned vsc::pipelineInnermostLoops(Function &F, const MachineModel &MM,
+                                     const Module &M,
+                                     unsigned MaxRotations) {
+  FunctionAnalyses FA(F);
+  return pipelineInnermostLoops(F, MM, M, MaxRotations, FA);
 }

@@ -30,6 +30,7 @@
 
 #include "ir/Module.h"
 #include "machine/MachineModel.h"
+#include "pm/Analysis.h"
 
 namespace vsc {
 
@@ -63,15 +64,21 @@ struct GlobalScheduleOptions {
 
 /// Local scheduling everywhere plus cross-block upward motion into idle
 /// slots. \p M provides global sizes for load-safety proofs. \returns true
-/// if anything changed.
+/// if anything changed. The \p FA overload shares cached analyses with the
+/// rest of the pipeline (the free-function form builds a throwaway cache).
 bool globalSchedule(Function &F, const MachineModel &MM, const Module &M,
                     const GlobalScheduleOptions &Opts = {});
+bool globalSchedule(Function &F, const MachineModel &MM, const Module &M,
+                    const GlobalScheduleOptions &Opts, FunctionAnalyses &FA);
 
 /// Software-pipelines every innermost chain-shaped loop of \p F by rotating
 /// operations across the back edge while the steady-state estimate
 /// improves. \returns the total number of rotations kept.
 unsigned pipelineInnermostLoops(Function &F, const MachineModel &MM,
                                 const Module &M, unsigned MaxRotations = 8);
+unsigned pipelineInnermostLoops(Function &F, const MachineModel &MM,
+                                const Module &M, unsigned MaxRotations,
+                                FunctionAnalyses &FA);
 
 /// One VLIW instruction word: the block-relative indices of the operations
 /// the machine model issues in the same cycle. This is the paper's framing

@@ -101,18 +101,16 @@ bool vsc::unrollLoop(Function &F, const Loop &L, unsigned Factor) {
 }
 
 unsigned vsc::unrollInnermostLoops(Function &F, unsigned Factor,
-                                   size_t MaxBodyInstrs) {
+                                   size_t MaxBodyInstrs,
+                                   FunctionAnalyses &FA) {
   unsigned NumUnrolled = 0;
   // Loops are re-discovered after each unroll (the CFG changed); headers
   // already processed are remembered so a freshly unrolled loop is not
   // unrolled again.
   std::unordered_set<std::string> Done;
   for (unsigned Guard = 0; Guard < 32; ++Guard) {
-    Cfg G(F);
-    Dominators Dom(G);
-    LoopInfo LI(G, Dom);
     bool Changed = false;
-    for (Loop *L : LI.innermostLoops()) {
+    for (Loop *L : FA.loops().innermostLoops()) {
       if (Done.count(L->Header->label()))
         continue;
       size_t Body = 0;
@@ -122,6 +120,7 @@ unsigned vsc::unrollInnermostLoops(Function &F, unsigned Factor,
         continue;
       Done.insert(L->Header->label());
       if (unrollLoop(F, *L, Factor)) {
+        FA.invalidateAll();
         ++NumUnrolled;
         Changed = true;
         break;
@@ -131,4 +130,10 @@ unsigned vsc::unrollInnermostLoops(Function &F, unsigned Factor,
       break;
   }
   return NumUnrolled;
+}
+
+unsigned vsc::unrollInnermostLoops(Function &F, unsigned Factor,
+                                   size_t MaxBodyInstrs) {
+  FunctionAnalyses FA(F);
+  return unrollInnermostLoops(F, Factor, MaxBodyInstrs, FA);
 }

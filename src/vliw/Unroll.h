@@ -16,6 +16,7 @@
 
 #include "cfg/Loops.h"
 #include "ir/Function.h"
+#include "pm/Analysis.h"
 
 namespace vsc {
 
@@ -30,6 +31,8 @@ bool unrollLoop(Function &F, const Loop &L, unsigned Factor);
 /// \p MaxBodyInstrs instructions by \p Factor. \returns number unrolled.
 unsigned unrollInnermostLoops(Function &F, unsigned Factor,
                               size_t MaxBodyInstrs = 64);
+unsigned unrollInnermostLoops(Function &F, unsigned Factor,
+                              size_t MaxBodyInstrs, FunctionAnalyses &FA);
 
 } // namespace vsc
 

@@ -64,11 +64,12 @@ bool betweenInstrsAllowMove(const BasicBlock &BB, size_t CandIdx,
 }
 
 /// One unspeculation step: finds the first legal move and performs it.
-/// \returns true if something moved (caller restarts with fresh analyses).
-bool unspeculateOnce(Function &F) {
-  Cfg G(F);
-  RegUniverse U(F);
-  Liveness L(G, U);
+/// \returns true if something moved. Every move ends in splitEdge, whose
+/// block insertion bumps the CFG epoch, so the cache refreshes itself on
+/// the next fetch; a fruitless scan leaves the cache warm.
+bool unspeculateOnce(Function &F, FunctionAnalyses &FA) {
+  const Cfg &G = FA.cfg();
+  const Liveness &L = FA.liveness();
 
   for (auto &BBPtr : F.blocks()) {
     BasicBlock *BB = BBPtr.get();
@@ -137,7 +138,7 @@ bool unspeculateOnce(Function &F) {
 
 } // namespace
 
-bool vsc::unspeculate(Function &F) {
+bool vsc::unspeculate(Function &F, FunctionAnalyses &FA) {
   reorderReversePostorder(F);
   straighten(F);
   bool Any = false;
@@ -146,8 +147,13 @@ bool vsc::unspeculate(Function &F) {
   // since moves go strictly downward in the dominator order, but cap it
   // against surprises).
   size_t Cap = F.instrCount() * 8 + 64;
-  while (Cap-- > 0 && unspeculateOnce(F))
+  while (Cap-- > 0 && unspeculateOnce(F, FA))
     Any = true;
   straighten(F);
   return Any;
+}
+
+bool vsc::unspeculate(Function &F) {
+  FunctionAnalyses FA(F);
+  return unspeculate(F, FA);
 }

@@ -36,11 +36,13 @@
 #define VSC_VLIW_UNSPECULATION_H
 
 #include "ir/Function.h"
+#include "pm/Analysis.h"
 
 namespace vsc {
 
 /// Runs unspeculation on \p F. \returns true if anything moved.
 bool unspeculate(Function &F);
+bool unspeculate(Function &F, FunctionAnalyses &FA);
 
 /// Step 1 only: physically reorder the blocks in reverse postorder,
 /// inserting patch-up branches. Exposed separately because profile-directed

@@ -1,0 +1,84 @@
+//===- tests/test_parallel.cpp - Parallel-driver determinism ---------------===//
+///
+/// The parallel per-function driver's contract is byte-identical output at
+/// every thread count. These tests compile the six SPEC kernel modules and
+/// fifty fuzz-generated programs at Threads=1 and Threads=4 and require
+/// the printed IR to match byte for byte — and, for the kernels, the
+/// simulated cycle counts and stall breakdowns to match exactly too
+/// (timing, not just behaviour, is schedule-independent).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "frontend/Frontend.h"
+#include "vliw/Pipeline.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+std::unique_ptr<Module> optimizeAt(const Workload &W, unsigned Threads) {
+  auto M = buildWorkload(W);
+  PipelineOptions Opts;
+  Opts.Threads = Threads;
+  optimize(*M, OptLevel::Vliw, Opts);
+  return M;
+}
+
+class ParallelSpecTest : public ::testing::TestWithParam<size_t> {};
+class ParallelFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(ParallelSpecTest, ByteIdenticalIrAndIdenticalTiming) {
+  const Workload &W = specWorkloads()[GetParam()];
+  auto Serial = optimizeAt(W, 1);
+  auto Parallel = optimizeAt(W, 4);
+  ASSERT_TRUE(Serial && Parallel);
+
+  EXPECT_EQ(printModule(*Serial), printModule(*Parallel)) << W.Name;
+
+  RunOptions In = workloadInput(W.TrainScale);
+  RunResult RS = simulate(*Serial, rs6000(), In);
+  RunResult RP = simulate(*Parallel, rs6000(), In);
+  ASSERT_FALSE(RS.Trapped) << W.Name << ": " << RS.TrapMsg;
+  EXPECT_EQ(RS.fingerprint(), RP.fingerprint()) << W.Name;
+  EXPECT_EQ(RS.Cycles, RP.Cycles) << W.Name;
+  EXPECT_EQ(RS.OperandStallCycles, RP.OperandStallCycles) << W.Name;
+  EXPECT_EQ(RS.BranchStallCycles, RP.BranchStallCycles) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSix, ParallelSpecTest, ::testing::Range<size_t>(0, 6),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return specWorkloads()[Info.param].Name;
+    });
+
+TEST_P(ParallelFuzzTest, ByteIdenticalIr) {
+  // Ten seeds per instance, fifty total across the suite — sharded so
+  // ctest -j runs them concurrently.
+  for (uint64_t Seed = GetParam() * 10 + 1; Seed <= GetParam() * 10 + 10;
+       ++Seed) {
+    FrontendOptions FOpts;
+    FOpts.AssumeSafeLoads = true;
+    std::string Src = generateRandomMiniC(Seed);
+    CompileResult A = compileMiniC(Src, FOpts);
+    CompileResult B = compileMiniC(Src, FOpts);
+    ASSERT_TRUE(A.ok() && B.ok()) << "seed " << Seed;
+
+    PipelineOptions One;
+    One.Threads = 1;
+    PipelineOptions Four;
+    Four.Threads = 4;
+    optimize(*A.M, OptLevel::Vliw, One);
+    optimize(*B.M, OptLevel::Vliw, Four);
+    EXPECT_EQ(printModule(*A.M), printModule(*B.M)) << "seed " << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, ParallelFuzzTest,
+                         ::testing::Range<uint64_t>(0, 5));

@@ -1,0 +1,369 @@
+//===- tests/test_passmanager.cpp - Pass manager and analysis cache --------===//
+///
+/// Coverage for the pm/ layer: analysis caching and hit accounting, the
+/// CFG-epoch self-invalidation, PreservedAnalyses dependency closure, the
+/// recompute-and-compare checker catching a pass that lies about
+/// preservation (and staying silent for honest ones), and equivalence of
+/// the pass-manager pipeline with the legacy free-function entry points.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "opt/Classical.h"
+#include "pm/PassManager.h"
+#include "pm/Passes.h"
+#include "vliw/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+const char *LoopIR = R"(
+func main(1) {
+entry:
+  AI r32 = r3, 1
+  MTCTR r32
+  LI r34 = 0
+  LI r35 = 1
+loop:
+  A r34 = r34, r35
+  AI r35 = r35, 2
+  BCT loop
+exit:
+  LR r3 = r34
+  CALL print_int, 1
+  RET
+}
+)";
+
+const char *StraightIR = R"(
+func main(0) {
+entry:
+  LI r3 = 0
+  CALL print_int, 1
+  RET
+}
+)";
+
+/// Reads a few analyses so the cache is warm; honestly preserves all.
+class WarmupPass : public FunctionPass {
+public:
+  const char *name() const override { return "warmup"; }
+  PreservedAnalyses run(Function &, Module &, FunctionAnalyses &FA) override {
+    (void)FA.cfg();
+    (void)FA.dominators();
+    (void)FA.liveness();
+    return PreservedAnalyses::all();
+  }
+};
+
+/// Splices a copy instruction into the entry block behind the cache's
+/// back (no epoch bump, no invalidation) and then CLAIMS it preserved
+/// everything. The new instruction makes r41 live into the entry, so the
+/// cached Liveness is provably stale — exactly what the checker exists to
+/// catch. Also shifts the terminator index, staling cached CfgEdges.
+class LyingPass : public FunctionPass {
+public:
+  const char *name() const override { return "liar"; }
+  PreservedAnalyses run(Function &F, Module &, FunctionAnalyses &) override {
+    Instr I;
+    I.Op = Opcode::LR;
+    I.Dst = Reg::gpr(40);
+    I.Src1 = Reg::gpr(41);
+    F.assignId(I);
+    F.entry()->instrs().insert(F.entry()->instrs().begin(), I);
+    return PreservedAnalyses::all();
+  }
+};
+
+/// Same mutation as LyingPass, but honestly reports it preserved nothing.
+class HonestMutatorPass : public FunctionPass {
+public:
+  const char *name() const override { return "honest-mutator"; }
+  PreservedAnalyses run(Function &F, Module &, FunctionAnalyses &) override {
+    Instr I;
+    I.Op = Opcode::LR;
+    I.Dst = Reg::gpr(40);
+    I.Src1 = Reg::gpr(41);
+    F.assignId(I);
+    F.entry()->instrs().insert(F.entry()->instrs().begin(), I);
+    return PreservedAnalyses::none();
+  }
+};
+
+/// Rewrites an immediate in place: register liveness, the CFG and every
+/// structural analysis are genuinely untouched, so claiming all() is the
+/// truth and the checker must stay silent.
+class ImmediateRewritePass : public FunctionPass {
+public:
+  const char *name() const override { return "imm-rewrite"; }
+  PreservedAnalyses run(Function &F, Module &, FunctionAnalyses &) override {
+    for (auto &BB : F.blocks())
+      for (Instr &I : BB->instrs())
+        if (I.Op == Opcode::LI)
+          I.Imm += 0; // touch without changing semantics
+    return PreservedAnalyses::all();
+  }
+};
+
+/// Grows the CFG through the proper Function mutators (which bump the
+/// epoch) while still claiming all() — the epoch guard must make this
+/// safe regardless of the optimistic claim.
+class EpochBumpingPass : public FunctionPass {
+public:
+  const char *name() const override { return "epoch-bumper"; }
+  PreservedAnalyses run(Function &F, Module &, FunctionAnalyses &) override {
+    // Split the fallthrough: new block between entry and its successor.
+    BasicBlock *BB = F.addBlock(F.freshLabel("dead"));
+    Instr Ret;
+    Ret.Op = Opcode::RET;
+    F.assignId(Ret);
+    BB->instrs().push_back(Ret);
+    return PreservedAnalyses::all();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Analysis cache
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisCache, SecondQueryHits) {
+  auto M = parseOrDie(LoopIR);
+  Function &F = *M->findFunction("main");
+  FunctionAnalyses FA(F);
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Cfg));
+  (void)FA.cfg();
+  EXPECT_TRUE(FA.hasCached(AnalysisKind::Cfg));
+  (void)FA.cfg();
+  (void)FA.cfg();
+  FunctionAnalyses::Stats S = FA.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 2u);
+}
+
+TEST(AnalysisCache, DerivedAnalysesShareTheBase) {
+  auto M = parseOrDie(LoopIR);
+  Function &F = *M->findFunction("main");
+  FunctionAnalyses FA(F);
+  // loops() pulls cfg() and dominators() internally; querying them
+  // afterwards must all be hits.
+  (void)FA.loops();
+  EXPECT_TRUE(FA.hasCached(AnalysisKind::Cfg));
+  EXPECT_TRUE(FA.hasCached(AnalysisKind::Dominators));
+  uint64_t MissesBefore = FA.stats().Misses;
+  (void)FA.cfg();
+  (void)FA.dominators();
+  EXPECT_EQ(FA.stats().Misses, MissesBefore);
+}
+
+TEST(AnalysisCache, EpochEditDropsEverything) {
+  auto M = parseOrDie(LoopIR);
+  Function &F = *M->findFunction("main");
+  FunctionAnalyses FA(F);
+  (void)FA.loops();
+  (void)FA.liveness();
+  ASSERT_TRUE(FA.hasCached(AnalysisKind::Loops));
+  ASSERT_TRUE(FA.hasCached(AnalysisKind::Liveness));
+
+  F.noteCfgEdit(); // structural edit made behind the cache's back
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Cfg));
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Loops));
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Liveness));
+  // And the next query recomputes instead of serving the stale object.
+  uint64_t MissesBefore = FA.stats().Misses;
+  (void)FA.cfg();
+  EXPECT_GT(FA.stats().Misses, MissesBefore);
+}
+
+TEST(AnalysisCache, StructurePreservesCfgButNotLiveness) {
+  auto M = parseOrDie(LoopIR);
+  Function &F = *M->findFunction("main");
+  FunctionAnalyses FA(F);
+  (void)FA.loops();
+  (void)FA.biconnected();
+  (void)FA.liveness();
+  FA.invalidate(PreservedAnalyses::structure());
+  EXPECT_TRUE(FA.hasCached(AnalysisKind::Cfg));
+  EXPECT_TRUE(FA.hasCached(AnalysisKind::Dominators));
+  EXPECT_TRUE(FA.hasCached(AnalysisKind::Loops));
+  EXPECT_TRUE(FA.hasCached(AnalysisKind::Biconnected));
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Liveness));
+}
+
+TEST(AnalysisCache, DroppingCfgDropsDependentsDespiteClaims) {
+  auto M = parseOrDie(LoopIR);
+  Function &F = *M->findFunction("main");
+  FunctionAnalyses FA(F);
+  (void)FA.loops();
+  (void)FA.liveness();
+  // A PA that abandons Cfg but claims to keep everything derived from it:
+  // the closure must drop the dependents anyway, since they hold pointers
+  // into the dropped graph.
+  PreservedAnalyses PA = PreservedAnalyses::all();
+  PA.abandon(AnalysisKind::Cfg);
+  FA.invalidate(PA);
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Cfg));
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Dominators));
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Loops));
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Liveness));
+}
+
+TEST(AnalysisCache, NonePreservedDropsAll) {
+  auto M = parseOrDie(LoopIR);
+  Function &F = *M->findFunction("main");
+  FunctionAnalyses FA(F);
+  (void)FA.dominators();
+  FA.invalidate(PreservedAnalyses::none());
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Cfg));
+  EXPECT_FALSE(FA.hasCached(AnalysisKind::Dominators));
+}
+
+//===----------------------------------------------------------------------===//
+// The recompute-and-compare checker
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisChecker, CatchesLyingPass) {
+  auto M = parseOrDie(StraightIR);
+  Function &F = *M->findFunction("main");
+  FunctionPassManager FPM;
+  FPM.setCheckAnalyses(true);
+  FPM.add(std::make_unique<WarmupPass>());
+  FPM.add(std::make_unique<LyingPass>());
+  FunctionAnalyses FA(F);
+  std::string Err = FPM.run(F, *M, FA);
+  ASSERT_NE(Err, "");
+  EXPECT_NE(Err.find("liar"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("stale"), std::string::npos) << Err;
+}
+
+TEST(AnalysisChecker, HonestMutatorIsClean) {
+  auto M = parseOrDie(StraightIR);
+  Function &F = *M->findFunction("main");
+  FunctionPassManager FPM;
+  FPM.setCheckAnalyses(true);
+  FPM.add(std::make_unique<WarmupPass>());
+  FPM.add(std::make_unique<HonestMutatorPass>());
+  FunctionAnalyses FA(F);
+  EXPECT_EQ(FPM.run(F, *M, FA), "");
+}
+
+TEST(AnalysisChecker, TruthfulAllClaimIsClean) {
+  auto M = parseOrDie(LoopIR);
+  Function &F = *M->findFunction("main");
+  FunctionPassManager FPM;
+  FPM.setCheckAnalyses(true);
+  FPM.add(std::make_unique<WarmupPass>());
+  FPM.add(std::make_unique<ImmediateRewritePass>());
+  FunctionAnalyses FA(F);
+  EXPECT_EQ(FPM.run(F, *M, FA), "");
+}
+
+TEST(AnalysisChecker, EpochedEditIsSafeEvenWithOptimisticClaim) {
+  auto M = parseOrDie(StraightIR);
+  Function &F = *M->findFunction("main");
+  FunctionPassManager FPM;
+  FPM.setCheckAnalyses(true);
+  FPM.add(std::make_unique<WarmupPass>());
+  FPM.add(std::make_unique<EpochBumpingPass>());
+  FunctionAnalyses FA(F);
+  // addBlock bumps the CFG epoch, which empties the cache logically — the
+  // stale claim is harmless and the checker must not fire.
+  EXPECT_EQ(FPM.run(F, *M, FA), "");
+}
+
+TEST(AnalysisChecker, RealPipelinePassesAreHonest) {
+  // The production VLIW chain under forced checking: every wrapper's
+  // preservation claim is recomputed and compared after every pass on a
+  // control-flow-heavy function.
+  auto M = parseOrDie(LoopIR);
+  Function &F = *M->findFunction("main");
+  MachineModel Machine = rs6000(); // passes keep a reference
+  FunctionPassManager FPM;
+  FPM.setCheckAnalyses(true);
+  FPM.add(std::make_unique<ClassicalPass>());
+  FPM.add(std::make_unique<LoadStoreMotionPass>());
+  FPM.add(std::make_unique<UnspeculationPass>());
+  FPM.add(std::make_unique<UnrollRenamePass>(2));
+  FPM.add(std::make_unique<PipeliningPass>(Machine));
+  FPM.add(std::make_unique<GlobalSchedulePass>(Machine,
+                                               GlobalScheduleOptions()));
+  FPM.add(std::make_unique<CombiningPass>());
+  FPM.add(std::make_unique<StraightenPass>());
+  FPM.add(std::make_unique<BlockExpansionPass>(Machine));
+  FunctionAnalyses FA(F);
+  EXPECT_EQ(FPM.run(F, *M, FA), "");
+  EXPECT_EQ(verifyFunction(F), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(PassManager, MatchesLegacyFreeFunctions) {
+  auto A = parseOrDie(LoopIR);
+  auto B = parseOrDie(LoopIR);
+  // Pass-manager route.
+  {
+    Function &F = *A->findFunction("main");
+    FunctionPassManager FPM;
+    FPM.add(std::make_unique<ClassicalPass>());
+    FunctionAnalyses FA(F);
+    ASSERT_EQ(FPM.run(F, *A, FA), "");
+  }
+  // Legacy free-function route.
+  runClassicalPipeline(*B->findFunction("main"));
+  EXPECT_EQ(printModule(*A), printModule(*B));
+}
+
+TEST(PassManager, OptimizeIsByteIdenticalAcrossThreadCounts) {
+  PipelineOptions One;
+  One.Threads = 1;
+  PipelineOptions Four;
+  Four.Threads = 4;
+  auto A = parseOrDie(LoopIR);
+  auto B = parseOrDie(LoopIR);
+  optimize(*A, OptLevel::Vliw, One);
+  optimize(*B, OptLevel::Vliw, Four);
+  EXPECT_EQ(printModule(*A), printModule(*B));
+}
+
+TEST(PassManager, StatsReportCacheHits) {
+  auto M = parseOrDie(LoopIR);
+  PipelineStats Stats;
+  PipelineOptions Opts;
+  Opts.Stats = &Stats;
+  optimize(*M, OptLevel::Vliw, Opts);
+  // The shared cache must be earning its keep: repeated CFG/dominator/
+  // liveness queries inside one stage hit instead of recomputing.
+  EXPECT_GT(Stats.AnalysisHits, 0u);
+  EXPECT_GT(Stats.AnalysisMisses, 0u);
+}
+
+TEST(PassManager, BehaviourUnchangedUnderChecking) {
+  // End-to-end: full pipeline with VSC_CHECK_ANALYSES semantics forced on
+  // (via a checked FPM inside optimize there is no knob, so go through the
+  // behaviour oracle instead: checked per-function chain == observable
+  // behaviour of the normal pipeline).
+  RunOptions Run;
+  Run.Args = {6};
+  transformPreservesBehaviour(
+      LoopIR,
+      [](Module &Mod) {
+        Function &F = *Mod.findFunction("main");
+        MachineModel Machine = rs6000(); // passes keep a reference
+        FunctionPassManager FPM;
+        FPM.setCheckAnalyses(true);
+        FPM.add(std::make_unique<ClassicalPass>());
+        FPM.add(std::make_unique<UnrollRenamePass>(3));
+        FPM.add(std::make_unique<GlobalSchedulePass>(
+            Machine, GlobalScheduleOptions()));
+        FPM.add(std::make_unique<StraightenPass>());
+        FunctionAnalyses FA(F);
+        ASSERT_EQ(FPM.run(F, Mod, FA), "");
+      },
+      Run);
+}
