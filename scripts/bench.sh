@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Benchmark entry point: build the default configuration and run the
-# oracle-overhead and compile-time benchmarks, leaving google-benchmark
-# JSON at the repo root as BENCH_oracle.json plus the parallel-driver
-# thread sweep as BENCH_compile_parallel.json (human-readable tables go
-# to stdout).
+# oracle-overhead, compile-time and simulator benchmarks, leaving
+# google-benchmark JSON at the repo root as BENCH_oracle.json plus the
+# parallel-driver thread sweep as BENCH_compile_parallel.json and the
+# legacy-vs-predecoded simulator comparison as BENCH_sim.json
+# (human-readable tables go to stdout).
 #
 #   scripts/bench.sh [JOBS]
 set -euo pipefail
@@ -13,7 +14,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS" \
-  --target bench_oracle_overhead --target bench_compile_time
+  --target bench_oracle_overhead --target bench_compile_time \
+  --target bench_sim
 
 "$ROOT/build/bench/bench_oracle_overhead" \
   --benchmark_out="$ROOT/BENCH_oracle.json" \
@@ -23,5 +25,10 @@ cmake --build "$ROOT/build" -j "$JOBS" \
   --parallel-out="$ROOT/BENCH_compile_parallel.json" \
   --benchmark_filter='^$'
 
+"$ROOT/build/bench/bench_sim" \
+  --sim-out="$ROOT/BENCH_sim.json" \
+  --benchmark_filter='^$'
+
 echo "wrote $ROOT/BENCH_oracle.json"
 echo "wrote $ROOT/BENCH_compile_parallel.json"
+echo "wrote $ROOT/BENCH_sim.json"

@@ -8,7 +8,9 @@
 # execution oracle at Boundaries level — on a shifted VSC_FUZZ_SEED, so
 # every CI run also validates the pipeline on 40 programs no previous run
 # has seen, with the analysis-cache recompute-and-compare checker forced
-# on (VSC_CHECK_ANALYSES=1).
+# on (VSC_CHECK_ANALYSES=1). Finally each configuration runs the simulator
+# fast-path differential suite explicitly (predecoded engine vs legacy
+# interpreter, bit-for-bit).
 #
 #   scripts/ci.sh [JOBS]
 #
@@ -35,6 +37,12 @@ run_config() {
   echo "=== [$name] oracle-enabled fuzz + analysis checking, seed base $FUZZ_SEED ==="
   VSC_FUZZ_SEED="$FUZZ_SEED" VSC_CHECK_ANALYSES=1 \
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -R Fuzz
+  # The predecoded simulator must stay byte-identical to the legacy
+  # interpreter; run the differential suite explicitly so a filtered or
+  # partial ctest invocation above can never silently skip it.
+  echo "=== [$name] simulator fast-path differential suite ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+    -R 'Fastpath|SimFastpath'
 }
 
 run_config default "$ROOT/build"

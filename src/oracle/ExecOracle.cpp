@@ -50,7 +50,7 @@ std::string argsStr(const std::vector<int64_t> &Args) {
   return S + "]";
 }
 
-InterpResult runVersion(const Module &M, const Function &Body,
+InterpResult runVersion(InterpSession &S, const Function &Body,
                         const std::vector<int64_t> &Args,
                         const OracleOptions &Opts, bool TraceMemory = false,
                         bool TraceExec = false) {
@@ -64,7 +64,7 @@ InterpResult runVersion(const Module &M, const Function &Body,
   IO.TraceMemory = TraceMemory;
   IO.TraceExec = TraceExec;
   IO.Override = &Body;
-  return interpret(M, IO);
+  return S.run(IO);
 }
 
 /// Fixed argument vectors plus coverage-guided random ones, derived by
@@ -72,7 +72,7 @@ InterpResult runVersion(const Module &M, const Function &Body,
 /// no earlier vector reached (the first conclusive vector always
 /// qualifies).
 std::vector<std::vector<int64_t>>
-buildBattery(const Function &Body, const Module &M,
+buildBattery(const Function &Body, InterpSession &S,
              const OracleOptions &Opts) {
   unsigned K = Body.numArgs();
   std::vector<std::vector<int64_t>> Candidates;
@@ -103,7 +103,7 @@ buildBattery(const Function &Body, const Module &M,
   for (auto &V : Candidates) {
     if (Battery.size() >= Opts.MaxInputs)
       break;
-    InterpResult R = runVersion(M, Body, V, Opts);
+    InterpResult R = runVersion(S, Body, V, Opts);
     if (R.BudgetExceeded)
       continue; // inconclusive input: skip rather than half-compare
     bool New = Battery.empty();
@@ -147,11 +147,11 @@ std::string traceDiff(const std::vector<std::string> &B,
 
 /// Compares one input vector; appends a divergence on mismatch.
 void compareOnInput(const Function &Before, const Function &After,
-                    const Module &M, const std::string &Pass,
+                    InterpSession &S, const std::string &Pass,
                     const std::vector<int64_t> &Args,
                     const OracleOptions &Opts, OracleResult &R) {
-  InterpResult RB = runVersion(M, Before, Args, Opts);
-  InterpResult RA = runVersion(M, After, Args, Opts);
+  InterpResult RB = runVersion(S, Before, Args, Opts);
+  InterpResult RA = runVersion(S, After, Args, Opts);
   if (RB.BudgetExceeded || RA.BudgetExceeded)
     return; // inconclusive on this input
 
@@ -174,7 +174,7 @@ void compareOnInput(const Function &Before, const Function &After,
 }
 
 void renderReport(const Function &Before, const Function &After,
-                  const Module &M, const OracleOptions &Opts,
+                  InterpSession &S, const OracleOptions &Opts,
                   OracleResult &R) {
   if (R.ok())
     return;
@@ -186,9 +186,9 @@ void renderReport(const Function &Before, const Function &After,
   R.Report += D.Detail + "\n";
   // Replay the first divergence with full tracing for the interleaved
   // dump.
-  InterpResult RB = runVersion(M, Before, D.Args, Opts, /*TraceMemory=*/true,
+  InterpResult RB = runVersion(S, Before, D.Args, Opts, /*TraceMemory=*/true,
                                /*TraceExec=*/true);
-  InterpResult RA = runVersion(M, After, D.Args, Opts, /*TraceMemory=*/true,
+  InterpResult RA = runVersion(S, After, D.Args, Opts, /*TraceMemory=*/true,
                                /*TraceExec=*/true);
   R.Report += "--- interleaved execution trace (= common, < before, > "
               "after) ---\n" +
@@ -200,16 +200,16 @@ void renderReport(const Function &Before, const Function &After,
 }
 
 OracleResult diffWithBattery(const Function &Before, const Function &After,
-                             const Module &M, const std::string &Pass,
+                             InterpSession &S, const std::string &Pass,
                              const OracleOptions &Opts,
                              const std::vector<std::vector<int64_t>> &Battery) {
   OracleResult R;
   for (const auto &Args : Battery) {
-    compareOnInput(Before, After, M, Pass, Args, Opts, R);
+    compareOnInput(Before, After, S, Pass, Args, Opts, R);
     if (!R.ok())
       break; // first reproducing input is enough for the report
   }
-  renderReport(Before, After, M, Opts, R);
+  renderReport(Before, After, S, Opts, R);
   return R;
 }
 
@@ -218,8 +218,9 @@ OracleResult diffWithBattery(const Function &Before, const Function &After,
 OracleResult vsc::diffFunctions(const Function &Before, const Function &After,
                                 const Module &M, const std::string &Pass,
                                 const OracleOptions &Opts) {
-  return diffWithBattery(Before, After, M, Pass, Opts,
-                         buildBattery(Before, M, Opts));
+  InterpSession S(M);
+  return diffWithBattery(Before, After, S, Pass, Opts,
+                         buildBattery(Before, S, Opts));
 }
 
 OracleResult ExecOracle::begin(const Module &M) {
@@ -233,7 +234,7 @@ OracleResult ExecOracle::begin(const Module &M) {
   return R;
 }
 
-void ExecOracle::diffOne(const Function &F, const Module &M,
+void ExecOracle::diffOne(const Function &F, InterpSession &S,
                          const std::string &Stage, OracleResult &R,
                          std::vector<const Function *> &Changed) {
   std::string Text = printFunction(F);
@@ -248,10 +249,10 @@ void ExecOracle::diffOne(const Function &F, const Module &M,
   if (BatIt == Battery.end())
     BatIt = Battery
                 .emplace(F.name(),
-                         buildBattery(*SnapIt->second, M, Opts))
+                         buildBattery(*SnapIt->second, S, Opts))
                 .first;
   OracleResult D =
-      diffWithBattery(*SnapIt->second, F, M, Stage, Opts, BatIt->second);
+      diffWithBattery(*SnapIt->second, F, S, Stage, Opts, BatIt->second);
   for (OracleDivergence &Div : D.Divergences)
     R.Divergences.push_back(std::move(Div));
   R.Report += D.Report;
@@ -273,8 +274,9 @@ OracleResult ExecOracle::checkpoint(const Module &M,
   if (!enabled())
     return R;
   std::vector<const Function *> Changed;
+  InterpSession S(M);
   for (const auto &F : M.functions())
-    diffOne(*F, M, Stage, R, Changed);
+    diffOne(*F, S, Stage, R, Changed);
   finalize(R, Changed);
   return R;
 }
@@ -286,7 +288,8 @@ OracleResult ExecOracle::checkpointFunction(const Function &F,
   if (!enabled())
     return R;
   std::vector<const Function *> Changed;
-  diffOne(F, M, Stage, R, Changed);
+  InterpSession S(M);
+  diffOne(F, S, Stage, R, Changed);
   finalize(R, Changed);
   return R;
 }

@@ -117,7 +117,7 @@ public:
                                   const std::string &Stage);
 
 private:
-  void diffOne(const Function &F, const Module &M, const std::string &Stage,
+  void diffOne(const Function &F, InterpSession &S, const std::string &Stage,
                OracleResult &R, std::vector<const Function *> &Changed);
   void finalize(OracleResult &R,
                 const std::vector<const Function *> &Changed);

@@ -6,8 +6,43 @@
 #include "sim/Simulator.h" // computeGlobalLayout
 
 #include <algorithm>
+#include <cstring>
 
 using namespace vsc;
+
+namespace vsc {
+
+/// The per-module precomputation a session carries: global layout,
+/// flattened initializer bytes, the function name map Module::findFunction
+/// would otherwise re-derive by linear scan on every call, and the pooled
+/// memory arena runs reuse.
+struct InterpSession::Impl {
+  const Module &M;
+  std::unordered_map<std::string, uint64_t> GlobalBase;
+  uint64_t DataEnd = 4096;
+  /// Initializers flattened to one byte image for [4096, 4096 + size()).
+  std::vector<uint8_t> DataInit;
+  /// First function of each name, mirroring Module::findFunction.
+  std::unordered_map<std::string, const Function *> FuncByName;
+  std::vector<uint8_t> MemPool;
+
+  explicit Impl(const Module &M) : M(M) {
+    GlobalBase = computeGlobalLayout(M);
+    for (const Global &G : M.globals()) {
+      uint64_t Addr = GlobalBase.at(G.Name);
+      DataEnd = std::max(DataEnd, Addr + G.Size);
+      if (!G.Init.empty() &&
+          DataInit.size() < Addr - 4096 + G.Init.size())
+        DataInit.resize(Addr - 4096 + G.Init.size(), 0);
+      for (size_t I = 0; I != G.Init.size(); ++I)
+        DataInit[Addr - 4096 + I] = G.Init[I];
+    }
+    for (const auto &F : M.functions())
+      FuncByName.emplace(F->name(), F.get());
+  }
+};
+
+} // namespace vsc
 
 namespace {
 
@@ -81,15 +116,14 @@ struct Frame {
 
 class Interp {
 public:
-  Interp(const Module &M, const InterpOptions &Opts) : M(M), Opts(Opts) {
+  Interp(const InterpSession::Impl &S, const InterpOptions &Opts,
+         std::vector<uint8_t> &Mem)
+      : Opts(Opts), Mem(Mem), GlobalBase(S.GlobalBase), DataEnd(S.DataEnd),
+        FuncByName(S.FuncByName) {
     Mem.assign(Opts.MemBytes, 0);
-    GlobalBase = computeGlobalLayout(M);
-    DataEnd = 4096;
-    for (const Global &G : M.globals()) {
-      uint64_t Addr = GlobalBase.at(G.Name);
-      for (size_t I = 0; I != G.Init.size() && Addr + I < Mem.size(); ++I)
-        Mem[Addr + I] = G.Init[I];
-      DataEnd = std::max(DataEnd, Addr + G.Size);
+    if (!S.DataInit.empty() && Mem.size() > 4096) {
+      size_t N = std::min<size_t>(S.DataInit.size(), Mem.size() - 4096);
+      std::memcpy(Mem.data() + 4096, S.DataInit.data(), N);
     }
   }
 
@@ -141,7 +175,8 @@ private:
   const Function *resolve(const std::string &Name) const {
     if (Opts.Override && Opts.Override->name() == Name)
       return Opts.Override;
-    return M.findFunction(Name);
+    auto It = FuncByName.find(Name);
+    return It == FuncByName.end() ? nullptr : It->second;
   }
 
   int64_t readMem(uint64_t Addr, unsigned Size) const {
@@ -274,12 +309,12 @@ private:
   /// the program finished normally.
   bool step(const Instr &I, InterpResult &R, bool &Done);
 
-  const Module &M;
   const InterpOptions &Opts;
 
-  std::vector<uint8_t> Mem;
-  std::unordered_map<std::string, uint64_t> GlobalBase;
+  std::vector<uint8_t> &Mem;
+  const std::unordered_map<std::string, uint64_t> &GlobalBase;
   uint64_t DataEnd = 4096;
+  const std::unordered_map<std::string, const Function *> &FuncByName;
 
   RegFile Regs;
   const Function *CurF = nullptr;
@@ -563,7 +598,18 @@ std::string InterpResult::fingerprint() const {
          "|obs=" + std::to_string(ObsHash);
 }
 
-InterpResult vsc::interpret(const Module &M, const InterpOptions &Opts) {
-  Interp In(M, Opts);
+InterpSession::InterpSession(const Module &M)
+    : P(std::make_unique<Impl>(M)) {}
+InterpSession::InterpSession(InterpSession &&) noexcept = default;
+InterpSession &InterpSession::operator=(InterpSession &&) noexcept = default;
+InterpSession::~InterpSession() = default;
+
+InterpResult InterpSession::run(const InterpOptions &Opts) {
+  Interp In(*P, Opts, P->MemPool);
   return In.run();
+}
+
+InterpResult vsc::interpret(const Module &M, const InterpOptions &Opts) {
+  InterpSession S(M);
+  return S.run(Opts);
 }

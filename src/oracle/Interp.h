@@ -37,6 +37,7 @@
 #include "ir/Module.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -115,6 +116,32 @@ struct InterpResult {
 
 /// Interprets \p M starting at Opts.EntryFunction.
 InterpResult interpret(const Module &M, const InterpOptions &Opts = {});
+
+/// Precomputed per-module interpreter state (global layout, flattened
+/// initializers, function name map) plus a pooled memory arena, reused
+/// across runs. The oracle executes each changed function on a whole
+/// input battery — 2 versions x up to MaxInputs runs — against one
+/// unchanging module; a session makes those runs share the one-time work
+/// instead of redoing it per run. The module must outlive the session and
+/// not gain/lose globals or functions while it is in use (function
+/// *bodies* may differ via InterpOptions::Override, as always).
+class InterpSession {
+public:
+  explicit InterpSession(const Module &M);
+  InterpSession(InterpSession &&) noexcept;
+  InterpSession &operator=(InterpSession &&) noexcept;
+  ~InterpSession();
+
+  /// Exactly interpret(M, Opts), but against the precomputed state.
+  InterpResult run(const InterpOptions &Opts = {});
+
+  /// Implementation detail (defined in Interp.cpp); public only so the
+  /// interpreter internals can name it.
+  struct Impl;
+
+private:
+  std::unique_ptr<Impl> P;
+};
 
 } // namespace vsc
 

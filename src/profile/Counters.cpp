@@ -345,7 +345,7 @@ Instrumentation vsc::instrumentModule(Module &M, bool HoistCounters) {
         BB->instrs().insert(
             BB->instrs().begin() + static_cast<long>(Base + K), Code[K]);
       }
-      Info.SlotKeys.push_back(F->name() + ":" + Label);
+      Info.SlotKeys.push_back(blockCountKey(F->name(), Label));
       ++Slot;
     }
   }
@@ -389,7 +389,7 @@ std::string vsc::inferCounts(
   std::vector<std::optional<uint64_t>> NodeVal(FG.Nodes.size());
   std::vector<std::optional<uint64_t>> EdgeVal(FG.Edges.size());
   for (size_t N = 0; N + 1 < FG.Nodes.size(); ++N) {
-    auto It = Counted.find(F.name() + ":" + FG.Nodes[N]->label());
+    auto It = Counted.find(blockCountKey(F.name(), FG.Nodes[N]->label()));
     if (It != Counted.end())
       NodeVal[N] = It->second;
   }
@@ -404,7 +404,8 @@ std::string vsc::inferCounts(
     if (!NodeVal[N])
       return F.name() + ": block '" + FG.Nodes[N]->label() +
              "' undetermined";
-    Out.BlockCount[F.name() + ":" + FG.Nodes[N]->label()] = *NodeVal[N];
+    Out.BlockCount[blockCountKey(F.name(), FG.Nodes[N]->label())] =
+        *NodeVal[N];
   }
   for (size_t E = 0; E != FG.Edges.size(); ++E) {
     const FlowGraph::FEdge &FE = FG.Edges[E];
@@ -413,8 +414,8 @@ std::string vsc::inferCounts(
     if (!EdgeVal[E])
       return F.name() + ": edge '" + FE.SrcFrom->label() + "->" +
              FE.SrcTo->label() + "' undetermined";
-    Out.EdgeCount[F.name() + ":" + FE.SrcFrom->label() + "->" +
-                  FE.SrcTo->label()] = *EdgeVal[E];
+    Out.EdgeCount[edgeCountKey(F.name(), FE.SrcFrom->label(),
+                               FE.SrcTo->label())] = *EdgeVal[E];
   }
   return "";
 }

@@ -30,10 +30,10 @@ public:
   std::unordered_map<std::string, uint64_t> EdgeCount;
 
   static std::string blockKey(const Function &F, const BasicBlock *BB) {
-    return F.name() + ":" + BB->label();
+    return blockCountKey(F.name(), BB->label());
   }
   static std::string edgeKey(const Function &F, const CfgEdge &E) {
-    return F.name() + ":" + E.From->label() + "->" + E.To->label();
+    return edgeCountKey(F.name(), E.From->label(), E.To->label());
   }
 
   uint64_t block(const Function &F, const BasicBlock *BB) const {

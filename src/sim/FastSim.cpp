@@ -1,0 +1,687 @@
+//===- sim/FastSim.cpp - Predecoded simulator fast path ---------------------===//
+///
+/// The execution engine behind vsc::simulate / simulateBatch / SimEngine:
+/// runs the functional+timing loop over the flat records of a SimImage
+/// (sim/Predecode.h) with vector-indexed block/edge counters, and
+/// materializes the string-keyed RunResult maps once at the end. Must stay
+/// bit-identical to the walking interpreter in Simulator.cpp
+/// (simulateLegacy) — tests/test_sim_fastpath.cpp enforces that, so any
+/// semantic change must be made in both files.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Abi.h"
+#include "sim/Predecode.h"
+#include "sim/SimCore.h"
+#include "sim/Simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace vsc;
+
+namespace {
+
+using simcore::CrVal;
+using simcore::RegFile;
+
+/// Saved caller context for a call (fast-path flavour of the legacy
+/// Frame: indices instead of Function/block pointers).
+struct FastFrame {
+  const DecodedFunction *F = nullptr;
+  uint32_t Block = 0;
+  uint32_t Instr = 0; // global instruction index, already past the CALL
+  std::vector<int64_t> Virt;
+  std::vector<CrVal> VirtCr;
+  std::vector<uint64_t> VirtReady;
+  std::vector<uint64_t> VirtCrReady;
+};
+
+/// Storage pooled across the runs of a batch: the memory image, the dense
+/// counter vectors and the call stack keep their capacity between runs.
+struct Arena {
+  std::vector<uint8_t> Mem;
+  std::vector<uint64_t> BlockHits;
+  std::vector<uint64_t> EdgeHits;
+  std::vector<FastFrame> CallStack;
+};
+
+class FastMachine {
+public:
+  FastMachine(const SimImage &Img, const RunOptions &Opts, Arena &A)
+      : Img(Img), Model(Img.Model), Opts(Opts), Mem(A.Mem),
+        BlockHits(A.BlockHits), EdgeHits(A.EdgeHits),
+        CallStack(A.CallStack) {}
+
+  RunResult run() {
+    RunResult R;
+    auto It = Img.FuncByName.find(Opts.EntryFunction);
+    const DecodedFunction *F =
+        It == Img.FuncByName.end() ? nullptr : &Img.Funcs[It->second];
+    if (!F || F->NumBlocks == 0) {
+      R.Trapped = true;
+      R.TrapMsg = "no entry function '" + Opts.EntryFunction + "'";
+      return R; // like the legacy engine: no digest, no counters
+    }
+
+    Mem.assign(Opts.MemBytes, 0);
+    if (!Img.DataInit.empty() && Mem.size() > 4096) {
+      size_t N = std::min<size_t>(Img.DataInit.size(), Mem.size() - 4096);
+      std::memcpy(Mem.data() + 4096, Img.DataInit.data(), N);
+    }
+    BlockHits.assign(Img.Blocks.size(), 0);
+    EdgeHits.assign(Img.EdgeKeys.size(), 0);
+    CallStack.clear();
+
+    Regs.gpr(1) = static_cast<int64_t>(Mem.size() - 4096); // stack top
+    Regs.gpr(2) = 4096;                                    // TOC anchor
+    for (size_t I = 0; I < Opts.Args.size() && I < 8; ++I)
+      Regs.gpr(3 + static_cast<uint32_t>(I)) = Opts.Args[I];
+
+    CurF = F;
+    Blk = F->FirstBlock;
+    Ii = Img.Blocks[Blk].FirstInstr;
+    ++BlockHits[Blk];
+
+    while (true) {
+      // Fallthrough across block boundaries.
+      const DecodedBlock *B = &Img.Blocks[Blk];
+      while (Ii >= B->FirstInstr + B->NumInstrs) {
+        if (Blk + 1 >= CurF->FirstBlock + CurF->NumBlocks)
+          return trap(R, "fell off the end of function " + CurF->F->name());
+        ++EdgeHits[static_cast<uint32_t>(B->FallEdge)];
+        ++Blk;
+        B = &Img.Blocks[Blk];
+        Ii = B->FirstInstr;
+        ++BlockHits[Blk];
+      }
+      const DecodedInstr &D = Img.Instrs[Ii];
+      ++Ii;
+      if (++R.DynInstrs > Opts.MaxInstrs)
+        return trap(R, "instruction budget exceeded");
+
+      bool Done = false;
+      if (!step(D, R, Done))
+        return finish(R); // trap already recorded by step
+      if (Done)
+        return finish(R);
+    }
+  }
+
+private:
+  // --- functional helpers -------------------------------------------------
+
+  int64_t readMem(uint64_t Addr, unsigned Size, bool &Ok, bool &PageZero) {
+    PageZero = false;
+    if (Addr + Size <= 4096) {
+      PageZero = true;
+      return 0; // legality checked by the caller against the model
+    }
+    if (Addr + Size > Mem.size() || Addr < 4096) {
+      Ok = false;
+      return 0;
+    }
+    uint64_t V = 0;
+    for (unsigned B = 0; B != Size; ++B)
+      V |= static_cast<uint64_t>(Mem[Addr + B]) << (8 * B);
+    // Sign extend.
+    if (Size < 8) {
+      uint64_t SignBit = 1ULL << (Size * 8 - 1);
+      if (V & SignBit)
+        V |= ~((SignBit << 1) - 1);
+    }
+    return static_cast<int64_t>(V);
+  }
+
+  bool writeMem(uint64_t Addr, unsigned Size, int64_t Val) {
+    if (Addr < 4096 || Addr + Size > Mem.size())
+      return false;
+    for (unsigned B = 0; B != Size; ++B)
+      Mem[Addr + B] =
+          static_cast<uint8_t>(static_cast<uint64_t>(Val) >> (8 * B));
+    return true;
+  }
+
+  RunResult &trap(RunResult &R, const std::string &Msg) {
+    R.Trapped = true;
+    R.TrapMsg = Msg;
+    return finish(R);
+  }
+
+  RunResult &finish(RunResult &R) {
+    // A trap inside step() already finished; materializing the counter
+    // maps twice would double them (they accumulate with +=).
+    if (Finished)
+      return R;
+    Finished = true;
+    // FNV-1a over the global data area.
+    uint64_t H = 1469598103934665603ULL;
+    for (uint64_t A = 4096; A < Img.DataEnd && A < Mem.size(); ++A) {
+      H ^= Mem[A];
+      H *= 1099511628211ULL;
+    }
+    R.MemDigest = H;
+    R.Cycles = PrevIssue;
+    if (Opts.KeepMemory)
+      R.Memory = Mem;
+    R.GlobalBase = Img.GlobalBase;
+    // Materialize the string-keyed counter maps from the dense slots.
+    // Distinct slots may intern the same key (taken branch + fallthrough
+    // to the same successor), so sum rather than assign.
+    for (size_t S = 0; S != BlockHits.size(); ++S)
+      if (BlockHits[S])
+        R.BlockCounts[Img.BlockKeys[S]] += BlockHits[S];
+    for (size_t S = 0; S != EdgeHits.size(); ++S)
+      if (EdgeHits[S])
+        R.EdgeCounts[Img.EdgeKeys[S]] += EdgeHits[S];
+    return R;
+  }
+
+  bool step(const DecodedInstr &D, RunResult &R, bool &Done);
+
+  // --- timing -------------------------------------------------------------
+
+  uint64_t operandReadyTime(const DecodedInstr &D) {
+    uint64_t T = 0;
+    for (uint32_t U = D.UsesBegin; U != D.UsesEnd; ++U) {
+      Reg Use = Img.UsePool[U];
+      if (Use.isGpr())
+        T = std::max(T, Regs.gprReady(Use.id()));
+      else if (Use.isCr())
+        T = std::max(T, Regs.crReady(Use.id()));
+      else if (Use.isCtr())
+        T = std::max(T, Regs.CtrReady);
+    }
+    return T;
+  }
+
+  void setDefsReady(const DecodedInstr &D, uint64_t When, uint64_t BaseWhen) {
+    for (uint32_t I = D.DefsBegin; I != D.DefsEnd; ++I) {
+      Reg Def = Img.DefPool[I];
+      uint64_t T = (D.Op == Opcode::LU && Def == D.Src1) ? BaseWhen : When;
+      if (Def.isGpr())
+        Regs.gprReady(Def.id()) = T;
+      else if (Def.isCr())
+        Regs.crReady(Def.id()) = T;
+      else if (Def.isCtr())
+        Regs.CtrReady = T;
+    }
+  }
+
+  /// Finds the issue cycle for an instruction of unit class \p Unit whose
+  /// operands/floors allow issue at \p Earliest, honouring issue width.
+  uint64_t allocUnit(UnitKind Unit, uint64_t Earliest) {
+    uint64_t C = Earliest;
+    if (Unit == UnitKind::Fxu) {
+      if (FxuCycle == C && FxuCount >= Model.FxuWidth)
+        C = FxuCycle + 1;
+      if (FxuCycle != C) {
+        FxuCycle = C;
+        FxuCount = 0;
+      }
+      ++FxuCount;
+    } else if (Unit == UnitKind::Bu) {
+      if (BuCycle == C && BuCount >= Model.BuWidth)
+        C = BuCycle + 1;
+      if (BuCycle != C) {
+        BuCycle = C;
+        BuCount = 0;
+      }
+      ++BuCount;
+    }
+    return C;
+  }
+
+  uint64_t issue(const DecodedInstr &D, bool IsBranchTaken, RunResult &R) {
+    uint64_t Base = std::max(PrevIssue, FetchFloor);
+    uint64_t Earliest = Base;
+    uint64_t OperandFloor = 0;
+    if (!D.IsBranch) {
+      // Branches issue before their condition resolves (predicted
+      // untaken); everything else waits for operands.
+      OperandFloor = operandReadyTime(D);
+      Earliest = std::max(Earliest, OperandFloor);
+    }
+    // Limited dispatch beyond an unresolved conditional branch.
+    if (Earliest < PendingResolve) {
+      if (SpecBudget == 0)
+        Earliest = PendingResolve;
+      else
+        --SpecBudget;
+    }
+    uint64_t C = allocUnit(D.Unit, Earliest);
+    if (OperandFloor > Base)
+      R.OperandStallCycles += OperandFloor - Base;
+
+    // Branch bookkeeping.
+    if (D.Op == Opcode::BT || D.Op == Opcode::BF) {
+      uint64_t CrReady = Regs.crReady(D.Src1.id());
+      uint64_t Resolve = std::max(C, CrReady);
+      if (IsBranchTaken) {
+        uint64_t NewFloor = std::max(C, CrReady + Model.TakenBranchRedirect);
+        if (NewFloor > C)
+          R.BranchStallCycles += NewFloor - C;
+        FetchFloor = std::max(FetchFloor, NewFloor);
+      } else if (Resolve > C) {
+        PendingResolve = Resolve;
+        SpecBudget = Model.SpecWindow;
+      }
+      LastCondResolve = Resolve;
+      InstrsSinceCondBranch = 0;
+    } else if (D.Op == Opcode::BCT) {
+      uint64_t Resolve = std::max(C, Regs.CtrReady);
+      FetchFloor = std::max(FetchFloor, Resolve); // branch-on-count is free
+      LastCondResolve = Resolve;
+      InstrsSinceCondBranch = 0;
+    } else if (D.Op == Opcode::B) {
+      // Free when the branch unit saw it early enough; pays the redirect
+      // when it sits in the shadow of a recent conditional branch (the
+      // stall basic block expansion removes).
+      if (InstrsSinceCondBranch < Model.ExpansionObjective) {
+        uint64_t NewFloor =
+            std::max(C, LastCondResolve + Model.TakenBranchRedirect);
+        if (NewFloor > C)
+          R.BranchStallCycles += NewFloor - C;
+        FetchFloor = std::max(FetchFloor, NewFloor);
+      }
+      ++InstrsSinceCondBranch;
+    } else if (D.Op == Opcode::CALL || D.Op == Opcode::RET) {
+      FetchFloor = std::max(FetchFloor, C + Model.TakenBranchRedirect);
+      R.BranchStallCycles += Model.TakenBranchRedirect;
+      InstrsSinceCondBranch = 0;
+    } else {
+      ++InstrsSinceCondBranch;
+    }
+
+    PrevIssue = C;
+    return C;
+  }
+
+  /// Kills everything the linkage convention says a call clobbers (see
+  /// the legacy engine for the rationale; poison from ir/Abi.h).
+  void scrubCallClobbers(int64_t KeepArgs) {
+    abi::forEachCallClobber([&](Reg D) {
+      if (D.isGpr()) {
+        if (D.id() >= 3 &&
+            static_cast<int64_t>(D.id()) < 3 + std::min<int64_t>(KeepArgs, 8))
+          return;
+        Regs.gpr(D.id()) = abi::ClobberPoison;
+      } else if (D.isCr()) {
+        Regs.cr(D.id()) = CrVal{true, true, true};
+      } else if (D.isCtr()) {
+        Regs.Ctr = abi::ClobberPoison;
+      }
+    });
+  }
+
+  // --- state --------------------------------------------------------------
+
+  const SimImage &Img;
+  const MachineModel &Model;
+  const RunOptions &Opts;
+
+  std::vector<uint8_t> &Mem;
+  std::vector<uint64_t> &BlockHits;
+  std::vector<uint64_t> &EdgeHits;
+  std::vector<FastFrame> &CallStack;
+
+  RegFile Regs;
+  const DecodedFunction *CurF = nullptr;
+  uint32_t Blk = 0; // global block index
+  uint32_t Ii = 0;  // global instruction index
+  size_t InputPos = 0;
+
+  // Timing.
+  bool Finished = false;
+  uint64_t PrevIssue = 0;
+  uint64_t FetchFloor = 1;
+  uint64_t FxuCycle = 0, BuCycle = 0;
+  unsigned FxuCount = 0, BuCount = 0;
+  uint64_t PendingResolve = 0;
+  unsigned SpecBudget = 0;
+  uint64_t LastCondResolve = 0;
+  uint64_t InstrsSinceCondBranch = 1'000'000;
+};
+
+bool FastMachine::step(const DecodedInstr &D, RunResult &R, bool &Done) {
+  Done = false;
+  auto S1 = [&]() { return Regs.gpr(D.Src1.id()); };
+  auto S2 = [&]() { return Regs.gpr(D.Src2.id()); };
+
+  // Functional semantics first (so branch direction is known), then timing.
+  bool Taken = false;
+  int64_t DstVal = 0;
+  bool HasDstVal = false;
+  int64_t LuNewBase = 0;
+
+  switch (D.Op) {
+  case Opcode::LI:
+    DstVal = D.Imm;
+    HasDstVal = true;
+    break;
+  case Opcode::LR:
+    DstVal = S1();
+    HasDstVal = true;
+    break;
+  case Opcode::A:
+    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) +
+                                  static_cast<uint64_t>(S2()));
+    HasDstVal = true;
+    break;
+  case Opcode::S:
+    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) -
+                                  static_cast<uint64_t>(S2()));
+    HasDstVal = true;
+    break;
+  case Opcode::MUL:
+    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) *
+                                  static_cast<uint64_t>(S2()));
+    HasDstVal = true;
+    break;
+  case Opcode::DIV: {
+    int64_t Dv = S2();
+    if (Dv == 0) {
+      trap(R, "divide by zero");
+      return false;
+    }
+    if (S1() == INT64_MIN && Dv == -1)
+      DstVal = INT64_MIN;
+    else
+      DstVal = S1() / Dv;
+    HasDstVal = true;
+    break;
+  }
+  case Opcode::AND:
+    DstVal = S1() & S2();
+    HasDstVal = true;
+    break;
+  case Opcode::OR:
+    DstVal = S1() | S2();
+    HasDstVal = true;
+    break;
+  case Opcode::XOR:
+    DstVal = S1() ^ S2();
+    HasDstVal = true;
+    break;
+  case Opcode::SL:
+    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1())
+                                  << (S2() & 63));
+    HasDstVal = true;
+    break;
+  case Opcode::SR:
+    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) >>
+                                  (S2() & 63));
+    HasDstVal = true;
+    break;
+  case Opcode::SRA:
+    DstVal = S1() >> (S2() & 63);
+    HasDstVal = true;
+    break;
+  case Opcode::AI:
+  case Opcode::LA:
+    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) +
+                                  static_cast<uint64_t>(D.Imm));
+    HasDstVal = true;
+    break;
+  case Opcode::SI:
+    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) -
+                                  static_cast<uint64_t>(D.Imm));
+    HasDstVal = true;
+    break;
+  case Opcode::MULI:
+    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) *
+                                  static_cast<uint64_t>(D.Imm));
+    HasDstVal = true;
+    break;
+  case Opcode::ANDI:
+    DstVal = S1() & D.Imm;
+    HasDstVal = true;
+    break;
+  case Opcode::ORI:
+    DstVal = S1() | D.Imm;
+    HasDstVal = true;
+    break;
+  case Opcode::XORI:
+    DstVal = S1() ^ D.Imm;
+    HasDstVal = true;
+    break;
+  case Opcode::SLI:
+    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1())
+                                  << (D.Imm & 63));
+    HasDstVal = true;
+    break;
+  case Opcode::SRI:
+    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) >>
+                                  (D.Imm & 63));
+    HasDstVal = true;
+    break;
+  case Opcode::SRAI:
+    DstVal = S1() >> (D.Imm & 63);
+    HasDstVal = true;
+    break;
+  case Opcode::NEG:
+    DstVal = static_cast<int64_t>(0 - static_cast<uint64_t>(S1()));
+    HasDstVal = true;
+    break;
+  case Opcode::LTOC: {
+    if (!D.GlobalKnown) {
+      trap(R, "LTOC of unknown global '" + D.Origin->Sym + "'");
+      return false;
+    }
+    DstVal = D.GlobalAddr;
+    HasDstVal = true;
+    break;
+  }
+  case Opcode::L:
+  case Opcode::LU: {
+    uint64_t Addr = static_cast<uint64_t>(S1() + D.Imm);
+    bool Ok = true, PageZero = false;
+    int64_t V = readMem(Addr, D.MemSize, Ok, PageZero);
+    if (PageZero && !Model.PageZeroReadable) {
+      trap(R, "load from page zero at " + std::to_string(Addr));
+      return false;
+    }
+    if (!Ok) {
+      trap(R, "load from unmapped address " + std::to_string(Addr));
+      return false;
+    }
+    DstVal = V;
+    HasDstVal = true;
+    LuNewBase = S1() + D.Imm;
+    break;
+  }
+  case Opcode::ST: {
+    uint64_t Addr = static_cast<uint64_t>(S2() + D.Imm);
+    if (!writeMem(Addr, D.MemSize, S1())) {
+      trap(R, "store to unmapped address " + std::to_string(Addr));
+      return false;
+    }
+    break;
+  }
+  case Opcode::C:
+  case Opcode::CI: {
+    int64_t A = S1();
+    int64_t B = D.Op == Opcode::C ? S2() : D.Imm;
+    CrVal &Cr = Regs.cr(D.Dst.id());
+    Cr.Lt = A < B;
+    Cr.Gt = A > B;
+    Cr.Eq = A == B;
+    break;
+  }
+  case Opcode::MTCTR:
+    Regs.Ctr = S1();
+    break;
+  case Opcode::B:
+    Taken = true;
+    break;
+  case Opcode::BT:
+  case Opcode::BF: {
+    bool Bit = Regs.cr(D.Src1.id()).bit(D.Bit);
+    Taken = (D.Op == Opcode::BT) ? Bit : !Bit;
+    break;
+  }
+  case Opcode::BCT:
+    Taken = (--Regs.Ctr != 0);
+    break;
+  case Opcode::CALL:
+  case Opcode::RET:
+    break;
+  default:
+    trap(R, "unimplemented opcode");
+    return false;
+  }
+
+  uint64_t C = issue(D, Taken, R);
+
+  // Commit destination values and ready times.
+  if (D.Op == Opcode::LU)
+    Regs.gpr(D.Src1.id()) = LuNewBase;
+  if (HasDstVal && D.Dst.isGpr())
+    Regs.gpr(D.Dst.id()) = DstVal;
+  if (D.SetsDefsReady)
+    setDefsReady(D, C + D.Latency, C + Model.AluLatency);
+
+  // The stack grows down from the top of memory; a stack pointer that
+  // descends into the global data area would silently corrupt globals
+  // (and stores through it still look "mapped" to writeMem).
+  if (((HasDstVal && D.Dst.isGpr() && D.Dst.id() == 1) ||
+       (D.Op == Opcode::LU && D.Src1.isGpr() && D.Src1.id() == 1)) &&
+      Regs.Phys[1] < static_cast<int64_t>(Img.DataEnd)) {
+    trap(R, "stack overflow into data");
+    return false;
+  }
+
+  // Control transfer.
+  if (D.Op == Opcode::B || ((D.Op == Opcode::BT || D.Op == Opcode::BF ||
+                             D.Op == Opcode::BCT) &&
+                            Taken)) {
+    // The edge is counted before target resolution, like the legacy
+    // engine (a branch to an unknown label still counts its edge).
+    ++EdgeHits[static_cast<uint32_t>(D.TakenEdge)];
+    if (D.TargetBlock < 0) {
+      trap(R, "branch to unknown label '" + D.Origin->Target + "'");
+      return false;
+    }
+    Blk = static_cast<uint32_t>(D.TargetBlock);
+    Ii = Img.Blocks[Blk].FirstInstr;
+    ++BlockHits[Blk];
+    return true;
+  }
+
+  if (D.Op == Opcode::CALL) {
+    // Builtins. Their r3 on return is pinned in ir/Abi.h (print builtins
+    // return their argument, read_int the value read); everything else in
+    // the clobber set dies.
+    if (D.Builtin != SimBuiltin::None) {
+      int64_t A0 = Regs.gpr(3);
+      scrubCallClobbers(/*KeepArgs=*/0);
+      switch (D.Builtin) {
+      case SimBuiltin::PrintInt:
+        R.Output += std::to_string(A0) + "\n";
+        Regs.gpr(3) = A0;
+        Regs.gprReady(3) = C + Model.AluLatency;
+        return true;
+      case SimBuiltin::PrintChar:
+        R.Output += static_cast<char>(A0 & 0xff);
+        Regs.gpr(3) = A0;
+        return true;
+      case SimBuiltin::ReadInt:
+        Regs.gpr(3) =
+            InputPos < Opts.Input.size() ? Opts.Input[InputPos++] : 0;
+        Regs.gprReady(3) = C + Model.AluLatency;
+        return true;
+      default: // exit
+        R.ExitCode = A0;
+        Done = true;
+        return true;
+      }
+    }
+    if (D.Callee < 0) {
+      trap(R, "call to unknown function '" + D.Origin->Sym + "'");
+      return false;
+    }
+    scrubCallClobbers(D.Imm);
+    FastFrame Fr;
+    Fr.F = CurF;
+    Fr.Block = Blk;
+    Fr.Instr = Ii;
+    Fr.Virt = std::move(Regs.Virt);
+    Fr.VirtCr = std::move(Regs.VirtCr);
+    Fr.VirtReady = std::move(Regs.VirtReady);
+    Fr.VirtCrReady = std::move(Regs.VirtCrReady);
+    CallStack.push_back(std::move(Fr));
+    Regs.Virt.clear();
+    Regs.VirtCr.clear();
+    Regs.VirtReady.clear();
+    Regs.VirtCrReady.clear();
+    const DecodedFunction &Callee = Img.Funcs[D.Callee];
+    CurF = &Callee;
+    Blk = Callee.FirstBlock;
+    Ii = Img.Blocks[Blk].FirstInstr;
+    ++BlockHits[Blk];
+    return true;
+  }
+
+  if (D.Op == Opcode::RET) {
+    if (CallStack.empty()) {
+      R.ExitCode = Regs.gpr(3);
+      Done = true;
+      return true;
+    }
+    FastFrame Fr = std::move(CallStack.back());
+    CallStack.pop_back();
+    CurF = Fr.F;
+    Blk = Fr.Block;
+    Ii = Fr.Instr;
+    Regs.Virt = std::move(Fr.Virt);
+    Regs.VirtCr = std::move(Fr.VirtCr);
+    Regs.VirtReady = std::move(Fr.VirtReady);
+    Regs.VirtCrReady = std::move(Fr.VirtCrReady);
+    return true;
+  }
+
+  return true;
+}
+
+} // namespace
+
+struct SimEngine::State {
+  SimImage Img;
+  Arena A;
+};
+
+SimEngine::SimEngine(const Module &M, const MachineModel &Machine)
+    : S(std::make_unique<State>()) {
+  S->Img = predecode(M, Machine);
+}
+
+SimEngine::SimEngine(SimEngine &&) noexcept = default;
+SimEngine &SimEngine::operator=(SimEngine &&) noexcept = default;
+SimEngine::~SimEngine() = default;
+
+RunResult SimEngine::run(const RunOptions &Opts) {
+  FastMachine FM(S->Img, Opts, S->A);
+  return FM.run();
+}
+
+const SimImage &SimEngine::image() const { return S->Img; }
+
+RunResult vsc::simulate(const Module &M, const MachineModel &Machine,
+                        const RunOptions &Opts) {
+  SimImage Img = predecode(M, Machine);
+  Arena A;
+  FastMachine FM(Img, Opts, A);
+  return FM.run();
+}
+
+std::vector<RunResult>
+vsc::simulateBatch(const Module &M, const MachineModel &Machine,
+                   const std::vector<RunOptions> &Batch) {
+  SimEngine E(M, Machine);
+  std::vector<RunResult> Out;
+  Out.reserve(Batch.size());
+  for (const RunOptions &O : Batch)
+    Out.push_back(E.run(O));
+  return Out;
+}

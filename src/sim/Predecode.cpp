@@ -1,0 +1,171 @@
+//===- sim/Predecode.cpp - Predecoded module image --------------------------===//
+
+#include "sim/Predecode.h"
+
+#include "ir/Abi.h"
+#include "sim/Simulator.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace vsc;
+
+namespace {
+
+SimBuiltin classifyBuiltin(const std::string &Sym) {
+  if (!abi::isBuiltin(Sym))
+    return SimBuiltin::None;
+  if (Sym == "print_int")
+    return SimBuiltin::PrintInt;
+  if (Sym == "print_char")
+    return SimBuiltin::PrintChar;
+  if (Sym == "read_int")
+    return SimBuiltin::ReadInt;
+  return SimBuiltin::Exit;
+}
+
+} // namespace
+
+SimImage vsc::predecode(const Module &M, const MachineModel &Model) {
+  SimImage Img;
+  Img.M = &M;
+  Img.Model = Model;
+
+  // Global layout and the flattened initializer image.
+  Img.GlobalBase = computeGlobalLayout(M);
+  for (const Global &G : M.globals()) {
+    uint64_t Addr = Img.GlobalBase.at(G.Name);
+    Img.DataEnd = std::max(Img.DataEnd, Addr + G.Size);
+    if (!G.Init.empty() &&
+        Img.DataInit.size() < Addr - 4096 + G.Init.size())
+      Img.DataInit.resize(Addr - 4096 + G.Init.size(), 0);
+    for (size_t I = 0; I != G.Init.size(); ++I)
+      Img.DataInit[Addr - 4096 + I] = G.Init[I];
+  }
+
+  // Function and block index assignment (blocks contiguous per function,
+  // in layout order), plus the per-function label map branch resolution
+  // uses. Key uniqueness is asserted here: a duplicate function name or a
+  // duplicate label within one function would merge profiling counters.
+  struct FnInfo {
+    std::unordered_map<std::string, uint32_t> BlockByLabel;
+  };
+  std::vector<FnInfo> Infos(M.functions().size());
+  for (size_t FI = 0; FI != M.functions().size(); ++FI) {
+    const Function &F = *M.functions()[FI];
+    DecodedFunction DF;
+    DF.F = &F;
+    DF.FirstBlock = static_cast<uint32_t>(Img.Blocks.size());
+    DF.NumBlocks = static_cast<uint32_t>(F.blocks().size());
+    bool NewName =
+        Img.FuncByName.emplace(F.name(), static_cast<uint32_t>(FI)).second;
+    assert(NewName && "duplicate function name merges profiling counters");
+    (void)NewName;
+    for (const auto &BB : F.blocks()) {
+      uint32_t Idx = static_cast<uint32_t>(Img.Blocks.size());
+      bool NewLabel =
+          Infos[FI].BlockByLabel.emplace(BB->label(), Idx).second;
+      assert(NewLabel && "duplicate block label merges profiling counters");
+      (void)NewLabel;
+      Img.Blocks.push_back(DecodedBlock{0, 0, -1});
+      Img.BlockKeys.push_back(blockCountKey(F.name(), BB->label()));
+    }
+    Img.Funcs.push_back(DF);
+  }
+
+  auto newEdge = [&](const std::string &Fn, const std::string &From,
+                     const std::string &To) {
+    Img.EdgeKeys.push_back(edgeCountKey(Fn, From, To));
+    return static_cast<int32_t>(Img.EdgeKeys.size() - 1);
+  };
+
+  // Instruction decode.
+  std::vector<Reg> Tmp;
+  for (size_t FI = 0; FI != M.functions().size(); ++FI) {
+    const Function &F = *M.functions()[FI];
+    const DecodedFunction &DF = Img.Funcs[FI];
+    for (size_t BI = 0; BI != F.blocks().size(); ++BI) {
+      const BasicBlock &BB = *F.blocks()[BI];
+      DecodedBlock &DB = Img.Blocks[DF.FirstBlock + BI];
+      DB.FirstInstr = static_cast<uint32_t>(Img.Instrs.size());
+      DB.NumInstrs = static_cast<uint32_t>(BB.instrs().size());
+      if (BI + 1 != F.blocks().size())
+        DB.FallEdge =
+            newEdge(F.name(), BB.label(), F.blocks()[BI + 1]->label());
+
+      for (const Instr &I : BB.instrs()) {
+        DecodedInstr D;
+        D.Op = I.Op;
+        D.Bit = I.Bit;
+        D.MemSize = I.MemSize;
+        D.Unit = opcodeInfo(I.Op).Unit;
+        D.Latency = static_cast<uint8_t>(Model.latencyOf(I));
+        D.IsBranch = opcodeInfo(I.Op).IsBranch;
+        D.SetsDefsReady = opcodeInfo(I.Op).HasDst || I.Op == Opcode::LU;
+        D.Dst = I.Dst;
+        D.Src1 = I.Src1;
+        D.Src2 = I.Src2;
+        D.Imm = I.Imm;
+        D.GlobalAddr = 0;
+        D.GlobalKnown = false;
+        D.TargetBlock = -1;
+        D.TakenEdge = -1;
+        D.Callee = -1;
+        D.Builtin = SimBuiltin::None;
+        D.Origin = &I;
+
+        Tmp.clear();
+        I.collectUses(Tmp);
+        D.UsesBegin = static_cast<uint32_t>(Img.UsePool.size());
+        Img.UsePool.insert(Img.UsePool.end(), Tmp.begin(), Tmp.end());
+        D.UsesEnd = static_cast<uint32_t>(Img.UsePool.size());
+        Tmp.clear();
+        I.collectDefs(Tmp);
+        D.DefsBegin = static_cast<uint32_t>(Img.DefPool.size());
+        Img.DefPool.insert(Img.DefPool.end(), Tmp.begin(), Tmp.end());
+        D.DefsEnd = static_cast<uint32_t>(Img.DefPool.size());
+
+        switch (I.Op) {
+        case Opcode::LTOC: {
+          auto It = Img.GlobalBase.find(I.Sym);
+          if (It != Img.GlobalBase.end()) {
+            D.GlobalAddr = static_cast<int64_t>(It->second);
+            D.GlobalKnown = true;
+          }
+          break;
+        }
+        case Opcode::B:
+        case Opcode::BT:
+        case Opcode::BF:
+        case Opcode::BCT: {
+          auto It = Infos[FI].BlockByLabel.find(I.Target);
+          if (It != Infos[FI].BlockByLabel.end())
+            D.TargetBlock = static_cast<int32_t>(It->second);
+          // The legacy engine counts the edge before discovering the
+          // label doesn't resolve, so unknown targets get a slot too.
+          D.TakenEdge = newEdge(F.name(), BB.label(), I.Target);
+          break;
+        }
+        case Opcode::CALL: {
+          D.Builtin = classifyBuiltin(I.Sym);
+          if (D.Builtin == SimBuiltin::None) {
+            // Mirrors Module::findFunction (first match) plus the
+            // engines' blocks-nonempty check.
+            auto It = Img.FuncByName.find(I.Sym);
+            if (It != Img.FuncByName.end() &&
+                Img.Funcs[It->second].NumBlocks != 0)
+              D.Callee = static_cast<int32_t>(It->second);
+          }
+          break;
+        }
+        default:
+          break;
+        }
+
+        Img.Instrs.push_back(D);
+      }
+    }
+  }
+
+  return Img;
+}

@@ -1,0 +1,137 @@
+//===- sim/Predecode.h - Predecoded module image --------------*- C++ -*-===//
+///
+/// \file
+/// One-time per-module decode for the simulator fast path. The walking
+/// interpreter (simulateLegacy) re-resolves branch labels, call targets
+/// and global symbols by string and builds "func:label" map keys on every
+/// executed block; predecode does all of that exactly once:
+///
+///  * every branch target becomes a (function, block) index pair,
+///  * every LTOC/global symbol becomes its final address,
+///  * every block and every control-flow edge becomes a dense counter
+///    slot (the string-keyed BlockCounts/EdgeCounts maps are materialized
+///    once at the end of a run from interned, escape-unambiguous keys),
+///  * every instruction becomes a flat record carrying its opcode traits,
+///    unit class, latency and pre-collected use/def register lists.
+///
+/// The image is immutable and independent of RunOptions, so one image
+/// serves a whole batch of runs (simulateBatch / SimEngine). Predecode
+/// also asserts profiling-key uniqueness: duplicate block labels within a
+/// function (or duplicate function names) would merge counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_SIM_PREDECODE_H
+#define VSC_SIM_PREDECODE_H
+
+#include "ir/Module.h"
+#include "machine/MachineModel.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vsc {
+
+/// Calls the simulator implements natively (ir/Abi.h builtins).
+enum class SimBuiltin : int8_t {
+  None = -1,
+  PrintInt,
+  PrintChar,
+  ReadInt,
+  Exit,
+};
+
+/// One flat, fully resolved instruction record.
+struct DecodedInstr {
+  Opcode Op;
+  CrBit Bit;
+  uint8_t MemSize;
+  UnitKind Unit;
+  /// Result-availability latency under the image's machine model.
+  uint8_t Latency;
+  bool IsBranch;
+  /// Whether the instruction sets def-ready times (opcode HasDst, or LU).
+  bool SetsDefsReady;
+  Reg Dst, Src1, Src2;
+  int64_t Imm;
+  /// LTOC only: resolved global address (valid when GlobalKnown).
+  int64_t GlobalAddr;
+  bool GlobalKnown;
+  /// Branch target as a global block index into SimImage::Blocks, or -1
+  /// for a label that does not resolve (the legacy engine traps at
+  /// execution time; so does the fast path).
+  int32_t TargetBlock;
+  /// Edge counter slot for the taken transfer (branches only; exists even
+  /// when TargetBlock is -1, because the edge is counted before the trap).
+  int32_t TakenEdge;
+  /// CALL only: callee as an index into SimImage::Funcs, or -1 when the
+  /// callee is a builtin or does not resolve to a function with blocks.
+  int32_t Callee;
+  SimBuiltin Builtin;
+  /// Pre-collected registers read/written (Instr::collectUses/collectDefs),
+  /// as [begin, end) ranges into SimImage::UsePool / DefPool.
+  uint32_t UsesBegin, UsesEnd;
+  uint32_t DefsBegin, DefsEnd;
+  /// The original instruction, for trap messages (unknown label/global/
+  /// function symbols) — never consulted on the hot path.
+  const Instr *Origin;
+};
+
+struct DecodedBlock {
+  /// [FirstInstr, FirstInstr + NumInstrs) into SimImage::Instrs. Blocks of
+  /// one function are contiguous and in layout order, so falling through
+  /// means advancing to the next block record.
+  uint32_t FirstInstr;
+  uint32_t NumInstrs;
+  /// Edge counter slot for falling through into the next block, or -1 for
+  /// a function's last block. The block's own counter slot is its index.
+  int32_t FallEdge;
+};
+
+struct DecodedFunction {
+  const Function *F;
+  /// [FirstBlock, FirstBlock + NumBlocks) into SimImage::Blocks.
+  uint32_t FirstBlock;
+  uint32_t NumBlocks;
+};
+
+/// The immutable predecoded image of one (module, machine model) pair.
+/// The model is copied in (so a temporary like rs6000() is fine); the
+/// module must outlive the image.
+struct SimImage {
+  const Module *M = nullptr;
+  MachineModel Model;
+
+  std::vector<DecodedFunction> Funcs;
+  std::vector<DecodedBlock> Blocks;
+  std::vector<DecodedInstr> Instrs;
+  std::vector<Reg> UsePool;
+  std::vector<Reg> DefPool;
+
+  /// First function of each name, mirroring Module::findFunction.
+  std::unordered_map<std::string, uint32_t> FuncByName;
+
+  /// Interned profiling keys: BlockKeys[b] is blockCountKey for block slot
+  /// b; EdgeKeys[e] is edgeCountKey for edge slot e. Distinct slots may
+  /// share a key (a taken branch and a fallthrough to the same successor);
+  /// materialization sums them, exactly as the legacy map does.
+  std::vector<std::string> BlockKeys;
+  std::vector<std::string> EdgeKeys;
+
+  /// Global data layout (computeGlobalLayout) and the flattened
+  /// initializer image for addresses [4096, 4096 + DataInit.size()).
+  std::unordered_map<std::string, uint64_t> GlobalBase;
+  uint64_t DataEnd = 4096;
+  std::vector<uint8_t> DataInit;
+};
+
+/// Builds the predecoded image. Asserts that block labels are unique per
+/// function and function names unique per module (collisions would merge
+/// profiling counters).
+SimImage predecode(const Module &M, const MachineModel &Model);
+
+} // namespace vsc
+
+#endif // VSC_SIM_PREDECODE_H

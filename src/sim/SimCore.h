@@ -1,0 +1,101 @@
+//===- sim/SimCore.h - Shared simulator register state --------*- C++ -*-===//
+///
+/// \file
+/// Register-file state shared by the two simulator engines (the legacy
+/// walking interpreter in Simulator.cpp and the predecoded fast path in
+/// FastSim.cpp). Both engines must agree bit-for-bit — the differential
+/// test tests/test_sim_fastpath.cpp holds them to that — so the state and
+/// its growth rules live in one place. Internal header: not part of the
+/// sim/ public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_SIM_SIMCORE_H
+#define VSC_SIM_SIMCORE_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vsc {
+namespace simcore {
+
+struct CrVal {
+  bool Lt = false, Gt = false, Eq = false;
+
+  bool bit(CrBit B) const {
+    switch (B) {
+    case CrBit::Lt:
+      return Lt;
+    case CrBit::Gt:
+      return Gt;
+    case CrBit::Eq:
+      return Eq;
+    }
+    return false;
+  }
+};
+
+/// Architectural register state plus per-register ready times for the
+/// timing model. Virtual registers are function-private (saved/restored at
+/// calls, see sim/Simulator.h).
+struct RegFile {
+  int64_t Phys[32] = {0};
+  CrVal PhysCr[8];
+  int64_t Ctr = 0;
+  std::vector<int64_t> Virt;
+  std::vector<CrVal> VirtCr;
+
+  uint64_t PhysReady[32] = {0};
+  uint64_t PhysCrReady[8] = {0};
+  uint64_t CtrReady = 0;
+  std::vector<uint64_t> VirtReady;
+  std::vector<uint64_t> VirtCrReady;
+
+  int64_t &gpr(uint32_t Id) {
+    if (Id < 32)
+      return Phys[Id];
+    size_t V = Id - 32;
+    if (V >= Virt.size()) {
+      Virt.resize(V + 1, 0);
+      VirtReady.resize(V + 1, 0);
+    }
+    return Virt[V];
+  }
+  uint64_t &gprReady(uint32_t Id) {
+    if (Id < 32)
+      return PhysReady[Id];
+    size_t V = Id - 32;
+    if (V >= VirtReady.size()) {
+      Virt.resize(V + 1, 0);
+      VirtReady.resize(V + 1, 0);
+    }
+    return VirtReady[V];
+  }
+  CrVal &cr(uint32_t Id) {
+    if (Id < 8)
+      return PhysCr[Id];
+    size_t V = Id - 8;
+    if (V >= VirtCr.size()) {
+      VirtCr.resize(V + 1);
+      VirtCrReady.resize(V + 1, 0);
+    }
+    return VirtCr[V];
+  }
+  uint64_t &crReady(uint32_t Id) {
+    if (Id < 8)
+      return PhysCrReady[Id];
+    size_t V = Id - 8;
+    if (V >= VirtCrReady.size()) {
+      VirtCr.resize(V + 1);
+      VirtCrReady.resize(V + 1, 0);
+    }
+    return VirtCrReady[V];
+  }
+};
+
+} // namespace simcore
+} // namespace vsc
+
+#endif // VSC_SIM_SIMCORE_H

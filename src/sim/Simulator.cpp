@@ -3,6 +3,7 @@
 #include "sim/Simulator.h"
 
 #include "ir/Abi.h"
+#include "sim/SimCore.h"
 
 #include <algorithm>
 #include <cassert>
@@ -12,78 +13,8 @@ using namespace vsc;
 
 namespace {
 
-struct CrVal {
-  bool Lt = false, Gt = false, Eq = false;
-
-  bool bit(CrBit B) const {
-    switch (B) {
-    case CrBit::Lt:
-      return Lt;
-    case CrBit::Gt:
-      return Gt;
-    case CrBit::Eq:
-      return Eq;
-    }
-    return false;
-  }
-};
-
-/// Architectural register state plus per-register ready times for the
-/// timing model. Virtual registers are function-private (see header).
-struct RegFile {
-  int64_t Phys[32] = {0};
-  CrVal PhysCr[8];
-  int64_t Ctr = 0;
-  std::vector<int64_t> Virt;
-  std::vector<CrVal> VirtCr;
-
-  uint64_t PhysReady[32] = {0};
-  uint64_t PhysCrReady[8] = {0};
-  uint64_t CtrReady = 0;
-  std::vector<uint64_t> VirtReady;
-  std::vector<uint64_t> VirtCrReady;
-
-  int64_t &gpr(uint32_t Id) {
-    if (Id < 32)
-      return Phys[Id];
-    size_t V = Id - 32;
-    if (V >= Virt.size()) {
-      Virt.resize(V + 1, 0);
-      VirtReady.resize(V + 1, 0);
-    }
-    return Virt[V];
-  }
-  uint64_t &gprReady(uint32_t Id) {
-    if (Id < 32)
-      return PhysReady[Id];
-    size_t V = Id - 32;
-    if (V >= VirtReady.size()) {
-      Virt.resize(V + 1, 0);
-      VirtReady.resize(V + 1, 0);
-    }
-    return VirtReady[V];
-  }
-  CrVal &cr(uint32_t Id) {
-    if (Id < 8)
-      return PhysCr[Id];
-    size_t V = Id - 8;
-    if (V >= VirtCr.size()) {
-      VirtCr.resize(V + 1);
-      VirtCrReady.resize(V + 1, 0);
-    }
-    return VirtCr[V];
-  }
-  uint64_t &crReady(uint32_t Id) {
-    if (Id < 8)
-      return PhysCrReady[Id];
-    size_t V = Id - 8;
-    if (V >= VirtCrReady.size()) {
-      VirtCr.resize(V + 1);
-      VirtCrReady.resize(V + 1, 0);
-    }
-    return VirtCrReady[V];
-  }
-};
+using simcore::CrVal;
+using simcore::RegFile;
 
 /// Saved caller context for a call.
 struct Frame {
@@ -188,13 +119,13 @@ private:
   }
 
   void countBlock(RunResult &R) {
-    ++R.BlockCounts[CurF->name() + ":" +
-                    CurF->blocks()[BlockIdx]->label()];
+    ++R.BlockCounts[blockCountKey(CurF->name(),
+                                  CurF->blocks()[BlockIdx]->label())];
   }
 
   void countEdge(RunResult &R, const std::string &FromLabel,
                  const std::string &ToLabel) {
-    ++R.EdgeCounts[CurF->name() + ":" + FromLabel + "->" + ToLabel];
+    ++R.EdgeCounts[edgeCountKey(CurF->name(), FromLabel, ToLabel)];
   }
 
   bool jumpTo(const std::string &Label, RunResult &R) {
@@ -610,6 +541,16 @@ bool Machine::step(const Instr &I, RunResult &R, bool &Done) {
   if (opcodeInfo(I.Op).HasDst || I.Op == Opcode::LU)
     setDefsReady(I, C + Model.latencyOf(I), C + Model.AluLatency);
 
+  // The stack grows down from the top of memory; a stack pointer that
+  // descends into the global data area would silently corrupt globals
+  // (and stores through it still look "mapped" to writeMem).
+  if (((HasDstVal && I.Dst.isGpr() && I.Dst.id() == 1) ||
+       (I.Op == Opcode::LU && I.Src1.isGpr() && I.Src1.id() == 1)) &&
+      Regs.Phys[1] < static_cast<int64_t>(DataEnd)) {
+    trap(R, "stack overflow into data");
+    return false;
+  }
+
   // Control transfer.
   if (I.Op == Opcode::B || ((I.Op == Opcode::BT || I.Op == Opcode::BF ||
                              I.Op == Opcode::BCT) &&
@@ -700,10 +641,34 @@ bool Machine::step(const Instr &I, RunResult &R, bool &Done) {
 
 } // namespace
 
-RunResult vsc::simulate(const Module &M, const MachineModel &Machine_,
-                        const RunOptions &Opts) {
+RunResult vsc::simulateLegacy(const Module &M, const MachineModel &Machine_,
+                              const RunOptions &Opts) {
   Machine Mach(M, Machine_, Opts);
   return Mach.run();
+}
+
+std::string vsc::profileKeyEscape(const std::string &S) {
+  if (S.find_first_of("\\:>") == std::string::npos)
+    return S;
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    if (C == '\\' || C == ':' || C == '>')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string vsc::blockCountKey(const std::string &Func,
+                               const std::string &Label) {
+  return profileKeyEscape(Func) + ":" + profileKeyEscape(Label);
+}
+
+std::string vsc::edgeCountKey(const std::string &Func, const std::string &From,
+                              const std::string &To) {
+  return profileKeyEscape(Func) + ":" + profileKeyEscape(From) + "->" +
+         profileKeyEscape(To);
 }
 
 std::unordered_map<std::string, uint64_t>

@@ -27,11 +27,27 @@
 #include "machine/MachineModel.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace vsc {
+
+/// Escapes profiling-key metacharacters so concatenated keys stay
+/// injective: '\' -> "\\", ':' -> "\:", '>' -> "\>". Names without
+/// metacharacters (the overwhelmingly common case) come back verbatim, so
+/// ordinary keys keep the historical "func:label" spelling.
+std::string profileKeyEscape(const std::string &S);
+
+/// Key for a block execution count: "<func>:<label>", both parts escaped.
+/// Unambiguous: a literal ':' can only be the separator.
+std::string blockCountKey(const std::string &Func, const std::string &Label);
+
+/// Key for an edge execution count: "<func>:<from>-><to>", all parts
+/// escaped. Unambiguous: literal ':' and '->' can only be the separators.
+std::string edgeCountKey(const std::string &Func, const std::string &From,
+                         const std::string &To);
 
 /// Everything a simulation run produces.
 struct RunResult {
@@ -51,11 +67,12 @@ struct RunResult {
   uint64_t BranchStallCycles = 0;
   /// FNV-1a digest of the global data area after the run.
   uint64_t MemDigest = 0;
-  /// Execution count per (function, block label) — ground truth for the
-  /// profiling experiments.
+  /// Execution count per (function, block label), keyed by blockCountKey —
+  /// ground truth for the profiling experiments.
   std::unordered_map<std::string, uint64_t> BlockCounts;
-  /// Execution count per control-flow edge, keyed "func:from->to" —
-  /// ground truth the low-overhead-profiling inference is tested against.
+  /// Execution count per control-flow edge, keyed by edgeCountKey
+  /// ("func:from->to", metacharacters escaped) — ground truth the
+  /// low-overhead-profiling inference is tested against.
   std::unordered_map<std::string, uint64_t> EdgeCounts;
   /// Final memory image (only when RunOptions::KeepMemory).
   std::vector<uint8_t> Memory;
@@ -81,9 +98,47 @@ struct RunOptions {
   uint64_t MemBytes = 1u << 22;
 };
 
-/// Runs \p M under \p Machine.
+/// Runs \p M under \p Machine. This is the predecoded fast path: the
+/// module is decoded once (sim/Predecode.h) and the functional+timing loop
+/// runs over flat records with dense counters. Bit-identical to
+/// simulateLegacy (enforced by tests/test_sim_fastpath.cpp).
 RunResult simulate(const Module &M, const MachineModel &Machine,
                    const RunOptions &Opts = RunOptions());
+
+/// The original walking interpreter, kept as the reference the fast path
+/// is differentially tested and benchmarked against.
+RunResult simulateLegacy(const Module &M, const MachineModel &Machine,
+                         const RunOptions &Opts = RunOptions());
+
+/// Predecodes \p M once and runs every element of \p Batch against the
+/// shared decoded image, reusing one pooled memory arena across runs —
+/// the shape the oracle's input batteries and the profiling ground-truth
+/// runs want. Results are positionally matched to \p Batch.
+std::vector<RunResult> simulateBatch(const Module &M,
+                                     const MachineModel &Machine,
+                                     const std::vector<RunOptions> &Batch);
+
+struct SimImage;
+
+/// A predecoded module bound to a machine model: predecode once, run many
+/// times. Runs reuse a pooled memory arena and dense counter vectors; the
+/// string-keyed maps in RunResult are materialized per run from interned
+/// keys. The machine model is copied; the module must outlive the engine
+/// and not change while it is in use.
+class SimEngine {
+public:
+  SimEngine(const Module &M, const MachineModel &Machine);
+  SimEngine(SimEngine &&) noexcept;
+  SimEngine &operator=(SimEngine &&) noexcept;
+  ~SimEngine();
+
+  RunResult run(const RunOptions &Opts = RunOptions());
+  const SimImage &image() const;
+
+private:
+  struct State;
+  std::unique_ptr<State> S;
+};
 
 /// The address each global will be placed at (globals start at 4096,
 /// 16-byte aligned, in declaration order) — the same layout the simulator

@@ -1,5 +1,6 @@
 //===- tests/test_simulator.cpp - Functional simulator behaviour -----------===//
 
+#include "ir/IRBuilder.h"
 #include "ir/Parser.h"
 #include "sim/Simulator.h"
 #include "workloads/LiKernel.h"
@@ -359,4 +360,168 @@ TEST(Simulator, LiKernelFindsItem) {
   EXPECT_FALSE(R.Trapped) << R.TrapMsg;
   EXPECT_EQ(R.Output, "1\n");
   EXPECT_EQ(R.BlockCounts.at("xlygetvalue:loop"), 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Profiling-key collisions (PR 4 regression tests)
+//
+// Labels are arbitrary strings, so "func:label" concatenation used to be
+// ambiguous: a ':' or "->" inside a name made two distinct blocks (or
+// edges) share one counter key and silently merge their counts. Keys now
+// escape metacharacters (profileKeyEscape) and predecode asserts name
+// uniqueness up front.
+//===----------------------------------------------------------------------===//
+
+TEST(SimulatorProfileKeys, EscapingIsInjective) {
+  // Ordinary names are untouched — the historical key spelling survives.
+  EXPECT_EQ(blockCountKey("main", "entry"), "main:entry");
+  EXPECT_EQ(edgeCountKey("main", "loop", "exit"), "main:loop->exit");
+  // Metacharacters are escaped, so these formerly-colliding pairs differ.
+  EXPECT_EQ(blockCountKey("f", "g:h"), "f:g\\:h");
+  EXPECT_EQ(blockCountKey("f:g", "h"), "f\\:g:h");
+  EXPECT_NE(blockCountKey("f", "g:h"), blockCountKey("f:g", "h"));
+  EXPECT_NE(edgeCountKey("e", "a->b", "c"), edgeCountKey("e", "a", "b->c"));
+  EXPECT_NE(profileKeyEscape("a\\:b"), profileKeyEscape("a\\\\:b"));
+}
+
+TEST(SimulatorProfileKeys, ColonInLabelNoLongerMergesBlockCounts) {
+  // Function "f" with block "g:h" and function "f:g" with block "h" used
+  // to share the key "f:g:h" — one merged counter for two distinct blocks.
+  Module M;
+  {
+    Function *F = M.addFunction("f", 0);
+    IRBuilder B(*F);
+    B.startBlock("g:h");
+    B.ret();
+  }
+  {
+    Function *F = M.addFunction("f:g", 0);
+    IRBuilder B(*F);
+    B.startBlock("h");
+    B.ret();
+  }
+  {
+    Function *F = M.addFunction("main", 0);
+    IRBuilder B(*F);
+    B.startBlock("entry");
+    B.call("f", 0);
+    B.call("f", 0);
+    B.call("f:g", 0);
+    B.ret();
+  }
+  for (auto Sim : {simulate, simulateLegacy}) {
+    RunResult R = Sim(M, rs6000(), RunOptions());
+    ASSERT_FALSE(R.Trapped) << R.TrapMsg;
+    EXPECT_EQ(R.BlockCounts.at(blockCountKey("f", "g:h")), 2u);
+    EXPECT_EQ(R.BlockCounts.at(blockCountKey("f:g", "h")), 1u);
+    EXPECT_EQ(R.BlockCounts.count("f:g:h"), 0u); // the old merged key
+  }
+}
+
+TEST(SimulatorProfileKeys, ArrowInLabelNoLongerMergesEdgeCounts) {
+  // Edges ("a->b" -> "c") and ("a" -> "b->c") used to share the key
+  // "e:a->b->c". Control runs a->b, c, a, b->c in order, once each.
+  Module M;
+  {
+    Function *F = M.addFunction("e", 0);
+    IRBuilder B(*F);
+    B.startBlock("a->b");
+    B.b("c");
+    B.startBlock("c");
+    B.b("a");
+    B.startBlock("a");
+    B.b("b->c");
+    B.startBlock("b->c");
+    B.ret();
+  }
+  {
+    Function *F = M.addFunction("main", 0);
+    IRBuilder B(*F);
+    B.startBlock("entry");
+    B.call("e", 0);
+    B.ret();
+  }
+  for (auto Sim : {simulate, simulateLegacy}) {
+    RunResult R = Sim(M, rs6000(), RunOptions());
+    ASSERT_FALSE(R.Trapped) << R.TrapMsg;
+    EXPECT_EQ(R.EdgeCounts.at(edgeCountKey("e", "a->b", "c")), 1u);
+    EXPECT_EQ(R.EdgeCounts.at(edgeCountKey("e", "a", "b->c")), 1u);
+    EXPECT_EQ(R.EdgeCounts.count("e:a->b->c"), 0u); // the old merged key
+  }
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(SimulatorProfileKeysDeathTest, PredecodeRejectsDuplicateLabels) {
+  // Two blocks with one label would share a counter slot; predecode
+  // refuses up front instead of silently merging.
+  Module M;
+  Function *F = M.addFunction("main", 0);
+  IRBuilder B(*F);
+  B.startBlock("dup");
+  B.b("dup2");
+  B.startBlock("dup2");
+  B.ret();
+  F->blocks()[1]->setLabel("dup");
+  EXPECT_DEATH(simulate(M, rs6000(), RunOptions()),
+               "duplicate block label");
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// Stack overflow into the data area (PR 4 regression test)
+//
+// The stack grows down from the top of memory; the global data area grows
+// up from 4096. Before PR 4 a runaway stack silently clobbered globals
+// (stores kept succeeding all the way down). Now any instruction that
+// drops r1 below the end of the data area traps.
+//===----------------------------------------------------------------------===//
+
+static const char *RecursiveProgram = R"(
+global buf : 65536 = [7 0 0 0]
+func main(1) {
+entry:
+  CALL rec, 1
+  LI r3 = 0
+  RET
+}
+func rec(1) {
+entry:
+  SI r1 = r1, 4096
+  ST 0(r1) = r3
+  CI cr0 = r3, 0
+  BT done, cr0.eq
+  SI r3 = r3, 1
+  CALL rec, 1
+done:
+  AI r1 = r1, 4096
+  RET
+}
+)";
+
+TEST(Simulator, StackOverflowIntoDataTraps) {
+  std::string Err;
+  auto M = parseModule(RecursiveProgram, &Err);
+  ASSERT_TRUE(M) << Err;
+  RunOptions Opts;
+  Opts.Args = {1000}; // needs ~1000 frames; ~230 fit above the data area
+  Opts.MemBytes = 1u << 20;
+  for (auto Sim : {simulate, simulateLegacy}) {
+    RunResult R = Sim(*M, rs6000(), Opts);
+    EXPECT_TRUE(R.Trapped);
+    EXPECT_EQ(R.TrapMsg, "stack overflow into data");
+  }
+}
+
+TEST(Simulator, BoundedRecursionDoesNotTrap) {
+  std::string Err;
+  auto M = parseModule(RecursiveProgram, &Err);
+  ASSERT_TRUE(M) << Err;
+  RunOptions Opts;
+  Opts.Args = {50}; // well within the ~230 frames that fit
+  Opts.MemBytes = 1u << 20;
+  for (auto Sim : {simulate, simulateLegacy}) {
+    RunResult R = Sim(*M, rs6000(), Opts);
+    EXPECT_FALSE(R.Trapped) << R.TrapMsg;
+    EXPECT_EQ(R.ExitCode, 0);
+  }
 }
