@@ -5,15 +5,80 @@
 /// generating profiling data)". This bench trains each workload on its
 /// short input, applies profile-directed feedback (scheduling heuristics,
 /// block reordering, branch reversal), and measures on the reference
-/// input.
+/// input — all through the pdf/PdfExperiment.h driver.
+///
+/// With --pdf-out=FILE it additionally times the whole six-kernel
+/// experiment end to end, pre-PR shape (rebuild + re-instrument the
+/// module per training input, string-keyed counters, serial) against the
+/// ProfileStore path (one build, one predecode, dense slots, batteries
+/// fanned over VSC_THREADS workers), and writes the comparison as JSON.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "pdf/PdfExperiment.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstring>
 
 using namespace vsc;
 
-static void BM_PdfCollect(benchmark::State &State) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds(Clock::time_point T0, Clock::time_point T1) {
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+std::vector<RunOptions> trainBattery(int64_t BaseScale) {
+  std::vector<RunOptions> Battery;
+  for (int64_t S = BaseScale - 2; S <= BaseScale + 5; ++S)
+    Battery.push_back(workloadInput(S < 1 ? 1 : S));
+  return Battery;
+}
+
+/// The pre-PR-5 experiment shape, reproduced faithfully: every training
+/// input rebuilds and re-instruments the module, profiles merge as
+/// string-keyed maps, the baseline is rebuilt too, and every simulation
+/// re-predecodes. Serial throughout. Faithfulness includes the old
+/// path's training runs on unprepared (prolog-less) modules, which
+/// misread the training argument on most kernels — the ProfileStore
+/// driver prepares a run-ready clone instead.
+uint64_t legacyExperiment(const Workload &W, const MachineModel &Machine,
+                          const std::vector<RunOptions> &Train) {
+  auto Target = buildWorkload(W);
+  ProfileData Profile;
+  for (const RunOptions &In : Train) {
+    auto TrainCopy = buildWorkload(W);
+    auto PlanCopy = buildWorkload(W); // throwaway plan target per input
+    ProfileData P = collectProfile(*TrainCopy, *PlanCopy, Machine, In);
+    for (const auto &[K, V] : P.BlockCount)
+      Profile.BlockCount[K] += V;
+    for (const auto &[K, V] : P.EdgeCount)
+      Profile.EdgeCount[K] += V;
+  }
+  for (auto &F : Target->functions())
+    planCounters(*F); // the surgery collectProfile applied to its target
+  PipelineOptions Guided;
+  Guided.Machine = Machine;
+  Guided.Profile = &Profile;
+  Guided.TrainInput = &Train.front();
+  optimize(*Target, OptLevel::Vliw, Guided);
+
+  auto Baseline = buildWorkload(W);
+  optimize(*Baseline, OptLevel::Vliw);
+
+  RunResult RB = simulate(*Baseline, Machine, workloadInput(W.RefScale));
+  RunResult RG = simulate(*Target, Machine, workloadInput(W.RefScale));
+  checkSame(RB, RG, W.Name.c_str());
+  return RB.Cycles + RG.Cycles;
+}
+
+} // namespace
+
+static void BM_PdfCollectLegacy(benchmark::State &State) {
   const Workload &W = specWorkloads()[2]; // eqntott
   for (auto _ : State) {
     auto Train = buildWorkload(W);
@@ -22,11 +87,34 @@ static void BM_PdfCollect(benchmark::State &State) {
                                    workloadInput(W.TrainScale));
     benchmark::DoNotOptimize(P.BlockCount.size());
   }
-  State.SetLabel("collect-profile(eqntott)");
+  State.SetLabel("collect-profile(eqntott), rebuild per run");
 }
-BENCHMARK(BM_PdfCollect)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PdfCollectLegacy)->Unit(benchmark::kMillisecond);
+
+static void BM_PdfCollectDense(benchmark::State &State) {
+  const Workload &W = specWorkloads()[2];
+  auto M = buildWorkload(W);
+  SimEngine Engine(*M, rs6000());
+  std::vector<RunOptions> Train = {workloadInput(W.TrainScale)};
+  for (auto _ : State) {
+    DenseProfile P = collectDenseProfile(Engine, Train);
+    benchmark::DoNotOptimize(P.BlockCounts.size());
+  }
+  State.SetLabel("collect-dense(eqntott), cached predecode");
+}
+BENCHMARK(BM_PdfCollectDense)->Unit(benchmark::kMillisecond);
 
 int main(int Argc, char **Argv) {
+  std::string OutPath;
+  std::vector<char *> Rest;
+  for (int I = 0; I != Argc; ++I) {
+    if (std::strncmp(Argv[I], "--pdf-out=", 10) == 0)
+      OutPath = Argv[I] + 10;
+    else
+      Rest.push_back(Argv[I]);
+  }
+  int RestArgc = static_cast<int>(Rest.size());
+
   MachineModel Machine = rs6000();
   std::printf("Profile-directed feedback gain (train on short input, "
               "measure on reference input)\n");
@@ -34,21 +122,91 @@ int main(int Argc, char **Argv) {
               "gain");
   std::vector<double> Gains;
   for (const Workload &W : specWorkloads()) {
-    auto Vliw = buildAt(W, OptLevel::Vliw, Machine);
-    ProfileData P;
-    auto Pdf = buildAt(W, OptLevel::Vliw, Machine, /*WithPdf=*/true, &P);
-    RunResult RV = runRef(*Vliw, W, Machine);
-    RunResult RP = runRef(*Pdf, W, Machine);
-    checkSame(RV, RP, W.Name.c_str());
-    double Gain = static_cast<double>(RV.Cycles) /
-                  static_cast<double>(RP.Cycles);
-    Gains.push_back(Gain);
+    auto Source = buildWorkload(W);
+    PdfExperimentOptions Opts;
+    Opts.Machine = Machine;
+    Opts.Train = {workloadInput(W.TrainScale)};
+    Opts.Test = {workloadInput(W.RefScale)};
+    Opts.ProfileSource = PdfExperimentOptions::Source::Counters;
+    PdfExperimentResult R = runPdfExperiment(*Source, Opts);
+    if (!R.ok()) {
+      std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), R.Error.c_str());
+      std::abort();
+    }
+    Gains.push_back(R.gain());
     std::printf("%-10s %12llu %12llu %8.1f%%\n", W.Name.c_str(),
-                static_cast<unsigned long long>(RV.Cycles),
-                static_cast<unsigned long long>(RP.Cycles),
-                (Gain - 1.0) * 100.0);
+                static_cast<unsigned long long>(R.BaselineCycles),
+                static_cast<unsigned long long>(R.GuidedCycles),
+                (R.gain() - 1.0) * 100.0);
   }
   std::printf("%-10s %12s %12s %8.1f%%   (paper: +4-5%%)\n\n", "geomean",
               "", "", (geomean(Gains) - 1.0) * 100.0);
-  return runRegisteredBenchmarks(Argc, Argv);
+
+  if (!OutPath.empty()) {
+    unsigned Threads = ThreadPool::defaultThreadCount();
+    std::printf("End-to-end experiment: pre-PR path (rebuild per training "
+                "input, serial) vs ProfileStore (VSC_THREADS=%u)\n",
+                Threads);
+    std::printf("%-10s %12s %12s %9s\n", "Benchmark", "legacy(ms)",
+                "store(ms)", "speedup");
+    std::string Json = "{\n  \"bench\": \"pdf\",\n  \"threads\": " +
+                       std::to_string(Threads) + ",\n  \"kernels\": [\n";
+    double LegacyTotal = 0, StoreTotal = 0;
+    const auto &Ws = specWorkloads();
+    for (size_t I = 0; I != Ws.size(); ++I) {
+      const Workload &W = Ws[I];
+      std::vector<RunOptions> Train = trainBattery(W.TrainScale);
+
+      auto T0 = Clock::now();
+      uint64_t LegacyCycles = legacyExperiment(W, Machine, Train);
+      auto T1 = Clock::now();
+
+      auto Source = buildWorkload(W);
+      PdfExperimentOptions Opts;
+      Opts.Machine = Machine;
+      Opts.Train = Train;
+      Opts.Test = {workloadInput(W.RefScale)};
+      Opts.ProfileSource = PdfExperimentOptions::Source::Exact;
+      Opts.GateOnBattery = false; // match the legacy single-input gate
+      auto T2 = Clock::now();
+      PdfExperimentResult R = runPdfExperiment(*Source, Opts);
+      auto T3 = Clock::now();
+      if (!R.ok()) {
+        std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), R.Error.c_str());
+        std::abort();
+      }
+      benchmark::DoNotOptimize(LegacyCycles);
+
+      double Legacy = seconds(T0, T1), Store = seconds(T2, T3);
+      LegacyTotal += Legacy;
+      StoreTotal += Store;
+      std::printf("%-10s %12.1f %12.1f %8.2fx\n", W.Name.c_str(),
+                  Legacy * 1e3, Store * 1e3, Legacy / Store);
+      char Buf[256];
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"name\": \"%s\", \"legacy_seconds\": %.6f, "
+                    "\"store_seconds\": %.6f, \"speedup\": %.3f}%s\n",
+                    W.Name.c_str(), Legacy, Store, Legacy / Store,
+                    I + 1 != Ws.size() ? "," : "");
+      Json += Buf;
+    }
+    double Speedup = LegacyTotal / StoreTotal;
+    std::printf("%-10s %12.1f %12.1f %8.2fx\n\n", "total",
+                LegacyTotal * 1e3, StoreTotal * 1e3, Speedup);
+    char Tail[160];
+    std::snprintf(Tail, sizeof(Tail),
+                  "  ],\n  \"legacy_seconds\": %.6f,\n"
+                  "  \"store_seconds\": %.6f,\n  \"speedup\": %.3f\n}\n",
+                  LegacyTotal, StoreTotal, Speedup);
+    Json += Tail;
+    if (FILE *F = std::fopen(OutPath.c_str(), "w")) {
+      std::fputs(Json.c_str(), F);
+      std::fclose(F);
+      std::printf("wrote %s\n\n", OutPath.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+    }
+  }
+
+  return runRegisteredBenchmarks(RestArgc, Rest.data());
 }

@@ -17,13 +17,29 @@ static void BM_InstrumentedRun(benchmark::State &State) {
   const Workload &W = specWorkloads()[2];
   auto M = buildWorkload(W);
   instrumentModule(*M, /*HoistCounters=*/true);
+  SimEngine Engine(*M, rs6000()); // predecode once, like ProfileCollector
   for (auto _ : State) {
-    RunResult R = simulate(*M, rs6000(), workloadInput(W.TrainScale));
+    RunResult R = Engine.run(workloadInput(W.TrainScale));
     benchmark::DoNotOptimize(R.DynInstrs);
   }
   State.SetLabel("eqntott+counters");
 }
 BENCHMARK(BM_InstrumentedRun)->Unit(benchmark::kMillisecond);
+
+static void BM_CachedCollect(benchmark::State &State) {
+  const Workload &W = specWorkloads()[2];
+  auto M = buildWorkload(W);
+  ProfileCollector Collector(*M, rs6000());
+  std::vector<RunOptions> Battery;
+  for (int64_t S = 1; S <= W.TrainScale; ++S)
+    Battery.push_back(workloadInput(S));
+  for (auto _ : State) {
+    auto Counted = Collector.counts(Battery);
+    benchmark::DoNotOptimize(Counted.size());
+  }
+  State.SetLabel("eqntott, cached instrumentation, 4-input battery");
+}
+BENCHMARK(BM_CachedCollect)->Unit(benchmark::kMillisecond);
 
 int main(int Argc, char **Argv) {
   std::printf("Low-overhead profiling: counted subset and dynamic cost\n");

@@ -1,81 +1,185 @@
-//===- examples/pdf_workflow.cpp - Two-pass profile-directed feedback -------===//
+//===- examples/pdf_workflow.cpp - Profile-directed feedback, end to end ----===//
 ///
-/// The paper's PDF workflow, end to end:
+/// The paper's PDF workflow on the ProfileStore subsystem (src/pdf/):
+/// train on the short input, feed the profile back into the pipeline,
+/// measure on the reference input. Profiles are first-class artifacts —
+/// they can be saved, merged across processes, and loaded again (by this
+/// tool or by vscc):
 ///
-///   pass 1: plan counter placement (constraint propagation), insert
-///           counting code, hoist counter loads/stores out of loops, run
-///           on the training input;
-///   pass 2: read the counts back at the same places, infer every block
-///           and edge count, and re-optimize with profile-directed
-///           scheduling heuristics, block reordering and branch reversal.
+///   example_pdf_workflow [options]
+///     --workload=NAME        kernel to run (default eqntott)
+///     --counters             use the paper's two-pass low-overhead
+///                            counting scheme instead of exact dense
+///                            counters (exact is the default)
+///     --superblocks          superblock formation in the guided compile
+///     --threads=N            battery/pipeline workers (default
+///                            VSC_THREADS)
+///     --save-profile=FILE    persist the merged dense profile
+///     --load-profile=FILE    feed a persisted profile back instead of
+///                            training (repeatable with --merge)
+///     --merge                merge multiple --load-profile files; with
+///                            --save-profile, also merge into an existing
+///                            file instead of overwriting it
+///     --emit-source=FILE     write the kernel's mini-C source (so vscc
+///                            can compile the identical module and
+///                            consume the saved profile)
 ///
 //===----------------------------------------------------------------------===//
 
-#include "profile/Counters.h"
-#include "sim/Simulator.h"
-#include "vliw/Pipeline.h"
+#include "pdf/PdfExperiment.h"
 #include "workloads/Spec.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 using namespace vsc;
 
-int main() {
-  const Workload &W = specWorkloads()[2]; // eqntott, the paper's example
-  std::printf("PDF workflow on the %s kernel\n\n", W.Name.c_str());
+static int usage() {
+  std::fprintf(stderr,
+               "usage: example_pdf_workflow [--workload=NAME] [--counters] "
+               "[--superblocks] [--threads=N] [--save-profile=FILE] "
+               "[--load-profile=FILE]... [--merge] [--emit-source=FILE]\n");
+  return 2;
+}
 
-  // Pass 1: instrument a throwaway copy and run the short input.
-  auto Train = buildWorkload(W);
-  Instrumentation Info = instrumentModule(*Train, /*HoistCounters=*/true);
-  std::printf("pass 1: counting %zu of the program's basic blocks\n",
-              Info.SlotKeys.size());
-  RunOptions TrainInput = workloadInput(W.TrainScale);
-  TrainInput.KeepMemory = true;
-  RunResult TrainRun = simulate(*Train, rs6000(), TrainInput);
-  auto Counts = readCounters(TrainRun, Info);
-  std::printf("pass 1: training run took %llu cycles; sample counts:\n",
-              static_cast<unsigned long long>(TrainRun.Cycles));
-  int Shown = 0;
-  for (const auto &[Key, Val] : Counts) {
-    if (Shown++ == 4)
-      break;
-    std::printf("         %-24s %llu\n", Key.c_str(),
-                static_cast<unsigned long long>(Val));
+static const char *gateName(int Kept) {
+  return Kept < 0 ? "unconditional" : Kept ? "kept" : "rolled-back";
+}
+
+int main(int Argc, char **Argv) {
+  std::string WorkloadName = "eqntott";
+  std::string SavePath, EmitSource;
+  std::vector<std::string> LoadPaths;
+  bool Counters = false, Merge = false, Superblocks = false;
+  unsigned Threads = 0;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--workload=", 0) == 0)
+      WorkloadName = A.substr(11);
+    else if (A == "--counters")
+      Counters = true;
+    else if (A == "--superblocks")
+      Superblocks = true;
+    else if (A == "--merge")
+      Merge = true;
+    else if (A.rfind("--threads=", 0) == 0)
+      Threads = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+    else if (A.rfind("--save-profile=", 0) == 0)
+      SavePath = A.substr(15);
+    else if (A.rfind("--load-profile=", 0) == 0)
+      LoadPaths.push_back(A.substr(15));
+    else if (A.rfind("--emit-source=", 0) == 0)
+      EmitSource = A.substr(14);
+    else
+      return usage();
+  }
+  if (LoadPaths.size() > 1 && !Merge) {
+    std::fprintf(stderr,
+                 "multiple --load-profile files need --merge\n");
+    return 2;
+  }
+  if (Counters && (!SavePath.empty() || !LoadPaths.empty())) {
+    std::fprintf(stderr, "--counters profiles are inferred, not dense; "
+                         "save/load need the exact source\n");
+    return 2;
   }
 
-  // Pass 2: identical flow-graph surgery, inference, guided optimization.
-  auto Target = buildWorkload(W);
-  ProfileData Profile;
-  for (auto &F : Target->functions()) {
-    planCounters(*F);
-    std::string Err = inferCounts(*F, Counts, Profile);
-    if (!Err.empty()) {
-      std::fprintf(stderr, "inference failed: %s\n", Err.c_str());
+  const Workload *W = nullptr;
+  for (const Workload &Cand : specWorkloads())
+    if (Cand.Name == WorkloadName)
+      W = &Cand;
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s'\n", WorkloadName.c_str());
+    return 2;
+  }
+  std::printf("PDF workflow on the %s kernel\n\n", W->Name.c_str());
+
+  if (!EmitSource.empty()) {
+    std::ofstream Out(EmitSource);
+    Out << W->Source;
+    if (!Out.flush()) {
+      std::fprintf(stderr, "cannot write %s\n", EmitSource.c_str());
       return 1;
     }
+    std::printf("wrote kernel source to %s\n", EmitSource.c_str());
   }
-  std::printf("pass 2: inferred %zu block counts and %zu edge counts\n",
-              Profile.BlockCount.size(), Profile.EdgeCount.size());
 
-  PipelineOptions Guided;
-  Guided.Profile = &Profile;
-  optimize(*Target, OptLevel::Vliw, Guided);
+  auto Source = buildWorkload(*W);
 
-  // Compare with the unguided pipeline on the reference input.
-  auto Plain = buildWorkload(W);
-  optimize(*Plain, OptLevel::Vliw);
-  RunOptions Ref = workloadInput(W.RefScale);
-  RunResult RPlain = simulate(*Plain, rs6000(), Ref);
-  RunResult RGuided = simulate(*Target, rs6000(), Ref);
-  if (RPlain.fingerprint() != RGuided.fingerprint()) {
-    std::fprintf(stderr, "behaviour diverged!\n");
+  // A persisted profile replaces training when supplied.
+  DenseProfile Loaded;
+  PdfExperimentOptions Opts;
+  Opts.Train = {workloadInput(W->TrainScale)};
+  Opts.Test = {workloadInput(W->RefScale)};
+  Opts.Threads = Threads;
+  Opts.Superblocks = Superblocks;
+  Opts.ProfileSource = Counters ? PdfExperimentOptions::Source::Counters
+                                : PdfExperimentOptions::Source::Exact;
+  if (!LoadPaths.empty()) {
+    for (size_t I = 0; I != LoadPaths.size(); ++I) {
+      DenseProfile One;
+      std::string Err = DenseProfile::loadFile(LoadPaths[I], One);
+      if (Err.empty() && I)
+        Err = Loaded.merge(One);
+      else if (Err.empty())
+        Loaded = std::move(One);
+      if (!Err.empty()) {
+        std::fprintf(stderr, "%s: %s\n", LoadPaths[I].c_str(),
+                     Err.c_str());
+        return 1;
+      }
+    }
+    Opts.LoadedProfile = &Loaded;
+    std::printf("pass 1: skipped — loaded profile from %zu file(s)\n",
+                LoadPaths.size());
+  } else if (Counters) {
+    std::printf("pass 1: two-pass counting scheme on the short input "
+                "(scale %lld)\n", static_cast<long long>(W->TrainScale));
+  } else {
+    std::printf("pass 1: exact dense counters on the short input "
+                "(scale %lld)\n", static_cast<long long>(W->TrainScale));
+  }
+
+  PdfExperimentResult R = runPdfExperiment(*Source, Opts);
+  if (!R.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n", R.Error.c_str());
     return 1;
   }
+  std::printf("pass 2: profile carries %zu block counts and %zu edge "
+              "counts\n",
+              R.Feedback.BlockCount.size(), R.Feedback.EdgeCount.size());
+  std::printf("pdf-layout: %s\n", gateName(R.PdfLayoutKept));
+
+  if (!SavePath.empty()) {
+    DenseProfile ToSave = R.Profile;
+    if (Merge) {
+      DenseProfile Old;
+      std::string Err = DenseProfile::loadFile(SavePath, Old);
+      if (Err.empty())
+        Err = Old.merge(ToSave);
+      if (Err.empty())
+        ToSave = std::move(Old);
+      else if (Err.rfind("cannot open", 0) != 0) {
+        std::fprintf(stderr, "%s: %s\n", SavePath.c_str(), Err.c_str());
+        return 1;
+      }
+    }
+    std::string Err = ToSave.saveFile(SavePath);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("saved profile to %s (%zu block slots, %zu edge slots)\n",
+                SavePath.c_str(), ToSave.BlockCounts.size(),
+                ToSave.EdgeCounts.size());
+  }
+
   std::printf("\nreference input: vliw %llu cycles, vliw+pdf %llu cycles "
               "(%+.1f%%)\n",
-              static_cast<unsigned long long>(RPlain.Cycles),
-              static_cast<unsigned long long>(RGuided.Cycles),
-              (static_cast<double>(RPlain.Cycles) / RGuided.Cycles - 1.0) *
-                  100.0);
+              static_cast<unsigned long long>(R.BaselineCycles),
+              static_cast<unsigned long long>(R.GuidedCycles),
+              (R.gain() - 1.0) * 100.0);
   return 0;
 }

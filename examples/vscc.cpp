@@ -8,6 +8,15 @@
 ///     --machine=NAME       rs6000 (default), power2, ppc601
 ///     --pdf                profile on the same inputs first, then apply
 ///                          profile-directed feedback
+///     --save-profile=FILE  record an exact dense profile of the program
+///                          on the given args and persist it (pdf/
+///                          ProfileStore.h binary format)
+///     --load-profile=FILE  feed a persisted profile back (repeatable
+///                          with --merge); stale profiles are rejected
+///                          by CFG fingerprint
+///     --merge              merge multiple --load-profile files; with
+///                          --save-profile, merge into an existing file
+///     --superblocks        profile-driven superblock formation
 ///     --inline             inline small leaf functions first
 ///     --regalloc           run linear-scan register allocation
 ///     --threads=N          compile functions on N worker threads (output
@@ -19,8 +28,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "audit/PassAudit.h" // cloneModule
 #include "frontend/Frontend.h"
 #include "ir/Printer.h"
+#include "pdf/ProfileStore.h"
 #include "profile/Counters.h"
 #include "sim/Simulator.h"
 #include "vliw/Pipeline.h"
@@ -35,7 +46,9 @@ using namespace vsc;
 static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s FILE.c [-O0|-O2|-O3] [--machine=NAME] [--pdf] "
-               "[--threads=N] [--emit-ir] [--stats] [-- args...]\n",
+               "[--save-profile=FILE] [--load-profile=FILE]... [--merge] "
+               "[--superblocks] [--threads=N] [--emit-ir] [--stats] "
+               "[-- args...]\n",
                Prog);
   return 2;
 }
@@ -49,6 +62,9 @@ int main(int Argc, char **Argv) {
   MachineModel Machine = rs6000();
   bool EmitIr = false, Stats = false, Pdf = false;
   bool DoInline = false, DoRegalloc = false;
+  bool Merge = false, Superblocks = false;
+  std::string SaveProfile;
+  std::vector<std::string> LoadProfiles;
   unsigned Threads = 0; // 0 = VSC_THREADS (default 1)
   std::vector<int64_t> Args;
   bool InArgs = false;
@@ -79,6 +95,14 @@ int main(int Argc, char **Argv) {
       }
     } else if (A == "--pdf") {
       Pdf = true;
+    } else if (A.rfind("--save-profile=", 0) == 0) {
+      SaveProfile = A.substr(15);
+    } else if (A.rfind("--load-profile=", 0) == 0) {
+      LoadProfiles.push_back(A.substr(15));
+    } else if (A == "--merge") {
+      Merge = true;
+    } else if (A == "--superblocks") {
+      Superblocks = true;
     } else if (A == "--inline") {
       DoInline = true;
     } else if (A == "--regalloc") {
@@ -120,14 +144,88 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  if (Pdf && !LoadProfiles.empty()) {
+    std::fprintf(stderr, "--pdf and --load-profile are exclusive\n");
+    return 2;
+  }
+  if (LoadProfiles.size() > 1 && !Merge) {
+    std::fprintf(stderr, "multiple --load-profile files need --merge\n");
+    return 2;
+  }
+
   PipelineOptions Opts;
   Opts.Machine = Machine;
   Opts.Inlining = DoInline;
   Opts.AllocateRegisters = DoRegalloc;
   Opts.Threads = Threads;
+  Opts.Superblocks = Superblocks;
+  PipelineStats PStats;
+  Opts.Stats = &PStats;
   ProfileData Profile;
   RunOptions TrainOpts;
   TrainOpts.Args = Args;
+
+  // Exact dense profile of the program on the run args; with --merge an
+  // existing file accumulates across processes. Recorded from a run-ready
+  // clone (prolog insertion only — the raw module would misread its
+  // arguments); the CFG fingerprint is invariant under that preparation.
+  if (!SaveProfile.empty()) {
+    auto Prepared = cloneModule(*Compiled.M);
+    optimize(*Prepared, OptLevel::None);
+    SimEngine Engine(*Prepared, Machine);
+    std::string Err;
+    DenseProfile P =
+        collectDenseProfile(Engine, {TrainOpts}, Threads, &Err);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "profile collection: %s\n", Err.c_str());
+      return 1;
+    }
+    if (Merge) {
+      DenseProfile Old;
+      std::string LoadErr = DenseProfile::loadFile(SaveProfile, Old);
+      if (LoadErr.empty()) {
+        if (!(Err = Old.merge(P)).empty()) {
+          std::fprintf(stderr, "%s: %s\n", SaveProfile.c_str(),
+                       Err.c_str());
+          return 1;
+        }
+        P = std::move(Old);
+      } else if (LoadErr.rfind("cannot open", 0) != 0) {
+        std::fprintf(stderr, "%s: %s\n", SaveProfile.c_str(),
+                     LoadErr.c_str());
+        return 1;
+      }
+    }
+    if (!(Err = P.saveFile(SaveProfile)).empty()) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return 1;
+    }
+  }
+
+  DenseProfile Loaded;
+  if (!LoadProfiles.empty()) {
+    for (size_t I = 0; I != LoadProfiles.size(); ++I) {
+      DenseProfile One;
+      std::string Err = DenseProfile::loadFile(LoadProfiles[I], One);
+      if (Err.empty() && I)
+        Err = Loaded.merge(One);
+      else if (Err.empty())
+        Loaded = std::move(One);
+      if (!Err.empty()) {
+        std::fprintf(stderr, "%s: %s\n", LoadProfiles[I].c_str(),
+                     Err.c_str());
+        return 1;
+      }
+    }
+    std::string Stale = Loaded.validateFor(*Compiled.M);
+    if (!Stale.empty()) {
+      std::fprintf(stderr, "%s\n", Stale.c_str());
+      return 1;
+    }
+    Profile = Loaded.toProfileData();
+    Opts.Profile = &Profile;
+    Opts.TrainInput = &TrainOpts; // measured layout gate
+  }
   if (Pdf) {
     CompileResult Train = compileMiniC(Source, FeOpts);
     Profile = collectProfile(*Train.M, *Compiled.M, Machine, TrainOpts);
@@ -135,6 +233,11 @@ int main(int Argc, char **Argv) {
     Opts.TrainInput = &TrainOpts; // measured layout gate
   }
   optimize(*Compiled.M, Level, Opts);
+  if (Opts.Profile)
+    std::fprintf(stderr, "pdf-layout: %s\n",
+                 PStats.PdfLayoutKept < 0 ? "unconditional"
+                 : PStats.PdfLayoutKept  ? "kept"
+                                         : "rolled-back");
 
   if (EmitIr) {
     std::fputs(printModule(*Compiled.M).c_str(), stdout);

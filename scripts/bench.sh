@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Benchmark entry point: build the default configuration and run the
-# oracle-overhead, compile-time and simulator benchmarks, leaving
+# oracle-overhead, compile-time, simulator and PDF benchmarks, leaving
 # google-benchmark JSON at the repo root as BENCH_oracle.json plus the
-# parallel-driver thread sweep as BENCH_compile_parallel.json and the
-# legacy-vs-predecoded simulator comparison as BENCH_sim.json
+# parallel-driver thread sweep as BENCH_compile_parallel.json, the
+# legacy-vs-predecoded simulator comparison as BENCH_sim.json and the
+# legacy-vs-ProfileStore PDF experiment comparison as BENCH_pdf.json
 # (human-readable tables go to stdout).
 #
 #   scripts/bench.sh [JOBS]
@@ -15,7 +16,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS" \
   --target bench_oracle_overhead --target bench_compile_time \
-  --target bench_sim
+  --target bench_sim --target bench_pdf_gain
 
 "$ROOT/build/bench/bench_oracle_overhead" \
   --benchmark_out="$ROOT/BENCH_oracle.json" \
@@ -29,6 +30,12 @@ cmake --build "$ROOT/build" -j "$JOBS" \
   --sim-out="$ROOT/BENCH_sim.json" \
   --benchmark_filter='^$'
 
+# End-to-end PDF experiment, pre-PR shape vs ProfileStore, at 4 workers.
+VSC_THREADS=4 "$ROOT/build/bench/bench_pdf_gain" \
+  --pdf-out="$ROOT/BENCH_pdf.json" \
+  --benchmark_filter='^$'
+
 echo "wrote $ROOT/BENCH_oracle.json"
 echo "wrote $ROOT/BENCH_compile_parallel.json"
 echo "wrote $ROOT/BENCH_sim.json"
+echo "wrote $ROOT/BENCH_pdf.json"

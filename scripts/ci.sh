@@ -43,6 +43,37 @@ run_config() {
   echo "=== [$name] simulator fast-path differential suite ==="
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
     -R 'Fastpath|SimFastpath'
+  # ProfileStore + PDF experiment driver: persistence round-trips, dense
+  # parity with the string-keyed path, and thread-count invariance of
+  # the whole experiment (run at both counts like the main suite).
+  for threads in 1 4; do
+    echo "=== [$name] pdf suite, VSC_THREADS=$threads ==="
+    VSC_THREADS="$threads" \
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+      -R 'PdfStore|PdfExperiment|PdfGate'
+  done
+  # Cross-process profile handoff: pdf_workflow trains and persists a
+  # profile, vscc compiles the emitted source with it in a separate
+  # process; the measured layout gate must reach the identical decision.
+  echo "=== [$name] cross-process profile handoff ==="
+  local tmp decision_a decision_b
+  tmp="$(mktemp -d)"
+  "$dir/examples/example_pdf_workflow" --workload=eqntott \
+    --emit-source="$tmp/eqntott.c" --save-profile="$tmp/eqntott.vscp" \
+    --superblocks > "$tmp/workflow.out"
+  decision_a="$(grep '^pdf-layout:' "$tmp/workflow.out")"
+  "$dir/examples/example_vscc" "$tmp/eqntott.c" -O3 \
+    --load-profile="$tmp/eqntott.vscp" --superblocks -- 1 \
+    > /dev/null 2> "$tmp/vscc.err"
+  decision_b="$(grep '^pdf-layout:' "$tmp/vscc.err")"
+  if [ "$decision_a" != "$decision_b" ]; then
+    echo "pdf-layout decision diverged across processes:" >&2
+    echo "  pdf_workflow: $decision_a" >&2
+    echo "  vscc:         $decision_b" >&2
+    exit 1
+  fi
+  echo "handoff agreed: $decision_a"
+  rm -rf "$tmp"
 }
 
 run_config default "$ROOT/build"

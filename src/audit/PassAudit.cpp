@@ -19,6 +19,27 @@ std::unique_ptr<Function> vsc::cloneFunction(const Function &F) {
   return C;
 }
 
+std::unique_ptr<Module> vsc::cloneModule(const Module &M) {
+  auto C = std::make_unique<Module>();
+  for (const Global &G : M.globals()) {
+    Global &NG = C->addGlobal(G.Name, G.Size);
+    NG.Init = G.Init;
+    NG.IsVolatile = G.IsVolatile;
+  }
+  for (const auto &F : M.functions()) {
+    Function *NF = C->addFunction(F->name(), F->numArgs());
+    for (const auto &BB : F->blocks()) {
+      BasicBlock *NB = NF->addBlock(BB->label());
+      NB->instrs() = BB->instrs();
+      for (const Instr &I : NB->instrs()) {
+        NF->reserveRegsFrom(I);
+        NF->reserveIdFrom(I);
+      }
+    }
+  }
+  return C;
+}
+
 namespace {
 
 std::vector<std::string> splitLines(const std::string &S) {

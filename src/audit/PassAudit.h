@@ -31,6 +31,12 @@ namespace vsc {
 /// differential checkers).
 std::unique_ptr<Function> cloneFunction(const Function &F);
 
+/// Deep copy of \p M: globals and functions, instruction ids preserved,
+/// fresh-register and fresh-id counters advanced past everything in use —
+/// safe to instrument or optimize independently of the original. One
+/// build + N clones replaces N rebuilds in the PDF experiments.
+std::unique_ptr<Module> cloneModule(const Module &M);
+
 /// One-shot audit of \p M (the vsc-audit CLI entry point): verifyModule
 /// plus every absolute checker on every function; when \p Before is given,
 /// additionally the differential checkers on functions present in both

@@ -74,6 +74,13 @@ public:
   /// Assigns a fresh unique id to \p I (valid within this function).
   void assignId(Instr &I) { I.Id = NextInstrId++; }
 
+  /// Notes that ids up to \p I's are taken. Clones copy instructions (and
+  /// their ids) verbatim; subsequent assignId calls must not collide.
+  void reserveIdFrom(const Instr &I) {
+    if (I.Id >= NextInstrId)
+      NextInstrId = I.Id + 1;
+  }
+
   /// Re-assigns unique ids to every instruction (after heavy surgery).
   void renumber();
 

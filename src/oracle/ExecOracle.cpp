@@ -4,6 +4,7 @@
 
 #include "audit/PassAudit.h" // cloneFunction
 #include "ir/Printer.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 
@@ -274,9 +275,51 @@ OracleResult ExecOracle::checkpoint(const Module &M,
   if (!enabled())
     return R;
   std::vector<const Function *> Changed;
-  InterpSession S(M);
-  for (const auto &F : M.functions())
-    diffOne(*F, S, Stage, R, Changed);
+  // Detection and battery construction stay serial: coverage-guided
+  // battery selection is order-dependent, and both are cheap next to the
+  // differential runs. Only the per-function comparisons fan out.
+  std::vector<const Function *> Compare;
+  {
+    InterpSession S(M);
+    for (const auto &F : M.functions()) {
+      std::string Text = printFunction(*F);
+      auto TextIt = SnapText.find(F->name());
+      if (TextIt != SnapText.end() && TextIt->second == Text)
+        continue; // untouched since the last clean checkpoint
+      Changed.push_back(F.get());
+      auto SnapIt = Snap.find(F->name());
+      if (SnapIt == Snap.end())
+        continue; // new function: becomes a baseline at finalize
+      if (!Battery.count(F->name()))
+        Battery.emplace(F->name(), buildBattery(*SnapIt->second, S, Opts));
+      Compare.push_back(F.get());
+    }
+  }
+
+  unsigned T = Opts.Threads ? std::min(Opts.Threads, 64u)
+                            : ThreadPool::defaultThreadCount();
+  std::vector<OracleResult> Results(Compare.size());
+  if (T <= 1 || Compare.size() <= 1) {
+    InterpSession S(M);
+    for (size_t I = 0; I != Compare.size(); ++I)
+      Results[I] = diffWithBattery(*Snap.at(Compare[I]->name()),
+                                   *Compare[I], S, Stage, Opts,
+                                   Battery.at(Compare[I]->name()));
+  } else {
+    ThreadPool Pool(T);
+    Pool.parallelFor(Compare.size(), [&](size_t I) {
+      InterpSession S(M); // one session per task: no shared mutable state
+      Results[I] = diffWithBattery(*Snap.at(Compare[I]->name()),
+                                   *Compare[I], S, Stage, Opts,
+                                   Battery.at(Compare[I]->name()));
+    });
+  }
+  // Positional merge: reports are identical at every thread count.
+  for (OracleResult &D : Results) {
+    for (OracleDivergence &Div : D.Divergences)
+      R.Divergences.push_back(std::move(Div));
+    R.Report += D.Report;
+  }
   finalize(R, Changed);
   return R;
 }

@@ -66,6 +66,12 @@ struct OracleOptions {
   bool CompareCallTrace = false;
   /// read_int stream fed to every run.
   std::vector<int64_t> Input = {5, -3, 17, 0, 9, 1, 42, 7};
+  /// Worker threads for module-level checkpoints: changed functions are
+  /// differentially executed in parallel, one interpreter session per
+  /// task, results merged in function order (so reports are identical at
+  /// every thread count). Battery construction stays serial — coverage-
+  /// guided selection is order-dependent. 0 defers to VSC_THREADS.
+  unsigned Threads = 1;
 };
 
 /// One observed behaviour difference.

@@ -1,0 +1,91 @@
+//===- pdf/PdfExperiment.cpp - PDF experiment driver ------------------------===//
+
+#include "pdf/PdfExperiment.h"
+
+#include "audit/PassAudit.h" // cloneModule
+#include "profile/Counters.h"
+
+using namespace vsc;
+
+PdfExperimentResult vsc::runPdfExperiment(const Module &Source,
+                                          const PdfExperimentOptions &Opt) {
+  PdfExperimentResult R;
+  R.Baseline = cloneModule(Source);
+  R.Guided = cloneModule(Source);
+
+  // Feedback profile: persisted, exact (dense ground truth), or the
+  // paper's two-pass counter scheme.
+  if (Opt.LoadedProfile) {
+    std::string Stale = Opt.LoadedProfile->validateFor(Source);
+    if (!Stale.empty()) {
+      R.Error = Stale;
+      return R;
+    }
+    R.Profile = *Opt.LoadedProfile;
+    R.Feedback = R.Profile.toProfileData();
+  } else {
+    // Training runs need a run-ready module: the raw frontend output has
+    // no prologs, so an argument-taking entry reads its parameters from
+    // unwired stack slots and trains on a garbage input (the pre-PR
+    // collectProfile path did exactly that). Prepare a clone at
+    // OptLevel::None — prolog insertion only; the CFG fingerprint is
+    // invariant under preparation (tests/test_pdf_store.cpp), so the
+    // profile still attaches to the raw source module.
+    auto Prepared = cloneModule(Source);
+    optimize(*Prepared, OptLevel::None);
+    if (Opt.ProfileSource == PdfExperimentOptions::Source::Exact) {
+      SimEngine Engine(*Prepared, Opt.Machine);
+      R.Profile =
+          collectDenseProfile(Engine, Opt.Train, Opt.Threads, &R.Error);
+      if (!R.Error.empty())
+        return R;
+      R.Feedback = R.Profile.toProfileData();
+    } else {
+      ProfileCollector Collector(*Prepared, Opt.Machine);
+      R.Feedback = Collector.profileFor(*R.Guided, Opt.Train, Opt.Threads,
+                                        &R.Error);
+      if (!R.Error.empty())
+        return R;
+    }
+  }
+
+  PipelineOptions Base;
+  Base.Machine = Opt.Machine;
+  Base.Threads = Opt.Threads;
+  optimize(*R.Baseline, Opt.Level, Base);
+
+  PipelineOptions Guided;
+  Guided.Machine = Opt.Machine;
+  Guided.Threads = Opt.Threads;
+  Guided.Profile = &R.Feedback;
+  Guided.Superblocks = Opt.Superblocks;
+  std::vector<RunOptions> GateFront;
+  if (Opt.MeasuredGate && !Opt.Train.empty()) {
+    if (!Opt.GateOnBattery)
+      GateFront = {Opt.Train.front()};
+    Guided.TrainBattery = Opt.GateOnBattery ? &Opt.Train : &GateFront;
+  }
+  PipelineStats Stats;
+  Guided.Stats = &Stats;
+  optimize(*R.Guided, Opt.Level, Guided);
+  R.PdfLayoutKept = Stats.PdfLayoutKept;
+
+  // Measure both compiles on the test battery, one predecode each.
+  SimEngine BaseEngine(*R.Baseline, Opt.Machine);
+  SimEngine GuidedEngine(*R.Guided, Opt.Machine);
+  R.BaselineRuns = BaseEngine.runBatch(Opt.Test, Opt.Threads);
+  R.GuidedRuns = GuidedEngine.runBatch(Opt.Test, Opt.Threads);
+  for (size_t I = 0; I != R.BaselineRuns.size(); ++I) {
+    const RunResult &B = R.BaselineRuns[I];
+    const RunResult &G = R.GuidedRuns[I];
+    if (B.fingerprint() != G.fingerprint()) {
+      R.Error = "behaviour diverged on test input " + std::to_string(I) +
+                ":\n  baseline: " + B.fingerprint() +
+                "\n  guided:   " + G.fingerprint();
+      return R;
+    }
+    R.BaselineCycles += B.Cycles;
+    R.GuidedCycles += G.Cycles;
+  }
+  return R;
+}

@@ -1,0 +1,100 @@
+//===- pdf/PdfExperiment.h - PDF experiment driver ------------*- C++ -*-===//
+///
+/// \file
+/// The paper's profile-directed-feedback experiment (train on one input,
+/// compile with the profile, measure on another) as a reusable driver on
+/// top of pdf/ProfileStore.h:
+///
+///  * the source module is built ONCE and cloned for the baseline and the
+///    guided compile (audit/PassAudit.h cloneModule) — no per-experiment
+///    rebuilds;
+///  * training and measurement batteries run through predecoded SimEngines
+///    and fan out across the work-stealing pool (support/ThreadPool.h),
+///    with positional merging, so every number is byte-identical at every
+///    thread count;
+///  * the merged profile feeds back into vliw/Pipeline (scheduling
+///    heuristic, superblock formation when asked, and the measured layout
+///    gate over the whole training battery).
+///
+/// bench_pdf_gain, bench_profile_overhead and examples/pdf_workflow.cpp
+/// are all built on this driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_PDF_PDFEXPERIMENT_H
+#define VSC_PDF_PDFEXPERIMENT_H
+
+#include "pdf/ProfileStore.h"
+#include "vliw/Pipeline.h"
+
+namespace vsc {
+
+struct PdfExperimentOptions {
+  MachineModel Machine = rs6000();
+  /// Training battery: profiled inputs, merged in battery order.
+  std::vector<RunOptions> Train;
+  /// Measurement battery (the paper's reference inputs).
+  std::vector<RunOptions> Test;
+  /// Worker threads for every battery and for the pipeline; 0 defers to
+  /// VSC_THREADS.
+  unsigned Threads = 0;
+  /// Where the feedback profile comes from:
+  ///  * Counters — the paper's low-overhead two-pass scheme: instrument a
+  ///    clone once (profile/Counters.h ProfileCollector), run the training
+  ///    battery, infer every count.
+  ///  * Exact — the simulator's ground-truth dense counters, recorded
+  ///    straight from SimEngine's interned slots (pdf/ProfileStore.h).
+  enum class Source { Counters, Exact };
+  Source ProfileSource = Source::Counters;
+  /// A persisted profile to feed back instead of collecting one (takes
+  /// precedence over ProfileSource). Validated against the source module's
+  /// CFG fingerprint; a stale profile fails the experiment.
+  const DenseProfile *LoadedProfile = nullptr;
+  /// Gate the layout applications on measured training cycles.
+  bool MeasuredGate = true;
+  /// Measure the gate over the whole training battery (the default) or
+  /// over its first input only — the pre-PR single-input semantics, and
+  /// much cheaper when training inputs are large.
+  bool GateOnBattery = true;
+  /// Trace-scheduling-style superblock formation in the guided compile.
+  bool Superblocks = false;
+  OptLevel Level = OptLevel::Vliw;
+};
+
+struct PdfExperimentResult {
+  /// Non-empty when the experiment failed (stale profile, trapping run,
+  /// baseline/guided behaviour divergence).
+  std::string Error;
+  /// Merged ground-truth dense profile (Source::Exact or LoadedProfile;
+  /// empty for Source::Counters).
+  DenseProfile Profile;
+  /// The profile the pipeline consumed.
+  ProfileData Feedback;
+  /// Measured layout-gate decision (PipelineStats::PdfLayoutKept).
+  int PdfLayoutKept = -1;
+  /// Cycle sums over the measurement battery.
+  uint64_t BaselineCycles = 0;
+  uint64_t GuidedCycles = 0;
+  /// Per-input measurement runs, positionally matched to Options.Test.
+  std::vector<RunResult> BaselineRuns;
+  std::vector<RunResult> GuidedRuns;
+  /// The optimized modules (for callers that want to keep measuring).
+  std::unique_ptr<Module> Baseline;
+  std::unique_ptr<Module> Guided;
+
+  bool ok() const { return Error.empty(); }
+  /// Baseline/guided speedup on the measurement battery (1.0 = no gain).
+  double gain() const {
+    return GuidedCycles ? static_cast<double>(BaselineCycles) /
+                              static_cast<double>(GuidedCycles)
+                        : 1.0;
+  }
+};
+
+/// Runs one full experiment against \p Source (never modified).
+PdfExperimentResult runPdfExperiment(const Module &Source,
+                                     const PdfExperimentOptions &Options);
+
+} // namespace vsc
+
+#endif // VSC_PDF_PDFEXPERIMENT_H

@@ -113,7 +113,11 @@ std::string InlinePass::run(Module &M, FunctionAnalysisManager &FAM) {
 }
 
 std::string PdfLayoutPass::run(Module &M, FunctionAnalysisManager &FAM) {
-  pdfLayoutMeasured(M, Profile, MM, TrainInput);
+  bool Kept = TrainBattery
+                  ? pdfLayoutMeasured(M, Profile, MM, *TrainBattery, Threads)
+                  : pdfLayoutMeasured(M, Profile, MM, TrainInput);
+  if (KeptOut)
+    *KeptOut = Kept ? 1 : 0;
   FAM.invalidateAll();
   return "";
 }

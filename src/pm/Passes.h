@@ -155,12 +155,18 @@ public:
 };
 
 /// profile/PdfLayout.h measured layout gate — module-level (re-simulates
-/// the whole module on the training input).
+/// the whole module on the training input(s)). A non-null \p TrainBattery
+/// takes precedence over \p TrainInput and sums cycles over the whole
+/// battery through one predecoded engine; \p KeptOut (when non-null)
+/// receives the gate decision (1 kept, 0 rolled back).
 class PdfLayoutPass : public ModulePass {
 public:
   PdfLayoutPass(const ProfileData &Profile, const MachineModel &MM,
-                const RunOptions *TrainInput)
-      : Profile(Profile), MM(MM), TrainInput(TrainInput) {}
+                const RunOptions *TrainInput,
+                const std::vector<RunOptions> *TrainBattery = nullptr,
+                unsigned Threads = 1, int *KeptOut = nullptr)
+      : Profile(Profile), MM(MM), TrainInput(TrainInput),
+        TrainBattery(TrainBattery), Threads(Threads), KeptOut(KeptOut) {}
   const char *name() const override { return "pdf-layout"; }
   std::string run(Module &M, FunctionAnalysisManager &FAM) override;
 
@@ -168,6 +174,9 @@ private:
   const ProfileData &Profile;
   const MachineModel &MM;
   const RunOptions *TrainInput;
+  const std::vector<RunOptions> *TrainBattery;
+  unsigned Threads;
+  int *KeptOut;
 };
 
 /// Final instruction-id renumbering across the module.

@@ -2,6 +2,7 @@
 
 #include "profile/Counters.h"
 
+#include "audit/PassAudit.h" // cloneModule
 #include "cfg/CfgEdit.h"
 #include "cfg/Dominators.h"
 #include "cfg/Loops.h"
@@ -418,6 +419,62 @@ std::string vsc::inferCounts(
                                FE.SrcTo->label())] = *EdgeVal[E];
   }
   return "";
+}
+
+ProfileCollector::ProfileCollector(const Module &Source,
+                                   const MachineModel &Machine,
+                                   bool HoistCounters)
+    : Instrumented(cloneModule(Source)),
+      Info(instrumentModule(*Instrumented, HoistCounters)),
+      Engine(*Instrumented, Machine) {}
+
+std::unordered_map<std::string, uint64_t>
+ProfileCollector::counts(const RunOptions &Train) {
+  RunOptions Opts = Train;
+  Opts.KeepMemory = true;
+  RunResult R = Engine.run(Opts);
+  return readCounters(R, Info);
+}
+
+std::unordered_map<std::string, uint64_t>
+ProfileCollector::counts(const std::vector<RunOptions> &Battery,
+                         unsigned Threads) {
+  std::vector<RunOptions> Batch = Battery;
+  for (RunOptions &O : Batch)
+    O.KeepMemory = true;
+  std::vector<RunResult> Runs = Engine.runBatch(Batch, Threads);
+  // Summed in battery order — identical at every thread count.
+  std::unordered_map<std::string, uint64_t> Sum;
+  for (const RunResult &R : Runs)
+    for (const auto &[Key, Val] : readCounters(R, Info))
+      Sum[Key] += Val;
+  return Sum;
+}
+
+std::string ProfileCollector::expand(
+    Module &Target,
+    const std::unordered_map<std::string, uint64_t> &Counted,
+    ProfileData &Out) {
+  std::string FirstErr;
+  for (auto &F : Target.functions()) {
+    planCounters(*F); // identical flow-graph surgery as pass 1
+    std::string Err = inferCounts(*F, Counted, Out);
+    if (!Err.empty() && FirstErr.empty())
+      FirstErr = Err;
+  }
+  return FirstErr;
+}
+
+ProfileData ProfileCollector::profileFor(Module &Target,
+                                         const std::vector<RunOptions>
+                                             &Battery,
+                                         unsigned Threads,
+                                         std::string *Err) {
+  ProfileData P;
+  std::string E = expand(Target, counts(Battery, Threads), P);
+  if (!E.empty() && Err && Err->empty())
+    *Err = E;
+  return P;
 }
 
 ProfileData vsc::collectProfile(Module &Train, Module &Target,

@@ -32,6 +32,7 @@
 
 #include "profile/ProfileData.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,48 @@ std::string inferCounts(Function &F,
 ProfileData collectProfile(Module &Train, Module &Target,
                            const MachineModel &Machine,
                            const RunOptions &TrainOpts);
+
+/// The cached form of the two-pass scheme: instruments a private clone of
+/// the source module ONCE and predecodes it ONCE (SimEngine); every
+/// further training input only costs one simulation. This is what the PDF
+/// experiments use instead of rebuilding + re-instrumenting the module per
+/// training run (the pre-PR-5 shape).
+class ProfileCollector {
+public:
+  /// \p Source is cloned, never modified.
+  ProfileCollector(const Module &Source, const MachineModel &Machine,
+                   bool HoistCounters = true);
+
+  /// Raw counter values ("func:label" -> count) from one training run.
+  std::unordered_map<std::string, uint64_t> counts(const RunOptions &Train);
+
+  /// Counter values summed over a whole training battery, fanned out over
+  /// \p Threads workers (0 defers to VSC_THREADS). Summation order is the
+  /// battery order, so the result is identical at every thread count.
+  std::unordered_map<std::string, uint64_t>
+  counts(const std::vector<RunOptions> &Battery, unsigned Threads = 0);
+
+  /// Applies the pass-1-identical planCounters surgery to \p Target and
+  /// expands \p Counted into a full profile for it. \returns "" on
+  /// success, else the first inference diagnostic.
+  static std::string expand(Module &Target,
+                            const std::unordered_map<std::string, uint64_t>
+                                &Counted,
+                            ProfileData &Out);
+
+  /// counts() + expand() over a battery: the full cached two-pass scheme.
+  ProfileData profileFor(Module &Target,
+                         const std::vector<RunOptions> &Battery,
+                         unsigned Threads = 0, std::string *Err = nullptr);
+
+  /// Instrumentation bookkeeping of the cached clone.
+  const Instrumentation &instrumentation() const { return Info; }
+
+private:
+  std::unique_ptr<Module> Instrumented;
+  Instrumentation Info;
+  SimEngine Engine;
+};
 
 } // namespace vsc
 

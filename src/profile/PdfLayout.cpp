@@ -75,28 +75,54 @@ bool vsc::pdfLayoutGated(Function &F, const ProfileData &P,
   return true;
 }
 
+namespace {
+
+/// Cycle sum of \p Battery against a fresh predecode of \p M; false when
+/// any run traps.
+bool batteryCycles(const Module &M, const MachineModel &MM,
+                   const std::vector<RunOptions> &Battery, unsigned Threads,
+                   uint64_t &Cycles) {
+  SimEngine Engine(M, MM);
+  Cycles = 0;
+  for (const RunResult &R : Engine.runBatch(Battery, Threads)) {
+    if (R.Trapped)
+      return false;
+    Cycles += R.Cycles;
+  }
+  return true;
+}
+
+} // namespace
+
 bool vsc::pdfLayoutMeasured(Module &M, const ProfileData &P,
                             const MachineModel &MM,
                             const RunOptions *TrainInput) {
+  std::vector<RunOptions> Battery;
+  if (TrainInput)
+    Battery.push_back(*TrainInput);
+  return pdfLayoutMeasured(M, P, MM, Battery, /*Threads=*/1);
+}
+
+bool vsc::pdfLayoutMeasured(Module &M, const ProfileData &P,
+                            const MachineModel &MM,
+                            const std::vector<RunOptions> &TrainBattery,
+                            unsigned Threads) {
   std::vector<FunctionSnapshot> Snaps;
   for (const auto &F : M.functions())
     Snaps.push_back(FunctionSnapshot::take(*F));
 
   uint64_t Before = 0;
-  if (TrainInput) {
-    RunResult R = simulate(M, MM, *TrainInput);
-    if (R.Trapped)
-      return false;
-    Before = R.Cycles;
-  }
+  if (!TrainBattery.empty() &&
+      !batteryCycles(M, MM, TrainBattery, Threads, Before))
+    return false;
   for (auto &F : M.functions()) {
     pdfReorderBlocks(*F, P);
     pdfReverseBranches(*F, P, MM);
   }
-  if (!TrainInput)
+  if (TrainBattery.empty())
     return true;
-  RunResult After = simulate(M, MM, *TrainInput);
-  if (!After.Trapped && After.Cycles < Before)
+  uint64_t After = 0;
+  if (batteryCycles(M, MM, TrainBattery, Threads, After) && After < Before)
     return true;
   for (size_t I = 0; I != Snaps.size(); ++I)
     Snaps[I].restore(*M.functions()[I]);

@@ -54,6 +54,17 @@ bool pdfLayoutMeasured(Module &M, const ProfileData &P,
                        const MachineModel &MM,
                        const RunOptions *TrainInput);
 
+/// Battery form of the measured gate: cycles are summed over every
+/// training input, each battery simulated through one predecoded SimEngine
+/// and fanned out over \p Threads workers (0 defers to VSC_THREADS; the
+/// sum is positional, so the decision is identical at every thread
+/// count). An empty battery keeps the layout unconditionally; a trapping
+/// training run rolls it back.
+bool pdfLayoutMeasured(Module &M, const ProfileData &P,
+                       const MachineModel &MM,
+                       const std::vector<RunOptions> &TrainBattery,
+                       unsigned Threads = 0);
+
 } // namespace vsc
 
 #endif // VSC_PROFILE_PDFLAYOUT_H

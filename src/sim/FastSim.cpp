@@ -14,10 +14,13 @@
 #include "sim/Predecode.h"
 #include "sim/SimCore.h"
 #include "sim/Simulator.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <memory>
+#include <mutex>
 
 using namespace vsc;
 
@@ -49,10 +52,11 @@ struct Arena {
 
 class FastMachine {
 public:
-  FastMachine(const SimImage &Img, const RunOptions &Opts, Arena &A)
+  FastMachine(const SimImage &Img, const RunOptions &Opts, Arena &A,
+              DenseCounters *DenseOut = nullptr)
       : Img(Img), Model(Img.Model), Opts(Opts), Mem(A.Mem),
         BlockHits(A.BlockHits), EdgeHits(A.EdgeHits),
-        CallStack(A.CallStack) {}
+        CallStack(A.CallStack), DenseOut(DenseOut) {}
 
   RunResult run() {
     RunResult R;
@@ -166,6 +170,14 @@ private:
     if (Opts.KeepMemory)
       R.Memory = Mem;
     R.GlobalBase = Img.GlobalBase;
+    if (DenseOut) {
+      // Dense export: hand the slot vectors to the caller untouched (the
+      // arena keeps its capacity — copy, don't move) and skip the string-
+      // map materialization round-trip entirely.
+      DenseOut->BlockHits = BlockHits;
+      DenseOut->EdgeHits = EdgeHits;
+      return R;
+    }
     // Materialize the string-keyed counter maps from the dense slots.
     // Distinct slots may intern the same key (taken branch + fallthrough
     // to the same successor), so sum rather than assign.
@@ -325,6 +337,7 @@ private:
   std::vector<uint64_t> &BlockHits;
   std::vector<uint64_t> &EdgeHits;
   std::vector<FastFrame> &CallStack;
+  DenseCounters *DenseOut = nullptr;
 
   RegFile Regs;
   const DecodedFunction *CurF = nullptr;
@@ -665,6 +678,55 @@ RunResult SimEngine::run(const RunOptions &Opts) {
   return FM.run();
 }
 
+RunResult SimEngine::run(const RunOptions &Opts, DenseCounters &Dense) {
+  FastMachine FM(S->Img, Opts, S->A, &Dense);
+  return FM.run();
+}
+
+std::vector<RunResult>
+SimEngine::runBatch(const std::vector<RunOptions> &Batch, unsigned Threads,
+                    std::vector<DenseCounters> *Dense) {
+  unsigned T = Threads ? std::min(Threads, 64u)
+                       : ThreadPool::defaultThreadCount();
+  std::vector<RunResult> Out(Batch.size());
+  if (Dense)
+    Dense->assign(Batch.size(), DenseCounters{});
+  if (T <= 1 || Batch.size() <= 1) {
+    // The pre-threaded shape: every run shares the engine's pooled arena.
+    for (size_t I = 0; I != Batch.size(); ++I) {
+      FastMachine FM(S->Img, Batch[I], S->A,
+                     Dense ? &(*Dense)[I] : nullptr);
+      Out[I] = FM.run();
+    }
+    return Out;
+  }
+
+  // Parallel fan-out: results are stored positionally, so the output is
+  // schedule-independent. Arenas are pooled through a free list — a task
+  // borrows one for the duration of its run, so at most min(T, |Batch|)
+  // arenas ever exist and their capacity is reused across the batch.
+  std::mutex Mu;
+  std::vector<std::unique_ptr<Arena>> FreeArenas;
+  ThreadPool Pool(T);
+  Pool.parallelFor(Batch.size(), [&](size_t I) {
+    std::unique_ptr<Arena> A;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (!FreeArenas.empty()) {
+        A = std::move(FreeArenas.back());
+        FreeArenas.pop_back();
+      }
+    }
+    if (!A)
+      A = std::make_unique<Arena>();
+    FastMachine FM(S->Img, Batch[I], *A, Dense ? &(*Dense)[I] : nullptr);
+    Out[I] = FM.run();
+    std::lock_guard<std::mutex> Lock(Mu);
+    FreeArenas.push_back(std::move(A));
+  });
+  return Out;
+}
+
 const SimImage &SimEngine::image() const { return S->Img; }
 
 RunResult vsc::simulate(const Module &M, const MachineModel &Machine,
@@ -677,11 +739,7 @@ RunResult vsc::simulate(const Module &M, const MachineModel &Machine,
 
 std::vector<RunResult>
 vsc::simulateBatch(const Module &M, const MachineModel &Machine,
-                   const std::vector<RunOptions> &Batch) {
+                   const std::vector<RunOptions> &Batch, unsigned Threads) {
   SimEngine E(M, Machine);
-  std::vector<RunResult> Out;
-  Out.reserve(Batch.size());
-  for (const RunOptions &O : Batch)
-    Out.push_back(E.run(O));
-  return Out;
+  return E.runBatch(Batch, Threads);
 }

@@ -111,14 +111,27 @@ RunResult simulateLegacy(const Module &M, const MachineModel &Machine,
                          const RunOptions &Opts = RunOptions());
 
 /// Predecodes \p M once and runs every element of \p Batch against the
-/// shared decoded image, reusing one pooled memory arena across runs —
-/// the shape the oracle's input batteries and the profiling ground-truth
-/// runs want. Results are positionally matched to \p Batch.
+/// shared decoded image — the shape the profiling ground-truth runs and
+/// the PDF experiment batteries want. Results are positionally matched to
+/// \p Batch, so they are deterministic at every thread count. \p Threads
+/// 0 defers to the VSC_THREADS environment variable (default 1); at one
+/// thread the runs share a single pooled memory arena, allocation-
+/// identical to the pre-threaded path, while larger counts fan the batch
+/// out across the work-stealing pool with one arena per worker.
 std::vector<RunResult> simulateBatch(const Module &M,
                                      const MachineModel &Machine,
-                                     const std::vector<RunOptions> &Batch);
+                                     const std::vector<RunOptions> &Batch,
+                                     unsigned Threads = 0);
 
 struct SimImage;
+
+/// One run's dense counter slots, indexed exactly like the image's
+/// interned key tables (SimImage::BlockKeys / EdgeKeys). This is the raw
+/// form ProfileStore records — no string-keyed map is materialized.
+struct DenseCounters {
+  std::vector<uint64_t> BlockHits;
+  std::vector<uint64_t> EdgeHits;
+};
 
 /// A predecoded module bound to a machine model: predecode once, run many
 /// times. Runs reuse a pooled memory arena and dense counter vectors; the
@@ -133,6 +146,24 @@ public:
   ~SimEngine();
 
   RunResult run(const RunOptions &Opts = RunOptions());
+
+  /// Like run(), but exports the block/edge counters as dense slot vectors
+  /// into \p Dense and skips materializing the string-keyed
+  /// RunResult::BlockCounts / EdgeCounts maps entirely — the profile-
+  /// collection fast path (pdf/ProfileStore.h).
+  RunResult run(const RunOptions &Opts, DenseCounters &Dense);
+
+  /// Runs every element of \p Batch against the engine's image. \p Threads
+  /// 0 defers to VSC_THREADS (default 1); one thread reuses the engine's
+  /// pooled arena exactly like sequential run() calls, more threads fan
+  /// the batch out over the work-stealing pool with per-worker arenas.
+  /// Results (and \p Dense slots, when requested) are positionally
+  /// matched to \p Batch, so the output is identical at every thread
+  /// count.
+  std::vector<RunResult> runBatch(const std::vector<RunOptions> &Batch,
+                                  unsigned Threads = 1,
+                                  std::vector<DenseCounters> *Dense = nullptr);
+
   const SimImage &image() const;
 
 private:

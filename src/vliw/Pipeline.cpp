@@ -248,11 +248,14 @@ void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
                                         Opts.TailorProlog));
     MPM.addFunctionPasses("prolog", std::move(PL), Threads);
   }
-  // Profile-directed layout, gated by re-simulating the training input
-  // when one is supplied.
+  // Profile-directed layout, gated by re-simulating the training input(s)
+  // when supplied.
+  int PdfKept = -1;
   if (L == OptLevel::Vliw && Opts.Profile)
     MPM.add(std::make_unique<PdfLayoutPass>(*Opts.Profile, Opts.Machine,
-                                            Opts.TrainInput));
+                                            Opts.TrainInput,
+                                            Opts.TrainBattery, Threads,
+                                            &PdfKept));
   MPM.add(std::make_unique<RenumberPass>());
 
   FunctionAnalysisManager FAM(M);
@@ -265,5 +268,6 @@ void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
     FunctionAnalyses::Stats S = FAM.totalStats();
     Opts.Stats->AnalysisHits += S.Hits;
     Opts.Stats->AnalysisMisses += S.Misses;
+    Opts.Stats->PdfLayoutKept = PdfKept;
   }
 }

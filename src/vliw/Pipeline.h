@@ -42,6 +42,10 @@ struct PipelineStats {
   /// Analysis-cache hits/misses across every function (pm/Analysis.h).
   uint64_t AnalysisHits = 0;
   uint64_t AnalysisMisses = 0;
+  /// Measured PDF-layout gate decision: -1 the gate did not run, 0 the
+  /// layout was rolled back, 1 it was kept. Cross-process experiments
+  /// compare this (scripts/ci.sh checks pdf_workflow against vscc).
+  int PdfLayoutKept = -1;
 };
 
 struct PipelineOptions {
@@ -76,6 +80,10 @@ struct PipelineOptions {
   /// layout applications are kept only if simulated cycles on this input
   /// improve (see pdfLayoutMeasured). Null keeps them unconditionally.
   const RunOptions *TrainInput = nullptr;
+  /// Battery form of the measured gate (pdf/PdfExperiment.h): cycles are
+  /// summed over every training input through one predecoded engine,
+  /// fanned out over Threads workers. Takes precedence over TrainInput.
+  const std::vector<RunOptions> *TrainBattery = nullptr;
   /// Trace-scheduling-style superblock formation (requires Profile): tail-
   /// duplicate hot traces before scheduling, the IMPACT-flavoured baseline
   /// the paper contrasts its profile-independent techniques with. Off by

@@ -1,0 +1,201 @@
+//===- tests/test_pdf_experiment.cpp - PDF experiment driver ---------------===//
+///
+/// The pdf/PdfExperiment.h contract: dense collection is bit-identical to
+/// the legacy string-keyed profile path on every workload kernel, results
+/// are byte-identical at every thread count, a persisted profile drives
+/// the same pipeline decisions as the in-process one, and the cached
+/// ProfileCollector reproduces collectProfile exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "pdf/PdfExperiment.h"
+#include "profile/Counters.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+std::vector<RunOptions> batteryFor(const Workload &W) {
+  return {workloadInput(W.TrainScale), workloadInput(W.TrainScale + 1)};
+}
+
+} // namespace
+
+// Acceptance: the dense path reproduces the legacy string-keyed profile
+// bit-for-bit on every kernel — same battery, summed RunResult maps.
+TEST(PdfExperiment, DenseParityWithStringKeyedPathAllKernels) {
+  for (const Workload &W : specWorkloads()) {
+    auto M = buildWorkload(W);
+    std::vector<RunOptions> Battery = batteryFor(W);
+
+    SimEngine Engine(*M, rs6000());
+    std::string Err;
+    DenseProfile P = collectDenseProfile(Engine, Battery, 1, &Err);
+    ASSERT_EQ(Err, "") << W.Name;
+    ProfileData Dense = P.toProfileData();
+
+    ProfileData Legacy;
+    for (const RunOptions &In : Battery) {
+      RunResult R = simulate(*M, rs6000(), In);
+      ASSERT_FALSE(R.Trapped) << W.Name;
+      for (const auto &[K, V] : R.BlockCounts)
+        Legacy.BlockCount[K] += V;
+      for (const auto &[K, V] : R.EdgeCounts)
+        Legacy.EdgeCount[K] += V;
+    }
+    EXPECT_EQ(Dense.BlockCount, Legacy.BlockCount) << W.Name;
+    EXPECT_EQ(Dense.EdgeCount, Legacy.EdgeCount) << W.Name;
+  }
+}
+
+TEST(PdfExperiment, CollectionIsThreadCountInvariant) {
+  const Workload &W = specWorkloads()[2]; // eqntott
+  auto M = buildWorkload(W);
+  std::vector<RunOptions> Battery;
+  for (int64_t S = 1; S <= 4; ++S)
+    Battery.push_back(workloadInput(S));
+
+  SimEngine E1(*M, rs6000()), E4(*M, rs6000());
+  std::string Err1, Err4;
+  DenseProfile P1 = collectDenseProfile(E1, Battery, 1, &Err1);
+  DenseProfile P4 = collectDenseProfile(E4, Battery, 4, &Err4);
+  EXPECT_EQ(Err1, "");
+  EXPECT_EQ(Err4, "");
+  EXPECT_EQ(P1.serialize(), P4.serialize());
+}
+
+TEST(PdfExperiment, ExperimentIsThreadCountInvariant) {
+  const Workload &W = specWorkloads()[2];
+  auto M = buildWorkload(W);
+  PdfExperimentOptions Opts;
+  Opts.Train = batteryFor(W);
+  Opts.Test = {workloadInput(W.RefScale)};
+  Opts.ProfileSource = PdfExperimentOptions::Source::Exact;
+
+  Opts.Threads = 1;
+  PdfExperimentResult R1 = runPdfExperiment(*M, Opts);
+  Opts.Threads = 4;
+  PdfExperimentResult R4 = runPdfExperiment(*M, Opts);
+  ASSERT_TRUE(R1.ok()) << R1.Error;
+  ASSERT_TRUE(R4.ok()) << R4.Error;
+  EXPECT_EQ(R1.Profile.serialize(), R4.Profile.serialize());
+  EXPECT_EQ(R1.PdfLayoutKept, R4.PdfLayoutKept);
+  EXPECT_EQ(R1.BaselineCycles, R4.BaselineCycles);
+  EXPECT_EQ(R1.GuidedCycles, R4.GuidedCycles);
+  EXPECT_EQ(printModule(*R1.Guided), printModule(*R4.Guided));
+}
+
+// Acceptance: a profile saved by one process and loaded by another drives
+// identical pipeline decisions. Round-tripping through serialized bytes is
+// the in-process equivalent of the vscc handoff ci.sh exercises.
+TEST(PdfExperiment, PersistedProfileDrivesIdenticalDecisions) {
+  const Workload &W = specWorkloads()[2];
+  auto M = buildWorkload(W);
+  PdfExperimentOptions Opts;
+  Opts.Train = batteryFor(W);
+  Opts.Test = {workloadInput(W.RefScale)};
+  Opts.ProfileSource = PdfExperimentOptions::Source::Exact;
+  Opts.Superblocks = true;
+  PdfExperimentResult Collected = runPdfExperiment(*M, Opts);
+  ASSERT_TRUE(Collected.ok()) << Collected.Error;
+
+  std::vector<uint8_t> Bytes = Collected.Profile.serialize();
+  DenseProfile Loaded;
+  ASSERT_EQ(DenseProfile::deserialize(Bytes.data(), Bytes.size(), Loaded),
+            "");
+  Opts.LoadedProfile = &Loaded;
+  PdfExperimentResult Replayed = runPdfExperiment(*M, Opts);
+  ASSERT_TRUE(Replayed.ok()) << Replayed.Error;
+
+  EXPECT_EQ(Replayed.PdfLayoutKept, Collected.PdfLayoutKept);
+  EXPECT_EQ(Replayed.GuidedCycles, Collected.GuidedCycles);
+  EXPECT_EQ(printModule(*Replayed.Guided), printModule(*Collected.Guided));
+}
+
+TEST(PdfExperiment, StaleLoadedProfileFailsTheExperiment) {
+  auto A = buildWorkload(specWorkloads()[2]);
+  auto B = buildWorkload(specWorkloads()[0]);
+  SimEngine Engine(*B, rs6000());
+  std::string Err;
+  DenseProfile Wrong = collectDenseProfile(
+      Engine, {workloadInput(1)}, 1, &Err);
+  ASSERT_EQ(Err, "");
+
+  PdfExperimentOptions Opts;
+  Opts.Test = {workloadInput(2)};
+  Opts.LoadedProfile = &Wrong;
+  PdfExperimentResult R = runPdfExperiment(*A, Opts);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("stale"), std::string::npos) << R.Error;
+}
+
+TEST(PdfExperiment, GuidedCompileKeepsBehaviour) {
+  for (const Workload &W : specWorkloads()) {
+    auto M = buildWorkload(W);
+    PdfExperimentOptions Opts;
+    Opts.Train = {workloadInput(W.TrainScale)};
+    Opts.Test = {workloadInput(W.RefScale)};
+    Opts.ProfileSource = PdfExperimentOptions::Source::Counters;
+    PdfExperimentResult R = runPdfExperiment(*M, Opts);
+    ASSERT_TRUE(R.ok()) << W.Name << ": " << R.Error;
+    ASSERT_EQ(R.BaselineRuns.size(), R.GuidedRuns.size());
+    for (size_t I = 0; I != R.BaselineRuns.size(); ++I)
+      EXPECT_EQ(R.BaselineRuns[I].fingerprint(),
+                R.GuidedRuns[I].fingerprint())
+          << W.Name;
+    EXPECT_GT(R.BaselineCycles, 0u) << W.Name;
+    EXPECT_GT(R.GuidedCycles, 0u) << W.Name;
+  }
+}
+
+// Training must happen on a run-ready module: the raw frontend output
+// has no prologs, so gcc's entry misreads its scale argument and the old
+// path trained on a garbage input. The experiment's feedback profile
+// must match ground truth from a prepared module at the TRUE scale.
+TEST(PdfExperiment, TrainsOnRunReadyModules) {
+  const Workload &W = specWorkloads()[5]; // gcc
+  auto M = buildWorkload(W);
+  PdfExperimentOptions Opts;
+  Opts.Train = {workloadInput(W.TrainScale)};
+  Opts.Test = {workloadInput(W.RefScale)};
+  Opts.ProfileSource = PdfExperimentOptions::Source::Exact;
+  PdfExperimentResult R = runPdfExperiment(*M, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  auto Prepared = buildWorkload(W);
+  optimize(*Prepared, OptLevel::None);
+  RunResult Ground =
+      simulate(*Prepared, rs6000(), workloadInput(W.TrainScale));
+  EXPECT_EQ(R.Feedback.BlockCount, Ground.BlockCounts);
+  EXPECT_EQ(R.Feedback.EdgeCount, Ground.EdgeCounts);
+  // The profile still validates against the raw source module.
+  EXPECT_EQ(R.Profile.validateFor(*M), "");
+}
+
+// The cached collector (instrument once, predecode once) must reproduce
+// the rebuild-per-run collectProfile exactly.
+TEST(PdfExperiment, CachedCollectorMatchesLegacyCollectProfile) {
+  const Workload &W = specWorkloads()[2];
+  RunOptions In = workloadInput(W.TrainScale);
+
+  auto Train = buildWorkload(W);
+  auto LegacyTarget = buildWorkload(W);
+  ProfileData Legacy = collectProfile(*Train, *LegacyTarget, rs6000(), In);
+
+  auto Source = buildWorkload(W);
+  auto CachedTarget = buildWorkload(W);
+  ProfileCollector Collector(*Source, rs6000());
+  std::string Err;
+  ProfileData Cached =
+      Collector.profileFor(*CachedTarget, {In}, 1, &Err);
+  ASSERT_EQ(Err, "");
+
+  EXPECT_EQ(Cached.BlockCount, Legacy.BlockCount);
+  EXPECT_EQ(Cached.EdgeCount, Legacy.EdgeCount);
+  // Both paths apply the same deterministic planCounters surgery.
+  EXPECT_EQ(printModule(*CachedTarget), printModule(*LegacyTarget));
+}

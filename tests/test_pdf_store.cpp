@@ -1,0 +1,240 @@
+//===- tests/test_pdf_store.cpp - ProfileStore persistence -----------------===//
+///
+/// The pdf/ProfileStore.h contract: dense collection agrees with the
+/// simulator's string-keyed ground truth, the Module and SimImage CFG
+/// fingerprints agree by construction, serialized profiles round-trip
+/// byte-exactly, merge is associative and commutative, stale profiles are
+/// rejected by fingerprint, and corrupt or truncated images are reported
+/// instead of parsed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "frontend/Frontend.h"
+#include "pdf/ProfileStore.h"
+#include "vliw/Pipeline.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Spec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace vsc;
+
+namespace {
+
+std::unique_ptr<Module> buildNamed(const char *Name) {
+  for (const Workload &W : specWorkloads())
+    if (W.Name == Name)
+      return buildWorkload(W);
+  ADD_FAILURE() << "no workload " << Name;
+  return nullptr;
+}
+
+DenseProfile profileAt(SimEngine &Engine, int64_t Scale) {
+  std::string Err;
+  DenseProfile P =
+      collectDenseProfile(Engine, {workloadInput(Scale)}, 1, &Err);
+  EXPECT_EQ(Err, "");
+  return P;
+}
+
+std::string tempPath(const char *Leaf) {
+  return ::testing::TempDir() + Leaf;
+}
+
+} // namespace
+
+TEST(PdfStore, FingerprintAgreesModuleVsImage) {
+  for (const Workload &W : specWorkloads()) {
+    auto M = buildWorkload(W);
+    SimEngine Engine(*M, rs6000());
+    EXPECT_EQ(cfgFingerprint(*M), cfgFingerprint(Engine.image()))
+        << W.Name;
+  }
+}
+
+// Run preparation (optimize at OptLevel::None = prolog insertion) must
+// not move the fingerprint: the PDF driver profiles a prepared clone and
+// attaches the result to the raw source module.
+TEST(PdfStore, FingerprintInvariantUnderRunPreparation) {
+  for (const Workload &W : specWorkloads()) {
+    auto Raw = buildWorkload(W);
+    auto Prepared = buildWorkload(W);
+    optimize(*Prepared, OptLevel::None);
+    EXPECT_EQ(cfgFingerprint(*Raw), cfgFingerprint(*Prepared)) << W.Name;
+  }
+}
+
+TEST(PdfStore, FingerprintDistinguishesModules) {
+  auto A = buildNamed("eqntott");
+  auto B = buildNamed("compress");
+  EXPECT_NE(cfgFingerprint(*A), cfgFingerprint(*B));
+}
+
+TEST(PdfStore, DenseCountsMatchSimulatorGroundTruth) {
+  auto M = buildNamed("eqntott");
+  SimEngine Engine(*M, rs6000());
+  DenseProfile P = profileAt(Engine, 2);
+  ProfileData D = P.toProfileData();
+
+  RunResult R = simulate(*M, rs6000(), workloadInput(2));
+  EXPECT_EQ(D.BlockCount, R.BlockCounts);
+  EXPECT_EQ(D.EdgeCount, R.EdgeCounts);
+}
+
+TEST(PdfStore, SerializeRoundTripsByteExactly) {
+  auto M = buildNamed("eqntott");
+  SimEngine Engine(*M, rs6000());
+  DenseProfile P = profileAt(Engine, 2);
+
+  std::vector<uint8_t> Bytes = P.serialize();
+  DenseProfile Q;
+  ASSERT_EQ(DenseProfile::deserialize(Bytes.data(), Bytes.size(), Q), "");
+  EXPECT_EQ(P.CfgHash, Q.CfgHash);
+  EXPECT_EQ(P.BlockKeys, Q.BlockKeys);
+  EXPECT_EQ(P.EdgeKeys, Q.EdgeKeys);
+  EXPECT_EQ(P.BlockCounts, Q.BlockCounts);
+  EXPECT_EQ(P.EdgeCounts, Q.EdgeCounts);
+  EXPECT_EQ(Bytes, Q.serialize());
+}
+
+TEST(PdfStore, FileRoundTrip) {
+  auto M = buildNamed("li");
+  SimEngine Engine(*M, rs6000());
+  DenseProfile P = profileAt(Engine, 2);
+
+  std::string Path = tempPath("vsc_pdf_store_roundtrip.vscp");
+  ASSERT_EQ(P.saveFile(Path), "");
+  DenseProfile Q;
+  ASSERT_EQ(DenseProfile::loadFile(Path, Q), "");
+  EXPECT_EQ(P.serialize(), Q.serialize());
+  std::remove(Path.c_str());
+
+  DenseProfile Missing;
+  EXPECT_NE(DenseProfile::loadFile(Path, Missing), "");
+}
+
+TEST(PdfStore, MergeIsCommutativeAndAssociative) {
+  auto M = buildNamed("eqntott");
+  SimEngine Engine(*M, rs6000());
+  DenseProfile A = profileAt(Engine, 1);
+  DenseProfile B = profileAt(Engine, 2);
+  DenseProfile C = profileAt(Engine, 3);
+
+  DenseProfile AB = A;
+  ASSERT_EQ(AB.merge(B), "");
+  DenseProfile BA = B;
+  ASSERT_EQ(BA.merge(A), "");
+  EXPECT_EQ(AB.serialize(), BA.serialize());
+
+  DenseProfile AB_C = AB;
+  ASSERT_EQ(AB_C.merge(C), "");
+  DenseProfile BC = B;
+  ASSERT_EQ(BC.merge(C), "");
+  DenseProfile A_BC = A;
+  ASSERT_EQ(A_BC.merge(BC), "");
+  EXPECT_EQ(AB_C.serialize(), A_BC.serialize());
+}
+
+TEST(PdfStore, MergeRejectsMismatchedCfg) {
+  auto A = buildNamed("eqntott");
+  auto B = buildNamed("compress");
+  SimEngine EA(*A, rs6000()), EB(*B, rs6000());
+  DenseProfile PA = profileAt(EA, 1);
+  DenseProfile PB = profileAt(EB, 1);
+  DenseProfile Before = PA;
+  EXPECT_NE(PA.merge(PB), "");
+  // A failed merge must leave the counts untouched.
+  EXPECT_EQ(PA.serialize(), Before.serialize());
+}
+
+TEST(PdfStore, ScaleReweightsCounts) {
+  auto M = buildNamed("eqntott");
+  SimEngine Engine(*M, rs6000());
+  DenseProfile P = profileAt(Engine, 2);
+
+  DenseProfile Doubled = P;
+  Doubled.scale(2.0);
+  DenseProfile Summed = P;
+  ASSERT_EQ(Summed.merge(P), "");
+  EXPECT_EQ(Doubled.serialize(), Summed.serialize());
+
+  DenseProfile Zeroed = P;
+  Zeroed.scale(0.0);
+  for (uint64_t C : Zeroed.BlockCounts)
+    EXPECT_EQ(C, 0u);
+}
+
+TEST(PdfStore, StaleProfileRejected) {
+  auto A = buildNamed("eqntott");
+  auto B = buildNamed("compress");
+  SimEngine Engine(*A, rs6000());
+  DenseProfile P = profileAt(Engine, 1);
+  EXPECT_EQ(P.validateFor(*A), "");
+  std::string Stale = P.validateFor(*B);
+  EXPECT_NE(Stale, "");
+  EXPECT_NE(Stale.find("stale"), std::string::npos) << Stale;
+}
+
+TEST(PdfStore, CorruptImagesAreDiagnosed) {
+  auto M = buildNamed("eqntott");
+  SimEngine Engine(*M, rs6000());
+  DenseProfile P = profileAt(Engine, 1);
+  std::vector<uint8_t> Bytes = P.serialize();
+  DenseProfile Out;
+
+  // Bad magic.
+  std::vector<uint8_t> BadMagic = Bytes;
+  BadMagic[0] ^= 0xff;
+  EXPECT_NE(DenseProfile::deserialize(BadMagic.data(), BadMagic.size(), Out),
+            "");
+
+  // A flipped byte anywhere in the payload breaks the checksum.
+  std::vector<uint8_t> Flipped = Bytes;
+  Flipped[Bytes.size() / 2] ^= 0x40;
+  EXPECT_NE(DenseProfile::deserialize(Flipped.data(), Flipped.size(), Out),
+            "");
+
+  // Truncation at every prefix length is an error, never a crash.
+  for (size_t Len = 0; Len < Bytes.size(); Len += 7)
+    EXPECT_NE(DenseProfile::deserialize(Bytes.data(), Len, Out), "")
+        << "prefix " << Len;
+
+  // Trailing garbage.
+  std::vector<uint8_t> Long = Bytes;
+  Long.push_back(0);
+  EXPECT_NE(DenseProfile::deserialize(Long.data(), Long.size(), Out), "");
+
+  // Unsupported future version.
+  std::vector<uint8_t> Future = Bytes;
+  Future[4] = 0x7f;
+  EXPECT_NE(DenseProfile::deserialize(Future.data(), Future.size(), Out),
+            "");
+}
+
+TEST(PdfStore, FuzzRoundTripOverRandomPrograms) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    CompileResult C = compileMiniC(generateRandomMiniC(Seed));
+    ASSERT_TRUE(C.ok()) << C.Error;
+    SimEngine Engine(*C.M, rs6000());
+    EXPECT_EQ(cfgFingerprint(*C.M), cfgFingerprint(Engine.image()))
+        << "seed " << Seed;
+
+    std::string Err;
+    DenseProfile P = collectDenseProfile(Engine, {RunOptions()}, 1, &Err);
+    EXPECT_EQ(Err, "") << "seed " << Seed;
+    std::vector<uint8_t> Bytes = P.serialize();
+    DenseProfile Q;
+    ASSERT_EQ(DenseProfile::deserialize(Bytes.data(), Bytes.size(), Q), "")
+        << "seed " << Seed;
+    EXPECT_EQ(Bytes, Q.serialize()) << "seed " << Seed;
+
+    // Dense counts agree with the simulator's string-keyed ground truth.
+    ProfileData D = P.toProfileData();
+    RunResult R = simulate(*C.M, rs6000());
+    EXPECT_EQ(D.BlockCount, R.BlockCounts) << "seed " << Seed;
+    EXPECT_EQ(D.EdgeCount, R.EdgeCounts) << "seed " << Seed;
+  }
+}
