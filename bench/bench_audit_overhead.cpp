@@ -10,11 +10,65 @@
 
 #include "BenchUtil.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace vsc;
 
 namespace {
+
+/// One audited compile of every workload at Full level, merging the
+/// per-stage alias-query deltas PassAudit charged at its checkpoints.
+/// Shows which passes actually consume the disambiguator and how often
+/// each gets a NoAlias answer.
+void printAliasQueryTable() {
+  std::vector<std::pair<std::string, AliasQueryCounters>> Stages;
+  for (const Workload &W : specWorkloads()) {
+    auto M = buildWorkload(W);
+    PipelineOptions Opts;
+    Opts.Audit = AuditLevel::Full;
+    PipelineStats Stats;
+    Opts.Stats = &Stats;
+    optimize(*M, OptLevel::Vliw, Opts);
+    for (const auto &E : Stats.AliasQueriesByStage) {
+      auto It = std::find_if(Stages.begin(), Stages.end(),
+                             [&](const auto &S) { return S.first == E.first; });
+      if (It == Stages.end()) {
+        Stages.push_back(E);
+      } else {
+        It->second.Queries += E.second.Queries;
+        It->second.NoAlias += E.second.NoAlias;
+        It->second.MustAlias += E.second.MustAlias;
+        It->second.MayAlias += E.second.MayAlias;
+      }
+    }
+  }
+  std::printf("Alias queries by pipeline stage (all six kernels, "
+              "Full audit)\n");
+  std::printf("%-16s %10s %10s %8s %8s %8s\n", "Stage", "queries",
+              "noalias", "must", "may", "no%");
+  uint64_t TotQ = 0, TotNo = 0;
+  for (const auto &S : Stages) {
+    const AliasQueryCounters &C = S.second;
+    TotQ += C.Queries;
+    TotNo += C.NoAlias;
+    std::printf("%-16s %10llu %10llu %8llu %8llu %7.1f%%\n",
+                S.first.c_str(),
+                static_cast<unsigned long long>(C.Queries),
+                static_cast<unsigned long long>(C.NoAlias),
+                static_cast<unsigned long long>(C.MustAlias),
+                static_cast<unsigned long long>(C.MayAlias),
+                C.Queries ? 100.0 * static_cast<double>(C.NoAlias) /
+                                static_cast<double>(C.Queries)
+                          : 0.0);
+  }
+  std::printf("%-16s %10llu %10llu %8s %8s %7.1f%%\n\n", "total",
+              static_cast<unsigned long long>(TotQ),
+              static_cast<unsigned long long>(TotNo), "", "",
+              TotQ ? 100.0 * static_cast<double>(TotNo) /
+                         static_cast<double>(TotQ)
+                   : 0.0);
+}
 
 double compileSeconds(const Workload &W, AuditLevel Audit, int Reps = 5) {
   using Clock = std::chrono::steady_clock;
@@ -67,5 +121,6 @@ int main(int Argc, char **Argv) {
   std::printf("%-10s %10s %14s %12s %9.0f%% %9.0f%%\n\n", "geomean", "", "",
               "", (geomean(BndRatios) - 1.0) * 100.0,
               (geomean(FullRatios) - 1.0) * 100.0);
+  printAliasQueryTable();
   return runRegisteredBenchmarks(Argc, Argv);
 }

@@ -3,9 +3,10 @@
 # oracle-overhead, compile-time, simulator and PDF benchmarks, leaving
 # google-benchmark JSON at the repo root as BENCH_oracle.json plus the
 # parallel-driver thread sweep as BENCH_compile_parallel.json, the
-# legacy-vs-predecoded simulator comparison as BENCH_sim.json and the
-# legacy-vs-ProfileStore PDF experiment comparison as BENCH_pdf.json
-# (human-readable tables go to stdout).
+# legacy-vs-predecoded simulator comparison as BENCH_sim.json, the
+# legacy-vs-ProfileStore PDF experiment comparison as BENCH_pdf.json and
+# the syntactic-vs-flow-sensitive disambiguation-rate and cycle table as
+# BENCH_alias.json (human-readable tables go to stdout).
 #
 #   scripts/bench.sh [JOBS]
 set -euo pipefail
@@ -16,7 +17,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS" \
   --target bench_oracle_overhead --target bench_compile_time \
-  --target bench_sim --target bench_pdf_gain
+  --target bench_sim --target bench_pdf_gain --target bench_alias
 
 "$ROOT/build/bench/bench_oracle_overhead" \
   --benchmark_out="$ROOT/BENCH_oracle.json" \
@@ -35,7 +36,14 @@ VSC_THREADS=4 "$ROOT/build/bench/bench_pdf_gain" \
   --pdf-out="$ROOT/BENCH_pdf.json" \
   --benchmark_filter='^$'
 
+# Disambiguation-rate table: syntactic vs flow-sensitive tier, annotated
+# vs symbol-stripped front ends, plus the end-to-end cycle delta.
+"$ROOT/build/bench/bench_alias" \
+  --alias-out="$ROOT/BENCH_alias.json" \
+  --benchmark_filter='^$'
+
 echo "wrote $ROOT/BENCH_oracle.json"
 echo "wrote $ROOT/BENCH_compile_parallel.json"
 echo "wrote $ROOT/BENCH_sim.json"
 echo "wrote $ROOT/BENCH_pdf.json"
+echo "wrote $ROOT/BENCH_alias.json"

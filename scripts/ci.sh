@@ -4,13 +4,15 @@
 # (the parallel per-function driver must be byte-identical and
 # divergence-free at every thread count — the sanitize x threads=4 cell
 # doubles as the data-race check). Each configuration then re-runs the
-# fuzz suite — which carries the semantic audits and the differential
-# execution oracle at Boundaries level — on a shifted VSC_FUZZ_SEED, so
-# every CI run also validates the pipeline on 40 programs no previous run
-# has seen, with the analysis-cache recompute-and-compare checker forced
-# on (VSC_CHECK_ANALYSES=1). Finally each configuration runs the simulator
-# fast-path differential suite explicitly (predecoded engine vs legacy
-# interpreter, bit-for-bit).
+# fuzz suite — which carries the semantic audits, the differential
+# execution oracle at Boundaries level, and the alias audit (every NoAlias
+# claim the pipeline issues is validated against the addresses the
+# simulator actually touches) — on a shifted VSC_FUZZ_SEED, so every CI
+# run also validates the pipeline on 40 programs no previous run has
+# seen, with the analysis-cache recompute-and-compare checker forced on
+# (VSC_CHECK_ANALYSES=1). Finally each configuration runs the simulator
+# fast-path differential suite and the alias-analysis/audit suites
+# explicitly.
 #
 #   scripts/ci.sh [JOBS]
 #
@@ -34,9 +36,15 @@ run_config() {
     VSC_THREADS="$threads" \
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
   done
-  echo "=== [$name] oracle-enabled fuzz + analysis checking, seed base $FUZZ_SEED ==="
+  echo "=== [$name] oracle+alias-audit fuzz + analysis checking, seed base $FUZZ_SEED ==="
   VSC_FUZZ_SEED="$FUZZ_SEED" VSC_CHECK_ANALYSES=1 \
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -R Fuzz
+  # The flow-sensitive alias tier and its dynamic audit are the soundness
+  # backbone of every disambiguation consumer; run their suites explicitly
+  # so a filtered invocation above can never silently skip them.
+  echo "=== [$name] alias analysis + audit suites ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+    -R 'MemAlias|ValueTrack|AliasClaimLog|AliasAudit'
   # The predecoded simulator must stay byte-identical to the legacy
   # interpreter; run the differential suite explicitly so a filtered or
   # partial ctest invocation above can never silently skip it.

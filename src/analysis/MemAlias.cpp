@@ -4,6 +4,7 @@
 
 #include "ir/Module.h"
 
+#include <atomic>
 #include <cassert>
 
 using namespace vsc;
@@ -26,7 +27,42 @@ MemRegion MemRegion::of(const Instr &I) {
   return R;
 }
 
-AliasResult vsc::alias(const Instr &A, const Instr &B) {
+namespace {
+
+std::atomic<uint64_t> NumQueries{0};
+std::atomic<uint64_t> NumNoAlias{0};
+std::atomic<uint64_t> NumMustAlias{0};
+std::atomic<uint64_t> NumMayAlias{0};
+
+} // namespace
+
+AliasQueryCounters vsc::aliasQueryCounters() {
+  AliasQueryCounters C;
+  C.Queries = NumQueries.load(std::memory_order_relaxed);
+  C.NoAlias = NumNoAlias.load(std::memory_order_relaxed);
+  C.MustAlias = NumMustAlias.load(std::memory_order_relaxed);
+  C.MayAlias = NumMayAlias.load(std::memory_order_relaxed);
+  return C;
+}
+
+void vsc::countAliasQuery(AliasResult R) {
+  NumQueries.fetch_add(1, std::memory_order_relaxed);
+  switch (R) {
+  case AliasResult::NoAlias:
+    NumNoAlias.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case AliasResult::MustAlias:
+    NumMustAlias.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case AliasResult::MayAlias:
+    NumMayAlias.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+}
+
+AliasResult vsc::aliasClassified(const Instr &A, const Instr &B,
+                                 AliasScope Scope, AliasClaimKind &Kind) {
+  Kind = AliasClaimKind::Absolute;
   if (A.IsVolatile || B.IsVolatile)
     return AliasResult::MayAlias;
   MemRegion RA = MemRegion::of(A);
@@ -41,36 +77,68 @@ AliasResult vsc::alias(const Instr &A, const Instr &B) {
 
   using K = MemRegion::Kind;
   if (RA.K == K::Global && RB.K == K::Global) {
-    if (RA.Sym != RB.Sym)
+    if (RA.Sym != RB.Sym) {
+      // The "!sym" annotation is a frontend guarantee that the access
+      // stays within the named global's extent, so two differently-named
+      // regions are disjoint program-wide.
+      Kind = AliasClaimKind::Absolute;
       return AliasResult::NoAlias;
-    if (rangesDisjoint())
-      return AliasResult::NoAlias;
-    if (rangesIdentical())
-      return AliasResult::MustAlias;
+    }
+    // Same region. The annotated displacement is only the *known part* of
+    // the address: a computed-index access "0(rAddr) !g" carries Disp 0
+    // while the real offset lives in rAddr. Displacement reasoning is
+    // therefore only valid when both accesses go through the same base
+    // register holding the same value — the SameExecution window.
+    if (A.memBase() == B.memBase() && Scope == AliasScope::SameExecution) {
+      if (rangesDisjoint()) {
+        Kind = AliasClaimKind::PerBlockExecution;
+        return AliasResult::NoAlias;
+      }
+      if (rangesIdentical())
+        return AliasResult::MustAlias;
+    }
     return AliasResult::MayAlias;
   }
   if (RA.K == K::Stack && RB.K == K::Stack) {
-    // Same frame, same base register: displacement ranges decide. (LU never
-    // uses r1 as base in generated code; the verifier-level invariant that
-    // r1 is only adjusted in prologue/epilogue keeps this sound.)
-    if (rangesDisjoint())
+    // Same frame, same base register: displacement ranges decide in every
+    // scope. (LU never uses r1 as base in generated code; the
+    // verifier-level invariant that r1 is only adjusted in
+    // prologue/epilogue keeps r1 constant across one invocation.)
+    if (rangesDisjoint()) {
+      Kind = AliasClaimKind::PerInvocation;
       return AliasResult::NoAlias;
+    }
     if (rangesIdentical())
       return AliasResult::MustAlias;
     return AliasResult::MayAlias;
   }
   // Stack never aliases a named global (no escaping frame addresses).
   if ((RA.K == K::Stack && RB.K == K::Global) ||
-      (RA.K == K::Global && RB.K == K::Stack))
+      (RA.K == K::Global && RB.K == K::Stack)) {
+    Kind = AliasClaimKind::Absolute;
     return AliasResult::NoAlias;
-  // An unknown access may touch anything, except: same base register and
-  // disjoint displacement ranges with no intervening base redefinition —
-  // the *caller* must guarantee the base is unchanged between the two
-  // accesses (the dependence builder checks defs between positions).
+  }
+  // Unknown base values: displacement reasoning needs both accesses to
+  // observe the same value in the same base register, which only the
+  // SameExecution scope guarantees. This used to be an unchecked
+  // caller-side invariant; now the scope parameter carries it.
   if (RA.K == K::Unknown && RB.K == K::Unknown &&
-      A.memBase() == B.memBase() && rangesDisjoint())
-    return AliasResult::NoAlias;
+      A.memBase() == B.memBase() && Scope == AliasScope::SameExecution) {
+    if (rangesDisjoint()) {
+      Kind = AliasClaimKind::PerBlockExecution;
+      return AliasResult::NoAlias;
+    }
+    if (rangesIdentical())
+      return AliasResult::MustAlias;
+  }
   return AliasResult::MayAlias;
+}
+
+AliasResult vsc::alias(const Instr &A, const Instr &B, AliasScope Scope) {
+  AliasClaimKind Kind;
+  AliasResult R = aliasClassified(A, B, Scope, Kind);
+  countAliasQuery(R);
+  return R;
 }
 
 bool vsc::isSafeSpeculativeLoad(const Instr &Load, const Module *M) {

@@ -8,10 +8,16 @@
 /// stack frame (base register r1), or unknown — and compared by region and
 /// displacement range.
 ///
-/// Stack discipline: this project's front end never takes the address of a
-/// stack slot, so r1-relative accesses with distinct displacements never
-/// alias each other and never alias globals. DESIGN.md records this
-/// assumption.
+/// This header is the *syntactic tier*: it looks at one instruction at a
+/// time. The flow-sensitive tier (analysis/ValueTrack.h) tracks abstract
+/// base values through registers and falls back to this one; both answer
+/// through the same AliasResult / AliasScope vocabulary.
+///
+/// Stack discipline: this project's front end never materialises a frame
+/// address that escapes the function (no "&local" passed or stored), so
+/// r1-relative accesses with distinct displacements never alias each other
+/// and never alias globals. DESIGN.md §"The analysis tier" records this
+/// assumption and the dynamic audit that cross-checks it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,11 +26,52 @@
 
 #include "ir/Instr.h"
 
+#include <cstdint>
+
 namespace vsc {
 
 class Module;
 
 enum class AliasResult { NoAlias, MustAlias, MayAlias };
+
+/// What the *caller* guarantees about the two accesses being compared.
+/// Every alias query states its scope explicitly; there is no default.
+///
+/// Disambiguating two accesses whose shared base register holds an
+/// unknown value ("8(r41) vs 0(r41)") is only meaningful if both accesses
+/// observe the same dynamic value in that base. That used to be an
+/// unchecked comment-level contract ("the caller must check for
+/// intervening base redefinitions"); it is now part of the query:
+enum class AliasScope {
+  /// Both accesses execute within one execution of the same basic block,
+  /// and the caller guarantees no instruction between them redefines a
+  /// base register they share. This is the dependence-builder window: the
+  /// DAG builder orders an access after any redefinition of its base, so
+  /// comparing two accesses on either side of such a def never reaches
+  /// the alias query with this scope.
+  SameExecution,
+  /// No locality guarantee: the accesses may execute in different
+  /// iterations of a loop or in different blocks, with base registers
+  /// redefined in between. Same-register displacement reasoning is
+  /// unsound here; only region-level facts (distinct globals,
+  /// stack-vs-global, r1-relative slots) survive.
+  CrossExecution,
+};
+
+/// How broadly a NoAlias verdict is claimed to hold — the window the
+/// dynamic AliasAudit (audit/AliasAudit.h) validates it over.
+enum class AliasClaimKind {
+  /// The two access footprints are disjoint across the whole program run
+  /// (distinct globals, provably disjoint offsets into one global,
+  /// stack vs. global).
+  Absolute,
+  /// Disjoint within any single invocation of the containing function
+  /// (r1-relative slots; values defined at most once per invocation).
+  PerInvocation,
+  /// Disjoint within any single execution of the containing basic block
+  /// (SameExecution verdicts about unknown-but-equal base values).
+  PerBlockExecution,
+};
 
 /// The symbolic storage region an access touches.
 struct MemRegion {
@@ -36,10 +83,18 @@ struct MemRegion {
   static MemRegion of(const Instr &I);
 };
 
-/// Relates two memory accesses. Conservative: returns MayAlias unless both
-/// regions are known and provably disjoint (NoAlias) or provably identical
-/// (MustAlias). Volatile accesses never disambiguate.
-AliasResult alias(const Instr &A, const Instr &B);
+/// Relates two memory accesses under the caller-stated \p Scope.
+/// Conservative: returns MayAlias unless both regions are known and
+/// provably disjoint (NoAlias) or provably identical (MustAlias).
+/// Volatile accesses never disambiguate.
+AliasResult alias(const Instr &A, const Instr &B, AliasScope Scope);
+
+/// The classification core behind alias(): additionally reports through
+/// \p Kind how broadly a NoAlias verdict holds. Does not touch the query
+/// counters (the flow-sensitive tier calls this as its fallback and does
+/// its own accounting).
+AliasResult aliasClassified(const Instr &A, const Instr &B, AliasScope Scope,
+                            AliasClaimKind &Kind);
 
 /// \returns true if \p Load may be executed speculatively (when it would
 /// not have executed in the original program) without trapping: stack
@@ -47,6 +102,27 @@ AliasResult alias(const Instr &A, const Instr &B);
 /// page-zero / known-valid-pointer reasoning), and accesses to a named
 /// global of \p M whose extent covers the displacement range.
 bool isSafeSpeculativeLoad(const Instr &Load, const Module *M);
+
+//===----------------------------------------------------------------------===//
+// Query accounting
+//===----------------------------------------------------------------------===//
+
+/// Process-wide disambiguation-query tallies, incremented by both tiers.
+/// PassAudit snapshots them at stage boundaries to attribute queries to
+/// passes; bench_alias reads them for resolution rates.
+struct AliasQueryCounters {
+  uint64_t Queries = 0;
+  uint64_t NoAlias = 0;
+  uint64_t MustAlias = 0;
+  uint64_t MayAlias = 0;
+};
+
+/// Snapshot of the process-wide counters (thread-safe).
+AliasQueryCounters aliasQueryCounters();
+
+/// Adds one query with result \p R to the process-wide counters. Exposed
+/// for the flow-sensitive tier; ordinary callers just call alias().
+void countAliasQuery(AliasResult R);
 
 } // namespace vsc
 

@@ -1,0 +1,203 @@
+//===- analysis/ValueTrack.h - Flow-sensitive alias analysis --*- C++ -*-===//
+///
+/// \file
+/// The flow-sensitive memory-disambiguation tier: a per-function forward
+/// dataflow over an abstract register lattice that tracks where pointer
+/// values come from, so accesses through copied, incremented or
+/// TOC-reloaded base registers still disambiguate.
+///
+/// Abstract values form the lattice
+///
+///     Bottom  <  Global(sym)+off  |  Stack+off  |  Value(vn)+off  <  Top
+///
+/// where the offset component is either a known byte offset or unknown
+/// (the per-base "+⊤" element):
+///
+///  * Global(sym)+off — the value is &sym + off. Anchored by LTOC
+///    ("rt = &sym"); add-immediates and copies keep the offset exact, a
+///    register-register add (computed index) keeps the region but loses
+///    the offset. Region-level facts assume the frontend's in-bounds
+///    discipline (indexed accesses are range-masked), the same contract
+///    the "!sym" annotation already carries — and the one the dynamic
+///    AliasAudit (audit/AliasAudit.h) validates at runtime.
+///  * Stack+off — the value is entry-r1 + off. r1 itself is Stack+0 at
+///    entry; prologue/epilogue adjustments are tracked like any other
+///    add-immediate. A computed stack-array index degrades to Stack+⊤,
+///    which still never aliases a global.
+///  * Value(vn)+off — an unknown base value, numbered by its defining
+///    site (instruction id × defined register, or function entry ×
+///    register for live-in values). Two accesses sharing a vn observe the
+///    SAME dynamic base value within one execution window, so their known
+///    offsets disambiguate; whether that window extends beyond one block
+///    execution depends on whether the defining site can re-execute
+///    (Value::Once — the defining block is outside every loop).
+///  * Top — unrelatable (e.g. the sum of two pointers, or a join of
+///    different regions).
+///
+/// The analysis runs one round-robin fixpoint over the CFG in reverse
+/// postorder, then replays each block once to record the resolved
+/// location of every memory access, keyed by instruction id. Queries are
+/// therefore position-independent: any instruction copy that preserves
+/// the id (block probes, audit snapshots) can be queried.
+///
+/// Every NoAlias verdict is tagged with the AliasClaimKind window it is
+/// claimed over and, when a claim sink is installed (the pipeline's
+/// alias-audit mode), reported for later dynamic validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_ANALYSIS_VALUETRACK_H
+#define VSC_ANALYSIS_VALUETRACK_H
+
+#include "analysis/MemAlias.h"
+#include "cfg/Loops.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vsc {
+
+class Module;
+
+//===----------------------------------------------------------------------===//
+// NoAlias claim reporting
+//===----------------------------------------------------------------------===//
+
+/// One NoAlias verdict the analysis issued: the instruction pair (ids
+/// within \c Fn) and the window the disjointness is claimed over.
+struct AliasClaim {
+  std::string Fn;
+  uint32_t IdA = 0;
+  uint32_t IdB = 0;
+  AliasClaimKind Kind = AliasClaimKind::Absolute;
+};
+
+/// Receiver for NoAlias claims. The pipeline's alias-audit mode installs
+/// one for the duration of an optimize() run; implementations must be
+/// thread-safe (parallel function workers query concurrently).
+class AliasClaimSink {
+public:
+  virtual ~AliasClaimSink() = default;
+  virtual void noAliasClaim(const AliasClaim &C) = 0;
+};
+
+/// Installs \p S as the process-wide claim sink (nullptr to clear).
+/// \returns the previous sink. Claims are only recorded while a sink is
+/// installed; one audited optimize() at a time.
+AliasClaimSink *setAliasClaimSink(AliasClaimSink *S);
+
+//===----------------------------------------------------------------------===//
+// AliasAnalysis
+//===----------------------------------------------------------------------===//
+
+class AliasAnalysis {
+public:
+  /// An abstract pointer value (see the file comment for the lattice).
+  struct AbsVal {
+    enum class Base : uint8_t { Bottom, Global, Stack, Value, Top };
+    Base K = Base::Bottom;
+    uint32_t Sym = 0;  ///< interned symbol index (Base::Global)
+    uint64_t Vn = 0;   ///< value number (Base::Value)
+    bool Once = false; ///< Value: defining site runs <= once per invocation
+    bool HasOff = false;
+    int64_t Off = 0;
+
+    bool sameBase(const AbsVal &O) const {
+      if (K != O.K)
+        return false;
+      if (K == Base::Global)
+        return Sym == O.Sym;
+      if (K == Base::Value)
+        return Vn == O.Vn;
+      return true;
+    }
+    bool operator==(const AbsVal &O) const {
+      return sameBase(O) && HasOff == O.HasOff && (!HasOff || Off == O.Off);
+    }
+    bool operator!=(const AbsVal &O) const { return !(*this == O); }
+  };
+
+  /// Builds the analysis from caller-provided CFG views. \p G and \p LI
+  /// are used during construction only; no reference is retained (safe to
+  /// cache this analysis independently of them).
+  AliasAnalysis(const Function &F, const Cfg &G, const LoopInfo &LI);
+
+  /// Convenience: builds its own Cfg/Dominators/LoopInfo (checkers and
+  /// benches outside the pass-manager cache).
+  explicit AliasAnalysis(const Function &F);
+
+  const std::string &functionName() const { return FnName; }
+
+  /// Resolved location of the memory access with instruction id \p Id
+  /// (base value plus displacement already folded in), or null for ids
+  /// this analysis never saw (e.g. bookkeeping copies minted after it was
+  /// computed). ST/L/LU all resolve through their pre-update base.
+  const AbsVal *location(uint32_t Id) const {
+    auto It = Accesses.find(Id);
+    return It == Accesses.end() ? nullptr : &It->second;
+  }
+
+  /// Abstract value of \p R at entry to \p BB — the pointsTo query.
+  /// Unreachable blocks report Top.
+  AbsVal pointsTo(Reg R, const BasicBlock *BB) const;
+
+  /// Relates two memory accesses of this function under \p Scope: lattice
+  /// reasoning over the recorded locations first, the syntactic tier
+  /// (MemAlias.h) as fallback. Counts into the process-wide query
+  /// counters; reports NoAlias verdicts to the installed claim sink.
+  AliasResult alias(const Instr &A, const Instr &B, AliasScope Scope) const;
+
+  /// Flow-sensitive speculative-load safety: everything the syntactic
+  /// isSafeSpeculativeLoad() accepts, plus loads whose resolved location
+  /// is a global with a known in-extent offset or an owned frame slot.
+  bool safeSpeculativeLoad(const Instr &Load, const Module *M) const;
+
+  /// Renders \p V ("&g+8", "stack+⊤", "v12+0", "top") for tests and the
+  /// cache checker.
+  std::string str(const AbsVal &V) const;
+
+  /// One line per recorded access, sorted by id — the recompute-and-
+  /// compare currency of FunctionAnalyses::verifyCache().
+  std::string summarize() const;
+
+private:
+  struct State {
+    std::unordered_map<Reg, AbsVal, RegHash> Regs;
+    bool Reached = false;
+  };
+
+  void build(const Function &F, const Cfg &G, const LoopInfo &LI);
+  AbsVal get(const State &S, Reg R) const;
+  AbsVal entryValue(Reg R) const;
+  AbsVal freshValue(const Instr &I, Reg R, bool Once);
+  void transfer(const Instr &I, State &S, bool Once);
+  static AbsVal addImm(AbsVal V, int64_t Imm);
+  static AbsVal join(const AbsVal &A, const AbsVal &B);
+  bool joinInto(State &Dst, const State &Src) const;
+  uint32_t intern(const std::string &Sym);
+
+  /// Lattice verdict for two resolved locations (sizes from the instrs).
+  AliasResult classify(const AbsVal &LA, uint8_t SizeA, const AbsVal &LB,
+                       uint8_t SizeB, AliasScope Scope,
+                       AliasClaimKind &Kind) const;
+
+  std::string FnName;
+  std::vector<std::string> Syms;
+  std::unordered_map<std::string, uint32_t> SymIndex;
+  /// (defining instruction id, register) -> value number. Entry live-ins
+  /// use id 0 (instruction ids start at 1).
+  std::unordered_map<uint64_t, uint64_t> ValueNumbers;
+  std::unordered_map<uint64_t, bool> ValueOnce;
+  uint64_t NextVn = 1;
+  /// Resolved location per memory-access instruction id.
+  std::unordered_map<uint32_t, AbsVal> Accesses;
+  /// Block-entry states for pointsTo; keyed by block label (stable across
+  /// the instruction-level edits that preserve this analysis).
+  std::unordered_map<std::string, State> BlockIn;
+};
+
+} // namespace vsc
+
+#endif // VSC_ANALYSIS_VALUETRACK_H

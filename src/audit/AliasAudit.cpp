@@ -1,0 +1,374 @@
+//===- audit/AliasAudit.cpp - Dynamic NoAlias claim validation --------------===//
+
+#include "audit/AliasAudit.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace vsc;
+
+//===----------------------------------------------------------------------===//
+// AliasClaimLog
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string claimKey(const AliasClaim &C) {
+  uint32_t Lo = std::min(C.IdA, C.IdB), Hi = std::max(C.IdA, C.IdB);
+  return C.Fn + ':' + std::to_string(Lo) + ':' + std::to_string(Hi) + ':' +
+         std::to_string(static_cast<int>(C.Kind));
+}
+
+const char *kindName(AliasClaimKind K) {
+  switch (K) {
+  case AliasClaimKind::Absolute:
+    return "absolute";
+  case AliasClaimKind::PerInvocation:
+    return "per-invocation";
+  default:
+    return "per-block-execution";
+  }
+}
+
+} // namespace
+
+void AliasClaimLog::noAliasClaim(const AliasClaim &C) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Seen.insert(claimKey(C)).second)
+    Claims.push_back(C);
+}
+
+size_t AliasClaimLog::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Claims.size();
+}
+
+void AliasClaimLog::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Claims.clear();
+  Seen.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// runAliasAudit
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A claim resolved to the final module's instructions.
+struct ClaimInfo {
+  AliasClaim C;
+  const BasicBlock *BlockA = nullptr;
+  const BasicBlock *BlockB = nullptr;
+  bool Violated = false;
+};
+
+/// Two interval sets (one per claim side), keyed by start address; the
+/// mapped value is the largest access size seen at that start.
+struct IntervalPair {
+  std::map<uint64_t, unsigned> A, B;
+};
+
+/// \returns true if [Addr, Addr+Size) overlaps any interval in \p S.
+/// Access sizes are at most 8 bytes, so only starts in (Addr-8, Addr+Size)
+/// can overlap.
+bool overlaps(const std::map<uint64_t, unsigned> &S, uint64_t Addr,
+              unsigned Size) {
+  auto It = S.lower_bound(Addr >= 8 ? Addr - 7 : 0);
+  for (; It != S.end() && It->first < Addr + Size; ++It)
+    if (It->first + It->second > Addr)
+      return true;
+  return false;
+}
+
+void insertInterval(std::map<uint64_t, unsigned> &S, uint64_t Addr,
+                    unsigned Size) {
+  unsigned &Slot = S[Addr];
+  Slot = std::max(Slot, Size);
+}
+
+/// SameExecution is claimable for a same-block pair only when no
+/// instruction between the two redefines their shared base register
+/// (different base registers make the guarantee vacuous — only the
+/// syntactic same-base tier relies on it).
+AliasScope pairScope(const std::vector<Instr> &Ins, size_t I, size_t J) {
+  const Instr &A = Ins[I], &B = Ins[J];
+  if (A.memBase() != B.memBase())
+    return AliasScope::SameExecution;
+  std::vector<Reg> Defs;
+  for (size_t K = I + 1; K < J; ++K) {
+    Defs.clear();
+    Ins[K].collectDefs(Defs);
+    for (Reg D : Defs)
+      if (D == A.memBase())
+        return AliasScope::CrossExecution;
+  }
+  return AliasScope::SameExecution;
+}
+
+class ClaimValidator : public MemAccessWatcher {
+public:
+  ClaimValidator(std::vector<ClaimInfo> &Claims, AuditResult &R,
+                 AliasAuditStats &Stats)
+      : Claims(Claims), Result(R), Stats(Stats) {
+    Abs.resize(Claims.size());
+  }
+
+  /// Maps an instruction to the claims it participates in (Side: false =
+  /// the claim's IdA, true = IdB).
+  void watch(const Instr *I, uint32_t ClaimIdx, bool Side) {
+    ByInstr[I].emplace_back(ClaimIdx, Side);
+  }
+
+  void beginRun() { Frames.clear(); }
+
+  void enterFunction(const Function *F) override {
+    Frames.emplace_back();
+    Frames.back().F = F;
+  }
+
+  void exitFunction() override {
+    if (!Frames.empty())
+      Frames.pop_back();
+  }
+
+  void enterBlock(const BasicBlock *) override {
+    if (!Frames.empty())
+      Frames.back().CurEpoch = ++EpochCounter;
+  }
+
+  void memAccess(const Instr *I, uint64_t Addr, unsigned Size) override {
+    ++Stats.Events;
+    auto It = ByInstr.find(I);
+    if (It == ByInstr.end())
+      return;
+    for (const auto &Ref : It->second) {
+      ClaimInfo &CI = Claims[Ref.first];
+      switch (CI.C.Kind) {
+      case AliasClaimKind::Absolute:
+        checkIntervals(CI, Abs[Ref.first], Ref.second, Addr, Size);
+        break;
+      case AliasClaimKind::PerInvocation: {
+        if (Frames.empty())
+          break;
+        checkIntervals(CI, Frames.back().Inv[Ref.first], Ref.second, Addr,
+                       Size);
+        break;
+      }
+      case AliasClaimKind::PerBlockExecution: {
+        if (Frames.empty())
+          break;
+        Frame &F = Frames.back();
+        auto &P = F.Blk[Ref.first];
+        Stamp &Mine = Ref.second ? P.second : P.first;
+        const Stamp &Theirs = Ref.second ? P.first : P.second;
+        if (Theirs.Size && Theirs.Epoch == F.CurEpoch) {
+          ++Stats.ChecksHit;
+          if (Theirs.Addr < Addr + Size && Addr < Theirs.Addr + Theirs.Size)
+            violate(CI, Addr, Size, Theirs.Addr, Theirs.Size);
+        }
+        Mine.Epoch = F.CurEpoch;
+        Mine.Addr = Addr;
+        Mine.Size = Size;
+        break;
+      }
+      }
+    }
+  }
+
+private:
+  struct Stamp {
+    uint64_t Epoch = 0;
+    uint64_t Addr = 0;
+    unsigned Size = 0;
+  };
+  struct Frame {
+    const Function *F = nullptr;
+    uint64_t CurEpoch = 0;
+    std::unordered_map<uint32_t, IntervalPair> Inv;
+    std::unordered_map<uint32_t, std::pair<Stamp, Stamp>> Blk;
+  };
+
+  void checkIntervals(ClaimInfo &CI, IntervalPair &P, bool Side,
+                      uint64_t Addr, unsigned Size) {
+    auto &Mine = Side ? P.B : P.A;
+    auto &Theirs = Side ? P.A : P.B;
+    if (!Theirs.empty()) {
+      ++Stats.ChecksHit;
+      if (overlaps(Theirs, Addr, Size)) {
+        // Find one witness interval for the message.
+        uint64_t WAddr = 0;
+        unsigned WSize = 0;
+        for (auto It = Theirs.lower_bound(Addr >= 8 ? Addr - 7 : 0);
+             It != Theirs.end() && It->first < Addr + Size; ++It)
+          if (It->first + It->second > Addr) {
+            WAddr = It->first;
+            WSize = It->second;
+            break;
+          }
+        violate(CI, Addr, Size, WAddr, WSize);
+      }
+    }
+    insertInterval(Mine, Addr, Size);
+  }
+
+  void violate(ClaimInfo &CI, uint64_t Addr, unsigned Size, uint64_t OAddr,
+               unsigned OSize) {
+    if (CI.Violated)
+      return;
+    CI.Violated = true;
+    Result.add("alias-audit", CI.C.Fn,
+               "instr id " + std::to_string(CI.C.IdA) + " vs id " +
+                   std::to_string(CI.C.IdB),
+               std::string("NoAlias was claimed over the ") +
+                   kindName(CI.C.Kind) +
+                   " window, but the accesses overlapped at runtime: [" +
+                   std::to_string(Addr) + ", " + std::to_string(Addr + Size) +
+                   ") vs [" + std::to_string(OAddr) + ", " +
+                   std::to_string(OAddr + OSize) +
+                   ") — the disambiguation that justified reordering or "
+                   "eliminating these accesses was unsound");
+  }
+
+  std::vector<ClaimInfo> &Claims;
+  AuditResult &Result;
+  AliasAuditStats &Stats;
+  std::vector<IntervalPair> Abs; ///< Absolute-window state, per claim
+  std::unordered_map<const Instr *, std::vector<std::pair<uint32_t, bool>>>
+      ByInstr;
+  std::vector<Frame> Frames;
+  uint64_t EpochCounter = 0;
+};
+
+} // namespace
+
+std::vector<RunOptions> vsc::defaultAliasAuditBattery() {
+  std::vector<RunOptions> B;
+  RunOptions O;
+  O.MaxInstrs = 20'000'000;
+  O.Input = {5, -3, 17, 0, 9, 1, 42, 7};
+  O.Args = {2};
+  B.push_back(O);
+  O.Args = {6};
+  B.push_back(O);
+  return B;
+}
+
+AuditResult vsc::runAliasAudit(const Module &M, const MachineModel &MM,
+                               const std::vector<RunOptions> &Battery,
+                               const std::vector<AliasClaim> &PipelineClaims,
+                               AliasAuditStats *Stats) {
+  AuditResult R;
+  AliasAuditStats Local;
+
+  // Per-function resolution tables for the final module: memory-access
+  // instruction id -> (instruction, block).
+  struct Resolved {
+    const Instr *I;
+    const BasicBlock *BB;
+  };
+  std::unordered_map<std::string, std::unordered_map<uint32_t, Resolved>>
+      MemById;
+  for (const auto &FPtr : M.functions())
+    for (const auto &BB : FPtr->blocks())
+      for (const Instr &I : BB->instrs())
+        if (I.isMemAccess())
+          MemById[FPtr->name()][I.Id] = Resolved{&I, BB.get()};
+
+  // Phase 1: enumerate claims on the final module's own analysis. The
+  // claim sink records every NoAlias verdict the queries produce.
+  AliasClaimLog Log;
+  AliasClaimSink *Prev = setAliasClaimSink(&Log);
+  for (const auto &FPtr : M.functions()) {
+    const Function &F = *FPtr;
+    if (F.blocks().empty())
+      continue;
+    AliasAnalysis AA(F);
+    struct Acc {
+      const Instr *I;
+      const BasicBlock *BB;
+      size_t Idx;
+    };
+    std::vector<Acc> Accs;
+    for (const auto &BB : F.blocks())
+      for (size_t Idx = 0; Idx != BB->instrs().size(); ++Idx)
+        if (BB->instrs()[Idx].isMemAccess())
+          Accs.push_back(Acc{&BB->instrs()[Idx], BB.get(), Idx});
+    // Cross-block enumeration is quadratic; very large functions keep the
+    // (more valuable) same-block pairs only.
+    bool Full = Accs.size() <= 1024;
+    for (size_t I = 0; I != Accs.size(); ++I)
+      for (size_t J = I + 1; J != Accs.size(); ++J) {
+        bool SameBlock = Accs[I].BB == Accs[J].BB;
+        if (!SameBlock && !Full)
+          continue;
+        if (SameBlock) {
+          AliasScope Sc =
+              pairScope(Accs[I].BB->instrs(), Accs[I].Idx, Accs[J].Idx);
+          AA.alias(*Accs[I].I, *Accs[J].I, Sc);
+          if (Sc == AliasScope::SameExecution)
+            AA.alias(*Accs[I].I, *Accs[J].I, AliasScope::CrossExecution);
+        } else {
+          AA.alias(*Accs[I].I, *Accs[J].I, AliasScope::CrossExecution);
+        }
+      }
+  }
+  setAliasClaimSink(Prev);
+  Local.StaticClaims = Log.size();
+
+  // Phase 2: resolve claims and merge the surviving pipeline claims.
+  std::vector<ClaimInfo> Claims;
+  std::unordered_set<std::string> Keys;
+  auto resolveAndAdd = [&](const AliasClaim &C, bool FromPipeline) {
+    auto FIt = MemById.find(C.Fn);
+    const Resolved *RA = nullptr, *RB = nullptr;
+    if (FIt != MemById.end()) {
+      auto AIt = FIt->second.find(C.IdA);
+      auto BIt = FIt->second.find(C.IdB);
+      if (AIt != FIt->second.end())
+        RA = &AIt->second;
+      if (BIt != FIt->second.end())
+        RB = &BIt->second;
+    }
+    // Vacuous: an id vanished or stopped being a memory access, or a
+    // per-block-execution pair was split across blocks.
+    if (!RA || !RB ||
+        (C.Kind == AliasClaimKind::PerBlockExecution && RA->BB != RB->BB)) {
+      if (FromPipeline)
+        ++Local.DroppedClaims;
+      return;
+    }
+    if (!Keys.insert(claimKey(C)).second)
+      return;
+    if (FromPipeline)
+      ++Local.PipelineClaims;
+    ClaimInfo CI;
+    CI.C = C;
+    CI.BlockA = RA->BB;
+    CI.BlockB = RB->BB;
+    Claims.push_back(std::move(CI));
+  };
+  for (const AliasClaim &C : Log.claims())
+    resolveAndAdd(C, /*FromPipeline=*/false);
+  for (const AliasClaim &C : PipelineClaims)
+    resolveAndAdd(C, /*FromPipeline=*/true);
+
+  // Phase 3: simulate the battery under the validating watcher.
+  ClaimValidator V(Claims, R, Local);
+  for (uint32_t Idx = 0; Idx != Claims.size(); ++Idx) {
+    auto &Tab = MemById[Claims[Idx].C.Fn];
+    V.watch(Tab[Claims[Idx].C.IdA].I, Idx, /*Side=*/false);
+    V.watch(Tab[Claims[Idx].C.IdB].I, Idx, /*Side=*/true);
+  }
+  SimEngine Engine(M, MM);
+  for (const RunOptions &Base : Battery) {
+    RunOptions O = Base;
+    O.Watcher = &V;
+    V.beginRun();
+    Engine.run(O);
+  }
+
+  if (Stats)
+    *Stats = Local;
+  return R;
+}

@@ -176,14 +176,41 @@ void PassAudit::finalize(AuditResult &R, const std::string &Stage,
   }
 }
 
+void PassAudit::chargeAliasQueries(const std::string &Stage) {
+  // Everything queried since the previous checkpoint finished belongs to
+  // the stage that just ran; the re-snapshot at the end of each checkpoint
+  // keeps the audit's own speculation-safety queries out of the ledger.
+  AliasQueryCounters Now = aliasQueryCounters();
+  AliasQueryCounters Delta;
+  Delta.Queries = Now.Queries - AliasSnap.Queries;
+  Delta.NoAlias = Now.NoAlias - AliasSnap.NoAlias;
+  Delta.MustAlias = Now.MustAlias - AliasSnap.MustAlias;
+  Delta.MayAlias = Now.MayAlias - AliasSnap.MayAlias;
+  if (Delta.Queries == 0)
+    return;
+  std::string Name = Stage.substr(0, Stage.find('('));
+  for (auto &E : QueryLog) {
+    if (E.first != Name)
+      continue;
+    E.second.Queries += Delta.Queries;
+    E.second.NoAlias += Delta.NoAlias;
+    E.second.MustAlias += Delta.MustAlias;
+    E.second.MayAlias += Delta.MayAlias;
+    return;
+  }
+  QueryLog.emplace_back(Name, Delta);
+}
+
 AuditResult PassAudit::checkpoint(const Module &M, const std::string &Stage) {
   AuditResult R;
   if (!enabled())
     return R;
+  chargeAliasQueries(Stage);
   std::vector<const Function *> Changed;
   for (const auto &F : M.functions())
     auditOne(*F, M, R, Changed);
   finalize(R, Stage, Changed);
+  AliasSnap = aliasQueryCounters();
   return R;
 }
 
@@ -192,8 +219,10 @@ AuditResult PassAudit::checkpointFunction(const Function &F, const Module &M,
   AuditResult R;
   if (!enabled())
     return R;
+  chargeAliasQueries(Stage);
   std::vector<const Function *> Changed;
   auditOne(F, M, R, Changed);
   finalize(R, Stage, Changed);
+  AliasSnap = aliasQueryCounters();
   return R;
 }

@@ -17,6 +17,7 @@
 #ifndef VSC_AUDIT_PASSAUDIT_H
 #define VSC_AUDIT_PASSAUDIT_H
 
+#include "analysis/MemAlias.h"
 #include "audit/Audit.h"
 #include "ir/Module.h"
 #include "machine/MachineModel.h"
@@ -24,6 +25,8 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace vsc {
 
@@ -47,7 +50,7 @@ AuditResult auditModule(const Module &M, const MachineModel &MM,
 class PassAudit {
 public:
   PassAudit(AuditLevel Level, const MachineModel &MM)
-      : Level(Level), MM(MM) {}
+      : Level(Level), MM(MM), AliasSnap(aliasQueryCounters()) {}
 
   AuditLevel level() const { return Level; }
   bool enabled() const { return Level != AuditLevel::Off; }
@@ -68,16 +71,30 @@ public:
   AuditResult checkpointFunction(const Function &F, const Module &M,
                                  const std::string &Stage);
 
+  /// Disambiguation queries attributed to each pipeline stage: the delta
+  /// of the process-wide counters (analysis/MemAlias.h) between
+  /// checkpoints, charged to the stage that just ran. Per-function stage
+  /// names "pass(fn)" are merged under the bare pass name; the audit's own
+  /// queries (speculation-safety checking) are excluded by re-snapshotting
+  /// after each checkpoint's checkers finish.
+  const std::vector<std::pair<std::string, AliasQueryCounters>> &
+  aliasQueryLog() const {
+    return QueryLog;
+  }
+
 private:
   void auditOne(const Function &F, const Module &M, AuditResult &R,
                 std::vector<const Function *> &Changed);
   void finalize(AuditResult &R, const std::string &Stage,
                 const std::vector<const Function *> &Changed);
+  void chargeAliasQueries(const std::string &Stage);
 
   AuditLevel Level;
   MachineModel MM;
   std::unordered_map<std::string, std::unique_ptr<Function>> Snap;
   std::unordered_map<std::string, std::string> SnapText;
+  AliasQueryCounters AliasSnap;
+  std::vector<std::pair<std::string, AliasQueryCounters>> QueryLog;
 };
 
 } // namespace vsc

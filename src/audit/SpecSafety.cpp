@@ -3,6 +3,7 @@
 #include "audit/Checkers.h"
 
 #include "analysis/MemAlias.h"
+#include "analysis/ValueTrack.h"
 #include "cfg/Cfg.h"
 #include "cfg/Dominators.h"
 
@@ -95,11 +96,16 @@ FnSites collectSites(const Cfg &G, const Dominators &Dom,
 /// an access to provably the same address already executes on every path to
 /// it (the address is known dereferenceable).
 bool coveredByDominatingAccess(const Instr &Load, const Site &S, const Cfg &G,
-                               const Dominators &Dom) {
+                               const Dominators &Dom,
+                               const AliasAnalysis &AA) {
+  // CrossExecution throughout: the covering access usually sits in another
+  // block. MustAlias facts that survive that scope (exact global/stack
+  // offsets, once-defined bases) hold across the whole invocation.
   for (size_t I = 0; I != S.Idx; ++I) {
     const Instr &A = S.BB->instrs()[I];
     if (A.isMemAccess() && !A.IsVolatile &&
-        alias(A, Load) == AliasResult::MustAlias)
+        AA.alias(A, Load, AliasScope::CrossExecution) ==
+            AliasResult::MustAlias)
       return true;
   }
   for (const BasicBlock *BB : G.rpo()) {
@@ -107,7 +113,8 @@ bool coveredByDominatingAccess(const Instr &Load, const Site &S, const Cfg &G,
       continue;
     for (const Instr &A : BB->instrs())
       if (A.isMemAccess() && !A.IsVolatile &&
-          alias(A, Load) == AliasResult::MustAlias)
+          AA.alias(A, Load, AliasScope::CrossExecution) ==
+              AliasResult::MustAlias)
         return true;
   }
   return false;
@@ -126,6 +133,9 @@ void vsc::auditSpeculationSafety(const Function &Before, const Function &After,
   Cfg GA(const_cast<Function &>(After));
   Dominators DomA(GA), PostDomA(GA, /*Post=*/true);
   FnSites A = collectSites(GA, DomA, PostDomA);
+  // The checker judges the AFTER function, so it gets its own facts
+  // instead of whatever cache the pass pipeline carries.
+  AliasAnalysis AAA(After);
 
   for (const auto &Ent : A.Sites) {
     const Site &SA = Ent.second;
@@ -158,8 +168,8 @@ void vsc::auditSpeculationSafety(const Function &Before, const Function &After,
         continue;
       const Instr &I = *SA.I;
       if (I.isLoad() && I.Op != Opcode::LU) {
-        if (isSafeSpeculativeLoad(I, &M) ||
-            coveredByDominatingAccess(I, SA, GA, DomA))
+        if (AAA.safeSpeculativeLoad(I, &M) ||
+            coveredByDominatingAccess(I, SA, GA, DomA, AAA))
           continue;
         R.add("speculation-safety", After.name(),
               SA.BB->label() + ": " + I.str(),

@@ -4,6 +4,7 @@
 
 #include "analysis/Liveness.h"
 #include "analysis/MemAlias.h"
+#include "analysis/ValueTrack.h"
 #include "cfg/CfgEdit.h"
 #include "cfg/Dominators.h"
 #include "cfg/Loops.h"
@@ -131,14 +132,22 @@ bool isLvnCandidate(const Instr &I) {
 
 } // namespace
 
-bool vsc::localValueNumbering(Function &F) {
+bool vsc::localValueNumbering(Function &F, const AliasAnalysis *AA) {
   bool Changed = false;
   std::vector<Reg> Defs;
   for (auto &BBPtr : F.blocks()) {
     BasicBlock *BB = BBPtr.get();
     int NextVn = 0;
-    uint64_t MemEpoch = 0;
+    uint64_t MemEpoch = 0; // syntactic tier: one counter kills all loads
     std::unordered_map<Reg, int, RegHash> RegVn;
+    // Flow-sensitive tier: a load's epoch is the position of the most
+    // recent store/call that may touch its location, so provably-disjoint
+    // stores no longer kill its value number. Positions start at 1 so an
+    // epoch of 0 always means "no killer yet".
+    std::vector<std::pair<uint64_t, Instr>> Stores;
+    uint64_t LastCallPos = 0;
+    std::unordered_map<Reg, uint64_t, RegHash> LastDefPos;
+    uint64_t Pos = 0;
     struct Holder {
       int Vn;
       Reg R;
@@ -154,9 +163,50 @@ bool vsc::localValueNumbering(Function &F) {
       return Vn;
     };
 
+    auto LoadEpoch = [&](const Instr &Ld) -> uint64_t {
+      if (!AA)
+        return MemEpoch;
+      uint64_t Epoch = LastCallPos;
+      for (auto It = Stores.rbegin(); It != Stores.rend(); ++It) {
+        if (It->first <= Epoch)
+          break; // no older store can beat the current killer
+        const Instr &St = It->second;
+        // SameExecution additionally requires the shared base register
+        // untouched between the store and the load.
+        AliasScope Scope = AliasScope::CrossExecution;
+        if (St.memBase() == Ld.memBase()) {
+          auto DIt = LastDefPos.find(Ld.memBase());
+          if (DIt == LastDefPos.end() || DIt->second <= It->first)
+            Scope = AliasScope::SameExecution;
+        }
+        if (AA->alias(Ld, St, Scope) != AliasResult::NoAlias) {
+          Epoch = It->first;
+          break;
+        }
+      }
+      return Epoch;
+    };
+
     for (Instr &I : BB->instrs()) {
+      // Record def positions up front. Recording the current instruction's
+      // own defs before its query is conservative-only: it matters just
+      // for a load whose destination is its own base register, which then
+      // downgrades to CrossExecution.
+      ++Pos;
+      if (AA) {
+        Defs.clear();
+        I.collectDefs(Defs);
+        for (Reg D : Defs)
+          LastDefPos[D] = Pos;
+      }
       if (I.isStore() || I.isCall()) {
         ++MemEpoch;
+        if (AA) {
+          if (I.isStore())
+            Stores.emplace_back(Pos, I);
+          else
+            LastCallPos = Pos;
+        }
         if (I.isCall()) {
           Defs.clear();
           I.collectDefs(Defs);
@@ -186,7 +236,7 @@ bool vsc::localValueNumbering(Function &F) {
       Key.Imm = Info.HasImm ? I.Imm : 0;
       Key.Sym = I.Sym;
       Key.MemSize = I.isMemAccess() ? I.MemSize : 0;
-      Key.MemEpoch = I.isLoad() ? MemEpoch : 0;
+      Key.MemEpoch = I.isLoad() ? LoadEpoch(I) : 0;
 
       auto It = Table.find(Key);
       if (It != Table.end() && RegVn.count(It->second.R) &&
@@ -288,7 +338,7 @@ bool vsc::deadCodeElim(Function &F) {
 //===----------------------------------------------------------------------===//
 
 static bool licmOnLoop(Function &F, Loop &L, const Cfg &G,
-                       const Dominators &Dom) {
+                       const Dominators &Dom, const AliasAnalysis *AA) {
   BasicBlock *PH = ensurePreheader(F, G, L);
   if (!PH)
     return false;
@@ -359,8 +409,12 @@ static bool licmOnLoop(Function &F, Loop &L, const Cfg &G,
       if (IsLoad) {
         if (HasCall)
           Invariant = false;
+        // CrossExecution: the load and the store execute in different
+        // iterations (and after hoisting, the load runs before the loop).
         for (const Instr &St : Clobbers)
-          if (alias(I, St) != AliasResult::NoAlias)
+          if ((AA ? AA->alias(I, St, AliasScope::CrossExecution)
+                  : alias(I, St, AliasScope::CrossExecution)) !=
+              AliasResult::NoAlias)
             Invariant = false;
       }
       if (!Invariant) {
@@ -383,7 +437,7 @@ static bool licmOnLoop(Function &F, Loop &L, const Cfg &G,
   return Changed;
 }
 
-bool vsc::classicalLicm(Function &F, FunctionAnalyses &FA) {
+bool vsc::classicalLicm(Function &F, FunctionAnalyses &FA, bool FlowAlias) {
   bool Any = false;
   bool Changed = true;
   unsigned Guard = 0;
@@ -391,8 +445,12 @@ bool vsc::classicalLicm(Function &F, FunctionAnalyses &FA) {
     Changed = false;
     const Cfg &G = FA.cfg();
     const Dominators &Dom = FA.dominators();
+    // The pointer stays valid through licmOnLoop: preheader creation and
+    // invariant hoisting change neither the base-register contents any
+    // surviving instruction observes nor the queried instructions' blocks.
+    const AliasAnalysis *AA = FlowAlias ? &FA.aliasAnalysis() : nullptr;
     for (Loop *L : FA.loops().innermostLoops()) {
-      if (licmOnLoop(F, *L, G, Dom)) {
+      if (licmOnLoop(F, *L, G, Dom, AA)) {
         // Hoisting moved instructions (and may have made a preheader);
         // drop everything and recompute on the next round.
         FA.invalidateAll();
@@ -414,7 +472,8 @@ bool vsc::classicalLicm(Function &F) {
 // Pipeline
 //===----------------------------------------------------------------------===//
 
-bool vsc::runClassicalPipeline(Function &F, FunctionAnalyses &FA) {
+bool vsc::runClassicalPipeline(Function &F, FunctionAnalyses &FA,
+                               bool FlowAlias) {
   bool Any = false;
   for (unsigned Round = 0; Round < 8; ++Round) {
     bool Changed = false;
@@ -424,12 +483,16 @@ bool vsc::runClassicalPipeline(Function &F, FunctionAnalyses &FA) {
       FA.invalidate(PreservedAnalyses::structure());
       Changed = true;
     }
-    if (localValueNumbering(F)) {
+    // Fetch alias facts only after copy propagation invalidated them: LVN
+    // must query the function it is about to walk. Its own load->LR
+    // rewrites keep the facts valid mid-walk (the copy writes the same
+    // value the load produced).
+    if (localValueNumbering(F, FlowAlias ? &FA.aliasAnalysis() : nullptr)) {
       FA.invalidate(PreservedAnalyses::structure());
       Changed = true;
     }
     Changed |= deadCodeElim(F, FA);
-    Changed |= classicalLicm(F, FA);
+    Changed |= classicalLicm(F, FA, FlowAlias);
     // straighten() bumps the CFG epoch itself when it edits.
     Changed |= straighten(F);
     if (!Changed)

@@ -32,8 +32,11 @@ bool copyPropagate(Function &F);
 
 /// Local value numbering: eliminates recomputation of pure expressions
 /// within a block, replacing repeats with LR from the first computation.
-/// Loads participate until a may-aliasing store or call intervenes.
-bool localValueNumbering(Function &F);
+/// Loads participate until a may-aliasing store or call intervenes; with
+/// \p AA the "may alias" test is per-load (a store provably disjoint from
+/// a load no longer kills its value number) instead of a single epoch
+/// counter shared by all loads.
+bool localValueNumbering(Function &F, const AliasAnalysis *AA = nullptr);
 
 /// Removes instructions whose results are dead and which have no side
 /// effects. Iterates to a fixed point. The \p FA overload reads liveness
@@ -47,13 +50,14 @@ bool deadCodeElim(Function &F, FunctionAnalyses &FA);
 /// This deliberately refuses the conditional loads/stores the paper's
 /// speculative load/store motion handles — that contrast is experiment E7.
 bool classicalLicm(Function &F);
-bool classicalLicm(Function &F, FunctionAnalyses &FA);
+bool classicalLicm(Function &F, FunctionAnalyses &FA, bool FlowAlias = true);
 
 /// The full baseline pipeline; \returns true if anything changed. The
 /// \p FA overload threads the analysis cache through every sub-pass (the
 /// free-function form builds a throwaway cache).
 bool runClassicalPipeline(Function &F);
-bool runClassicalPipeline(Function &F, FunctionAnalyses &FA);
+bool runClassicalPipeline(Function &F, FunctionAnalyses &FA,
+                          bool FlowAlias = true);
 void runClassicalPipeline(Module &M);
 
 } // namespace vsc

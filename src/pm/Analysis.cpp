@@ -77,6 +77,18 @@ const Liveness &FunctionAnalyses::liveness() {
   return *LiveA;
 }
 
+const AliasAnalysis &FunctionAnalyses::aliasAnalysis() {
+  freshen();
+  count(AliasA != nullptr);
+  if (!AliasA) {
+    // Cfg/LoopInfo are construction inputs only; the built analysis holds
+    // no reference to them, so it caches independently.
+    const Cfg &G = cfg();
+    AliasA = std::make_unique<AliasAnalysis>(F, G, loops());
+  }
+  return *AliasA;
+}
+
 void FunctionAnalyses::invalidate(const PreservedAnalyses &PA) {
   freshen();
   if (PA.preservesAll())
@@ -91,9 +103,15 @@ void FunctionAnalyses::invalidate(const PreservedAnalyses &PA) {
   bool DropLoops = DropDom || !PA.preserves(AnalysisKind::Loops);
   bool DropBicon = DropCfg || !PA.preserves(AnalysisKind::Biconnected);
   bool DropLive = DropCfg || !PA.preserves(AnalysisKind::Liveness);
+  // Alias tracks register contents through the loop structure: anything
+  // that moves control flow, loops, or register values moves it too.
+  bool DropAlias =
+      DropCfg || DropLoops || DropLive || !PA.preserves(AnalysisKind::Alias);
 
   // Destruction order: dependents first (Liveness references the
   // universe; LoopInfo holds Cfg edges).
+  if (DropAlias)
+    AliasA.reset();
   if (DropLive) {
     LiveA.reset();
     UnivA.reset();
@@ -111,6 +129,7 @@ void FunctionAnalyses::invalidate(const PreservedAnalyses &PA) {
 }
 
 void FunctionAnalyses::invalidateAll() {
+  AliasA.reset();
   LiveA.reset();
   UnivA.reset();
   LoopsA.reset();
@@ -137,6 +156,8 @@ bool FunctionAnalyses::hasCached(AnalysisKind K) const {
     return BiconA != nullptr;
   case AnalysisKind::Liveness:
     return UnivA != nullptr && LiveA != nullptr;
+  case AnalysisKind::Alias:
+    return AliasA != nullptr;
   }
   return false;
 }
@@ -272,6 +293,12 @@ std::string FunctionAnalyses::verifyCache() {
                "claimed to preserve Liveness";
     }
   }
+  // The alias analysis builds its own views, so it is checkable even when
+  // Cfg itself was never cached.
+  if (AliasA && AliasA->summarize() != AliasAnalysis(F).summarize())
+    return "stale AliasAnalysis for @" + F.name() +
+           ": a pass changed base-register contents or control flow but "
+           "claimed to preserve Alias";
   return "";
 }
 

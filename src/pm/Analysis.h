@@ -50,6 +50,7 @@
 #define VSC_PM_ANALYSIS_H
 
 #include "analysis/Liveness.h"
+#include "analysis/ValueTrack.h"
 #include "cfg/Biconnected.h"
 #include "cfg/Dominators.h"
 #include "cfg/Loops.h"
@@ -73,8 +74,9 @@ enum class AnalysisKind : unsigned {
   Loops,
   Biconnected,
   Liveness,
+  Alias,
 };
-constexpr unsigned NumAnalysisKinds = 6;
+constexpr unsigned NumAnalysisKinds = 7;
 
 /// What a pass kept intact, as a bitmask over AnalysisKind. Passes build
 /// one of these as their return value; the manager applies it (plus the
@@ -90,12 +92,13 @@ public:
   static PreservedAnalyses all() { return PreservedAnalyses(AllMask); }
 
   /// Structure survives, register contents do not: Cfg, Dominators,
-  /// PostDominators, Loops and Biconnected are kept, Liveness is dropped.
+  /// PostDominators, Loops and Biconnected are kept; Liveness and the
+  /// alias analysis (both functions of register contents) are dropped.
   /// Correct for in-place rewrites that leave every branch and block
   /// boundary untouched (copy propagation, local value numbering).
   static PreservedAnalyses structure() {
     PreservedAnalyses PA = all();
-    return PA.abandon(AnalysisKind::Liveness);
+    return PA.abandon(AnalysisKind::Liveness).abandon(AnalysisKind::Alias);
   }
 
   PreservedAnalyses &preserve(AnalysisKind K) {
@@ -141,6 +144,7 @@ public:
   const BiconnectedComponents &biconnected();
   const RegUniverse &universe();
   const Liveness &liveness();
+  const AliasAnalysis &aliasAnalysis();
 
   /// Applies a pass's preservation claim: drops every analysis the claim
   /// abandons, plus everything depending on a dropped analysis.
@@ -175,6 +179,7 @@ private:
   std::unique_ptr<BiconnectedComponents> BiconA;
   std::unique_ptr<RegUniverse> UnivA;
   std::unique_ptr<Liveness> LiveA;
+  std::unique_ptr<AliasAnalysis> AliasA;
 };
 
 /// Per-module registry of FunctionAnalyses. Entry creation is

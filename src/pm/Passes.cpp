@@ -20,7 +20,7 @@ using namespace vsc;
 
 PreservedAnalyses ClassicalPass::run(Function &F, Module &,
                                      FunctionAnalyses &FA) {
-  runClassicalPipeline(F, FA);
+  runClassicalPipeline(F, FA, FlowAlias);
   return PreservedAnalyses::all(); // cache maintained inside
 }
 
@@ -30,20 +30,20 @@ PreservedAnalyses SuperblockPass::run(Function &F, Module &,
   // Tail duplication edits instructions and blocks without threading the
   // cache; reset before the cleanup round repopulates it.
   FA.invalidateAll();
-  runClassicalPipeline(F, FA);
+  runClassicalPipeline(F, FA, FlowAlias);
   return PreservedAnalyses::all();
 }
 
 PreservedAnalyses LoadStoreMotionPass::run(Function &F, Module &M,
                                            FunctionAnalyses &FA) {
-  speculativeLoadStoreMotion(F, M, FA);
-  runClassicalPipeline(F, FA);
+  speculativeLoadStoreMotion(F, M, FA, FlowAlias);
+  runClassicalPipeline(F, FA, FlowAlias);
   return PreservedAnalyses::all();
 }
 
 PreservedAnalyses UnspeculationPass::run(Function &F, Module &,
                                          FunctionAnalyses &FA) {
-  unspeculate(F, FA);
+  unspeculate(F, FA, FlowAlias);
   return PreservedAnalyses::all();
 }
 
@@ -57,7 +57,7 @@ PreservedAnalyses UnrollRenamePass::run(Function &F, Module &,
 
 PreservedAnalyses PipeliningPass::run(Function &F, Module &M,
                                       FunctionAnalyses &FA) {
-  pipelineInnermostLoops(F, MM, M, /*MaxRotations=*/8, FA);
+  pipelineInnermostLoops(F, MM, M, /*MaxRotations=*/8, FA, FlowAlias);
   return PreservedAnalyses::all();
 }
 
@@ -69,7 +69,9 @@ PreservedAnalyses GlobalSchedulePass::run(Function &F, Module &M,
 
 PreservedAnalyses CombiningPass::run(Function &F, Module &,
                                      FunctionAnalyses &FA) {
-  limitedCombine(F, CombineOptions(), FA);
+  CombineOptions CO;
+  CO.FlowAlias = FlowAlias;
+  limitedCombine(F, CO, FA);
   if (copyPropagate(F))
     FA.invalidate(PreservedAnalyses::structure());
   deadCodeElim(F, FA);

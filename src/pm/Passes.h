@@ -33,37 +33,53 @@ class ProfileData;
 struct RunOptions;
 
 /// opt/Classical.h: copy propagation, LVN, DCE, LICM, straightening to a
-/// fixed point.
+/// fixed point. \p FlowAlias selects the flow-sensitive disambiguation
+/// tier for LVN's load epochs and LICM's clobber test (here and in every
+/// wrapper below that takes it).
 class ClassicalPass : public FunctionPass {
 public:
+  explicit ClassicalPass(bool FlowAlias = true) : FlowAlias(FlowAlias) {}
   const char *name() const override { return "classical"; }
   PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+
+private:
+  bool FlowAlias;
 };
 
 /// profile/Superblock.h: trace-driven tail duplication, followed by a
 /// classical cleanup round.
 class SuperblockPass : public FunctionPass {
 public:
-  explicit SuperblockPass(const ProfileData &Profile) : Profile(Profile) {}
+  explicit SuperblockPass(const ProfileData &Profile, bool FlowAlias = true)
+      : Profile(Profile), FlowAlias(FlowAlias) {}
   const char *name() const override { return "superblocks"; }
   PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
 
 private:
   const ProfileData &Profile;
+  bool FlowAlias;
 };
 
 /// vliw/LoadStoreMotion.h plus a classical cleanup round.
 class LoadStoreMotionPass : public FunctionPass {
 public:
+  explicit LoadStoreMotionPass(bool FlowAlias = true) : FlowAlias(FlowAlias) {}
   const char *name() const override { return "loadstore-motion"; }
   PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+
+private:
+  bool FlowAlias;
 };
 
 /// vliw/Unspeculation.h.
 class UnspeculationPass : public FunctionPass {
 public:
+  explicit UnspeculationPass(bool FlowAlias = true) : FlowAlias(FlowAlias) {}
   const char *name() const override { return "unspeculation"; }
   PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+
+private:
+  bool FlowAlias;
 };
 
 /// vliw/Unroll.h + cfg straightening + vliw/Rename.h, as one stage (the
@@ -81,12 +97,14 @@ private:
 /// Enhanced pipeline scheduling (vliw/Schedule.h).
 class PipeliningPass : public FunctionPass {
 public:
-  explicit PipeliningPass(const MachineModel &MM) : MM(MM) {}
+  explicit PipeliningPass(const MachineModel &MM, bool FlowAlias = true)
+      : MM(MM), FlowAlias(FlowAlias) {}
   const char *name() const override { return "pipelining"; }
   PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
 
 private:
   const MachineModel &MM;
+  bool FlowAlias;
 };
 
 /// Global scheduling (vliw/Schedule.h).
@@ -106,8 +124,12 @@ private:
 /// combining stage of the old pipeline).
 class CombiningPass : public FunctionPass {
 public:
+  explicit CombiningPass(bool FlowAlias = true) : FlowAlias(FlowAlias) {}
   const char *name() const override { return "combining"; }
   PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
+
+private:
+  bool FlowAlias;
 };
 
 /// cfg/CfgEdit.h straightening as a standalone stage.

@@ -56,7 +56,7 @@ public:
               DenseCounters *DenseOut = nullptr)
       : Img(Img), Model(Img.Model), Opts(Opts), Mem(A.Mem),
         BlockHits(A.BlockHits), EdgeHits(A.EdgeHits),
-        CallStack(A.CallStack), DenseOut(DenseOut) {}
+        CallStack(A.CallStack), DenseOut(DenseOut), W(Opts.Watcher) {}
 
   RunResult run() {
     RunResult R;
@@ -87,6 +87,10 @@ public:
     Blk = F->FirstBlock;
     Ii = Img.Blocks[Blk].FirstInstr;
     ++BlockHits[Blk];
+    if (W) {
+      W->enterFunction(CurF->F);
+      W->enterBlock(Img.Blocks[Blk].Origin);
+    }
 
     while (true) {
       // Fallthrough across block boundaries.
@@ -99,6 +103,8 @@ public:
         B = &Img.Blocks[Blk];
         Ii = B->FirstInstr;
         ++BlockHits[Blk];
+        if (W)
+          W->enterBlock(B->Origin);
       }
       const DecodedInstr &D = Img.Instrs[Ii];
       ++Ii;
@@ -338,6 +344,7 @@ private:
   std::vector<uint64_t> &EdgeHits;
   std::vector<FastFrame> &CallStack;
   DenseCounters *DenseOut = nullptr;
+  MemAccessWatcher *W = nullptr;
 
   RegFile Regs;
   const DecodedFunction *CurF = nullptr;
@@ -499,6 +506,8 @@ bool FastMachine::step(const DecodedInstr &D, RunResult &R, bool &Done) {
       trap(R, "load from unmapped address " + std::to_string(Addr));
       return false;
     }
+    if (W)
+      W->memAccess(D.Origin, Addr, D.MemSize);
     DstVal = V;
     HasDstVal = true;
     LuNewBase = S1() + D.Imm;
@@ -510,6 +519,8 @@ bool FastMachine::step(const DecodedInstr &D, RunResult &R, bool &Done) {
       trap(R, "store to unmapped address " + std::to_string(Addr));
       return false;
     }
+    if (W)
+      W->memAccess(D.Origin, Addr, D.MemSize);
     break;
   }
   case Opcode::C:
@@ -579,6 +590,8 @@ bool FastMachine::step(const DecodedInstr &D, RunResult &R, bool &Done) {
     Blk = static_cast<uint32_t>(D.TargetBlock);
     Ii = Img.Blocks[Blk].FirstInstr;
     ++BlockHits[Blk];
+    if (W)
+      W->enterBlock(Img.Blocks[Blk].Origin);
     return true;
   }
 
@@ -633,6 +646,10 @@ bool FastMachine::step(const DecodedInstr &D, RunResult &R, bool &Done) {
     Blk = Callee.FirstBlock;
     Ii = Img.Blocks[Blk].FirstInstr;
     ++BlockHits[Blk];
+    if (W) {
+      W->enterFunction(Callee.F);
+      W->enterBlock(Img.Blocks[Blk].Origin);
+    }
     return true;
   }
 
@@ -642,6 +659,8 @@ bool FastMachine::step(const DecodedInstr &D, RunResult &R, bool &Done) {
       Done = true;
       return true;
     }
+    if (W)
+      W->exitFunction();
     FastFrame Fr = std::move(CallStack.back());
     CallStack.pop_back();
     CurF = Fr.F;

@@ -67,7 +67,7 @@ SimImage vsc::predecode(const Module &M, const MachineModel &Model) {
           Infos[FI].BlockByLabel.emplace(BB->label(), Idx).second;
       assert(NewLabel && "duplicate block label merges profiling counters");
       (void)NewLabel;
-      Img.Blocks.push_back(DecodedBlock{0, 0, -1});
+      Img.Blocks.push_back(DecodedBlock{0, 0, -1, BB.get()});
       Img.BlockKeys.push_back(blockCountKey(F.name(), BB->label()));
     }
     Img.Funcs.push_back(DF);

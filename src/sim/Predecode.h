@@ -88,6 +88,9 @@ struct DecodedBlock {
   /// Edge counter slot for falling through into the next block, or -1 for
   /// a function's last block. The block's own counter slot is its index.
   int32_t FallEdge;
+  /// The original block, reported to RunOptions::Watcher on entry — never
+  /// consulted on the hot path when no watcher is installed.
+  const BasicBlock *Origin;
 };
 
 struct DecodedFunction {

@@ -88,6 +88,27 @@ struct RunResult {
   }
 };
 
+/// Observation hook for the predecoded fast path (RunOptions::Watcher).
+/// The engine reports function entries/exits, block entries and every
+/// successful memory access with its effective address. Callbacks fire
+/// only when a watcher is installed, so the default (null) configuration
+/// stays bit-identical to the legacy engine. The alias audit
+/// (audit/AliasAudit.h) uses this to cross-check NoAlias claims against
+/// the addresses the program actually touched.
+class MemAccessWatcher {
+public:
+  virtual ~MemAccessWatcher() = default;
+  /// A new invocation of \p F begins (the entry function, or a CALL).
+  virtual void enterFunction(const Function *F) = 0;
+  /// The current invocation returns to its caller. The caller's
+  /// interrupted block execution resumes without a fresh enterBlock.
+  virtual void exitFunction() = 0;
+  /// Execution enters \p BB: function entry, fallthrough or taken branch.
+  virtual void enterBlock(const BasicBlock *BB) = 0;
+  /// \p I (a load or store) accessed [Addr, Addr + Size).
+  virtual void memAccess(const Instr *I, uint64_t Addr, unsigned Size) = 0;
+};
+
 struct RunOptions {
   std::string EntryFunction = "main";
   std::vector<int64_t> Args;
@@ -96,6 +117,9 @@ struct RunOptions {
   uint64_t MaxInstrs = 200'000'000;
   bool KeepMemory = false;
   uint64_t MemBytes = 1u << 22;
+  /// Fast-path-only observation hook; see MemAccessWatcher. The legacy
+  /// engine ignores it (the bit-identity tests never install one).
+  MemAccessWatcher *Watcher = nullptr;
 };
 
 /// Runs \p M under \p Machine. This is the predecoded fast path: the

@@ -3,6 +3,7 @@
 #include "vliw/LimitedCombine.h"
 
 #include "analysis/Liveness.h"
+#include "analysis/ValueTrack.h"
 #include "cfg/CfgEdit.h"
 
 #include <algorithm>
@@ -380,6 +381,65 @@ bool coalesceOnce(Function &F, const Cfg &G, const Liveness &Live) {
   return false;
 }
 
+/// Store-to-load forwarding: a doubleword load whose location must-alias
+/// an earlier same-block store, with every store in between provably
+/// disjoint, reads exactly the stored register. Doubleword only: smaller
+/// stores truncate while loads sign-extend, so forwarding the full stored
+/// register would be wrong for out-of-range values. The load becomes an
+/// LR the combining walk then collapses. \returns true on a rewrite.
+bool forwardStoreToLoadOnce(Function &F, const Cfg &G,
+                            const AliasAnalysis *AA) {
+  std::vector<Reg> Tmp;
+  for (auto &BBPtr : F.blocks()) {
+    BasicBlock *BB = BBPtr.get();
+    if (!G.isReachable(BB))
+      continue;
+    auto &Ins = BB->instrs();
+    for (size_t I = 0; I != Ins.size(); ++I) {
+      const Instr &Ld = Ins[I];
+      if (Ld.Op != Opcode::L || Ld.IsVolatile || Ld.MemSize != 8 ||
+          !Ld.Dst.isGpr())
+        continue;
+      std::unordered_set<Reg, RegHash> Between; // defs in (store, load)
+      for (size_t J = I; J-- > 0;) {
+        const Instr &St = Ins[J];
+        if (St.isCall())
+          break;
+        if (St.isStore()) {
+          // SameExecution needs the shared base untouched between the
+          // store and the load; Between holds exactly the defs in that
+          // window (the store's own defs are added after this check).
+          AliasScope Scope = AliasScope::CrossExecution;
+          if (St.memBase() == Ld.memBase() && !Between.count(Ld.memBase()))
+            Scope = AliasScope::SameExecution;
+          AliasResult R = AA->alias(St, Ld, Scope);
+          if (R == AliasResult::MustAlias) {
+            if (St.MemSize == 8 && !St.IsVolatile && St.Src1.isGpr() &&
+                !Between.count(St.Src1)) {
+              Instr Copy;
+              Copy.Op = Opcode::LR;
+              Copy.Dst = Ld.Dst;
+              Copy.Src1 = St.Src1;
+              Copy.Id = Ld.Id;
+              Ins[I] = Copy;
+              return true;
+            }
+            break; // the value comes from this store but can't be forwarded
+          }
+          if (R == AliasResult::MayAlias)
+            break;
+          // NoAlias: provably disjoint, keep scanning past it.
+        }
+        Tmp.clear();
+        St.collectDefs(Tmp);
+        for (Reg D : Tmp)
+          Between.insert(D);
+      }
+    }
+  }
+  return false;
+}
+
 } // namespace
 
 bool vsc::limitedCombine(Function &F, const CombineOptions &Opts,
@@ -388,6 +448,7 @@ bool vsc::limitedCombine(Function &F, const CombineOptions &Opts,
   for (unsigned Guard = 0; Guard < 64; ++Guard) {
     const Cfg &G = FA.cfg();
     const Liveness &Live = FA.liveness();
+    const AliasAnalysis *AA = Opts.FlowAlias ? &FA.aliasAnalysis() : nullptr;
     bool Changed = false;
     for (auto &BBPtr : F.blocks()) {
       BasicBlock *BB = BBPtr.get();
@@ -407,6 +468,8 @@ bool vsc::limitedCombine(Function &F, const CombineOptions &Opts,
     }
     if (!Changed)
       Changed = coalesceOnce(F, G, Live);
+    if (!Changed && AA)
+      Changed = forwardStoreToLoadOnce(F, G, AA);
     if (!Changed)
       break;
     FA.invalidateAll();

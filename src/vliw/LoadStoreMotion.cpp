@@ -3,6 +3,7 @@
 #include "vliw/LoadStoreMotion.h"
 
 #include "analysis/MemAlias.h"
+#include "analysis/ValueTrack.h"
 #include "cfg/CfgEdit.h"
 #include "cfg/Dominators.h"
 #include "cfg/Loops.h"
@@ -38,7 +39,8 @@ struct AccessRef {
 
 /// Attempts to move one candidate group out of \p L. \returns true on
 /// success (the CFG/loop structure may have changed: recompute).
-bool processLoop(Function &F, const Module &M, const Cfg &G, Loop &L) {
+bool processLoop(Function &F, const Module &M, const Cfg &G, Loop &L,
+                 const AliasAnalysis *AA) {
   // Collect in-loop memory operations and calls.
   std::vector<AccessRef> MemOps;
   bool HasOpaqueCall = false;
@@ -93,16 +95,24 @@ bool processLoop(Function &F, const Module &M, const Cfg &G, Loop &L) {
     AsLoad.Dst = Reg::gpr(Reg::FirstVirtualGpr); // placeholder
     AsLoad.Src1 = Rep.memBase();
     AsLoad.Src2 = Reg();
-    if (!isSafeSpeculativeLoad(AsLoad, &M))
+    // AsLoad copies Rep (its Id included), so the flow-sensitive check can
+    // reuse Rep's recorded location.
+    if (!(AA ? AA->safeSpeculativeLoad(AsLoad, &M)
+             : isSafeSpeculativeLoad(AsLoad, &M)))
       continue;
     // Condition 4: disjoint from every other memory reference in the loop.
+    // CrossExecution: the group and the other reference can execute in
+    // different iterations and different blocks, so no same-execution
+    // locality may be assumed.
     bool Overlaps = false;
     for (const AccessRef &Other : MemOps) {
       const Instr &O = Other.BB->instrs()[Other.Idx];
       if (O.memBase() == Key.Base && O.memDisp() == Key.Disp &&
           O.MemSize == Key.Size && (O.Op == Opcode::L || O.Op == Opcode::ST))
         continue; // in the group
-      if (alias(Rep, O) != AliasResult::NoAlias) {
+      if ((AA ? AA->alias(Rep, O, AliasScope::CrossExecution)
+              : alias(Rep, O, AliasScope::CrossExecution)) !=
+          AliasResult::NoAlias) {
         Overlaps = true;
         break;
       }
@@ -175,13 +185,14 @@ bool processLoop(Function &F, const Module &M, const Cfg &G, Loop &L) {
 } // namespace
 
 bool vsc::speculativeLoadStoreMotion(Function &F, const Module &M,
-                                     FunctionAnalyses &FA) {
+                                     FunctionAnalyses &FA, bool FlowAlias) {
   bool Any = false;
   bool Changed = true;
   unsigned Guard = 0;
   while (Changed && Guard++ < 64) {
     Changed = false;
     const Cfg &G = FA.cfg();
+    const AliasAnalysis *AA = FlowAlias ? &FA.aliasAnalysis() : nullptr;
     // Innermost loops first (deepest first), as the paper recommends when
     // infrequently executed inner-loop accesses might slow an outer loop.
     std::vector<Loop *> Loops;
@@ -190,7 +201,7 @@ bool vsc::speculativeLoadStoreMotion(Function &F, const Module &M,
     std::sort(Loops.begin(), Loops.end(),
               [](Loop *A, Loop *B) { return A->Depth > B->Depth; });
     for (Loop *L : Loops) {
-      if (processLoop(F, M, G, *L)) {
+      if (processLoop(F, M, G, *L, AA)) {
         // Motion split edges and rewrote accesses; start the next round
         // from scratch.
         FA.invalidateAll();

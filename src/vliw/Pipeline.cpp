@@ -23,6 +23,7 @@
 
 #include "vliw/Pipeline.h"
 
+#include "audit/AliasAudit.h"
 #include "audit/PassAudit.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
@@ -107,6 +108,31 @@ void oracleStage(ExecOracle &Oracle, const Module &M,
     failOracle(R);
 }
 
+/// Runs the dynamic NoAlias-claim audit as a serial module barrier. It
+/// must run before RenumberPass: claims are keyed by instruction id, which
+/// renumbering rewrites.
+class AliasAuditPass : public ModulePass {
+public:
+  AliasAuditPass(const MachineModel &MM, const AliasClaimLog &Log,
+                 const std::vector<RunOptions> *Battery)
+      : MM(MM), Log(Log), Battery(Battery) {}
+  const char *name() const override { return "alias-audit"; }
+  std::string run(Module &M, FunctionAnalysisManager &) override {
+    AliasAuditStats Stats;
+    AuditResult R = runAliasAudit(
+        M, MM, Battery ? *Battery : defaultAliasAuditBattery(), Log.claims(),
+        &Stats);
+    if (!R.ok())
+      failAudit(R);
+    return "";
+  }
+
+private:
+  const MachineModel &MM;
+  const AliasClaimLog &Log;
+  const std::vector<RunOptions> *Battery;
+};
+
 /// The per-function chain for level \p L (empty at OptLevel::None — the
 /// adaptor still runs so the per-function checkpoints fire).
 FunctionPassManager buildFunctionPipeline(OptLevel L,
@@ -115,28 +141,30 @@ FunctionPassManager buildFunctionPipeline(OptLevel L,
   if (L == OptLevel::None)
     return FPM;
 
-  FPM.add(std::make_unique<ClassicalPass>());
+  bool FA = Opts.FlowSensitiveAlias;
+  FPM.add(std::make_unique<ClassicalPass>(FA));
   if (L == OptLevel::Classical)
     return FPM;
 
   // --- the VLIW prototype pipeline ---
   if (Opts.Superblocks && Opts.Profile)
-    FPM.add(std::make_unique<SuperblockPass>(*Opts.Profile));
+    FPM.add(std::make_unique<SuperblockPass>(*Opts.Profile, FA));
   if (Opts.LoadStoreMotion)
-    FPM.add(std::make_unique<LoadStoreMotionPass>());
+    FPM.add(std::make_unique<LoadStoreMotionPass>(FA));
   if (Opts.Unspeculation)
-    FPM.add(std::make_unique<UnspeculationPass>());
+    FPM.add(std::make_unique<UnspeculationPass>(FA));
   if (Opts.UnrollAndRename)
     FPM.add(std::make_unique<UnrollRenamePass>(Opts.UnrollFactor));
   if (Opts.Pipelining)
-    FPM.add(std::make_unique<PipeliningPass>(Opts.Machine));
+    FPM.add(std::make_unique<PipeliningPass>(Opts.Machine, FA));
   if (Opts.GlobalScheduling) {
     GlobalScheduleOptions GS;
     GS.Profile = Opts.Profile;
+    GS.FlowAlias = FA;
     FPM.add(std::make_unique<GlobalSchedulePass>(Opts.Machine, GS));
   }
   if (Opts.Combining)
-    FPM.add(std::make_unique<CombiningPass>());
+    FPM.add(std::make_unique<CombiningPass>(FA));
   FPM.add(std::make_unique<StraightenPass>());
   // PDF layout runs at module level after prologs, so the measured gate
   // can simulate real code.
@@ -256,10 +284,22 @@ void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
                                             Opts.TrainInput,
                                             Opts.TrainBattery, Threads,
                                             &PdfKept));
+  // Claim collection + validation: the sink records every NoAlias verdict
+  // the passes above issue; the audit pass replays them against runtime
+  // addresses on the final (pre-renumbering) module.
+  AliasClaimLog ClaimLog;
+  AliasClaimSink *PrevSink = nullptr;
+  if (Opts.AliasAudit) {
+    PrevSink = setAliasClaimSink(&ClaimLog);
+    MPM.add(std::make_unique<AliasAuditPass>(Opts.Machine, ClaimLog,
+                                             Opts.AliasAuditBattery));
+  }
   MPM.add(std::make_unique<RenumberPass>());
 
   FunctionAnalysisManager FAM(M);
   std::string Err = MPM.run(M, FAM);
+  if (Opts.AliasAudit)
+    setAliasClaimSink(PrevSink);
   if (!Err.empty()) {
     std::fprintf(stderr, "pipeline failed: %s\n", Err.c_str());
     failPipeline();
@@ -269,5 +309,19 @@ void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
     Opts.Stats->AnalysisHits += S.Hits;
     Opts.Stats->AnalysisMisses += S.Misses;
     Opts.Stats->PdfLayoutKept = PdfKept;
+    for (const auto &E : Audit.aliasQueryLog()) {
+      auto It = std::find_if(
+          Opts.Stats->AliasQueriesByStage.begin(),
+          Opts.Stats->AliasQueriesByStage.end(),
+          [&E](const auto &S2) { return S2.first == E.first; });
+      if (It == Opts.Stats->AliasQueriesByStage.end()) {
+        Opts.Stats->AliasQueriesByStage.push_back(E);
+        continue;
+      }
+      It->second.Queries += E.second.Queries;
+      It->second.NoAlias += E.second.NoAlias;
+      It->second.MustAlias += E.second.MustAlias;
+      It->second.MayAlias += E.second.MayAlias;
+    }
   }
 }

@@ -22,6 +22,7 @@
 #ifndef VSC_VLIW_PIPELINE_H
 #define VSC_VLIW_PIPELINE_H
 
+#include "analysis/MemAlias.h"
 #include "audit/Audit.h"
 #include "ir/Module.h"
 #include "machine/MachineModel.h"
@@ -29,6 +30,7 @@
 #include "sim/Simulator.h"
 
 #include <functional>
+#include <utility>
 
 namespace vsc {
 
@@ -46,6 +48,11 @@ struct PipelineStats {
   /// layout was rolled back, 1 it was kept. Cross-process experiments
   /// compare this (scripts/ci.sh checks pdf_workflow against vscc).
   int PdfLayoutKept = -1;
+  /// Per-stage disambiguation-query deltas (analysis/MemAlias.h counters,
+  /// snapshotted by the PassAudit checkpoints — empty unless Audit is
+  /// enabled). Per-function checkpoint names "pass(fn)" are merged under
+  /// the bare pass name; bench_audit_overhead prints the table.
+  std::vector<std::pair<std::string, AliasQueryCounters>> AliasQueriesByStage;
 };
 
 struct PipelineOptions {
@@ -89,6 +96,21 @@ struct PipelineOptions {
   /// the paper contrasts its profile-independent techniques with. Off by
   /// default; bench_superblock compares.
   bool Superblocks = false;
+  /// Disambiguate memory with the flow-sensitive alias tier
+  /// (analysis/ValueTrack.h) in every consumer pass — dependence building,
+  /// load/store motion, unspeculation, LVN/LICM, combining. Off falls back
+  /// to the purely syntactic per-instruction MemRegion comparison; this is
+  /// the ablation axis bench_alias measures.
+  bool FlowSensitiveAlias = true;
+  /// Dynamically validate NoAlias claims (audit/AliasAudit.h): the claims
+  /// the pipeline's own disambiguation queries issue are collected during
+  /// the run, and an "alias-audit" module pass (before renumbering, since
+  /// claims are keyed by instruction id) re-enumerates claims on the final
+  /// module, simulates the audit battery with an effective-address watcher
+  /// and aborts if any claimed-NoAlias pair overlapped inside its window.
+  bool AliasAudit = false;
+  /// Inputs the alias audit simulates; null uses defaultAliasAuditBattery().
+  const std::vector<RunOptions> *AliasAuditBattery = nullptr;
   /// Verify the module between pass stages (aborts with the stage name on
   /// breakage) — on by default; this project treats it as a regression net.
   bool Verify = true;

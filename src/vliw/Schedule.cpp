@@ -153,8 +153,30 @@ private:
 // Dependences
 //===----------------------------------------------------------------------===//
 
+/// \returns the scope an alias query between Ins[I] and Ins[J] (I < J,
+/// same straight-line sequence) may be issued under. Both accesses sit in
+/// one execution of the block; SameExecution additionally promises that no
+/// instruction between them redefines a base register they share, which is
+/// what the same-base displacement reasoning of the syntactic tier needs.
+AliasScope memScopeFor(const std::vector<Instr> &Ins, size_t I, size_t J) {
+  if (!Ins[I].isMemAccess() || !Ins[J].isMemAccess())
+    return AliasScope::SameExecution; // no memory query will be issued
+  Reg B = Ins[I].memBase();
+  if (B != Ins[J].memBase())
+    return AliasScope::SameExecution; // no shared base to redefine
+  std::vector<Reg> Defs;
+  for (size_t K = I + 1; K < J; ++K) {
+    Defs.clear();
+    Ins[K].collectDefs(Defs);
+    if (std::find(Defs.begin(), Defs.end(), B) != Defs.end())
+      return AliasScope::CrossExecution;
+  }
+  return AliasScope::SameExecution;
+}
+
 /// \returns true if \p Later must not move above \p Earlier.
-bool dependsOn(const Instr &Later, const Instr &Earlier) {
+bool dependsOn(const Instr &Later, const Instr &Earlier, AliasScope Scope,
+               const AliasAnalysis *AA) {
   std::vector<Reg> EDefs, EUses, LDefs, LUses;
   Earlier.collectDefs(EDefs);
   Earlier.collectUses(EUses);
@@ -185,9 +207,12 @@ bool dependsOn(const Instr &Later, const Instr &Earlier) {
   if (Earlier.isMemAccess() && Later.isMemAccess()) {
     if (Earlier.IsVolatile && Later.IsVolatile)
       return true; // volatile order is architectural
-    if (Earlier.isStore() || Later.isStore())
-      if (alias(Earlier, Later) != AliasResult::NoAlias)
+    if (Earlier.isStore() || Later.isStore()) {
+      AliasResult R = AA ? AA->alias(Earlier, Later, Scope)
+                         : alias(Earlier, Later, Scope);
+      if (R != AliasResult::NoAlias)
         return true;
+    }
   }
   return false;
 }
@@ -201,14 +226,14 @@ struct Dag {
   std::vector<unsigned> Height;
 };
 
-Dag buildDag(const std::vector<Instr> &Ins, size_t N,
-             const MachineModel &MM) {
+Dag buildDag(const std::vector<Instr> &Ins, size_t N, const MachineModel &MM,
+             const AliasAnalysis *AA) {
   Dag D;
   D.Preds.assign(N, {});
   D.Height.assign(N, 0);
   for (size_t J = 0; J != N; ++J)
     for (size_t I = 0; I != J; ++I)
-      if (dependsOn(Ins[J], Ins[I]))
+      if (dependsOn(Ins[J], Ins[I], memScopeFor(Ins, I, J), AA))
         D.Preds[J].push_back(static_cast<unsigned>(I));
   // Heights: latency-weighted longest path to the end of the block, plus a
   // bonus for compares feeding any terminator of the block (they want to
@@ -231,8 +256,9 @@ Dag buildDag(const std::vector<Instr> &Ins, size_t N,
 /// Greedy cycle-directed list schedule of Ins[0..N); \returns new order of
 /// indices.
 std::vector<unsigned> listSchedule(const std::vector<Instr> &Ins, size_t N,
-                                   const MachineModel &MM) {
-  Dag D = buildDag(Ins, N, MM);
+                                   const MachineModel &MM,
+                                   const AliasAnalysis *AA) {
+  Dag D = buildDag(Ins, N, MM, AA);
   std::vector<unsigned> Order;
   std::vector<bool> Scheduled(N, false);
   IssueEngine Engine(MM);
@@ -269,11 +295,12 @@ std::vector<unsigned> listSchedule(const std::vector<Instr> &Ins, size_t N,
 
 } // namespace
 
-bool vsc::scheduleBlock(BasicBlock &BB, const MachineModel &MM) {
+bool vsc::scheduleBlock(BasicBlock &BB, const MachineModel &MM,
+                        const AliasAnalysis *AA) {
   size_t N = BB.firstTerminatorIdx();
   if (N < 2)
     return false;
-  std::vector<unsigned> Order = listSchedule(BB.instrs(), N, MM);
+  std::vector<unsigned> Order = listSchedule(BB.instrs(), N, MM, AA);
   bool Identity = true;
   for (size_t I = 0; I != N; ++I)
     if (Order[I] != I)
@@ -371,7 +398,8 @@ namespace {
 /// if an instruction moved (analyses must be rebuilt).
 bool hoistOnce(Function &F, const Module &M, const MachineModel &MM,
                BasicBlock *P, const Cfg &G, const Liveness &Live,
-               const LoopInfo &LI, const GlobalScheduleOptions &Opts) {
+               const LoopInfo &LI, const GlobalScheduleOptions &Opts,
+               const AliasAnalysis *AA) {
   const std::vector<CfgEdge> &Succs = G.succs(P);
   if (Succs.empty())
     return false;
@@ -443,7 +471,9 @@ bool hoistOnce(Function &F, const Module &M, const MachineModel &MM,
         if (!Opts.SpeculativeHoist)
           return false;
         bool Safe = Cand.isSafeToSpeculate() ||
-                    (Cand.isLoad() && isSafeSpeculativeLoad(Cand, &M));
+                    (Cand.isLoad() &&
+                     (AA ? AA->safeSpeculativeLoad(Cand, &M)
+                         : isSafeSpeculativeLoad(Cand, &M)));
         if (!Safe)
           return false;
         // Destinations must be dead on Q's other successors.
@@ -491,7 +521,8 @@ bool hoistOnce(Function &F, const Module &M, const MachineModel &MM,
       // Must be movable to the top of S.
       bool Blocked = false;
       for (size_t K = 0; K != J && !Blocked; ++K)
-        if (dependsOn(Cand, S->instrs()[K]))
+        if (dependsOn(Cand, S->instrs()[K], memScopeFor(S->instrs(), K, J),
+                      AA))
           Blocked = true;
       if (Blocked)
         continue;
@@ -507,12 +538,12 @@ bool hoistOnce(Function &F, const Module &M, const MachineModel &MM,
       // candidate may land in a stall hole rather than at the end.
       BasicBlock Probe("probe");
       Probe.instrs() = P->instrs();
-      scheduleBlock(Probe, MM);
+      scheduleBlock(Probe, MM, AA);
       unsigned CostBefore = estimateBlockCycles(Probe, MM);
       Probe.instrs().insert(Probe.instrs().begin() +
                                 static_cast<long>(Probe.firstTerminatorIdx()),
                             Cand);
-      scheduleBlock(Probe, MM);
+      scheduleBlock(Probe, MM, AA);
       unsigned CostAfter = estimateBlockCycles(Probe, MM);
       if (CostAfter > CostBefore)
         continue;
@@ -528,7 +559,7 @@ bool hoistOnce(Function &F, const Module &M, const MachineModel &MM,
         Q->instrs().insert(Q->instrs().begin() +
                                static_cast<long>(Q->firstTerminatorIdx()),
                            std::move(Copy));
-        scheduleBlock(*Q, MM);
+        scheduleBlock(*Q, MM, AA);
       }
       return true;
     }
@@ -542,10 +573,16 @@ bool vsc::globalSchedule(Function &F, const MachineModel &MM,
                          const Module &M, const GlobalScheduleOptions &Opts,
                          FunctionAnalyses &FA) {
   // Local scheduling reorders only the non-terminator prefix of each
-  // block, which every cached analysis survives.
+  // block, which every cached analysis survives (alias facts are keyed by
+  // instruction id, and a dependence-safe reorder never changes the value
+  // a base register holds at any given instruction).
   bool Any = false;
-  for (auto &BB : F.blocks())
-    Any |= scheduleBlock(*BB, MM);
+  {
+    const AliasAnalysis *AA =
+        Opts.FlowAlias ? &FA.aliasAnalysis() : nullptr;
+    for (auto &BB : F.blocks())
+      Any |= scheduleBlock(*BB, MM, AA);
+  }
 
   std::unordered_map<const BasicBlock *, unsigned> HoistedInto;
   for (unsigned Guard = 0; Guard < 256; ++Guard) {
@@ -556,6 +593,8 @@ bool vsc::globalSchedule(Function &F, const MachineModel &MM,
     const Cfg &G = FA.cfg();
     const LoopInfo &LI = FA.loops();
     const Liveness &Live = FA.liveness();
+    const AliasAnalysis *AA =
+        Opts.FlowAlias ? &FA.aliasAnalysis() : nullptr;
     bool Changed = false;
     for (auto &BBPtr : F.blocks()) {
       BasicBlock *P = BBPtr.get();
@@ -563,7 +602,7 @@ bool vsc::globalSchedule(Function &F, const MachineModel &MM,
         continue;
       if (HoistedInto[P] >= Opts.MaxHoistPerBlock)
         continue;
-      if (hoistOnce(F, M, MM, P, G, Live, LI, Opts)) {
+      if (hoistOnce(F, M, MM, P, G, Live, LI, Opts, AA)) {
         // The hoist erased and inserted instructions across blocks.
         FA.invalidateAll();
         ++HoistedInto[P];
@@ -612,9 +651,16 @@ void restoreChain(const ChainSnapshot &S,
   PH->instrs() = S.Preheader;
 }
 
-/// Pipelines one loop; \returns rotations kept.
+/// Pipelines one loop; \returns rotations kept. \p AA is consulted only
+/// for the rotation candidate's speculative-load safety: the candidate is
+/// still at its original position when queried (its recorded location is
+/// valid), and nothing executes between the latch bottom and the header
+/// top, so a location that is exact at the header top holds at the
+/// rotated position too. Post-rotation scheduling runs without AA — a
+/// moved instruction's recorded facts describe its old program point.
 unsigned pipelineLoop(Function &F, const MachineModel &MM, const Module &M,
-                      Loop &L, unsigned MaxRotations) {
+                      Loop &L, unsigned MaxRotations,
+                      const AliasAnalysis *AA) {
   Cfg G(F);
   std::vector<BasicBlock *> Chain = loopChain(G, L);
   if (Chain.empty())
@@ -645,7 +691,9 @@ unsigned pipelineLoop(Function &F, const MachineModel &MM, const Module &M,
       break;
     const Instr &Cand = Header->instrs().front();
     bool Safe = Cand.isSafeToSpeculate() ||
-                (Cand.isLoad() && isSafeSpeculativeLoad(Cand, &M));
+                (Cand.isLoad() &&
+                 (AA ? AA->safeSpeculativeLoad(Cand, &M)
+                     : isSafeSpeculativeLoad(Cand, &M)));
     if (!Safe)
       break;
     // Single definition of each dest within the body.
@@ -714,7 +762,7 @@ unsigned pipelineLoop(Function &F, const MachineModel &MM, const Module &M,
 
 unsigned vsc::pipelineInnermostLoops(Function &F, const MachineModel &MM,
                                      const Module &M, unsigned MaxRotations,
-                                     FunctionAnalyses &FA) {
+                                     FunctionAnalyses &FA, bool FlowAlias) {
   unsigned Total = 0;
   std::unordered_set<std::string> Done;
   for (unsigned Guard = 0; Guard < 32; ++Guard) {
@@ -730,7 +778,8 @@ unsigned vsc::pipelineInnermostLoops(Function &F, const MachineModel &MM,
     if (!Todo)
       break;
     Done.insert(Todo->Header->label());
-    unsigned Kept = pipelineLoop(F, MM, M, *Todo, MaxRotations);
+    const AliasAnalysis *AA = FlowAlias ? &FA.aliasAnalysis() : nullptr;
+    unsigned Kept = pipelineLoop(F, MM, M, *Todo, MaxRotations, AA);
     if (Kept)
       FA.invalidateAll();
     Total += Kept;

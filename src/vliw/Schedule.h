@@ -38,7 +38,11 @@ class ProfileData;
 
 /// Reorders the non-terminator instructions of \p BB (dependence-safe) to
 /// minimise modelled issue cycles. \returns true if the order changed.
-bool scheduleBlock(BasicBlock &BB, const MachineModel &MM);
+/// With \p AA the dependence builder disambiguates through the
+/// flow-sensitive tier (AA facts are keyed by instruction id, so they
+/// survive the reorder itself); without it the syntactic tier decides.
+bool scheduleBlock(BasicBlock &BB, const MachineModel &MM,
+                   const AliasAnalysis *AA = nullptr);
 
 /// Modelled cycles to issue \p BB's instructions from a cold start.
 unsigned estimateBlockCycles(const BasicBlock &BB, const MachineModel &MM);
@@ -60,6 +64,10 @@ struct GlobalScheduleOptions {
   /// Join-point hoisting duplicates the operation into every predecessor
   /// (the paper's bookkeeping copies); this caps the fan-in considered.
   unsigned MaxJoinPreds = 3;
+  /// Disambiguate through the cached flow-sensitive alias analysis
+  /// (analysis/ValueTrack.h). Off = syntactic tier only (the bench_alias
+  /// ablation baseline).
+  bool FlowAlias = true;
 };
 
 /// Local scheduling everywhere plus cross-block upward motion into idle
@@ -78,7 +86,7 @@ unsigned pipelineInnermostLoops(Function &F, const MachineModel &MM,
                                 const Module &M, unsigned MaxRotations = 8);
 unsigned pipelineInnermostLoops(Function &F, const MachineModel &MM,
                                 const Module &M, unsigned MaxRotations,
-                                FunctionAnalyses &FA);
+                                FunctionAnalyses &FA, bool FlowAlias = true);
 
 /// One VLIW instruction word: the block-relative indices of the operations
 /// the machine model issues in the same cycle. This is the paper's framing

@@ -4,6 +4,7 @@
 
 #include "analysis/Liveness.h"
 #include "analysis/MemAlias.h"
+#include "analysis/ValueTrack.h"
 #include "cfg/CfgEdit.h"
 
 #include <algorithm>
@@ -35,7 +36,7 @@ bool isPushable(const Instr &I) {
 /// (inclusive of the terminator suffix) may set the candidate's sources or
 /// destinations, use its destinations, or store over a loaded location.
 bool betweenInstrsAllowMove(const BasicBlock &BB, size_t CandIdx,
-                            const Instr &Cand) {
+                            const Instr &Cand, const AliasAnalysis *AA) {
   std::vector<Reg> CandUses, CandDefs, Tmp;
   Cand.collectUses(CandUses);
   Cand.collectDefs(CandDefs);
@@ -55,10 +56,17 @@ bool betweenInstrsAllowMove(const BasicBlock &BB, size_t CandIdx,
     for (Reg Use : Tmp)
       if (Contains(CandDefs, Use))
         return false; // 2b: uses a destination
-    if (Cand.isLoad() && (Between.isCall() ||
-                          (Between.isStore() &&
-                           alias(Cand, Between) != AliasResult::NoAlias)))
-      return false; // 2c: may clobber the loaded location
+    // 2c: may clobber the loaded location. SameExecution is sound here
+    // even for the syntactic tier: rule 2a has already rejected any
+    // in-between def of the candidate's sources (its base register
+    // included), so no shared base is redefined between the two accesses.
+    if (Cand.isLoad() &&
+        (Between.isCall() ||
+         (Between.isStore() &&
+          (AA ? AA->alias(Cand, Between, AliasScope::SameExecution)
+              : alias(Cand, Between, AliasScope::SameExecution)) !=
+              AliasResult::NoAlias)))
+      return false;
   }
   return true;
 }
@@ -67,9 +75,10 @@ bool betweenInstrsAllowMove(const BasicBlock &BB, size_t CandIdx,
 /// \returns true if something moved. Every move ends in splitEdge, whose
 /// block insertion bumps the CFG epoch, so the cache refreshes itself on
 /// the next fetch; a fruitless scan leaves the cache warm.
-bool unspeculateOnce(Function &F, FunctionAnalyses &FA) {
+bool unspeculateOnce(Function &F, FunctionAnalyses &FA, bool FlowAlias) {
   const Cfg &G = FA.cfg();
   const Liveness &L = FA.liveness();
+  const AliasAnalysis *AA = FlowAlias ? &FA.aliasAnalysis() : nullptr;
 
   for (auto &BBPtr : F.blocks()) {
     BasicBlock *BB = BBPtr.get();
@@ -102,7 +111,7 @@ bool unspeculateOnce(Function &F, FunctionAnalyses &FA) {
       const Instr &Cand = BB->instrs()[I];
       if (!isPushable(Cand))
         continue;
-      if (!betweenInstrsAllowMove(*BB, I, Cand))
+      if (!betweenInstrsAllowMove(*BB, I, Cand, AA))
         continue;
 
       Defs.clear();
@@ -138,7 +147,7 @@ bool unspeculateOnce(Function &F, FunctionAnalyses &FA) {
 
 } // namespace
 
-bool vsc::unspeculate(Function &F, FunctionAnalyses &FA) {
+bool vsc::unspeculate(Function &F, FunctionAnalyses &FA, bool FlowAlias) {
   reorderReversePostorder(F);
   straighten(F);
   bool Any = false;
@@ -147,7 +156,7 @@ bool vsc::unspeculate(Function &F, FunctionAnalyses &FA) {
   // since moves go strictly downward in the dominator order, but cap it
   // against surprises).
   size_t Cap = F.instrCount() * 8 + 64;
-  while (Cap-- > 0 && unspeculateOnce(F, FA))
+  while (Cap-- > 0 && unspeculateOnce(F, FA, FlowAlias))
     Any = true;
   straighten(F);
   return Any;

@@ -1,0 +1,213 @@
+//===- tests/test_aliasaudit.cpp - Dynamic NoAlias claim validation --------===//
+///
+/// Coverage for audit/AliasAudit.h: claim-log deduplication, a clean audit
+/// over genuinely disjoint accesses, detection of an injected unsound
+/// claim, vacuous-claim dropping, and the per-window semantics (a pair
+/// that overlaps across loop iterations but not within one block
+/// execution must pass a PerBlockExecution claim and fail an Absolute
+/// one).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "audit/AliasAudit.h"
+#include "vliw/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+AliasClaim claim(const char *Fn, uint32_t A, uint32_t B, AliasClaimKind K) {
+  AliasClaim C;
+  C.Fn = Fn;
+  C.IdA = A;
+  C.IdB = B;
+  C.Kind = K;
+  return C;
+}
+
+/// The \p Nth memory access of \p F in layout order (0-based).
+const Instr &memAccessAt(const Function &F, unsigned N) {
+  for (const auto &BB : F.blocks())
+    for (const Instr &I : BB->instrs())
+      if (I.isMemAccess() && N-- == 0)
+        return I;
+  ADD_FAILURE() << "not enough memory accesses";
+  static Instr Dummy;
+  return Dummy;
+}
+
+} // namespace
+
+TEST(AliasClaimLog, DeduplicatesByUnorderedPairAndKind) {
+  AliasClaimLog Log;
+  Log.noAliasClaim(claim("f", 1, 2, AliasClaimKind::Absolute));
+  Log.noAliasClaim(claim("f", 1, 2, AliasClaimKind::Absolute));
+  Log.noAliasClaim(claim("f", 2, 1, AliasClaimKind::Absolute)); // unordered
+  EXPECT_EQ(Log.size(), 1u);
+  // Same pair, different window: a distinct claim.
+  Log.noAliasClaim(claim("f", 1, 2, AliasClaimKind::PerInvocation));
+  // Same pair, different function: distinct.
+  Log.noAliasClaim(claim("g", 1, 2, AliasClaimKind::Absolute));
+  EXPECT_EQ(Log.size(), 3u);
+  Log.clear();
+  EXPECT_EQ(Log.size(), 0u);
+  Log.noAliasClaim(claim("f", 1, 2, AliasClaimKind::Absolute));
+  EXPECT_EQ(Log.size(), 1u); // Seen set cleared too
+}
+
+TEST(AliasAudit, CleanOnDisjointAccesses) {
+  auto M = parseOrDie(R"(
+global g : 16
+func main(0) {
+entry:
+  LTOC r32 = .g
+  LI r40 = 3
+  ST 0(r32) = r40
+  ST 8(r32) = r40
+  L r41 = 0(r32)
+  A r3 = r41, r40
+  CALL print_int, 1
+  RET
+}
+)");
+  AliasAuditStats Stats;
+  AuditResult R = runAliasAudit(*M, rs6000(), defaultAliasAuditBattery(), {},
+                                &Stats);
+  EXPECT_TRUE(R.ok()) << R.Report;
+  // A clean result must come from actual coverage, not from validating
+  // nothing: claims were enumerated, the simulator reported accesses, and
+  // overlap checks ran inside live windows.
+  EXPECT_GT(Stats.StaticClaims, 0u);
+  EXPECT_GT(Stats.Events, 0u);
+  EXPECT_GT(Stats.ChecksHit, 0u);
+}
+
+TEST(AliasAudit, DetectsInjectedFalseClaim) {
+  auto M = parseOrDie(R"(
+global g : 8
+func main(0) {
+entry:
+  LTOC r32 = .g
+  LI r40 = 7
+  ST 0(r32) = r40
+  L r3 = 0(r32)
+  CALL print_int, 1
+  RET
+}
+)");
+  const Function &F = *M->findFunction("main");
+  const Instr &St = memAccessAt(F, 0);
+  const Instr &Ld = memAccessAt(F, 1);
+  // The store and the load hit the same address every run; claiming them
+  // disjoint program-wide is exactly the unsoundness the audit exists to
+  // catch.
+  std::vector<AliasClaim> Injected = {
+      claim("main", St.Id, Ld.Id, AliasClaimKind::Absolute)};
+  AliasAuditStats Stats;
+  AuditResult R = runAliasAudit(*M, rs6000(), defaultAliasAuditBattery(),
+                                Injected, &Stats);
+  ASSERT_FALSE(R.ok());
+  ASSERT_FALSE(R.Findings.empty());
+  EXPECT_EQ(R.Findings[0].Checker, "alias-audit");
+  EXPECT_EQ(R.Findings[0].Fn, "main");
+  EXPECT_NE(R.str().find("overlapped"), std::string::npos) << R.str();
+}
+
+TEST(AliasAudit, DropsVacuousClaims) {
+  auto M = parseOrDie(R"(
+global g : 8
+func main(0) {
+entry:
+  LTOC r32 = .g
+  L r3 = 0(r32)
+  CALL print_int, 1
+  RET
+}
+)");
+  // Ids that no longer exist (an optimized-away pair): vacuously true,
+  // dropped, never a finding.
+  std::vector<AliasClaim> Stale = {
+      claim("main", 1000, 1001, AliasClaimKind::Absolute)};
+  AliasAuditStats Stats;
+  AuditResult R =
+      runAliasAudit(*M, rs6000(), defaultAliasAuditBattery(), Stale, &Stats);
+  EXPECT_TRUE(R.ok()) << R.Report;
+  EXPECT_EQ(Stats.DroppedClaims, 1u);
+}
+
+TEST(AliasAudit, PerBlockExecutionWindowIgnoresCrossIterationOverlap) {
+  // A walking pointer: within one loop iteration the load [p, p+4) and
+  // the store [p+4, p+8) are disjoint, but the store of iteration k
+  // overlaps the load of iteration k+1. The audit must accept the
+  // PerBlockExecution claim (which the pipeline's SameExecution-scope
+  // disambiguation issues) and reject the same pair claimed Absolute.
+  auto M = parseOrDie(R"(
+global g : 16 = [1 0 0 0 2 0 0 0 3 0 0 0 4 0 0 0]
+func main(0) {
+entry:
+  LTOC r32 = .g
+  LI r33 = 2
+  MTCTR r33
+loop:
+  L r40 = 0(r32)
+  ST 4(r32) = r40
+  AI r32 = r32, 4
+  BCT loop
+exit:
+  LI r3 = 0
+  CALL print_int, 1
+  RET
+}
+)");
+  const Function &F = *M->findFunction("main");
+  const Instr &Ld = memAccessAt(F, 0);
+  const Instr &St = memAccessAt(F, 1);
+
+  // The static enumeration already claims this pair per-block-execution
+  // (same base register, no intervening redefinition); a clean audit
+  // validates the window machinery against real cross-iteration overlap.
+  AliasAuditStats Stats;
+  AuditResult Clean = runAliasAudit(*M, rs6000(), defaultAliasAuditBattery(),
+                                    {}, &Stats);
+  EXPECT_TRUE(Clean.ok()) << Clean.Report;
+  EXPECT_GT(Stats.ChecksHit, 0u);
+
+  // The same pair claimed disjoint across the whole run is unsound.
+  std::vector<AliasClaim> Absolute = {
+      claim("main", Ld.Id, St.Id, AliasClaimKind::Absolute)};
+  AuditResult Bad = runAliasAudit(*M, rs6000(), defaultAliasAuditBattery(),
+                                  Absolute, &Stats);
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.Findings[0].Checker, "alias-audit");
+}
+
+TEST(AliasAudit, PipelineCollectsAndValidatesItsOwnClaims) {
+  // End-to-end: an audited optimize() run records the pipeline's NoAlias
+  // verdicts and validates them after the final pass — any unsound
+  // disambiguation aborts, so reaching the assertions means the loop
+  // closed cleanly.
+  auto M = parseOrDie(R"(
+global a : 8
+global b : 8
+func main(0) {
+entry:
+  LTOC r32 = .a
+  LTOC r33 = .b
+  LI r40 = 5
+  ST 0(r32) = r40
+  L r41 = 0(r33)
+  ST 0(r33) = r40
+  L r42 = 0(r32)
+  A r3 = r41, r42
+  CALL print_int, 1
+  RET
+}
+)");
+  PipelineOptions Opts;
+  Opts.AliasAudit = true;
+  optimize(*M, OptLevel::Vliw, Opts);
+  EXPECT_EQ(verifyModule(*M), "");
+}

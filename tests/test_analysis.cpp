@@ -3,6 +3,7 @@
 #include "TestUtil.h"
 #include "analysis/Liveness.h"
 #include "analysis/MemAlias.h"
+#include "analysis/ValueTrack.h"
 
 #include <gtest/gtest.h>
 
@@ -37,54 +38,72 @@ Instr memInstr(Opcode Op, Reg Base, int64_t Disp, const char *Sym,
 TEST(MemAlias, DistinctGlobalsNeverAlias) {
   Instr A = memInstr(Opcode::L, Reg::gpr(41), 0, "a");
   Instr B = memInstr(Opcode::ST, Reg::gpr(42), 0, "b");
-  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+  // A program-wide fact: holds even with no locality guarantee.
+  EXPECT_EQ(alias(A, B, AliasScope::CrossExecution), AliasResult::NoAlias);
 }
 
 TEST(MemAlias, SameGlobalDisjointRanges) {
   Instr A = memInstr(Opcode::L, Reg::gpr(41), 0, "a");
   Instr B = memInstr(Opcode::ST, Reg::gpr(41), 4, "a");
-  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+  EXPECT_EQ(alias(A, B, AliasScope::SameExecution), AliasResult::NoAlias);
   Instr C = memInstr(Opcode::ST, Reg::gpr(41), 2, "a");
-  EXPECT_EQ(alias(A, C), AliasResult::MayAlias); // [0,4) vs [2,6)
+  EXPECT_EQ(alias(A, C, AliasScope::SameExecution),
+            AliasResult::MayAlias); // [0,4) vs [2,6)
   Instr D = memInstr(Opcode::ST, Reg::gpr(41), 0, "a");
-  EXPECT_EQ(alias(A, D), AliasResult::MustAlias);
+  EXPECT_EQ(alias(A, D, AliasScope::SameExecution), AliasResult::MustAlias);
+  // The annotated displacement is only the known part of the address
+  // (computed-index accesses carry Disp 0): without the same-execution
+  // guarantee on the shared base register, same-global displacement
+  // reasoning is off.
+  EXPECT_EQ(alias(A, B, AliasScope::CrossExecution), AliasResult::MayAlias);
 }
 
 TEST(MemAlias, StackSlotsByDisplacement) {
+  // r1 is constant across an invocation, so frame-slot displacements
+  // disambiguate in every scope.
   Instr A = memInstr(Opcode::L, regs::sp(), 0, nullptr);
   Instr B = memInstr(Opcode::ST, regs::sp(), 8, nullptr);
-  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+  EXPECT_EQ(alias(A, B, AliasScope::CrossExecution), AliasResult::NoAlias);
   Instr C = memInstr(Opcode::ST, regs::sp(), 0, nullptr);
-  EXPECT_EQ(alias(A, C), AliasResult::MustAlias);
+  EXPECT_EQ(alias(A, C, AliasScope::CrossExecution), AliasResult::MustAlias);
 }
 
 TEST(MemAlias, StackNeverAliasesGlobals) {
   Instr A = memInstr(Opcode::L, regs::sp(), 0, nullptr);
   Instr B = memInstr(Opcode::ST, Reg::gpr(41), 0, "a");
-  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+  EXPECT_EQ(alias(A, B, AliasScope::CrossExecution), AliasResult::NoAlias);
 }
 
 TEST(MemAlias, UnknownPointersMayAlias) {
   Instr A = memInstr(Opcode::L, Reg::gpr(41), 0, nullptr);
   Instr B = memInstr(Opcode::ST, Reg::gpr(42), 0, nullptr);
-  EXPECT_EQ(alias(A, B), AliasResult::MayAlias);
+  // Different base registers: conservative even in the strongest scope.
+  EXPECT_EQ(alias(A, B, AliasScope::SameExecution), AliasResult::MayAlias);
   // Unknown vs annotated global: conservative.
   Instr C = memInstr(Opcode::ST, Reg::gpr(43), 0, "a");
-  EXPECT_EQ(alias(A, C), AliasResult::MayAlias);
+  EXPECT_EQ(alias(A, C, AliasScope::SameExecution), AliasResult::MayAlias);
 }
 
-TEST(MemAlias, SameUnknownBaseDisjointDisplacements) {
+TEST(MemAlias, SameUnknownBaseScopeContract) {
   Instr A = memInstr(Opcode::L, Reg::gpr(41), 0, nullptr);
   Instr B = memInstr(Opcode::ST, Reg::gpr(41), 8, nullptr);
-  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+  // "8(r41) vs 0(r41)" disambiguates only when the caller guarantees both
+  // accesses observe the same dynamic value in r41.
+  EXPECT_EQ(alias(A, B, AliasScope::SameExecution), AliasResult::NoAlias);
+  // The historical footgun: with r41 possibly redefined in between (other
+  // block, other iteration), the same displacements prove nothing.
+  EXPECT_EQ(alias(A, B, AliasScope::CrossExecution), AliasResult::MayAlias);
   Instr C = memInstr(Opcode::ST, Reg::gpr(41), 3, nullptr);
-  EXPECT_EQ(alias(A, C), AliasResult::MayAlias);
+  EXPECT_EQ(alias(A, C, AliasScope::SameExecution), AliasResult::MayAlias);
+  Instr D = memInstr(Opcode::ST, Reg::gpr(41), 0, nullptr);
+  EXPECT_EQ(alias(A, D, AliasScope::SameExecution), AliasResult::MustAlias);
+  EXPECT_EQ(alias(A, D, AliasScope::CrossExecution), AliasResult::MayAlias);
 }
 
 TEST(MemAlias, VolatileDefeatsDisambiguation) {
   Instr A = memInstr(Opcode::L, Reg::gpr(41), 0, "a", 4, true);
   Instr B = memInstr(Opcode::ST, Reg::gpr(42), 0, "b");
-  EXPECT_EQ(alias(A, B), AliasResult::MayAlias);
+  EXPECT_EQ(alias(A, B, AliasScope::SameExecution), AliasResult::MayAlias);
 }
 
 TEST(MemAlias, SpillTagStaysStackRegion) {
@@ -92,9 +111,28 @@ TEST(MemAlias, SpillTagStaysStackRegion) {
   // disambiguate like stack slots, not like a global named $csave.
   Instr A = memInstr(Opcode::ST, regs::sp(), 16, "$csave", 8);
   Instr B = memInstr(Opcode::L, regs::sp(), 24, "$csave", 8);
-  EXPECT_EQ(alias(A, B), AliasResult::NoAlias);
+  EXPECT_EQ(alias(A, B, AliasScope::CrossExecution), AliasResult::NoAlias);
   Instr C = memInstr(Opcode::L, Reg::gpr(41), 0, "a");
-  EXPECT_EQ(alias(A, C), AliasResult::NoAlias);
+  EXPECT_EQ(alias(A, C, AliasScope::CrossExecution), AliasResult::NoAlias);
+}
+
+TEST(MemAlias, ClaimKindsMatchVerdictWindows) {
+  AliasClaimKind Kind;
+  Instr GA = memInstr(Opcode::L, Reg::gpr(41), 0, "a");
+  Instr GB = memInstr(Opcode::ST, Reg::gpr(42), 0, "b");
+  EXPECT_EQ(aliasClassified(GA, GB, AliasScope::CrossExecution, Kind),
+            AliasResult::NoAlias);
+  EXPECT_EQ(Kind, AliasClaimKind::Absolute);
+  Instr SA = memInstr(Opcode::L, regs::sp(), 0, nullptr);
+  Instr SB = memInstr(Opcode::ST, regs::sp(), 8, nullptr);
+  EXPECT_EQ(aliasClassified(SA, SB, AliasScope::CrossExecution, Kind),
+            AliasResult::NoAlias);
+  EXPECT_EQ(Kind, AliasClaimKind::PerInvocation);
+  Instr UA = memInstr(Opcode::L, Reg::gpr(41), 0, nullptr);
+  Instr UB = memInstr(Opcode::ST, Reg::gpr(41), 8, nullptr);
+  EXPECT_EQ(aliasClassified(UA, UB, AliasScope::SameExecution, Kind),
+            AliasResult::NoAlias);
+  EXPECT_EQ(Kind, AliasClaimKind::PerBlockExecution);
 }
 
 TEST(MemAlias, SafeSpeculativeLoads) {
@@ -112,6 +150,218 @@ TEST(MemAlias, SafeSpeculativeLoads) {
   EXPECT_TRUE(isSafeSpeculativeLoad(StackLoad, &M));
   Instr Vol = memInstr(Opcode::L, Reg::gpr(41), 0, "a", 4, true);
   EXPECT_FALSE(isSafeSpeculativeLoad(Vol, &M));
+}
+
+TEST(MemAlias, SpeculativeLoadBoundaries) {
+  Module M;
+  M.addGlobal("g", 16);
+  // Exact fit against the end of the extent (Disp + Size == G->Size)...
+  Instr ExactEnd = memInstr(Opcode::L, Reg::gpr(41), 8, "g", 8);
+  EXPECT_TRUE(isSafeSpeculativeLoad(ExactEnd, &M));
+  Instr Exact4 = memInstr(Opcode::L, Reg::gpr(41), 12, "g", 4);
+  EXPECT_TRUE(isSafeSpeculativeLoad(Exact4, &M));
+  // ...vs one byte past it.
+  Instr PastEnd = memInstr(Opcode::L, Reg::gpr(41), 9, "g", 8);
+  EXPECT_FALSE(isSafeSpeculativeLoad(PastEnd, &M));
+  Instr Past4 = memInstr(Opcode::L, Reg::gpr(41), 13, "g", 4);
+  EXPECT_FALSE(isSafeSpeculativeLoad(Past4, &M));
+  // Negative displacements read outside the named extent / owned frame.
+  Instr NegGlobal = memInstr(Opcode::L, Reg::gpr(41), -4, "g", 4);
+  EXPECT_FALSE(isSafeSpeculativeLoad(NegGlobal, &M));
+  Instr NegStack = memInstr(Opcode::L, regs::sp(), -8, nullptr, 8);
+  EXPECT_FALSE(isSafeSpeculativeLoad(NegStack, &M));
+  Instr ZeroStack = memInstr(Opcode::L, regs::sp(), 0, nullptr, 8);
+  EXPECT_TRUE(isSafeSpeculativeLoad(ZeroStack, &M));
+  // Volatile rejection beats every other rule, including "!safe".
+  Instr VolSafe = memInstr(Opcode::L, regs::sp(), 0, nullptr, 8, true);
+  VolSafe.SpecSafe = true;
+  EXPECT_FALSE(isSafeSpeculativeLoad(VolSafe, &M));
+}
+
+//===----------------------------------------------------------------------===//
+// Flow-sensitive tier (analysis/ValueTrack.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The \p Nth memory access of \p F in layout order (0-based).
+const Instr &memAccessAt(const Function &F, unsigned N) {
+  for (const auto &BB : F.blocks())
+    for (const Instr &I : BB->instrs())
+      if (I.isMemAccess() && N-- == 0)
+        return I;
+  ADD_FAILURE() << "not enough memory accesses";
+  static Instr Dummy;
+  return Dummy;
+}
+
+} // namespace
+
+TEST(ValueTrack, TracksBasesThroughCopiesAndTocReloads) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LTOC r32 = .a
+  LR r33 = r32
+  AI r34 = r33, 8
+  L r40 = 0(r34)
+  LTOC r35 = .b
+  ST 0(r35) = r40
+  L r41 = 0(r32)
+  LR r3 = r41
+  CALL print_int, 1
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  AliasAnalysis AA(F);
+  const Instr &LoadA8 = memAccessAt(F, 0); // 0(r34) = &a + 8
+  const Instr &StoreB = memAccessAt(F, 1); // 0(r35) = &b + 0
+  const Instr &LoadA0 = memAccessAt(F, 2); // 0(r32) = &a + 0
+  ASSERT_NE(AA.location(LoadA8.Id), nullptr);
+  EXPECT_EQ(AA.str(*AA.location(LoadA8.Id)), "&a+8");
+  EXPECT_EQ(AA.str(*AA.location(StoreB.Id)), "&b+0");
+  // Distinct globals through unannotated, copied bases — the syntactic
+  // tier sees two unknown base registers here.
+  EXPECT_EQ(AA.alias(LoadA8, StoreB, AliasScope::CrossExecution),
+            AliasResult::NoAlias);
+  // Disjoint offsets into one global, through different registers.
+  EXPECT_EQ(AA.alias(LoadA8, LoadA0, AliasScope::CrossExecution),
+            AliasResult::NoAlias);
+  Instr SameSpot = LoadA8; // same id, same resolved location
+  EXPECT_EQ(AA.alias(LoadA8, SameSpot, AliasScope::CrossExecution),
+            AliasResult::MustAlias);
+}
+
+TEST(ValueTrack, PointsToAtBlockEntry) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LTOC r32 = .a
+  AI r33 = r32, 8
+  B next
+next:
+  L r40 = 0(r33)
+  LR r3 = r40
+  CALL print_int, 1
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  AliasAnalysis AA(F);
+  const BasicBlock *Next = F.findBlock("next");
+  EXPECT_EQ(AA.str(AA.pointsTo(Reg::gpr(33), Next)), "&a+8");
+  // r1 is the frame base at entry everywhere.
+  EXPECT_EQ(AA.str(AA.pointsTo(regs::sp(), Next)), "stack+0");
+}
+
+TEST(ValueTrack, LoopVaryingStackPointerDegradesToUnknownOffset) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LI r32 = 4
+  MTCTR r32
+  LR r33 = r1
+  LTOC r34 = .g
+loop:
+  L r40 = 0(r33)
+  ST 0(r34) = r40
+  AI r33 = r33, 8
+  BCT loop
+exit:
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  AliasAnalysis AA(F);
+  const Instr &StackLoad = memAccessAt(F, 0);
+  const Instr &GlobalStore = memAccessAt(F, 1);
+  // The walking pointer joins Stack+0 with Stack+8k: region survives, the
+  // offset does not.
+  ASSERT_NE(AA.location(StackLoad.Id), nullptr);
+  EXPECT_EQ(AA.str(*AA.location(StackLoad.Id)), "stack+?");
+  // Stack-vs-global stays absolute even with the unknown offset.
+  EXPECT_EQ(AA.alias(StackLoad, GlobalStore, AliasScope::CrossExecution),
+            AliasResult::NoAlias);
+}
+
+TEST(ValueTrack, ValueNumberScopesLimitUnknownBaseClaims) {
+  auto M = parseOrDie(R"(
+func main(1) {
+entry:
+  LI r32 = 2
+  MTCTR r32
+loop:
+  L r34 = 0(r3)
+  L r40 = 0(r34)
+  LR r35 = r34
+  ST 16(r35) = r40
+  BCT loop
+exit:
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  AliasAnalysis AA(F);
+  const Instr &PtrLoad = memAccessAt(F, 0);  // 0(r3)
+  const Instr &Load = memAccessAt(F, 1);     // 0(r34)
+  const Instr &Store = memAccessAt(F, 2);    // 16(r35), r35 copies r34
+  // Same value number through the copy, disjoint offsets, different base
+  // registers: only the flow-sensitive tier can prove this, and only
+  // within one execution of the block (r34 is reloaded every iteration).
+  EXPECT_EQ(AA.alias(Load, Store, AliasScope::SameExecution),
+            AliasResult::NoAlias);
+  EXPECT_EQ(AA.alias(Load, Store, AliasScope::CrossExecution),
+            AliasResult::MayAlias);
+  // The pointer cell itself vs the pointee: nothing relates r3 and r34.
+  EXPECT_EQ(AA.alias(PtrLoad, Load, AliasScope::SameExecution),
+            AliasResult::MayAlias);
+}
+
+TEST(ValueTrack, OnceDefinedBasesClaimPerInvocation) {
+  auto M = parseOrDie(R"(
+func main(1) {
+entry:
+  L r40 = 0(r3)
+  L r41 = 8(r3)
+  A r42 = r40, r41
+  LR r3 = r42
+  CALL print_int, 1
+  RET
+}
+)");
+  Function &F = *M->findFunction("main");
+  AliasAnalysis AA(F);
+  const Instr &A = memAccessAt(F, 0);
+  const Instr &B = memAccessAt(F, 1);
+  // The base is a live-in observed once per invocation: the disjointness
+  // holds even across blocks.
+  EXPECT_EQ(AA.alias(A, B, AliasScope::CrossExecution), AliasResult::NoAlias);
+}
+
+TEST(ValueTrack, FlowSensitiveSpeculativeLoadSafety) {
+  auto M = parseOrDie(R"(
+func main(0) {
+entry:
+  LTOC r32 = .g
+  AI r33 = r32, 24
+  L r40 = 0(r33)
+  L r41 = 8(r33)
+  LR r3 = r40
+  CALL print_int, 1
+  RET
+}
+)");
+  Module &Mod = *M;
+  Mod.addGlobal("g", 32);
+  Function &F = *Mod.findFunction("main");
+  AliasAnalysis AA(F);
+  const Instr &InBounds = memAccessAt(F, 0);  // g+24, size 4: fits in 32
+  const Instr &OutBounds = memAccessAt(F, 1); // g+32: one past
+  // Syntactically both loads are unannotated unknown-base accesses.
+  EXPECT_FALSE(isSafeSpeculativeLoad(InBounds, &Mod));
+  EXPECT_TRUE(AA.safeSpeculativeLoad(InBounds, &Mod));
+  EXPECT_FALSE(AA.safeSpeculativeLoad(OutBounds, &Mod));
 }
 
 //===----------------------------------------------------------------------===//

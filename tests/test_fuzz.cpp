@@ -68,11 +68,14 @@ RunResult runIt(const Module &M, const MachineModel &Machine) {
 /// Every fuzzed pipeline run carries the semantic audits AND the
 /// differential execution oracle at Boundaries level, so all 40 seeds
 /// exercise both checkers across the whole pipeline (each aborts the
-/// process on a finding, with the FuzzContext reproduction info).
+/// process on a finding, with the FuzzContext reproduction info). The
+/// alias audit rides along: every NoAlias claim the pipeline issues on
+/// these programs is validated against runtime addresses.
 PipelineOptions auditedOptions() {
   PipelineOptions Opts;
   Opts.Audit = AuditLevel::Boundaries;
   Opts.Oracle = OracleLevel::Boundaries;
+  Opts.AliasAudit = true;
   return Opts;
 }
 

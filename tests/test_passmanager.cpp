@@ -108,6 +108,45 @@ public:
   }
 };
 
+const char *AliasIR = R"(
+func main(0) {
+entry:
+  LTOC r32 = .g
+  AI r33 = r32, 8
+  L r40 = 0(r33)
+  LR r3 = r40
+  CALL print_int, 1
+  RET
+}
+)";
+
+/// Warms the flow-sensitive alias analysis (and its Cfg/Loops inputs).
+class AliasWarmupPass : public FunctionPass {
+public:
+  const char *name() const override { return "alias-warmup"; }
+  PreservedAnalyses run(Function &, Module &, FunctionAnalyses &FA) override {
+    (void)FA.aliasAnalysis();
+    return PreservedAnalyses::all();
+  }
+};
+
+/// Rewrites the add-immediate feeding a load's base register in place (no
+/// epoch bump, no invalidation) and claims everything preserved. The
+/// cached AliasAnalysis still resolves the load to the old global offset,
+/// so any consumer trusting the cache would disambiguate against an
+/// address the code no longer computes.
+class BaseRewritingLiarPass : public FunctionPass {
+public:
+  const char *name() const override { return "base-liar"; }
+  PreservedAnalyses run(Function &F, Module &, FunctionAnalyses &) override {
+    for (auto &BB : F.blocks())
+      for (Instr &I : BB->instrs())
+        if (I.Op == Opcode::AI)
+          I.Imm += 8;
+    return PreservedAnalyses::all();
+  }
+};
+
 /// Grows the CFG through the proper Function mutators (which bump the
 /// epoch) while still claiming all() — the epoch guard must make this
 /// safe regardless of the optimistic claim.
@@ -238,6 +277,23 @@ TEST(AnalysisChecker, CatchesLyingPass) {
   ASSERT_NE(Err, "");
   EXPECT_NE(Err.find("liar"), std::string::npos) << Err;
   EXPECT_NE(Err.find("stale"), std::string::npos) << Err;
+}
+
+TEST(AnalysisChecker, CatchesBaseRegisterRewriter) {
+  // VSC_CHECK_ANALYSES semantics: the recompute-and-compare checker must
+  // extend to the alias analysis — a pass silently changing where a base
+  // register points leaves the cached access locations stale.
+  auto M = parseOrDie(AliasIR);
+  Function &F = *M->findFunction("main");
+  FunctionPassManager FPM;
+  FPM.setCheckAnalyses(true);
+  FPM.add(std::make_unique<AliasWarmupPass>());
+  FPM.add(std::make_unique<BaseRewritingLiarPass>());
+  FunctionAnalyses FA(F);
+  std::string Err = FPM.run(F, *M, FA);
+  ASSERT_NE(Err, "");
+  EXPECT_NE(Err.find("base-liar"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("stale AliasAnalysis"), std::string::npos) << Err;
 }
 
 TEST(AnalysisChecker, HonestMutatorIsClean) {
