@@ -14,7 +14,7 @@
 #include "profile/Counters.h"
 #include "sim/Simulator.h"
 #include "vliw/Pipeline.h"
-#include "workloads/Spec.h"
+#include "workloads/Registry.h"
 
 #include <benchmark/benchmark.h>
 

@@ -121,7 +121,7 @@ int main(int Argc, char **Argv) {
   std::printf("%-10s %12s %12s %9s\n", "Benchmark", "vliw", "vliw+pdf",
               "gain");
   std::vector<double> Gains;
-  for (const Workload &W : specWorkloads()) {
+  for (const Workload &W : workloads::allKernels()) {
     auto Source = buildWorkload(W);
     PdfExperimentOptions Opts;
     Opts.Machine = Machine;
@@ -139,8 +139,9 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.GuidedCycles),
                 (R.gain() - 1.0) * 100.0);
   }
-  std::printf("%-10s %12s %12s %8.1f%%   (paper: +4-5%%)\n\n", "geomean",
-              "", "", (geomean(Gains) - 1.0) * 100.0);
+  std::printf("%-10s %12s %12s %8.1f%%   (paper: +4-5%% on the SPEC six; "
+              "table includes the irregular kernels)\n\n",
+              "geomean", "", "", (geomean(Gains) - 1.0) * 100.0);
 
   if (!OutPath.empty()) {
     unsigned Threads = ThreadPool::defaultThreadCount();

@@ -9,6 +9,10 @@
 /// the same way). Expected shape: every benchmark improves; overall gain
 /// in the low tens of percent (paper: ~13%).
 ///
+/// The table runs over the full kernel registry — the six SPECint92
+/// substitutes first (their geomean is the paper-comparable SPECint92
+/// line), then the five irregular kernels with their own summary line.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -16,7 +20,8 @@
 using namespace vsc;
 
 static void BM_SimulateVliw(benchmark::State &State) {
-  const Workload &W = specWorkloads()[static_cast<size_t>(State.range(0))];
+  const Workload &W =
+      workloads::allKernels()[static_cast<size_t>(State.range(0))];
   auto M = buildAt(W, OptLevel::Vliw, rs6000());
   for (auto _ : State) {
     RunResult R = runRef(*M, W, rs6000());
@@ -24,7 +29,8 @@ static void BM_SimulateVliw(benchmark::State &State) {
   }
   State.SetLabel(W.Name);
 }
-BENCHMARK(BM_SimulateVliw)->DenseRange(0, 5);
+BENCHMARK(BM_SimulateVliw)
+    ->DenseRange(0, static_cast<int>(workloads::allKernels().size()) - 1);
 
 int main(int Argc, char **Argv) {
   MachineModel Machine = rs6000();
@@ -34,7 +40,8 @@ int main(int Argc, char **Argv) {
               "xlc-mark", "VLIW-cycles", "VLIW-mark", "speedup");
 
   std::vector<double> Speedups;
-  for (const Workload &W : specWorkloads()) {
+  std::vector<double> IrregularSpeedups;
+  for (const Workload &W : workloads::allKernels()) {
     auto Classical = buildAt(W, OptLevel::Classical, Machine);
     auto Vliw = buildAt(W, OptLevel::Vliw, Machine);
     RunResult RC = runRef(*Classical, W, Machine);
@@ -44,7 +51,8 @@ int main(int Argc, char **Argv) {
     double MarkV = 1e9 / static_cast<double>(RV.Cycles);
     double Speedup = static_cast<double>(RC.Cycles) /
                      static_cast<double>(RV.Cycles);
-    Speedups.push_back(Speedup);
+    (workloads::isIrregular(W) ? IrregularSpeedups : Speedups)
+        .push_back(Speedup);
     std::printf("%-10s %12llu %10.2f %12llu %10.2f %8.1f%%\n",
                 W.Name.c_str(),
                 static_cast<unsigned long long>(RC.Cycles), MarkC,
@@ -53,8 +61,11 @@ int main(int Argc, char **Argv) {
   }
   std::printf("%-10s %12s %10s %12s %10s %8.1f%%\n", "SPECint92", "", "",
               "", "", (geomean(Speedups) - 1.0) * 100.0);
+  std::printf("%-10s %12s %10s %12s %10s %8.1f%%\n", "irregular", "", "",
+              "", "", (geomean(IrregularSpeedups) - 1.0) * 100.0);
   std::printf("(paper: espresso +8.9%%, li +21%%, eqntott +27%%, compress "
-              "+12%%, sc +11%%, gcc +1.5%%; geometric mean about +13%%)\n\n");
+              "+12%%, sc +11%%, gcc +1.5%%; geometric mean about +13%%; "
+              "irregular kernels are not in the paper's table)\n\n");
 
   return runRegisteredBenchmarks(Argc, Argv);
 }

@@ -1,0 +1,175 @@
+//===- bench/bench_workloads.cpp - Irregular-suite measurement matrix -------===//
+///
+/// The full measurement matrix for every registered kernel (the six
+/// SPECint92 substitutes and the five irregular kernels): cycles at
+/// OptLevel::None, Classical and Vliw on each of the three machine
+/// models, plus the Vliw+PDF cell (train on the short input, measure on
+/// the reference input, through the pdf/PdfExperiment.h driver) with the
+/// measured layout-gate decision. Every cell is fingerprint-checked
+/// against the O0 run on the same machine — a divergence aborts the
+/// binary before it can report numbers from a broken transformation.
+///
+/// The headline this table exists for: the bytecode-interpreter kernel's
+/// ladder dispatch places the hottest opcode last, so without a profile
+/// every dispatch pays a chain of taken-branch redirects; PDF layout
+/// (reordering + branch reversal) recovers a double-digit gain, while
+/// the chase kernel shows the gate correctly keeping the baseline when
+/// layout cannot help a pointer-serial loop.
+///
+/// Writes the matrix as BENCH_workloads.json (override with
+/// --workloads-out=FILE).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "pdf/PdfExperiment.h"
+
+#include <cstring>
+
+using namespace vsc;
+
+namespace {
+
+struct Cell {
+  uint64_t O0 = 0;
+  uint64_t Classical = 0;
+  uint64_t Vliw = 0;
+  uint64_t VliwPdf = 0;
+  int LayoutKept = -1;
+  double pdfGain() const {
+    return VliwPdf ? static_cast<double>(Vliw) /
+                         static_cast<double>(VliwPdf)
+                   : 1.0;
+  }
+};
+
+Cell measure(const Workload &W, const MachineModel &Machine) {
+  Cell C;
+  auto M0 = buildAt(W, OptLevel::None, Machine);
+  RunResult R0 = runRef(*M0, W, Machine);
+  C.O0 = R0.Cycles;
+
+  auto MC = buildAt(W, OptLevel::Classical, Machine);
+  RunResult RC = runRef(*MC, W, Machine);
+  checkSame(R0, RC, (W.Name + "/" + Machine.Name + " classical").c_str());
+  C.Classical = RC.Cycles;
+
+  auto MV = buildAt(W, OptLevel::Vliw, Machine);
+  RunResult RV = runRef(*MV, W, Machine);
+  checkSame(R0, RV, (W.Name + "/" + Machine.Name + " vliw").c_str());
+  C.Vliw = RV.Cycles;
+
+  auto Source = buildWorkload(W);
+  PdfExperimentOptions Opts;
+  Opts.Machine = Machine;
+  Opts.Train = {workloadInput(W.TrainScale)};
+  Opts.Test = {workloadInput(W.RefScale)};
+  Opts.ProfileSource = PdfExperimentOptions::Source::Counters;
+  PdfExperimentResult R = runPdfExperiment(*Source, Opts);
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s on %s: %s\n", W.Name.c_str(),
+                 Machine.Name.c_str(), R.Error.c_str());
+    std::abort();
+  }
+  checkSame(R0, R.GuidedRuns.front(),
+            (W.Name + "/" + Machine.Name + " vliw+pdf").c_str());
+  C.VliwPdf = R.GuidedCycles;
+  C.LayoutKept = R.PdfLayoutKept;
+  return C;
+}
+
+} // namespace
+
+static void BM_SimulateIrregularVliw(benchmark::State &State) {
+  const Workload &W =
+      irregularWorkloads()[static_cast<size_t>(State.range(0))];
+  auto M = buildAt(W, OptLevel::Vliw, rs6000());
+  for (auto _ : State) {
+    RunResult R = runRef(*M, W, rs6000());
+    benchmark::DoNotOptimize(R.Cycles);
+  }
+  State.SetLabel(W.Name);
+}
+BENCHMARK(BM_SimulateIrregularVliw)
+    ->DenseRange(0, static_cast<int>(irregularWorkloads().size()) - 1);
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = "BENCH_workloads.json";
+  std::vector<char *> Rest;
+  for (int I = 0; I != Argc; ++I) {
+    if (std::strncmp(Argv[I], "--workloads-out=", 16) == 0)
+      OutPath = Argv[I] + 16;
+    else
+      Rest.push_back(Argv[I]);
+  }
+  int RestArgc = static_cast<int>(Rest.size());
+
+  const MachineModel Machines[] = {rs6000(), power2(), ppc601()};
+  std::printf("Workload measurement matrix (reference inputs; cycles)\n");
+  std::printf("%-10s %-7s %12s %12s %12s %12s %6s %9s\n", "Benchmark",
+              "machine", "O0", "classical", "vliw", "vliw+pdf", "kept",
+              "pdf-gain");
+
+  std::string Json = "{\n  \"bench\": \"workloads\",\n  \"kernels\": [\n";
+  std::vector<double> PdfGains[2]; // [0]=spec six, [1]=irregular
+  const auto &Ws = workloads::allKernels();
+  for (size_t I = 0; I != Ws.size(); ++I) {
+    const Workload &W = Ws[I];
+    bool Irr = workloads::isIrregular(W);
+    Json += "    {\"name\": \"" + W.Name + "\", \"irregular\": " +
+            (Irr ? "true" : "false") + ", \"machines\": [\n";
+    for (size_t MI = 0; MI != 3; ++MI) {
+      const MachineModel &Machine = Machines[MI];
+      Cell C = measure(W, Machine);
+      if (Machine.Name == "rs6000")
+        PdfGains[Irr].push_back(C.pdfGain());
+      std::printf("%-10s %-7s %12llu %12llu %12llu %12llu %6d %8.1f%%\n",
+                  W.Name.c_str(), Machine.Name.c_str(),
+                  static_cast<unsigned long long>(C.O0),
+                  static_cast<unsigned long long>(C.Classical),
+                  static_cast<unsigned long long>(C.Vliw),
+                  static_cast<unsigned long long>(C.VliwPdf), C.LayoutKept,
+                  (C.pdfGain() - 1.0) * 100.0);
+      char Buf[320];
+      std::snprintf(Buf, sizeof(Buf),
+                    "      {\"model\": \"%s\", \"cycles_o0\": %llu, "
+                    "\"cycles_classical\": %llu, \"cycles_vliw\": %llu, "
+                    "\"cycles_vliw_pdf\": %llu, \"pdf_layout_kept\": %d, "
+                    "\"pdf_gain\": %.4f}%s\n",
+                    Machine.Name.c_str(),
+                    static_cast<unsigned long long>(C.O0),
+                    static_cast<unsigned long long>(C.Classical),
+                    static_cast<unsigned long long>(C.Vliw),
+                    static_cast<unsigned long long>(C.VliwPdf),
+                    C.LayoutKept, C.pdfGain(), MI != 2 ? "," : "");
+      Json += Buf;
+    }
+    Json += std::string("    ]}") + (I + 1 != Ws.size() ? "," : "") + "\n";
+  }
+  double SpecGain = geomean(PdfGains[0]);
+  double IrrGain = geomean(PdfGains[1]);
+  std::printf("%-10s %-7s %12s %12s %12s %12s %6s %8.1f%%\n",
+              "spec-six", "rs6000", "", "", "", "", "",
+              (SpecGain - 1.0) * 100.0);
+  std::printf("%-10s %-7s %12s %12s %12s %12s %6s %8.1f%%\n",
+              "irregular", "rs6000", "", "", "", "", "",
+              (IrrGain - 1.0) * 100.0);
+  std::printf("(pdf-gain geomeans; kept: 1 = measured gate kept the PDF "
+              "layout, 0 = rolled back, -1 = gate not reached)\n\n");
+
+  char Tail[128];
+  std::snprintf(Tail, sizeof(Tail),
+                "  ],\n  \"spec_pdf_gain_geomean\": %.4f,\n"
+                "  \"irregular_pdf_gain_geomean\": %.4f\n}\n", SpecGain,
+                IrrGain);
+  Json += Tail;
+  if (FILE *F = std::fopen(OutPath.c_str(), "w")) {
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", OutPath.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+  }
+
+  return runRegisteredBenchmarks(RestArgc, Rest.data());
+}

@@ -27,7 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "pdf/PdfExperiment.h"
-#include "workloads/Spec.h"
+#include "workloads/Registry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -86,12 +86,13 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  const Workload *W = nullptr;
-  for (const Workload &Cand : specWorkloads())
-    if (Cand.Name == WorkloadName)
-      W = &Cand;
+  const Workload *W = workloads::findKernel(WorkloadName);
   if (!W) {
-    std::fprintf(stderr, "unknown workload '%s'\n", WorkloadName.c_str());
+    std::fprintf(stderr, "unknown workload '%s' (kernels:",
+                 WorkloadName.c_str());
+    for (const Workload &Cand : workloads::allKernels())
+      std::fprintf(stderr, " %s", Cand.Name.c_str());
+    std::fprintf(stderr, ")\n");
     return 2;
   }
   std::printf("PDF workflow on the %s kernel\n\n", W->Name.c_str());

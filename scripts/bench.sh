@@ -4,9 +4,12 @@
 # google-benchmark JSON at the repo root as BENCH_oracle.json plus the
 # parallel-driver thread sweep as BENCH_compile_parallel.json, the
 # legacy-vs-predecoded simulator comparison as BENCH_sim.json, the
-# legacy-vs-ProfileStore PDF experiment comparison as BENCH_pdf.json and
-# the syntactic-vs-flow-sensitive disambiguation-rate and cycle table as
-# BENCH_alias.json (human-readable tables go to stdout).
+# legacy-vs-ProfileStore PDF experiment comparison as BENCH_pdf.json, the
+# syntactic-vs-flow-sensitive disambiguation-rate and cycle table as
+# BENCH_alias.json, and the full per-kernel measurement matrix (every
+# registered kernel x O0/Classical/Vliw x three machine models, with and
+# without PDF) as BENCH_workloads.json (human-readable tables go to
+# stdout).
 #
 #   scripts/bench.sh [JOBS]
 set -euo pipefail
@@ -17,7 +20,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS" \
   --target bench_oracle_overhead --target bench_compile_time \
-  --target bench_sim --target bench_pdf_gain --target bench_alias
+  --target bench_sim --target bench_pdf_gain --target bench_alias \
+  --target bench_workloads
 
 "$ROOT/build/bench/bench_oracle_overhead" \
   --benchmark_out="$ROOT/BENCH_oracle.json" \
@@ -42,8 +46,16 @@ VSC_THREADS=4 "$ROOT/build/bench/bench_pdf_gain" \
   --alias-out="$ROOT/BENCH_alias.json" \
   --benchmark_filter='^$'
 
+# Full per-kernel matrix over the registry (spec six + irregular five):
+# cycles at every opt level on every machine model, with and without PDF,
+# including the measured layout-gate decision per cell.
+"$ROOT/build/bench/bench_workloads" \
+  --workloads-out="$ROOT/BENCH_workloads.json" \
+  --benchmark_filter='^$'
+
 echo "wrote $ROOT/BENCH_oracle.json"
 echo "wrote $ROOT/BENCH_compile_parallel.json"
 echo "wrote $ROOT/BENCH_sim.json"
 echo "wrote $ROOT/BENCH_pdf.json"
 echo "wrote $ROOT/BENCH_alias.json"
+echo "wrote $ROOT/BENCH_workloads.json"

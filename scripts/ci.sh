@@ -60,6 +60,14 @@ run_config() {
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
       -R 'PdfStore|PdfExperiment|PdfGate'
   done
+  # The workload-kernel suites (SPEC six + irregular five): host-reference
+  # checksums, the OptLevel x machine x threads matrix, and the audited
+  # oracle+alias pipeline per kernel. Run explicitly so a filtered
+  # invocation above can never silently skip the kernels that anchor every
+  # measured table.
+  echo "=== [$name] workload kernel suites ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+    -R 'Workload|AllKernels'
   # Cross-process profile handoff: pdf_workflow trains and persists a
   # profile, vscc compiles the emitted source with it in a separate
   # process; the measured layout gate must reach the identical decision.

@@ -1,0 +1,456 @@
+//===- workloads/Irregular.cpp - Irregular-workload kernels -------------------===//
+
+#include "workloads/Irregular.h"
+
+#include <cassert>
+
+using namespace vsc;
+
+namespace {
+
+// --- hashagg: open-addressing hash-table group-by ----------------------------
+// The VLDB aggregation shape (independent counter table): a skewed key
+// stream is grouped through an open-addressing table with linear probing.
+// The probe loop's length is data-dependent, and the per-group counters
+// are load-modify-stores through computed indices — exactly the accesses
+// speculative load/store motion and limited combining must disambiguate.
+const char *HashAggSrc = R"(
+int keys[1024];
+int vals[1024];
+int htab[256];
+int hcnt[256];
+int hsum[256];
+
+int main(int scale) {
+  int nkeys = 600;
+  int seed = 2024;
+  for (int i = 0; i < nkeys; i++) {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0xffffff;
+    int r = (seed >> 8) & 1023;
+    int k;
+    if (r < 640) k = r & 15;
+    else if (r < 896) k = r & 63;
+    else k = r & 255;
+    keys[i] = k;
+    vals[i] = (seed >> 4) & 255;
+  }
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    for (int i = 0; i < 256; i++) {
+      htab[i] = 0;
+      hcnt[i] = 0;
+      hsum[i] = 0;
+    }
+    int probes = 0;
+    for (int i = 0; i < nkeys; i++) {
+      int k = keys[i];
+      int h = ((k * 2654435761) >> 4) & 255;
+      while (htab[h] != 0 && htab[h] != k + 1) {
+        h = (h + 1) & 255;
+        probes = probes + 1;
+      }
+      htab[h] = k + 1;
+      hcnt[h] = hcnt[h] + 1;
+      hsum[h] = hsum[h] + vals[i];
+    }
+    int agg = 0;
+    for (int i = 0; i < 256; i++) {
+      agg = agg + hsum[i] * 3 + hcnt[i];
+    }
+    checksum = checksum + agg + probes;
+  }
+  print_int(checksum);
+  return 0;
+}
+)";
+
+// --- filter: data-dependent branch filtering ---------------------------------
+// Selective aggregation with an adaptive threshold: the accept branch is
+// heavily biased but data-dependent, and both arms load-modify-store a
+// set of global scalars — the register-caching case that needs the
+// scalar stores proven disjoint, plus branch-reversal fodder.
+const char *FilterSrc = R"(
+int data[2048];
+int passed;
+int rejected;
+int running;
+int peak;
+
+int main(int scale) {
+  int n = 1500;
+  int seed = 777;
+  for (int i = 0; i < n; i++) {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0xffffff;
+    data[i] = (seed >> 6) & 1023;
+  }
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    passed = 0;
+    rejected = 0;
+    running = 0;
+    peak = 0;
+    int threshold = 128;
+    for (int i = 0; i < n; i++) {
+      int v = data[i];
+      if (v >= threshold) {
+        passed = passed + 1;
+        running = running + v;
+        if (running > peak) peak = running;
+        threshold = threshold + ((v - threshold) >> 5);
+      } else {
+        rejected = rejected + 1;
+        running = running - (v >> 1);
+        threshold = threshold - 2;
+      }
+    }
+    checksum = checksum + passed * 5 + rejected * 3 + (running & 0xffff) +
+               (peak & 0xffff);
+  }
+  print_int(checksum);
+  return 0;
+}
+)";
+
+// --- chase: linked-bucket hash lookups ---------------------------------------
+// Chained hashing in index form (like li's cons cells, but bucketed):
+// lookups walk bucket chains through loop-carried dependent loads whose
+// trip count is data-dependent. The build phase's stores and the query
+// phase's chasing loads stress cross-iteration disambiguation.
+const char *ChaseSrc = R"(
+int heads[128];
+int nextp[1024];
+int nodekey[1024];
+int nodeval[1024];
+
+int main(int scale) {
+  int nnodes = 700;
+  int seed = 555;
+  for (int b = 0; b < 128; b++) heads[b] = 0;
+  for (int i = 1; i <= nnodes; i++) {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0xffffff;
+    int k = (seed >> 5) & 511;
+    int b = k & 127;
+    nodekey[i] = k;
+    nodeval[i] = (seed >> 3) & 255;
+    nextp[i] = heads[b];
+    heads[b] = i;
+  }
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    int found = 0;
+    int miss = 0;
+    int sum = 0;
+    for (int q = 0; q < 512; q++) {
+      int k = (q * 13 + pass) & 511;
+      int p = heads[k & 127];
+      while (p != 0 && nodekey[p] != k) {
+        p = nextp[p];
+      }
+      if (p != 0) {
+        found = found + 1;
+        sum = sum + nodeval[p];
+      } else {
+        miss = miss + 1;
+      }
+    }
+    checksum = checksum + found * 7 + miss + sum;
+  }
+  print_int(checksum);
+  return 0;
+}
+)";
+
+// --- interp: bytecode interpreter, ladder dispatch ---------------------------
+// An accumulator virtual machine dispatching over a skewed opcode stream.
+// The hottest opcode (7, ~48% of the stream) sits LAST in the dispatch
+// ladder, so the untrained layout pays a taken-branch redirect at every
+// rung on the hot path — the canonical victim PDF most-frequent-successor
+// layout and branch reversal exist to fix.
+const char *InterpSrc = R"(
+int code[512];
+int carg[512];
+int vmem[64];
+
+int main(int scale) {
+  int proglen = 400;
+  int seed = 31337;
+  for (int i = 0; i < proglen; i++) {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0xffffff;
+    int r = (seed >> 7) & 255;
+    int op;
+    if (r < 112) op = 7;
+    else if (r < 176) op = 6;
+    else op = r & 7;
+    code[i] = op;
+    carg[i] = (seed >> 3) & 63;
+  }
+  for (int i = 0; i < 64; i++) vmem[i] = (i * 11) & 255;
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    int acc = pass & 7;
+    int ip = 0;
+    while (ip < proglen) {
+      int op = code[ip];
+      int a = carg[ip];
+      if (op == 0) acc = acc + a;
+      else if (op == 1) acc = acc - (a >> 1);
+      else if (op == 2) acc = acc ^ vmem[a];
+      else if (op == 3) vmem[a] = acc & 255;
+      else if (op == 4) acc = acc + vmem[(acc + a) & 63];
+      else if (op == 5) {
+        if (acc & 1) acc = acc + 3;
+        else acc = acc - 1;
+      }
+      else if (op == 6) acc = (acc << 1) ^ a;
+      else acc = (acc ^ (acc >> 2)) + a;
+      acc = acc & 0xffffff;
+      ip = ip + 1;
+    }
+    checksum = (checksum + acc) & 0xffffff;
+  }
+  for (int i = 0; i < 64; i++) checksum = (checksum * 31 + vmem[i]) & 0xffffff;
+  print_int(checksum);
+  return 0;
+}
+)";
+
+// --- interp_tc: the same VM, threaded-style dispatch -------------------------
+// Semantically identical to interp (same opcode stream, same handler
+// effects, same printed checksum): the handlers for the two hot opcodes
+// replicate the fetch/dispatch tail and consume runs locally, the way
+// threaded code gives every handler its own dispatch branch — so the
+// profile sees distinct, differently-biased branch sites per handler.
+const char *InterpTcSrc = R"(
+int code[512];
+int carg[512];
+int vmem[64];
+
+int main(int scale) {
+  int proglen = 400;
+  int seed = 31337;
+  for (int i = 0; i < proglen; i++) {
+    seed = seed * 1103515245 + 12345;
+    seed = seed & 0xffffff;
+    int r = (seed >> 7) & 255;
+    int op;
+    if (r < 112) op = 7;
+    else if (r < 176) op = 6;
+    else op = r & 7;
+    code[i] = op;
+    carg[i] = (seed >> 3) & 63;
+  }
+  for (int i = 0; i < 64; i++) vmem[i] = (i * 11) & 255;
+  int checksum = 0;
+  for (int pass = 0; pass < scale; pass++) {
+    int acc = pass & 7;
+    int ip = 0;
+    while (ip < proglen) {
+      int op = code[ip];
+      if (op == 7 || op == 6) {
+        while (1) {
+          int a = carg[ip];
+          if (op == 7) acc = ((acc ^ (acc >> 2)) + a) & 0xffffff;
+          else acc = ((acc << 1) ^ a) & 0xffffff;
+          ip = ip + 1;
+          if (ip >= proglen) break;
+          op = code[ip];
+          if (op != 7 && op != 6) break;
+        }
+      } else {
+        int a = carg[ip];
+        if (op == 0) acc = acc + a;
+        else if (op == 1) acc = acc - (a >> 1);
+        else if (op == 2) acc = acc ^ vmem[a];
+        else if (op == 3) vmem[a] = acc & 255;
+        else if (op == 4) acc = acc + vmem[(acc + a) & 63];
+        else {
+          if (acc & 1) acc = acc + 3;
+          else acc = acc - 1;
+        }
+        acc = acc & 0xffffff;
+        ip = ip + 1;
+      }
+    }
+    checksum = (checksum + acc) & 0xffffff;
+  }
+  for (int i = 0; i < 64; i++) checksum = (checksum * 31 + vmem[i]) & 0xffffff;
+  print_int(checksum);
+  return 0;
+}
+)";
+
+// --- host-side reference mirrors ---------------------------------------------
+// Independent C++ implementations of the kernels above, with the
+// simulator's value model: 64-bit scalars, 32-bit memory cells (all
+// values here stay well inside 32 bits, but the arrays are int32_t so a
+// future kernel edit that overflows a cell fails loudly in the parity
+// test instead of silently diverging).
+
+int64_t refHashAgg(int64_t Scale) {
+  int32_t Keys[1024] = {0}, Vals[1024] = {0};
+  int32_t Htab[256], Hcnt[256], Hsum[256];
+  int64_t NKeys = 600, Seed = 2024;
+  for (int64_t I = 0; I < NKeys; ++I) {
+    Seed = (Seed * 1103515245 + 12345) & 0xffffff;
+    int64_t R = (Seed >> 8) & 1023;
+    int64_t K = R < 640 ? (R & 15) : R < 896 ? (R & 63) : (R & 255);
+    Keys[I] = static_cast<int32_t>(K);
+    Vals[I] = static_cast<int32_t>((Seed >> 4) & 255);
+  }
+  int64_t Checksum = 0;
+  for (int64_t Pass = 0; Pass < Scale; ++Pass) {
+    for (int I = 0; I < 256; ++I)
+      Htab[I] = Hcnt[I] = Hsum[I] = 0;
+    int64_t Probes = 0;
+    for (int64_t I = 0; I < NKeys; ++I) {
+      int64_t K = Keys[I];
+      int64_t H = ((K * 2654435761LL) >> 4) & 255;
+      while (Htab[H] != 0 && Htab[H] != K + 1) {
+        H = (H + 1) & 255;
+        ++Probes;
+      }
+      Htab[H] = static_cast<int32_t>(K + 1);
+      Hcnt[H] = Hcnt[H] + 1;
+      Hsum[H] = Hsum[H] + Vals[I];
+    }
+    int64_t Agg = 0;
+    for (int I = 0; I < 256; ++I)
+      Agg += Hsum[I] * 3 + Hcnt[I];
+    Checksum += Agg + Probes;
+  }
+  return Checksum;
+}
+
+int64_t refFilter(int64_t Scale) {
+  int32_t Data[2048] = {0};
+  int64_t N = 1500, Seed = 777;
+  for (int64_t I = 0; I < N; ++I) {
+    Seed = (Seed * 1103515245 + 12345) & 0xffffff;
+    Data[I] = static_cast<int32_t>((Seed >> 6) & 1023);
+  }
+  int64_t Checksum = 0;
+  for (int64_t Pass = 0; Pass < Scale; ++Pass) {
+    int64_t Passed = 0, Rejected = 0, Running = 0, Peak = 0;
+    int64_t Threshold = 128;
+    for (int64_t I = 0; I < N; ++I) {
+      int64_t V = Data[I];
+      if (V >= Threshold) {
+        Passed += 1;
+        Running += V;
+        if (Running > Peak)
+          Peak = Running;
+        Threshold += (V - Threshold) >> 5;
+      } else {
+        Rejected += 1;
+        Running -= V >> 1;
+        Threshold -= 2;
+      }
+    }
+    Checksum += Passed * 5 + Rejected * 3 + (Running & 0xffff) +
+                (Peak & 0xffff);
+  }
+  return Checksum;
+}
+
+int64_t refChase(int64_t Scale) {
+  int32_t Heads[128], Nextp[1024] = {0}, NodeKey[1024] = {0},
+                      NodeVal[1024] = {0};
+  int64_t NNodes = 700, Seed = 555;
+  for (int I = 0; I < 128; ++I)
+    Heads[I] = 0;
+  for (int64_t I = 1; I <= NNodes; ++I) {
+    Seed = (Seed * 1103515245 + 12345) & 0xffffff;
+    int64_t K = (Seed >> 5) & 511;
+    int64_t B = K & 127;
+    NodeKey[I] = static_cast<int32_t>(K);
+    NodeVal[I] = static_cast<int32_t>((Seed >> 3) & 255);
+    Nextp[I] = Heads[B];
+    Heads[B] = static_cast<int32_t>(I);
+  }
+  int64_t Checksum = 0;
+  for (int64_t Pass = 0; Pass < Scale; ++Pass) {
+    int64_t Found = 0, Miss = 0, Sum = 0;
+    for (int64_t Q = 0; Q < 512; ++Q) {
+      int64_t K = (Q * 13 + Pass) & 511;
+      int64_t P = Heads[K & 127];
+      while (P != 0 && NodeKey[P] != K)
+        P = Nextp[P];
+      if (P != 0) {
+        Found += 1;
+        Sum += NodeVal[P];
+      } else {
+        Miss += 1;
+      }
+    }
+    Checksum += Found * 7 + Miss + Sum;
+  }
+  return Checksum;
+}
+
+/// Shared by interp and interp_tc: the threaded variant reorganizes
+/// dispatch only, never the per-opcode effects or their order.
+int64_t refInterp(int64_t Scale) {
+  int32_t Code[512] = {0}, Carg[512] = {0}, Vmem[64];
+  int64_t ProgLen = 400, Seed = 31337;
+  for (int64_t I = 0; I < ProgLen; ++I) {
+    Seed = (Seed * 1103515245 + 12345) & 0xffffff;
+    int64_t R = (Seed >> 7) & 255;
+    int64_t Op = R < 112 ? 7 : R < 176 ? 6 : (R & 7);
+    Code[I] = static_cast<int32_t>(Op);
+    Carg[I] = static_cast<int32_t>((Seed >> 3) & 63);
+  }
+  for (int I = 0; I < 64; ++I)
+    Vmem[I] = (I * 11) & 255;
+  int64_t Checksum = 0;
+  for (int64_t Pass = 0; Pass < Scale; ++Pass) {
+    int64_t Acc = Pass & 7;
+    for (int64_t Ip = 0; Ip < ProgLen; ++Ip) {
+      int64_t Op = Code[Ip], A = Carg[Ip];
+      switch (Op) {
+      case 0: Acc += A; break;
+      case 1: Acc -= A >> 1; break;
+      case 2: Acc ^= Vmem[A]; break;
+      case 3: Vmem[A] = static_cast<int32_t>(Acc & 255); break;
+      case 4: Acc += Vmem[(Acc + A) & 63]; break;
+      case 5: Acc = (Acc & 1) ? Acc + 3 : Acc - 1; break;
+      case 6: Acc = (Acc << 1) ^ A; break;
+      default: Acc = (Acc ^ (Acc >> 2)) + A; break;
+      }
+      Acc &= 0xffffff;
+    }
+    Checksum = (Checksum + Acc) & 0xffffff;
+  }
+  for (int I = 0; I < 64; ++I)
+    Checksum = (Checksum * 31 + Vmem[I]) & 0xffffff;
+  return Checksum;
+}
+
+} // namespace
+
+const std::vector<Workload> &vsc::irregularWorkloads() {
+  static const std::vector<Workload> Workloads = {
+      {"hashagg", HashAggSrc, 2, 8},
+      {"filter", FilterSrc, 2, 8},
+      {"chase", ChaseSrc, 2, 8},
+      {"interp", InterpSrc, 2, 8},
+      {"interp_tc", InterpTcSrc, 2, 8},
+  };
+  return Workloads;
+}
+
+int64_t vsc::irregularReference(const Workload &W, int64_t Scale) {
+  if (W.Name == "hashagg")
+    return refHashAgg(Scale);
+  if (W.Name == "filter")
+    return refFilter(Scale);
+  if (W.Name == "chase")
+    return refChase(Scale);
+  if (W.Name == "interp" || W.Name == "interp_tc")
+    return refInterp(Scale);
+  assert(false && "not an irregular kernel");
+  return 0;
+}

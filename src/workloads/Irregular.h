@@ -1,0 +1,56 @@
+//===- workloads/Irregular.h - Irregular-workload kernels -----*- C++ -*-===//
+///
+/// \file
+/// A second workload family complementing the six SPECint92 substitutes
+/// (workloads/Spec.h): five mini-C kernels with *irregular* control flow
+/// and memory behaviour, the regime where the paper's passes earn their
+/// keep and where the repository's verification machinery (ExecOracle,
+/// AliasAudit, the profile subsystem) is stressed hardest.
+///
+///  * hashagg — open-addressing hash-table group-by (the VLDB counter
+///    strategies' independent-table shape): data-dependent probe loops,
+///    load-modify-store through computed indices.
+///  * filter  — data-dependent branch filtering with an adaptive
+///    threshold: heavily biased branches over load-modify-stored global
+///    scalars (branch-reversal and scalar-disambiguation stress).
+///  * chase   — linked-bucket hash lookups: loop-carried dependent loads
+///    walking bucket chains (pointer chasing in index form, as the li
+///    kernel's cons cells, but bucketed and data-dependent in length).
+///  * interp  — a bytecode interpreter with ladder dispatch over a skewed
+///    opcode stream whose hottest handler sits *last* in the ladder: the
+///    canonical stress for PDF most-frequent-successor layout, branch
+///    reversal and basic block expansion.
+///  * interp_tc — the same virtual machine with threaded-style dispatch:
+///    handlers for the hot opcodes replicate the fetch/dispatch tail and
+///    consume runs locally. Semantically identical to interp (both print
+///    the same checksum at the same scale).
+///
+/// Every kernel follows the Spec.h contract — main(n) scale parameter,
+/// printed checksum, behaviour equivalence machine-checkable across
+/// levels — and additionally has a host-computed reference checksum
+/// (irregularReference) so the simulated result is self-checking against
+/// an independent C++ implementation of the same algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_WORKLOADS_IRREGULAR_H
+#define VSC_WORKLOADS_IRREGULAR_H
+
+#include "workloads/Spec.h"
+
+namespace vsc {
+
+/// The five irregular kernels, in the order above: hashagg, filter,
+/// chase, interp, interp_tc.
+const std::vector<Workload> &irregularWorkloads();
+
+/// Host-computed reference checksum for irregular kernel \p W at \p Scale
+/// — the exact value the kernel prints, computed by an independent C++
+/// mirror of the algorithm (64-bit scalars, 32-bit memory cells, matching
+/// the simulator's semantics). Asserts when \p W is not an irregular
+/// kernel.
+int64_t irregularReference(const Workload &W, int64_t Scale);
+
+} // namespace vsc
+
+#endif // VSC_WORKLOADS_IRREGULAR_H

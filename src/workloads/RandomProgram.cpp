@@ -327,8 +327,214 @@ private:
   bool AllowCalls = true;
 };
 
+/// Interpreter-shaped programs: a randomized accumulator VM over a skewed
+/// opcode stream, dispatched through a dense comparison ladder. Every
+/// handler advances ip by at least one, so the dispatch loop terminates
+/// after exactly L steps per pass; all memory indices are mask-bounded.
+class InterpShapeGenerator {
+public:
+  explicit InterpShapeGenerator(uint64_t Seed) : R(Seed) {}
+
+  std::string run() {
+    unsigned NumOps = static_cast<unsigned>(R.range(4, 8));
+    unsigned ProgLen = static_cast<unsigned>(R.range(48, 128));
+    unsigned HotOp = static_cast<unsigned>(R.below(NumOps));
+    unsigned HotPct = static_cast<unsigned>(R.range(35, 60));
+    bool Threaded = R.chance(40);
+    int64_t Mul = R.range(3, 91) | 1;
+
+    std::string S;
+    S += "int code[" + std::to_string(ProgLen) + "];\n";
+    S += "int carg[" + std::to_string(ProgLen) + "];\n";
+    S += "int vmem[64];\n\n";
+    S += "int main(int n) {\n";
+    // Deterministic skewed opcode stream.
+    S += "  int seed = " + std::to_string(R.range(1, 1 << 20)) + ";\n";
+    S += "  for (int i = 0; i < " + std::to_string(ProgLen) + "; i++) {\n";
+    S += "    seed = seed * 1103515245 + 12345;\n";
+    S += "    seed = seed & 0xffffff;\n";
+    S += "    int r = (seed >> 7) & 99;\n";
+    S += "    if (r < " + std::to_string(HotPct) + ") code[i] = " +
+         std::to_string(HotOp) + ";\n";
+    S += "    else code[i] = (seed >> 9) % " + std::to_string(NumOps) +
+         ";\n";
+    S += "    carg[i] = (seed >> 3) & 63;\n";
+    S += "  }\n";
+    S += "  for (int i = 0; i < 64; i++) vmem[i] = (i * " +
+         std::to_string(Mul) + ") & 255;\n";
+    S += "  int acc = 0;\n";
+    S += "  for (int pass = 0; pass < n; pass++) {\n";
+    S += "    int ip = 0;\n";
+    S += "    while (ip < " + std::to_string(ProgLen) + ") {\n";
+    S += "      int op = code[ip];\n";
+    S += "      int a = carg[ip];\n";
+    for (unsigned Op = 0; Op != NumOps; ++Op) {
+      S += "      ";
+      if (Op)
+        S += "else ";
+      if (Op + 1 != NumOps)
+        S += "if (op == " + std::to_string(Op) + ") ";
+      S += "{\n";
+      if (Threaded && Op == HotOp) {
+        // Replicated threaded-dispatch tail: consume the hot run locally
+        // with this handler's own fetch and dispatch branch.
+        S += "        while (1) {\n";
+        S += "          " + handlerBody() + "\n";
+        S += "          acc = acc & 0xffffff;\n";
+        S += "          ip = ip + 1;\n";
+        S += "          if (ip >= " + std::to_string(ProgLen) +
+             ") break;\n";
+        S += "          op = code[ip];\n";
+        S += "          if (op != " + std::to_string(Op) + ") break;\n";
+        S += "          a = carg[ip];\n";
+        S += "        }\n";
+      } else {
+        S += "        " + handlerBody() + "\n";
+        S += "        acc = acc & 0xffffff;\n";
+        S += "        ip = ip + 1;\n";
+      }
+      S += "      }\n";
+    }
+    S += "    }\n";
+    S += "    acc = (acc + pass) & 0xffffff;\n";
+    S += "  }\n";
+    S += "  for (int k = 0; k < 64; k++) acc = (acc * 31 + vmem[k]) & "
+         "0xffffff;\n";
+    S += "  print_int(acc);\n";
+    S += "  return acc & 0xff;\n}\n";
+    return S;
+  }
+
+private:
+  /// One statement mutating acc/vmem from `a`; never touches ip.
+  std::string handlerBody() {
+    switch (R.below(8)) {
+    case 0:
+      return "acc = acc + a + " + std::to_string(R.range(0, 31)) + ";";
+    case 1:
+      return "acc = acc - (a >> " + std::to_string(R.range(0, 3)) + ");";
+    case 2:
+      return "acc = acc ^ vmem[a];";
+    case 3:
+      return "vmem[(a + " + std::to_string(R.range(0, 63)) +
+             ") & 63] = acc & 255;";
+    case 4:
+      return "acc = acc + vmem[(acc + a) & 63];";
+    case 5:
+      return "if (acc & 1) acc = acc + " + std::to_string(R.range(1, 7)) +
+             "; else acc = acc - 1;";
+    case 6:
+      return "acc = (acc << " + std::to_string(R.range(1, 3)) + ") ^ a;";
+    default:
+      return "acc = (acc ^ (acc >> " + std::to_string(R.range(1, 4)) +
+             ")) + a;";
+    }
+  }
+
+  Rng R;
+};
+
+/// Hash-probe-shaped programs: open-addressing insert/aggregate loops with
+/// data-dependent trip counts plus loop-carried dependent loads. The key
+/// space is at most half the table, and the table is cleared every pass,
+/// so a probe always finds its key or an empty slot — termination and
+/// trap-freedom hold by construction.
+class HashProbeShapeGenerator {
+public:
+  explicit HashProbeShapeGenerator(uint64_t Seed) : R(Seed) {}
+
+  std::string run() {
+    unsigned TabBits = static_cast<unsigned>(R.range(6, 8)); // 64..256
+    unsigned Tab = 1u << TabBits;
+    unsigned KeyMask = (Tab >> 1) - 1;
+    unsigned NKeys = static_cast<unsigned>(R.range(64, 200));
+    bool Skewed = R.chance(60);
+    bool Filtered = R.chance(50);
+    bool Chained = R.chance(40);
+    int64_t HashMul = R.range(3, 63) | 1;
+
+    std::string S;
+    S += "int keys[" + std::to_string(NKeys) + "];\n";
+    S += "int vals[" + std::to_string(NKeys) + "];\n";
+    S += "int htab[" + std::to_string(Tab) + "];\n";
+    S += "int hcnt[" + std::to_string(Tab) + "];\n\n";
+    S += "int main(int n) {\n";
+    S += "  int seed = " + std::to_string(R.range(1, 1 << 20)) + ";\n";
+    S += "  for (int i = 0; i < " + std::to_string(NKeys) + "; i++) {\n";
+    S += "    seed = seed * 1103515245 + 12345;\n";
+    S += "    seed = seed & 0xffffff;\n";
+    if (Skewed) {
+      S += "    if ((seed & 3) != 0) keys[i] = (seed >> 8) & 7;\n";
+      S += "    else keys[i] = (seed >> 8) & " + std::to_string(KeyMask) +
+           ";\n";
+    } else {
+      S += "    keys[i] = (seed >> 8) & " + std::to_string(KeyMask) +
+           ";\n";
+    }
+    S += "    vals[i] = (seed >> 4) & 255;\n";
+    S += "  }\n";
+    S += "  int acc = 0;\n";
+    S += "  for (int pass = 0; pass < n; pass++) {\n";
+    S += "    for (int i = 0; i < " + std::to_string(Tab) +
+         "; i++) { htab[i] = 0; hcnt[i] = 0; }\n";
+    S += "    int probes = 0;\n";
+    S += "    for (int i = 0; i < " + std::to_string(NKeys) +
+         "; i++) {\n";
+    S += "      int k = keys[i];\n";
+    if (Filtered) {
+      S += "      if (vals[i] < " + std::to_string(R.range(16, 128)) +
+           ") continue;\n";
+    }
+    S += "      int h = (k * " + std::to_string(HashMul) + ") & " +
+         std::to_string(Tab - 1) + ";\n";
+    S += "      while (htab[h] != 0 && htab[h] != k + 1) {\n";
+    S += "        h = (h + 1) & " + std::to_string(Tab - 1) + ";\n";
+    S += "        probes = probes + 1;\n";
+    S += "      }\n";
+    S += "      htab[h] = k + 1;\n";
+    S += "      hcnt[h] = hcnt[h] + 1;\n";
+    if (Chained) {
+      // Loop-carried dependent load: the next index hangs off the
+      // just-aggregated value.
+      S += "      acc = acc + hcnt[(acc + h) & " +
+           std::to_string(Tab - 1) + "];\n";
+    }
+    S += "    }\n";
+    S += "    int agg = 0;\n";
+    S += "    for (int i = 0; i < " + std::to_string(Tab) +
+         "; i++) agg = agg + hcnt[i] * 3;\n";
+    S += "    acc = (acc + agg + probes) & 0xffffff;\n";
+    S += "  }\n";
+    S += "  print_int(acc);\n";
+    S += "  return acc & 0xff;\n}\n";
+    return S;
+  }
+
+private:
+  Rng R;
+};
+
 } // namespace
 
-std::string vsc::generateRandomMiniC(uint64_t Seed) {
+std::string vsc::generateRandomMiniC(uint64_t Seed, ProgramShape Shape) {
+  switch (Shape) {
+  case ProgramShape::Interp:
+    return InterpShapeGenerator(Seed).run();
+  case ProgramShape::HashProbe:
+    return HashProbeShapeGenerator(Seed).run();
+  case ProgramShape::Generic:
+    break;
+  }
   return Generator(Seed).run();
+}
+
+std::string vsc::generateRandomMiniC(uint64_t Seed) {
+  // Independent pick stream: seeds that land on Generic produce the exact
+  // program the pre-shape generator produced.
+  Rng Pick(Seed ^ 0x517cc1b727220a95ULL);
+  uint64_t Lane = Pick.below(5);
+  ProgramShape Shape = Lane == 3   ? ProgramShape::Interp
+                       : Lane == 4 ? ProgramShape::HashProbe
+                                   : ProgramShape::Generic;
+  return generateRandomMiniC(Seed, Shape);
 }

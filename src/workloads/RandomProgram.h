@@ -18,8 +18,27 @@
 
 namespace vsc {
 
+/// Program families the fuzzer can generate:
+///  * Generic   — the original statement-soup shape: nested control flow,
+///    helpers, array/global traffic.
+///  * Interp    — an interpreter shape: a randomized accumulator VM
+///    dispatching over a skewed opcode array through a dense comparison
+///    ladder (and, on some seeds, a replicated threaded-dispatch tail) —
+///    the indirect-dispatch CFG shape that stresses PDF layout, branch
+///    reversal and the alias audit's replay battery.
+///  * HashProbe — an aggregation shape: open-addressing probe loops with
+///    data-dependent trip counts and loop-carried dependent loads — the
+///    aliasing stress for speculative load/store motion and combining.
+enum class ProgramShape { Generic, Interp, HashProbe };
+
 /// Generates a self-contained mini-C program from \p Seed. The same seed
-/// always yields the same source.
+/// always yields the same source. Every program terminates, traps
+/// nothing, and prints a checksum.
+std::string generateRandomMiniC(uint64_t Seed, ProgramShape Shape);
+
+/// Shape picked deterministically from \p Seed (roughly 3:1:1
+/// Generic:Interp:HashProbe, so the corpus — including CI's daily-shifted
+/// seed base — always carries dispatch- and probe-shaped programs).
 std::string generateRandomMiniC(uint64_t Seed);
 
 } // namespace vsc

@@ -1,0 +1,29 @@
+//===- workloads/Registry.cpp - The kernel registry ---------------------------===//
+
+#include "workloads/Registry.h"
+
+using namespace vsc;
+
+const std::vector<Workload> &workloads::allKernels() {
+  static const std::vector<Workload> Kernels = [] {
+    std::vector<Workload> V = specWorkloads();
+    const std::vector<Workload> &Irr = irregularWorkloads();
+    V.insert(V.end(), Irr.begin(), Irr.end());
+    return V;
+  }();
+  return Kernels;
+}
+
+const Workload *workloads::findKernel(const std::string &Name) {
+  for (const Workload &W : allKernels())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+bool workloads::isIrregular(const Workload &W) {
+  for (const Workload &Irr : irregularWorkloads())
+    if (Irr.Name == W.Name)
+      return true;
+  return false;
+}

@@ -1,0 +1,37 @@
+//===- workloads/Registry.h - The kernel registry -------------*- C++ -*-===//
+///
+/// \file
+/// The single list every measured surface iterates: benches
+/// (bench_specint_table, bench_pdf_gain, bench_alias, bench_workloads),
+/// the workload test suites, and the PdfExperiment batteries all draw
+/// from workloads::allKernels(), so a kernel registered once (in Spec.cpp
+/// or Irregular.cpp) appears everywhere without further edits. The
+/// paper-facing tables that need exactly the six SPECint92 substitutes in
+/// paper order keep using specWorkloads() directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_WORKLOADS_REGISTRY_H
+#define VSC_WORKLOADS_REGISTRY_H
+
+#include "workloads/Irregular.h"
+#include "workloads/Spec.h"
+
+namespace vsc {
+namespace workloads {
+
+/// Every kernel: the six SPECint92 substitutes (paper order), then the
+/// five irregular kernels (workloads/Irregular.h order).
+const std::vector<Workload> &allKernels();
+
+/// Kernel by name, or nullptr.
+const Workload *findKernel(const std::string &Name);
+
+/// True when \p W is one of the irregular kernels (and therefore has a
+/// host-computed reference checksum, irregularReference).
+bool isIrregular(const Workload &W);
+
+} // namespace workloads
+} // namespace vsc
+
+#endif // VSC_WORKLOADS_REGISTRY_H

@@ -147,9 +147,156 @@ TEST_P(FuzzTest, PdfAgrees) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Range<uint64_t>(1, 41));
 
+namespace {
+
+const char *shapeName(ProgramShape S) {
+  switch (S) {
+  case ProgramShape::Generic:
+    return "Generic";
+  case ProgramShape::Interp:
+    return "Interp";
+  case ProgramShape::HashProbe:
+    return "HashProbe";
+  }
+  return "?";
+}
+
+/// Reproduction context for a shaped case: names the shape alongside the
+/// seed, since shaped programs are requested explicitly rather than
+/// drawn from the seed-derived shape mix.
+class ShapedFuzzContext {
+public:
+  ShapedFuzzContext(uint64_t Seed, ProgramShape Shape) {
+    setPipelineFailureHook([Seed, Shape] {
+      return std::string("fuzz seed ") + std::to_string(Seed) + " shape " +
+             shapeName(Shape) +
+             " (replay: VSC_FUZZ_SEED=" + std::to_string(Seed - 1) +
+             " ctest -R ShapedFuzz, first instance)\n"
+             "--- generated source ---\n" +
+             generateRandomMiniC(Seed, Shape);
+    });
+  }
+  ~ShapedFuzzContext() { setPipelineFailureHook(nullptr); }
+};
+
+std::unique_ptr<Module> compileShaped(uint64_t Seed, ProgramShape Shape) {
+  FrontendOptions Opts;
+  Opts.AssumeSafeLoads = true;
+  CompileResult R = compileMiniC(generateRandomMiniC(Seed, Shape), Opts);
+  EXPECT_TRUE(R.ok()) << "seed " << Seed << " shape " << shapeName(Shape)
+                      << ": " << R.Error << "\n"
+                      << generateRandomMiniC(Seed, Shape);
+  return std::move(R.M);
+}
+
+/// The dispatch- and probe-shaped generators, run through the same
+/// audited differential pipeline as the generic corpus. These shapes
+/// exist precisely because the irregular kernels showed that ladder
+/// dispatch and probe loops stress paths statement-soup rarely reaches
+/// (branch reversal on skewed ladders, speculation past data-dependent
+/// trip counts), so the fuzzer hammers those paths with fresh programs
+/// every CI day.
+class ShapedFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(ShapedFuzzTest, AllLevelsAgree) {
+  for (ProgramShape Shape : {ProgramShape::Interp, ProgramShape::HashProbe}) {
+    uint64_t Seed = fuzzBaseSeed() + GetParam();
+    ShapedFuzzContext Ctx(Seed, Shape);
+    auto Base = compileShaped(Seed, Shape);
+    ASSERT_TRUE(Base);
+    optimize(*Base, OptLevel::None, auditedOptions());
+    RunResult RB = runIt(*Base, rs6000());
+    ASSERT_FALSE(RB.Trapped)
+        << "seed " << Seed << " shape " << shapeName(Shape) << ": "
+        << RB.TrapMsg << "\n" << generateRandomMiniC(Seed, Shape);
+    EXPECT_LT(RB.DynInstrs, 3'000'000u) << "seed " << Seed;
+
+    for (OptLevel L : {OptLevel::Classical, OptLevel::Vliw}) {
+      auto M = compileShaped(Seed, Shape);
+      ASSERT_TRUE(M);
+      optimize(*M, L, auditedOptions());
+      ASSERT_EQ(verifyModule(*M), "")
+          << "seed " << Seed << " shape " << shapeName(Shape);
+      RunResult R = runIt(*M, rs6000());
+      EXPECT_EQ(RB.fingerprint(), R.fingerprint())
+          << "seed " << Seed << " shape " << shapeName(Shape) << " at "
+          << optLevelName(L) << "\n" << generateRandomMiniC(Seed, Shape);
+    }
+  }
+}
+
+TEST_P(ShapedFuzzTest, PdfAgreesAcrossMachines) {
+  for (ProgramShape Shape : {ProgramShape::Interp, ProgramShape::HashProbe}) {
+    uint64_t Seed = fuzzBaseSeed() + GetParam();
+    ShapedFuzzContext Ctx(Seed, Shape);
+    auto Base = compileShaped(Seed, Shape);
+    ASSERT_TRUE(Base);
+    optimize(*Base, OptLevel::None);
+    RunResult RB = runIt(*Base, rs6000());
+    ASSERT_FALSE(RB.Trapped) << RB.TrapMsg;
+
+    auto Train = compileShaped(Seed, Shape);
+    auto Target = compileShaped(Seed, Shape);
+    ASSERT_TRUE(Train && Target);
+    RunOptions TrainOpts;
+    TrainOpts.Args = {2};
+    TrainOpts.MaxInstrs = 20'000'000;
+    ProfileData P = collectProfile(*Train, *Target, rs6000(), TrainOpts);
+    PipelineOptions Opts = auditedOptions();
+    Opts.Profile = &P;
+    optimize(*Target, OptLevel::Vliw, Opts);
+    ASSERT_EQ(verifyModule(*Target), "")
+        << "seed " << Seed << " shape " << shapeName(Shape);
+    for (const MachineModel &MM : {rs6000(), power2(), ppc601()}) {
+      RunResult R = runIt(*Target, MM);
+      EXPECT_EQ(RB.fingerprint(), R.fingerprint())
+          << "seed " << Seed << " shape " << shapeName(Shape) << " on "
+          << MM.Name << "\n" << generateRandomMiniC(Seed, Shape);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapedFuzzTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
 TEST(FuzzGenerator, IsDeterministic) {
   EXPECT_EQ(generateRandomMiniC(7), generateRandomMiniC(7));
   EXPECT_NE(generateRandomMiniC(7), generateRandomMiniC(8));
+}
+
+TEST(FuzzGenerator, ShapedGenerationIsDeterministic) {
+  for (ProgramShape S : {ProgramShape::Generic, ProgramShape::Interp,
+                         ProgramShape::HashProbe}) {
+    EXPECT_EQ(generateRandomMiniC(7, S), generateRandomMiniC(7, S))
+        << shapeName(S);
+    EXPECT_NE(generateRandomMiniC(7, S), generateRandomMiniC(8, S))
+        << shapeName(S);
+  }
+  // Distinct shapes yield distinct programs for the same seed.
+  EXPECT_NE(generateRandomMiniC(7, ProgramShape::Generic),
+            generateRandomMiniC(7, ProgramShape::Interp));
+  EXPECT_NE(generateRandomMiniC(7, ProgramShape::Interp),
+            generateRandomMiniC(7, ProgramShape::HashProbe));
+}
+
+// The seed-derived dispatcher must keep all three families in the
+// corpus: over a window of seeds each shape appears, and the one-arg
+// form is exactly the two-arg form at the derived shape.
+TEST(FuzzGenerator, SeedDerivedShapeMixCoversAllFamilies) {
+  int Seen[3] = {0, 0, 0};
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    std::string P = generateRandomMiniC(Seed);
+    for (ProgramShape S : {ProgramShape::Generic, ProgramShape::Interp,
+                           ProgramShape::HashProbe})
+      if (P == generateRandomMiniC(Seed, S))
+        ++Seen[static_cast<int>(S)];
+  }
+  EXPECT_GT(Seen[0], 0) << "no Generic programs in seed window";
+  EXPECT_GT(Seen[1], 0) << "no Interp programs in seed window";
+  EXPECT_GT(Seen[2], 0) << "no HashProbe programs in seed window";
+  EXPECT_EQ(Seen[0] + Seen[1] + Seen[2], 60);
 }
 
 TEST(FuzzGenerator, ProgramsTerminateQuickly) {

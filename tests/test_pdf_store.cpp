@@ -14,7 +14,7 @@
 #include "pdf/ProfileStore.h"
 #include "vliw/Pipeline.h"
 #include "workloads/RandomProgram.h"
-#include "workloads/Spec.h"
+#include "workloads/Registry.h"
 
 #include <gtest/gtest.h>
 
@@ -25,9 +25,8 @@ using namespace vsc;
 namespace {
 
 std::unique_ptr<Module> buildNamed(const char *Name) {
-  for (const Workload &W : specWorkloads())
-    if (W.Name == Name)
-      return buildWorkload(W);
+  if (const Workload *W = workloads::findKernel(Name))
+    return buildWorkload(*W);
   ADD_FAILURE() << "no workload " << Name;
   return nullptr;
 }
@@ -47,7 +46,7 @@ std::string tempPath(const char *Leaf) {
 } // namespace
 
 TEST(PdfStore, FingerprintAgreesModuleVsImage) {
-  for (const Workload &W : specWorkloads()) {
+  for (const Workload &W : workloads::allKernels()) {
     auto M = buildWorkload(W);
     SimEngine Engine(*M, rs6000());
     EXPECT_EQ(cfgFingerprint(*M), cfgFingerprint(Engine.image()))
@@ -59,7 +58,7 @@ TEST(PdfStore, FingerprintAgreesModuleVsImage) {
 // not move the fingerprint: the PDF driver profiles a prepared clone and
 // attaches the result to the raw source module.
 TEST(PdfStore, FingerprintInvariantUnderRunPreparation) {
-  for (const Workload &W : specWorkloads()) {
+  for (const Workload &W : workloads::allKernels()) {
     auto Raw = buildWorkload(W);
     auto Prepared = buildWorkload(W);
     optimize(*Prepared, OptLevel::None);
@@ -82,6 +81,63 @@ TEST(PdfStore, DenseCountsMatchSimulatorGroundTruth) {
   RunResult R = simulate(*M, rs6000(), workloadInput(2));
   EXPECT_EQ(D.BlockCount, R.BlockCounts);
   EXPECT_EQ(D.EdgeCount, R.EdgeCounts);
+}
+
+// The irregular kernels exercise CFG shapes the spec six do not
+// (dispatch ladders, probe loops with data-dependent trip counts,
+// chain walks): the dense side-table profile must still agree exactly
+// with the simulator's string-keyed counters on every one of them.
+TEST(PdfStore, DenseCountsMatchGroundTruthOnIrregularKernels) {
+  for (const Workload &W : irregularWorkloads()) {
+    auto M = buildWorkload(W);
+    SimEngine Engine(*M, rs6000());
+    DenseProfile P = profileAt(Engine, W.TrainScale);
+    ProfileData D = P.toProfileData();
+
+    RunResult R = simulate(*M, rs6000(), workloadInput(W.TrainScale));
+    EXPECT_EQ(D.BlockCount, R.BlockCounts) << W.Name;
+    EXPECT_EQ(D.EdgeCount, R.EdgeCounts) << W.Name;
+  }
+}
+
+// Persist a dispatch-kernel profile, reload it, merge in a second
+// battery, and feed the result through the PDF pipeline: the reloaded
+// profile must be usable (validateFor passes, layout runs) and the
+// merged file byte-identical to merging in memory.
+TEST(PdfStore, DispatchKernelProfileSurvivesSaveLoadMerge) {
+  const Workload *W = workloads::findKernel("interp");
+  ASSERT_TRUE(W);
+  auto M = buildWorkload(*W);
+  SimEngine Engine(*M, rs6000());
+  DenseProfile A = profileAt(Engine, W->TrainScale);
+  DenseProfile B = profileAt(Engine, W->TrainScale + 1);
+
+  std::string Path = tempPath("vsc_pdf_store_interp.vscp");
+  ASSERT_EQ(A.saveFile(Path), "");
+  DenseProfile Loaded;
+  ASSERT_EQ(DenseProfile::loadFile(Path, Loaded), "");
+  std::remove(Path.c_str());
+  EXPECT_EQ(A.serialize(), Loaded.serialize());
+
+  ASSERT_EQ(Loaded.merge(B), "");
+  DenseProfile InMemory = A;
+  ASSERT_EQ(InMemory.merge(B), "");
+  EXPECT_EQ(Loaded.serialize(), InMemory.serialize());
+
+  ASSERT_EQ(Loaded.validateFor(*M), "");
+  ProfileData P = Loaded.toProfileData();
+  auto Base = buildWorkload(*W);
+  optimize(*Base, OptLevel::None);
+  RunOptions Ref = workloadInput(W->RefScale);
+  RunResult RB = simulate(*Base, rs6000(), Ref);
+
+  PipelineOptions Opts;
+  Opts.Profile = &P;
+  auto Guided = buildWorkload(*W);
+  optimize(*Guided, OptLevel::Vliw, Opts);
+  EXPECT_EQ(verifyModule(*Guided), "");
+  RunResult RG = simulate(*Guided, rs6000(), Ref);
+  EXPECT_EQ(RB.fingerprint(), RG.fingerprint());
 }
 
 TEST(PdfStore, SerializeRoundTripsByteExactly) {
