@@ -13,6 +13,7 @@
 
 #include "profile/Counters.h"
 #include "sim/Simulator.h"
+#include "support/Json.h" // JsonWriter, for the BENCH_*.json emitters
 #include "vliw/Pipeline.h"
 #include "workloads/Registry.h"
 

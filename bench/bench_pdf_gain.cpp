@@ -150,8 +150,14 @@ int main(int Argc, char **Argv) {
                 Threads);
     std::printf("%-10s %12s %12s %9s\n", "Benchmark", "legacy(ms)",
                 "store(ms)", "speedup");
-    std::string Json = "{\n  \"bench\": \"pdf\",\n  \"threads\": " +
-                       std::to_string(Threads) + ",\n  \"kernels\": [\n";
+    JsonWriter Json;
+    Json.beginObject()
+        .key("bench")
+        .str("pdf")
+        .key("threads")
+        .num(Threads)
+        .key("kernels")
+        .beginArray();
     double LegacyTotal = 0, StoreTotal = 0;
     const auto &Ws = specWorkloads();
     for (size_t I = 0; I != Ws.size(); ++I) {
@@ -183,25 +189,30 @@ int main(int Argc, char **Argv) {
       StoreTotal += Store;
       std::printf("%-10s %12.1f %12.1f %8.2fx\n", W.Name.c_str(),
                   Legacy * 1e3, Store * 1e3, Legacy / Store);
-      char Buf[256];
-      std::snprintf(Buf, sizeof(Buf),
-                    "    {\"name\": \"%s\", \"legacy_seconds\": %.6f, "
-                    "\"store_seconds\": %.6f, \"speedup\": %.3f}%s\n",
-                    W.Name.c_str(), Legacy, Store, Legacy / Store,
-                    I + 1 != Ws.size() ? "," : "");
-      Json += Buf;
+      Json.beginObject()
+          .key("name")
+          .str(W.Name)
+          .key("legacy_seconds")
+          .num(Legacy, 6)
+          .key("store_seconds")
+          .num(Store, 6)
+          .key("speedup")
+          .num(Legacy / Store, 3)
+          .endObject();
     }
     double Speedup = LegacyTotal / StoreTotal;
     std::printf("%-10s %12.1f %12.1f %8.2fx\n\n", "total",
                 LegacyTotal * 1e3, StoreTotal * 1e3, Speedup);
-    char Tail[160];
-    std::snprintf(Tail, sizeof(Tail),
-                  "  ],\n  \"legacy_seconds\": %.6f,\n"
-                  "  \"store_seconds\": %.6f,\n  \"speedup\": %.3f\n}\n",
-                  LegacyTotal, StoreTotal, Speedup);
-    Json += Tail;
+    Json.endArray()
+        .key("legacy_seconds")
+        .num(LegacyTotal, 6)
+        .key("store_seconds")
+        .num(StoreTotal, 6)
+        .key("speedup")
+        .num(Speedup, 3)
+        .endObject();
     if (FILE *F = std::fopen(OutPath.c_str(), "w")) {
-      std::fputs(Json.c_str(), F);
+      std::fputs(Json.take().c_str(), F);
       std::fclose(F);
       std::printf("wrote %s\n\n", OutPath.c_str());
     } else {

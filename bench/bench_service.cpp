@@ -1,0 +1,187 @@
+//===- bench/bench_service.cpp - Compile-service throughput ------------------===//
+///
+/// Cold vs warm cache throughput of the compile service: a seeded,
+/// shuffled request stream (compile / simulate / pdf over every registry
+/// kernel, two machine models, duplicated so same-module batching has
+/// work to do) is served twice by one service — the first pass computes
+/// every artifact, the second is pure cache traffic. The bench asserts
+/// the two response streams are byte-identical (the service's core
+/// contract) and that the warm pass clears the 3x throughput floor, then
+/// writes BENCH_service.json (override with --service-out=FILE) with the
+/// cold/warm requests-per-second and the per-class hit rates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "service/CompileService.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <random>
+
+using namespace vsc;
+
+static std::vector<ServiceRequest> buildStream() {
+  std::vector<ServiceRequest> Reqs;
+  const char *MachineNames[] = {"rs6000", "ppc601"};
+  for (const Workload &W : workloads::allKernels()) {
+    for (const char *MN : MachineNames) {
+      ServiceRequest C;
+      C.Kind = ServiceRequest::Op::Compile;
+      C.Kernel = W.Name;
+      C.MachineName = MN;
+      C.Level = OptLevel::Classical;
+      Reqs.push_back(C);
+      C.Level = OptLevel::Vliw;
+      Reqs.push_back(C);
+
+      ServiceRequest S;
+      S.Kind = ServiceRequest::Op::Simulate;
+      S.Kernel = W.Name;
+      S.MachineName = MN;
+      S.Args = {W.TrainScale};
+      Reqs.push_back(S);
+    }
+    ServiceRequest P;
+    P.Kind = ServiceRequest::Op::Pdf;
+    P.Kernel = W.Name;
+    P.Train = {W.TrainScale};
+    P.Test = {W.TrainScale};
+    Reqs.push_back(P);
+  }
+  // Duplicate the stream so same-module batching has repeats to absorb
+  // even on the cold pass, then shuffle with a fixed seed.
+  std::vector<ServiceRequest> Doubled = Reqs;
+  Doubled.insert(Doubled.end(), Reqs.begin(), Reqs.end());
+  std::mt19937 Rng(0x5eedULL);
+  std::shuffle(Doubled.begin(), Doubled.end(), Rng);
+  for (size_t I = 0; I != Doubled.size(); ++I)
+    Doubled[I].Name = "q" + std::to_string(I);
+  return Doubled;
+}
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = "BENCH_service.json";
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--service-out=", 14) == 0)
+      OutPath = Argv[I] + 14;
+
+  std::vector<ServiceRequest> Stream = buildStream();
+  CompileService::Config Cfg;
+  CompileService Service(Cfg);
+  unsigned Threads = Cfg.Threads ? Cfg.Threads
+                                 : ThreadPool::defaultThreadCount();
+
+  using Clock = std::chrono::steady_clock;
+  auto T0 = Clock::now();
+  std::vector<ServiceResponse> Cold = Service.handleBatch(Stream);
+  auto T1 = Clock::now();
+  std::vector<ServiceResponse> Warm = Service.handleBatch(Stream);
+  auto T2 = Clock::now();
+
+  for (size_t I = 0; I != Cold.size(); ++I) {
+    if (!Cold[I].Ok) {
+      std::fprintf(stderr, "request %s failed: %s\n",
+                   Cold[I].Name.c_str(), Cold[I].Text.c_str());
+      std::abort();
+    }
+    if (Cold[I].Text != Warm[I].Text || Cold[I].Name != Warm[I].Name) {
+      std::fprintf(stderr,
+                   "cold/warm divergence on %s:\n  cold: %s\n  warm: %s\n",
+                   Cold[I].Name.c_str(), Cold[I].Text.c_str(),
+                   Warm[I].Text.c_str());
+      std::abort();
+    }
+  }
+
+  auto Secs = [](Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double>(B - A).count();
+  };
+  double ColdSecs = Secs(T0, T1), WarmSecs = Secs(T1, T2);
+  double N = static_cast<double>(Stream.size());
+  double ColdRps = N / ColdSecs, WarmRps = N / WarmSecs;
+  double Speedup = WarmRps / ColdRps;
+
+  std::printf("Compile service: %zu requests, %u worker threads\n",
+              Stream.size(), Threads);
+  std::printf("%-6s %10s %12s\n", "pass", "seconds", "requests/s");
+  std::printf("%-6s %10.3f %12.1f\n", "cold", ColdSecs, ColdRps);
+  std::printf("%-6s %10.3f %12.1f\n", "warm", WarmSecs, WarmRps);
+  std::printf("warm/cold throughput: %.1fx (responses byte-identical)\n\n",
+              Speedup);
+
+  std::printf("%-12s %8s %8s %8s %8s %9s\n", "class", "hits", "misses",
+              "evicted", "rejected", "hit-rate");
+  JsonWriter Json;
+  Json.beginObject()
+      .key("bench")
+      .str("service")
+      .key("requests")
+      .num(static_cast<uint64_t>(Stream.size()))
+      .key("threads")
+      .num(Threads)
+      .key("cold_seconds")
+      .num(ColdSecs, 6)
+      .key("warm_seconds")
+      .num(WarmSecs, 6)
+      .key("cold_rps")
+      .num(ColdRps, 1)
+      .key("warm_rps")
+      .num(WarmRps, 1)
+      .key("warm_speedup")
+      .num(Speedup, 2)
+      .key("byte_identical")
+      .boolean(true)
+      .key("classes")
+      .beginArray();
+  const ArtifactCache &C = Service.cache();
+  for (size_t I = 0; I != static_cast<size_t>(ArtifactClass::NumClasses);
+       ++I) {
+    ArtifactClass AC = static_cast<ArtifactClass>(I);
+    ArtifactClassStats S = C.stats(AC);
+    if (!S.Hits && !S.Misses)
+      continue;
+    double Rate = static_cast<double>(S.Hits) /
+                  static_cast<double>(S.Hits + S.Misses);
+    std::printf("%-12s %8llu %8llu %8llu %8llu %8.1f%%\n",
+                artifactClassName(AC),
+                static_cast<unsigned long long>(S.Hits),
+                static_cast<unsigned long long>(S.Misses),
+                static_cast<unsigned long long>(S.Evictions),
+                static_cast<unsigned long long>(S.Rejections),
+                Rate * 100.0);
+    Json.beginObject()
+        .key("class")
+        .str(artifactClassName(AC))
+        .key("hits")
+        .num(S.Hits)
+        .key("misses")
+        .num(S.Misses)
+        .key("evictions")
+        .num(S.Evictions)
+        .key("rejections")
+        .num(S.Rejections)
+        .key("hit_rate")
+        .num(Rate, 4)
+        .endObject();
+  }
+  Json.endArray().endObject();
+
+  if (FILE *F = std::fopen(OutPath.c_str(), "w")) {
+    std::fputs(Json.take().c_str(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", OutPath.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+  }
+
+  if (Speedup < 3.0) {
+    std::fprintf(stderr,
+                 "warm cache only %.2fx cold throughput (floor: 3x)\n",
+                 Speedup);
+    std::abort();
+  }
+  return 0;
+}

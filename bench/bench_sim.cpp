@@ -67,7 +67,8 @@ int main(int Argc, char **Argv) {
               "legacy(ms)", "fast(ms)", "speedup", "predecode(ms)");
 
   std::vector<double> Speedups;
-  std::string Json = "{\n  \"bench\": \"sim\",\n  \"kernels\": [\n";
+  JsonWriter Json;
+  Json.beginObject().key("bench").str("sim").key("kernels").beginArray();
   const auto &Ws = specWorkloads();
   for (size_t I = 0; I != Ws.size(); ++I) {
     const Workload &W = Ws[I];
@@ -97,26 +98,28 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(RFast.DynInstrs),
                 Legacy * 1e3, Fast * 1e3, Speedup, Predecode * 1e3);
 
-    char Buf[256];
-    std::snprintf(Buf, sizeof(Buf),
-                  "    {\"name\": \"%s\", \"dyn_instrs\": %llu, "
-                  "\"legacy_seconds\": %.6f, \"fast_seconds\": %.6f, "
-                  "\"speedup\": %.3f, \"predecode_seconds\": %.6f}%s\n",
-                  W.Name.c_str(),
-                  static_cast<unsigned long long>(RFast.DynInstrs), Legacy,
-                  Fast, Speedup, I + 1 != Ws.size() ? "," : "");
-    Json += Buf;
+    Json.beginObject()
+        .key("name")
+        .str(W.Name)
+        .key("dyn_instrs")
+        .num(RFast.DynInstrs)
+        .key("legacy_seconds")
+        .num(Legacy, 6)
+        .key("fast_seconds")
+        .num(Fast, 6)
+        .key("speedup")
+        .num(Speedup, 3)
+        .key("predecode_seconds")
+        .num(Predecode, 6)
+        .endObject();
   }
   double Geomean = geomean(Speedups);
   std::printf("%-10s %14s %12s %14s %8.2fx\n\n", "geomean", "", "", "",
               Geomean);
 
-  char Tail[96];
-  std::snprintf(Tail, sizeof(Tail), "  ],\n  \"geomean_speedup\": %.3f\n}\n",
-                Geomean);
-  Json += Tail;
+  Json.endArray().key("geomean_speedup").num(Geomean, 3).endObject();
   if (FILE *F = std::fopen(OutPath.c_str(), "w")) {
-    std::fputs(Json.c_str(), F);
+    std::fputs(Json.take().c_str(), F);
     std::fclose(F);
     std::printf("wrote %s\n\n", OutPath.c_str());
   } else {

@@ -110,14 +110,21 @@ int main(int Argc, char **Argv) {
               "machine", "O0", "classical", "vliw", "vliw+pdf", "kept",
               "pdf-gain");
 
-  std::string Json = "{\n  \"bench\": \"workloads\",\n  \"kernels\": [\n";
+  JsonWriter Json;
+  Json.beginObject().key("bench").str("workloads").key("kernels")
+      .beginArray();
   std::vector<double> PdfGains[2]; // [0]=spec six, [1]=irregular
   const auto &Ws = workloads::allKernels();
   for (size_t I = 0; I != Ws.size(); ++I) {
     const Workload &W = Ws[I];
     bool Irr = workloads::isIrregular(W);
-    Json += "    {\"name\": \"" + W.Name + "\", \"irregular\": " +
-            (Irr ? "true" : "false") + ", \"machines\": [\n";
+    Json.beginObject()
+        .key("name")
+        .str(W.Name)
+        .key("irregular")
+        .boolean(Irr)
+        .key("machines")
+        .beginArray();
     for (size_t MI = 0; MI != 3; ++MI) {
       const MachineModel &Machine = Machines[MI];
       Cell C = measure(W, Machine);
@@ -130,21 +137,24 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(C.Vliw),
                   static_cast<unsigned long long>(C.VliwPdf), C.LayoutKept,
                   (C.pdfGain() - 1.0) * 100.0);
-      char Buf[320];
-      std::snprintf(Buf, sizeof(Buf),
-                    "      {\"model\": \"%s\", \"cycles_o0\": %llu, "
-                    "\"cycles_classical\": %llu, \"cycles_vliw\": %llu, "
-                    "\"cycles_vliw_pdf\": %llu, \"pdf_layout_kept\": %d, "
-                    "\"pdf_gain\": %.4f}%s\n",
-                    Machine.Name.c_str(),
-                    static_cast<unsigned long long>(C.O0),
-                    static_cast<unsigned long long>(C.Classical),
-                    static_cast<unsigned long long>(C.Vliw),
-                    static_cast<unsigned long long>(C.VliwPdf),
-                    C.LayoutKept, C.pdfGain(), MI != 2 ? "," : "");
-      Json += Buf;
+      Json.beginObject()
+          .key("model")
+          .str(Machine.Name)
+          .key("cycles_o0")
+          .num(C.O0)
+          .key("cycles_classical")
+          .num(C.Classical)
+          .key("cycles_vliw")
+          .num(C.Vliw)
+          .key("cycles_vliw_pdf")
+          .num(C.VliwPdf)
+          .key("pdf_layout_kept")
+          .num(C.LayoutKept)
+          .key("pdf_gain")
+          .num(C.pdfGain(), 4)
+          .endObject();
     }
-    Json += std::string("    ]}") + (I + 1 != Ws.size() ? "," : "") + "\n";
+    Json.endArray().endObject();
   }
   double SpecGain = geomean(PdfGains[0]);
   double IrrGain = geomean(PdfGains[1]);
@@ -157,14 +167,14 @@ int main(int Argc, char **Argv) {
   std::printf("(pdf-gain geomeans; kept: 1 = measured gate kept the PDF "
               "layout, 0 = rolled back, -1 = gate not reached)\n\n");
 
-  char Tail[128];
-  std::snprintf(Tail, sizeof(Tail),
-                "  ],\n  \"spec_pdf_gain_geomean\": %.4f,\n"
-                "  \"irregular_pdf_gain_geomean\": %.4f\n}\n", SpecGain,
-                IrrGain);
-  Json += Tail;
+  Json.endArray()
+      .key("spec_pdf_gain_geomean")
+      .num(SpecGain, 4)
+      .key("irregular_pdf_gain_geomean")
+      .num(IrrGain, 4)
+      .endObject();
   if (FILE *F = std::fopen(OutPath.c_str(), "w")) {
-    std::fputs(Json.c_str(), F);
+    std::fputs(Json.take().c_str(), F);
     std::fclose(F);
     std::printf("wrote %s\n", OutPath.c_str());
   } else {

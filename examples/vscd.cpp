@@ -1,0 +1,153 @@
+//===- examples/vscd.cpp - The compile service as a daemon-style tool -------===//
+///
+/// Reads newline-delimited requests (service/Protocol.h grammar), serves
+/// them through one CompileService, and writes one response line per
+/// request, in request order:
+///
+///   example_vscd [--requests=FILE|-] [--out=FILE] [--threads=N]
+///                [--cache-mb=N] [--stats]
+///
+///     --requests=FILE   request stream (default "-": stdin; a FIFO works,
+///                       requests are served when the writer closes it)
+///     --out=FILE        response stream (default stdout)
+///     --threads=N       outer request-group workers (default VSC_THREADS)
+///     --cache-mb=N      artifact-cache byte budget (default 256)
+///     --stats           per-class cache table on stderr afterwards
+///
+/// Responses are byte-identical for a given request stream regardless of
+/// --threads, request order, or what is already cached — scripts/ci.sh
+/// smoke-checks this, plus a cross-process profile handoff (save-profile
+/// here, guided compile in a second process).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace vsc;
+
+static int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--requests=FILE|-] [--out=FILE] [--threads=N] "
+               "[--cache-mb=N] [--stats]\n",
+               Prog);
+  return 2;
+}
+
+int main(int Argc, char **Argv) {
+  std::string RequestPath = "-";
+  std::string OutPath;
+  bool Stats = false;
+  CompileService::Config Cfg;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--requests=", 0) == 0) {
+      RequestPath = A.substr(11);
+    } else if (A.rfind("--out=", 0) == 0) {
+      OutPath = A.substr(6);
+    } else if (A.rfind("--threads=", 0) == 0) {
+      int N = std::atoi(A.c_str() + 10);
+      if (N <= 0)
+        return usage(Argv[0]);
+      Cfg.Threads = static_cast<unsigned>(N);
+    } else if (A.rfind("--cache-mb=", 0) == 0) {
+      int N = std::atoi(A.c_str() + 11);
+      if (N <= 0)
+        return usage(Argv[0]);
+      Cfg.CacheBytes = static_cast<size_t>(N) << 20;
+    } else if (A == "--stats") {
+      Stats = true;
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+
+  std::ifstream FileIn;
+  if (RequestPath != "-") {
+    FileIn.open(RequestPath);
+    if (!FileIn) {
+      std::fprintf(stderr, "cannot open %s\n", RequestPath.c_str());
+      return 1;
+    }
+  }
+  std::istream &In = RequestPath == "-" ? std::cin : FileIn;
+
+  // Parse the whole stream first: parse errors become error responses in
+  // place, so the output stays one line per request line.
+  std::vector<ServiceRequest> Requests;
+  std::vector<ServiceResponse> Responses; // parse errors, pre-rendered
+  std::vector<int> Slot; // per accepted line: index into Requests, or
+                         // -(index into Responses)-1 for parse errors
+  std::string Line;
+  for (size_t LineNo = 1; std::getline(In, Line); ++LineNo) {
+    ParsedRequestLine P = parseRequestLine(Line, LineNo);
+    if (P.Blank)
+      continue;
+    if (!P.Error.empty()) {
+      ServiceResponse E;
+      E.Name = P.R.Name;
+      E.Ok = false;
+      E.Text = P.Error;
+      Slot.push_back(-static_cast<int>(Responses.size()) - 1);
+      Responses.push_back(std::move(E));
+      continue;
+    }
+    Slot.push_back(static_cast<int>(Requests.size()));
+    Requests.push_back(std::move(P.R));
+  }
+
+  CompileService Service(Cfg);
+  std::vector<ServiceResponse> Served = Service.handleBatch(Requests);
+
+  std::ofstream FileOut;
+  if (!OutPath.empty()) {
+    FileOut.open(OutPath);
+    if (!FileOut) {
+      std::fprintf(stderr, "cannot open %s\n", OutPath.c_str());
+      return 1;
+    }
+  }
+  std::ostream &Out = OutPath.empty() ? std::cout : FileOut;
+
+  int Failures = 0;
+  for (int S : Slot) {
+    const ServiceResponse &R =
+        S >= 0 ? Served[static_cast<size_t>(S)]
+               : Responses[static_cast<size_t>(-S - 1)];
+    if (!R.Ok)
+      ++Failures;
+    Out << renderResponse(R);
+  }
+  Out.flush();
+
+  if (Stats) {
+    const ArtifactCache &C = Service.cache();
+    std::fprintf(stderr, "%-12s %8s %8s %8s %8s\n", "class", "hits",
+                 "misses", "evicted", "rejected");
+    for (size_t I = 0;
+         I != static_cast<size_t>(ArtifactClass::NumClasses); ++I) {
+      ArtifactClass AC = static_cast<ArtifactClass>(I);
+      ArtifactClassStats S = C.stats(AC);
+      if (!S.Hits && !S.Misses && !S.Evictions && !S.Rejections)
+        continue;
+      std::fprintf(stderr, "%-12s %8llu %8llu %8llu %8llu\n",
+                   artifactClassName(AC),
+                   static_cast<unsigned long long>(S.Hits),
+                   static_cast<unsigned long long>(S.Misses),
+                   static_cast<unsigned long long>(S.Evictions),
+                   static_cast<unsigned long long>(S.Rejections));
+    }
+    std::fprintf(stderr,
+                 "groups=%llu cache-bytes=%zu entries=%zu failures=%d\n",
+                 static_cast<unsigned long long>(Service.groupsFormed()),
+                 C.bytesUsed(), C.entryCount(), Failures);
+  }
+  return Failures ? 1 : 0;
+}

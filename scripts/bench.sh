@@ -8,8 +8,9 @@
 # syntactic-vs-flow-sensitive disambiguation-rate and cycle table as
 # BENCH_alias.json, and the full per-kernel measurement matrix (every
 # registered kernel x O0/Classical/Vliw x three machine models, with and
-# without PDF) as BENCH_workloads.json (human-readable tables go to
-# stdout).
+# without PDF) as BENCH_workloads.json, and the compile-service cold-vs-
+# warm-cache throughput with per-class hit rates as BENCH_service.json
+# (human-readable tables go to stdout).
 #
 #   scripts/bench.sh [JOBS]
 set -euo pipefail
@@ -21,7 +22,7 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS" \
   --target bench_oracle_overhead --target bench_compile_time \
   --target bench_sim --target bench_pdf_gain --target bench_alias \
-  --target bench_workloads
+  --target bench_workloads --target bench_service
 
 "$ROOT/build/bench/bench_oracle_overhead" \
   --benchmark_out="$ROOT/BENCH_oracle.json" \
@@ -53,9 +54,16 @@ VSC_THREADS=4 "$ROOT/build/bench/bench_pdf_gain" \
   --workloads-out="$ROOT/BENCH_workloads.json" \
   --benchmark_filter='^$'
 
+# Compile-service throughput: a seeded request stream served cold then
+# warm by one service; asserts byte-identical responses and the 3x
+# warm-cache floor, and reports per-class hit rates.
+"$ROOT/build/bench/bench_service" \
+  --service-out="$ROOT/BENCH_service.json"
+
 echo "wrote $ROOT/BENCH_oracle.json"
 echo "wrote $ROOT/BENCH_compile_parallel.json"
 echo "wrote $ROOT/BENCH_sim.json"
 echo "wrote $ROOT/BENCH_pdf.json"
 echo "wrote $ROOT/BENCH_alias.json"
 echo "wrote $ROOT/BENCH_workloads.json"
+echo "wrote $ROOT/BENCH_service.json"

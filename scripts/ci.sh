@@ -60,6 +60,15 @@ run_config() {
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
       -R 'PdfStore|PdfExperiment|PdfGate'
   done
+  # Compile-service suites: the sealed-artifact envelope, the LRU cache's
+  # rejection discipline, the JsonWriter byte contract, and the service's
+  # response determinism across thread counts and request orders.
+  for threads in 1 4; do
+    echo "=== [$name] compile service suites, VSC_THREADS=$threads ==="
+    VSC_THREADS="$threads" \
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+      -R 'SealedArtifact|ArtifactCache|CompileService|JsonWriter'
+  done
   # The workload-kernel suites (SPEC six + irregular five): host-reference
   # checksums, the OptLevel x machine x threads matrix, and the audited
   # oracle+alias pipeline per kernel. Run explicitly so a filtered
@@ -89,6 +98,40 @@ run_config() {
     exit 1
   fi
   echo "handoff agreed: $decision_a"
+  rm -rf "$tmp"
+  # Cross-process artifact handoff through the compile service: one vscd
+  # process persists a profile, a second feeds it back into a guided
+  # compile (response bytes must agree at --threads=1 and 4), and vscc
+  # loading the same profile must reach the identical measured layout
+  # decision.
+  echo "=== [$name] cross-process vscd smoke ==="
+  local svc_layout cc_layout
+  tmp="$(mktemp -d)"
+  printf 'save-profile name=sp kernel=eqntott train=1 out=%s/eqntott.vscp\n' \
+    "$tmp" > "$tmp/save.req"
+  "$dir/examples/example_vscd" --requests="$tmp/save.req" \
+    --out="$tmp/save.out"
+  grep -q '^sp ok ' "$tmp/save.out"
+  printf 'compile name=g kernel=eqntott level=O3 profile=%s/eqntott.vscp args=1\n' \
+    "$tmp" > "$tmp/guided.req"
+  "$dir/examples/example_vscd" --requests="$tmp/guided.req" --threads=1 \
+    --out="$tmp/guided1.out"
+  "$dir/examples/example_vscd" --requests="$tmp/guided.req" --threads=4 \
+    --out="$tmp/guided4.out"
+  cmp "$tmp/guided1.out" "$tmp/guided4.out"
+  grep -q '^g ok ' "$tmp/guided1.out"
+  svc_layout="$(sed -n 's/.* layout=\([a-z-]*\).*/\1/p' "$tmp/guided1.out")"
+  "$dir/examples/example_pdf_workflow" --workload=eqntott \
+    --emit-source="$tmp/eqntott.c" > /dev/null
+  "$dir/examples/example_vscc" "$tmp/eqntott.c" -O3 \
+    --load-profile="$tmp/eqntott.vscp" -- 1 \
+    > /dev/null 2> "$tmp/vscc.err"
+  cc_layout="$(sed -n 's/^pdf-layout: \([a-z-]*\)$/\1/p' "$tmp/vscc.err")"
+  if [ -z "$svc_layout" ] || [ "$svc_layout" != "$cc_layout" ]; then
+    echo "vscd/vscc layout decision diverged: '$svc_layout' vs '$cc_layout'" >&2
+    exit 1
+  fi
+  echo "vscd handoff agreed: layout=$svc_layout"
   rm -rf "$tmp"
 }
 

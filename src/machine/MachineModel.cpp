@@ -4,6 +4,40 @@
 
 using namespace vsc;
 
+uint64_t vsc::machineFingerprint(const MachineModel &M) {
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I != 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xff;
+      H *= 1099511628211ULL;
+    }
+  };
+  for (char C : M.Name) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 1099511628211ULL;
+  }
+  Mix(M.FxuWidth);
+  Mix(M.BuWidth);
+  Mix(M.LoadLatency);
+  Mix(M.AluLatency);
+  Mix(M.CmpLatency);
+  Mix(M.MulLatency);
+  Mix(M.DivLatency);
+  Mix(M.TakenBranchRedirect);
+  Mix(M.SpecWindow);
+  Mix(M.ExpansionObjective);
+  Mix(M.PageZeroReadable ? 1 : 0);
+  return H;
+}
+
+const MachineModel *vsc::findMachine(const std::string &Name) {
+  static const MachineModel Stock[] = {rs6000(), power2(), ppc601(), vliw8()};
+  for (const MachineModel &M : Stock)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
 MachineModel vsc::rs6000() {
   MachineModel M;
   M.Name = "rs6000";

@@ -72,6 +72,16 @@ struct MachineModel {
   UnitKind unitOf(const Instr &I) const { return opcodeInfo(I.Op).Unit; }
 };
 
+/// Content fingerprint of every timing/shape parameter of \p M (FNV-1a
+/// over name, widths, latencies, redirect/speculation windows, page-zero
+/// behaviour). Cache keys use this instead of Name so a hand-tweaked model
+/// never aliases a stock one.
+uint64_t machineFingerprint(const MachineModel &M);
+
+/// The stock model registered under \p Name (rs6000, power2, ppc601,
+/// vliw8), or nullptr.
+const MachineModel *findMachine(const std::string &Name);
+
 /// RS/6000 (POWER) model 580 class: single FXU, single branch unit.
 MachineModel rs6000();
 /// Power2 class: dual FXU.

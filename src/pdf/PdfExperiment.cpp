@@ -7,57 +7,62 @@
 
 using namespace vsc;
 
-PdfExperimentResult vsc::runPdfExperiment(const Module &Source,
-                                          const PdfExperimentOptions &Opt) {
-  PdfExperimentResult R;
-  R.Baseline = cloneModule(Source);
-  R.Guided = cloneModule(Source);
+std::unique_ptr<Module> vsc::prepareForTraining(const Module &Source) {
+  // Training runs need a run-ready module: the raw frontend output has no
+  // prologs, so an argument-taking entry reads its parameters from unwired
+  // stack slots and trains on a garbage input (the pre-PR collectProfile
+  // path did exactly that). Prepare a clone at OptLevel::None — prolog
+  // insertion only; the CFG fingerprint is invariant under preparation
+  // (tests/test_pdf_store.cpp), so the profile still attaches to the raw
+  // source module.
+  auto Prepared = cloneModule(Source);
+  optimize(*Prepared, OptLevel::None);
+  return Prepared;
+}
 
+PdfFeedback vsc::collectPdfFeedback(const Module &Source,
+                                    const PdfExperimentOptions &Opt,
+                                    Module *CounterTarget) {
+  PdfFeedback F;
   // Feedback profile: persisted, exact (dense ground truth), or the
   // paper's two-pass counter scheme.
   if (Opt.LoadedProfile) {
     std::string Stale = Opt.LoadedProfile->validateFor(Source);
     if (!Stale.empty()) {
-      R.Error = Stale;
-      return R;
+      F.Error = Stale;
+      return F;
     }
-    R.Profile = *Opt.LoadedProfile;
-    R.Feedback = R.Profile.toProfileData();
-  } else {
-    // Training runs need a run-ready module: the raw frontend output has
-    // no prologs, so an argument-taking entry reads its parameters from
-    // unwired stack slots and trains on a garbage input (the pre-PR
-    // collectProfile path did exactly that). Prepare a clone at
-    // OptLevel::None — prolog insertion only; the CFG fingerprint is
-    // invariant under preparation (tests/test_pdf_store.cpp), so the
-    // profile still attaches to the raw source module.
-    auto Prepared = cloneModule(Source);
-    optimize(*Prepared, OptLevel::None);
-    if (Opt.ProfileSource == PdfExperimentOptions::Source::Exact) {
-      SimEngine Engine(*Prepared, Opt.Machine);
-      R.Profile =
-          collectDenseProfile(Engine, Opt.Train, Opt.Threads, &R.Error);
-      if (!R.Error.empty())
-        return R;
-      R.Feedback = R.Profile.toProfileData();
-    } else {
-      ProfileCollector Collector(*Prepared, Opt.Machine);
-      R.Feedback = Collector.profileFor(*R.Guided, Opt.Train, Opt.Threads,
-                                        &R.Error);
-      if (!R.Error.empty())
-        return R;
-    }
+    F.Profile = *Opt.LoadedProfile;
+    F.Feedback = F.Profile.toProfileData();
+    return F;
   }
+  auto Prepared = prepareForTraining(Source);
+  if (Opt.ProfileSource == PdfExperimentOptions::Source::Exact) {
+    SimEngine Engine(*Prepared, Opt.Machine);
+    F.Profile = collectDenseProfile(Engine, Opt.Train, Opt.Threads, &F.Error);
+    if (F.Error.empty())
+      F.Feedback = F.Profile.toProfileData();
+  } else {
+    ProfileCollector Collector(*Prepared, Opt.Machine);
+    F.Feedback =
+        Collector.profileFor(*CounterTarget, Opt.Train, Opt.Threads, &F.Error);
+  }
+  return F;
+}
 
+void vsc::pdfBaselineCompile(Module &Target, const PdfExperimentOptions &Opt) {
   PipelineOptions Base;
   Base.Machine = Opt.Machine;
   Base.Threads = Opt.Threads;
-  optimize(*R.Baseline, Opt.Level, Base);
+  optimize(Target, Opt.Level, Base);
+}
 
+int vsc::pdfGuidedCompile(Module &Target, const ProfileData &Feedback,
+                          const PdfExperimentOptions &Opt) {
   PipelineOptions Guided;
   Guided.Machine = Opt.Machine;
   Guided.Threads = Opt.Threads;
-  Guided.Profile = &R.Feedback;
+  Guided.Profile = &Feedback;
   Guided.Superblocks = Opt.Superblocks;
   std::vector<RunOptions> GateFront;
   if (Opt.MeasuredGate && !Opt.Train.empty()) {
@@ -67,9 +72,11 @@ PdfExperimentResult vsc::runPdfExperiment(const Module &Source,
   }
   PipelineStats Stats;
   Guided.Stats = &Stats;
-  optimize(*R.Guided, Opt.Level, Guided);
-  R.PdfLayoutKept = Stats.PdfLayoutKept;
+  optimize(Target, Opt.Level, Guided);
+  return Stats.PdfLayoutKept;
+}
 
+void vsc::pdfMeasure(PdfExperimentResult &R, const PdfExperimentOptions &Opt) {
   // Measure both compiles on the test battery, one predecode each.
   SimEngine BaseEngine(*R.Baseline, Opt.Machine);
   SimEngine GuidedEngine(*R.Guided, Opt.Machine);
@@ -82,10 +89,30 @@ PdfExperimentResult vsc::runPdfExperiment(const Module &Source,
       R.Error = "behaviour diverged on test input " + std::to_string(I) +
                 ":\n  baseline: " + B.fingerprint() +
                 "\n  guided:   " + G.fingerprint();
-      return R;
+      return;
     }
     R.BaselineCycles += B.Cycles;
     R.GuidedCycles += G.Cycles;
   }
+}
+
+PdfExperimentResult vsc::runPdfExperiment(const Module &Source,
+                                          const PdfExperimentOptions &Opt) {
+  PdfExperimentResult R;
+  R.Baseline = cloneModule(Source);
+  R.Guided = cloneModule(Source);
+
+  PdfFeedback F = collectPdfFeedback(Source, Opt, R.Guided.get());
+  R.Profile = std::move(F.Profile);
+  R.Feedback = std::move(F.Feedback);
+  if (!F.Error.empty()) {
+    R.Error = std::move(F.Error);
+    return R;
+  }
+
+  pdfBaselineCompile(*R.Baseline, Opt);
+  R.PdfLayoutKept = pdfGuidedCompile(*R.Guided, R.Feedback, Opt);
+
+  pdfMeasure(R, Opt);
   return R;
 }

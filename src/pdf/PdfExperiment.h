@@ -95,6 +95,59 @@ struct PdfExperimentResult {
 PdfExperimentResult runPdfExperiment(const Module &Source,
                                      const PdfExperimentOptions &Options);
 
+// --- the experiment as reusable stages --------------------------------------
+//
+// runPdfExperiment chains these serially; the compile service
+// (src/service/CompileService.h) runs them as separately cache-keyed
+// stage functions, so the train / baseline / guided phases of different
+// requests overlap instead of marching through one monolithic driver, and
+// a baseline compiled for one request serves every later request with the
+// same (module, options, machine) key.
+
+/// Stage: a run-ready clone of \p Source for training (prolog insertion
+/// only — the raw frontend output would misread its arguments; see the
+/// comment in collectPdfFeedback's implementation). The CFG fingerprint
+/// is invariant under this preparation, so profiles collected from the
+/// prepared clone still attach to \p Source.
+std::unique_ptr<Module> prepareForTraining(const Module &Source);
+
+/// What the feedback stage produces.
+struct PdfFeedback {
+  /// Non-empty when collection failed (stale profile, trapping run).
+  std::string Error;
+  /// Dense ground truth (Source::Exact or a loaded profile; empty for
+  /// the counter scheme).
+  DenseProfile Profile;
+  /// The profile the pipeline consumes.
+  ProfileData Feedback;
+  bool ok() const { return Error.empty(); }
+};
+
+/// Stage (train): collect or validate the feedback profile. The counter
+/// scheme (Source::Counters) applies the pass-1-identical planCounters
+/// surgery to \p CounterTarget — the module the guided compile will run
+/// on — so that path mutates it; Exact and LoadedProfile leave it alone
+/// (it may then be null).
+PdfFeedback collectPdfFeedback(const Module &Source,
+                               const PdfExperimentOptions &Opt,
+                               Module *CounterTarget);
+
+/// Stage (baseline): plain optimize at Opt.Level/Machine/Threads —
+/// byte-identical to a profile-less compile of the same module, which is
+/// exactly why the service can satisfy it from the compile-artifact cache.
+void pdfBaselineCompile(Module &Target, const PdfExperimentOptions &Opt);
+
+/// Stage (guided): optimize \p Target with \p Feedback attached and the
+/// measured layout gate configured per Opt. \returns the gate decision
+/// (PipelineStats::PdfLayoutKept).
+int pdfGuidedCompile(Module &Target, const ProfileData &Feedback,
+                     const PdfExperimentOptions &Opt);
+
+/// Stage (measure): simulate R.Baseline and R.Guided over Opt.Test,
+/// enforce behaviour equality per input, and fill the cycle sums
+/// (R.Error names the first diverging input).
+void pdfMeasure(PdfExperimentResult &R, const PdfExperimentOptions &Opt);
+
 } // namespace vsc
 
 #endif // VSC_PDF_PDFEXPERIMENT_H

@@ -1,0 +1,174 @@
+//===- service/Artifact.cpp - Sealed, content-addressed artifacts -----------===//
+
+#include "service/Artifact.h"
+
+#include <cstring>
+
+using namespace vsc;
+
+static const char ArtifactMagic[4] = {'V', 'S', 'C', 'A'};
+static constexpr uint32_t ArtifactFormatVersion = 1;
+
+const char *vsc::artifactClassName(ArtifactClass C) {
+  switch (C) {
+  case ArtifactClass::Frontend:
+    return "frontend";
+  case ArtifactClass::Prepared:
+    return "prepared";
+  case ArtifactClass::Optimized:
+    return "optimized";
+  case ArtifactClass::Image:
+    return "image";
+  case ArtifactClass::Profile:
+    return "profile";
+  case ArtifactClass::SimResult:
+    return "sim-result";
+  case ArtifactClass::NumClasses:
+    break;
+  }
+  return "?";
+}
+
+const char *vsc::artifactFaultName(ArtifactFault F) {
+  switch (F) {
+  case ArtifactFault::None:
+    return "none";
+  case ArtifactFault::Missing:
+    return "missing";
+  case ArtifactFault::Truncated:
+    return "truncated";
+  case ArtifactFault::BadMagic:
+    return "bad-magic";
+  case ArtifactFault::UnsupportedVersion:
+    return "unsupported-version";
+  case ArtifactFault::WrongClass:
+    return "wrong-class";
+  case ArtifactFault::Stale:
+    return "stale";
+  case ArtifactFault::Corrupt:
+    return "corrupt";
+  }
+  return "?";
+}
+
+std::string vsc::artifactFaultMessage(ArtifactFault F, ArtifactClass C) {
+  std::string Name = artifactClassName(C);
+  switch (F) {
+  case ArtifactFault::None:
+    return "";
+  case ArtifactFault::Missing:
+    return Name + " artifact missing";
+  case ArtifactFault::Truncated:
+    return Name + " artifact image truncated";
+  case ArtifactFault::BadMagic:
+    return "not a sealed " + Name + " artifact (bad magic)";
+  case ArtifactFault::UnsupportedVersion:
+    return "unsupported " + Name + " artifact format version";
+  case ArtifactFault::WrongClass:
+    return Name + " artifact key resolved to a different class";
+  case ArtifactFault::Stale:
+    return "stale " + Name +
+           " artifact: module CFG fingerprint does not match";
+  case ArtifactFault::Corrupt:
+    return Name + " artifact image corrupt (checksum mismatch)";
+  }
+  return Name + " artifact fault";
+}
+
+uint64_t vsc::fnv1aBytes(const void *Data, size_t Size, uint64_t Seed) {
+  uint64_t H = Seed;
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+uint64_t vsc::fnv1aWords(std::initializer_list<uint64_t> Words,
+                         uint64_t Seed) {
+  uint64_t H = Seed;
+  for (uint64_t W : Words)
+    for (int I = 0; I != 8; ++I) {
+      H ^= (W >> (8 * I)) & 0xff;
+      H *= 1099511628211ULL;
+    }
+  return H;
+}
+
+static void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+static void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+static uint32_t getU32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+static uint64_t getU64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+// magic(4) + version(4) + class(1) + fingerprint(8) + payload-size(8)
+static constexpr size_t HeaderBytes = 4 + 4 + 1 + 8 + 8;
+
+std::vector<uint8_t> vsc::sealArtifact(ArtifactClass C, uint64_t Fingerprint,
+                                       const std::string &Payload) {
+  std::vector<uint8_t> Out;
+  Out.reserve(HeaderBytes + Payload.size() + 8);
+  Out.insert(Out.end(), ArtifactMagic, ArtifactMagic + 4);
+  putU32(Out, ArtifactFormatVersion);
+  Out.push_back(static_cast<uint8_t>(C));
+  putU64(Out, Fingerprint);
+  putU64(Out, Payload.size());
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  putU64(Out, fnv1aBytes(Out.data(), Out.size()));
+  return Out;
+}
+
+ArtifactFault vsc::openArtifact(const std::vector<uint8_t> &Sealed,
+                                ArtifactClass Expect, uint64_t ExpectFp,
+                                std::string *Payload) {
+  if (Sealed.size() < HeaderBytes + 8)
+    return ArtifactFault::Truncated;
+  if (std::memcmp(Sealed.data(), ArtifactMagic, 4) != 0)
+    return ArtifactFault::BadMagic;
+  if (getU32(Sealed.data() + 4) != ArtifactFormatVersion)
+    return ArtifactFault::UnsupportedVersion;
+  uint64_t PayloadSize = getU64(Sealed.data() + 4 + 4 + 1 + 8);
+  if (Sealed.size() != HeaderBytes + PayloadSize + 8)
+    return ArtifactFault::Truncated;
+  uint64_t Stored = getU64(Sealed.data() + Sealed.size() - 8);
+  if (Stored != fnv1aBytes(Sealed.data(), Sealed.size() - 8))
+    return ArtifactFault::Corrupt;
+  if (Sealed[4 + 4] != static_cast<uint8_t>(Expect))
+    return ArtifactFault::WrongClass;
+  uint64_t Fp = getU64(Sealed.data() + 4 + 4 + 1);
+  if (ExpectFp && Fp != ExpectFp)
+    return ArtifactFault::Stale;
+  if (Payload)
+    Payload->assign(reinterpret_cast<const char *>(Sealed.data()) +
+                        HeaderBytes,
+                    PayloadSize);
+  return ArtifactFault::None;
+}
+
+Artifact vsc::makeArtifact(ArtifactClass C, uint64_t Fingerprint,
+                           const std::string &Payload) {
+  Artifact A;
+  A.Class = C;
+  A.Fingerprint = Fingerprint;
+  A.Sealed = sealArtifact(C, Fingerprint, Payload);
+  return A;
+}

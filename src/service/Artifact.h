@@ -1,0 +1,142 @@
+//===- service/Artifact.h - Sealed, content-addressed artifacts -*- C++ -*-===//
+///
+/// \file
+/// The artifact layer under the compile service (service/CompileService.h):
+/// every intermediate product of the request pipeline — parsed modules,
+/// prepared training clones, optimized modules, predecoded simulator
+/// images, dense profiles, simulation results — becomes a cacheable
+/// Artifact addressed purely by content hash.
+///
+/// Each artifact carries a *sealed image*: a versioned binary envelope
+/// (magic "VSCA", format version, artifact class, the fingerprint of the
+/// module chain it derives from, payload length, payload, trailing FNV-1a
+/// checksum) that the cache re-validates on every hit. A poisoned entry —
+/// truncated, bit-flipped, or belonging to a different module generation —
+/// is rejected with a typed ArtifactFault and evicted instead of being
+/// served, mirroring the rejection discipline pdf/ProfileStore.h applies
+/// to persisted profiles (tests/test_artifact_cache.cpp pins both the
+/// faults and their diagnostic wording).
+///
+/// The in-process decoded object rides along in Artifact::Live so a hit
+/// does not re-parse the payload; the sealed image is still what decides
+/// whether the hit is served.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_SERVICE_ARTIFACT_H
+#define VSC_SERVICE_ARTIFACT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+/// What kind of pipeline product an artifact is. The cache keeps hit/miss
+/// accounting per class (bench_service prints the table).
+enum class ArtifactClass : uint8_t {
+  Frontend = 0, ///< mini-C source text -> verified IR module
+  Prepared,     ///< run-ready training clone (prolog insertion only)
+  Optimized,    ///< pipeline output (baseline or profile-guided)
+  Image,        ///< predecoded simulator engine bound to a machine
+  Profile,      ///< dense profile (pdf/ProfileStore.h payload)
+  SimResult,    ///< one simulation run's result
+  NumClasses
+};
+
+const char *artifactClassName(ArtifactClass C);
+
+/// Why a cache lookup refused to serve an entry. Everything except None
+/// and Missing is a *rejection*: the entry existed but failed validation
+/// and was evicted so it cannot poison later requests.
+enum class ArtifactFault : uint8_t {
+  None = 0,
+  Missing,            ///< no entry under the key (an ordinary miss)
+  Truncated,          ///< sealed image shorter than its own accounting
+  BadMagic,           ///< not a sealed artifact at all
+  UnsupportedVersion, ///< envelope from a different format generation
+  WrongClass,         ///< key collision across classes (never legitimate)
+  Stale,              ///< derives from a different module fingerprint
+  Corrupt,            ///< checksum mismatch (bit rot / poisoning)
+};
+
+const char *artifactFaultName(ArtifactFault F);
+
+/// Diagnostic string for a rejected artifact, worded like the
+/// ProfileStore rejection paths ("... truncated", "... corrupt (checksum
+/// mismatch)", "stale artifact: ...").
+std::string artifactFaultMessage(ArtifactFault F, ArtifactClass C);
+
+/// Cache key: the class plus a content hash the caller folds from every
+/// input that determines the artifact's bytes (source hash, CFG
+/// fingerprint, option/machine/run-option fingerprints, profile content).
+struct ArtifactKey {
+  ArtifactClass Class = ArtifactClass::Frontend;
+  uint64_t Hash = 0;
+  bool operator==(const ArtifactKey &O) const {
+    return Class == O.Class && Hash == O.Hash;
+  }
+};
+
+struct ArtifactKeyHasher {
+  size_t operator()(const ArtifactKey &K) const {
+    return static_cast<size_t>(K.Hash ^
+                               (static_cast<uint64_t>(K.Class) * 0x9e3779b9));
+  }
+};
+
+/// FNV-1a over \p Size bytes, continuing from \p Seed (the repo-wide
+/// hashing idiom; the default seed is the FNV offset basis).
+uint64_t fnv1aBytes(const void *Data, size_t Size,
+                    uint64_t Seed = 1469598103934665603ULL);
+
+/// Folds 64-bit words into one FNV-1a hash, byte by byte — the helper
+/// every artifact-key derivation uses.
+uint64_t fnv1aWords(std::initializer_list<uint64_t> Words,
+                    uint64_t Seed = 1469598103934665603ULL);
+
+/// Builds the sealed image: "VSCA" magic, u32 format version, u8 class,
+/// u64 fingerprint, u64 payload size, payload bytes, trailing u64 FNV-1a
+/// checksum over everything before it.
+std::vector<uint8_t> sealArtifact(ArtifactClass C, uint64_t Fingerprint,
+                                  const std::string &Payload);
+
+/// Validates a sealed image against what the consumer expects and
+/// extracts the payload. Checks run in ProfileStore order: structure
+/// (Truncated / BadMagic / UnsupportedVersion / Truncated payload), then
+/// checksum (Corrupt), then identity (WrongClass, Stale). \p ExpectFp 0
+/// skips the staleness check (for classes keyed by inputs that have no
+/// separate fingerprint). \p Payload may be null.
+ArtifactFault openArtifact(const std::vector<uint8_t> &Sealed,
+                           ArtifactClass Expect, uint64_t ExpectFp,
+                           std::string *Payload = nullptr);
+
+/// One cached pipeline product.
+struct Artifact {
+  ArtifactClass Class = ArtifactClass::Frontend;
+  /// Fingerprint of the module chain this derives from (what Stale is
+  /// judged against); also sealed into the envelope.
+  uint64_t Fingerprint = 0;
+  /// The sealed image — validated on every cache hit.
+  std::vector<uint8_t> Sealed;
+  /// The decoded in-process object (ModuleArtifactBody, EngineHolder,
+  /// DenseProfile, RunResult — whatever the class implies), so a hit
+  /// skips re-parsing the payload.
+  std::shared_ptr<void> Live;
+  /// Approximate live-object footprint charged to the cache budget on top
+  /// of the sealed bytes.
+  size_t LiveBytes = 0;
+
+  size_t bytes() const { return Sealed.size() + LiveBytes; }
+};
+
+/// Convenience: seals \p Payload and fills everything but Live/LiveBytes.
+Artifact makeArtifact(ArtifactClass C, uint64_t Fingerprint,
+                      const std::string &Payload);
+
+} // namespace vsc
+
+#endif // VSC_SERVICE_ARTIFACT_H

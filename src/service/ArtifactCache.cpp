@@ -1,0 +1,135 @@
+//===- service/ArtifactCache.cpp - Content-addressed LRU cache --------------===//
+
+#include "service/ArtifactCache.h"
+
+using namespace vsc;
+
+ArtifactCache::ArtifactCache(size_t ByteBudget)
+    : Budget(ByteBudget ? ByteBudget : 1) {}
+
+void ArtifactCache::evictLocked(LruList::iterator It, bool Rejection) {
+  ArtifactClassStats &S =
+      ClassStats[static_cast<size_t>(It->A->Class)];
+  ++S.Evictions;
+  if (Rejection)
+    ++S.Rejections;
+  Used -= It->A->bytes();
+  Map.erase(It->Key);
+  Lru.erase(It);
+}
+
+std::shared_ptr<const Artifact>
+ArtifactCache::get(const ArtifactKey &K, uint64_t ExpectFp,
+                   ArtifactFault *Fault) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ArtifactClassStats &S = ClassStats[static_cast<size_t>(K.Class)];
+  auto It = Map.find(K);
+  if (It == Map.end()) {
+    ++S.Misses;
+    if (Fault)
+      *Fault = ArtifactFault::Missing;
+    return nullptr;
+  }
+  std::shared_ptr<const Artifact> A = It->second->A;
+  ArtifactFault F = openArtifact(A->Sealed, K.Class, ExpectFp);
+  if (F != ArtifactFault::None) {
+    // Poisoned (or stale) entry: reject, evict, make the caller recompute.
+    evictLocked(It->second, /*Rejection=*/true);
+    ++S.Misses;
+    if (Fault)
+      *Fault = F;
+    return nullptr;
+  }
+  ++S.Hits;
+  if (Fault)
+    *Fault = ArtifactFault::None;
+  Lru.splice(Lru.begin(), Lru, It->second); // re-warm
+  return A;
+}
+
+std::shared_ptr<const Artifact> ArtifactCache::put(const ArtifactKey &K,
+                                                   Artifact A) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(K);
+  if (It != Map.end()) {
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return It->second->A; // first insert won; identical content anyway
+  }
+  auto Shared = std::make_shared<const Artifact>(std::move(A));
+  Used += Shared->bytes();
+  Lru.push_front(Entry{K, Shared});
+  Map[K] = Lru.begin();
+  while (Used > Budget && Lru.size() > 1)
+    evictLocked(std::prev(Lru.end()), /*Rejection=*/false);
+  return Shared;
+}
+
+ArtifactClassStats ArtifactCache::stats(ArtifactClass C) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return ClassStats[static_cast<size_t>(C)];
+}
+
+ArtifactClassStats ArtifactCache::totals() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ArtifactClassStats T;
+  for (const ArtifactClassStats &S : ClassStats) {
+    T.Hits += S.Hits;
+    T.Misses += S.Misses;
+    T.Evictions += S.Evictions;
+    T.Rejections += S.Rejections;
+  }
+  return T;
+}
+
+size_t ArtifactCache::bytesUsed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Used;
+}
+
+size_t ArtifactCache::entryCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Lru.size();
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Lru.clear();
+  Map.clear();
+  Used = 0;
+}
+
+bool ArtifactCache::poisonLocked(const ArtifactKey &K,
+                                 void (*Mutate)(std::vector<uint8_t> &)) {
+  auto It = Map.find(K);
+  if (It == Map.end())
+    return false;
+  // Clone, mutate the sealed image, and drop the decoded object so the
+  // envelope validation is the only thing standing between the poison and
+  // the consumer.
+  Artifact Poisoned = *It->second->A;
+  Mutate(Poisoned.Sealed);
+  Poisoned.Live = nullptr;
+  Poisoned.LiveBytes = 0;
+  Used -= It->second->A->bytes();
+  It->second->A = std::make_shared<const Artifact>(std::move(Poisoned));
+  Used += It->second->A->bytes();
+  return true;
+}
+
+bool ArtifactCache::corruptEntry(const ArtifactKey &K) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return poisonLocked(K, [](std::vector<uint8_t> &Sealed) {
+    // Flip a trailing-checksum bit: detected as Corrupt for every payload
+    // size (a flip elsewhere can read as Truncated when it lands in the
+    // length field).
+    if (!Sealed.empty())
+      Sealed.back() ^= 0x40;
+  });
+}
+
+bool ArtifactCache::truncateEntry(const ArtifactKey &K) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return poisonLocked(K, [](std::vector<uint8_t> &Sealed) {
+    Sealed.resize(Sealed.size() / 2);
+  });
+}

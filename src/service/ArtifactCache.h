@@ -1,0 +1,108 @@
+//===- service/ArtifactCache.h - Content-addressed LRU cache --*- C++ -*-===//
+///
+/// \file
+/// Thread-safe LRU cache over sealed artifacts (service/Artifact.h), with
+/// a byte budget and per-class hit/miss/eviction/rejection accounting.
+///
+/// Lookup discipline: every hit re-validates the entry's sealed image
+/// (openArtifact) against the class and module fingerprint the caller
+/// expects. A validation failure is a *rejection* — the typed fault is
+/// reported, the poisoned entry is evicted, and the caller recomputes —
+/// so a corrupt, truncated, or stale artifact can be served at most never
+/// (the same contract ProfileStore enforces for persisted profiles).
+///
+/// Insertion is insert-if-absent: when two request groups race to compute
+/// the same artifact, the first insert wins and both observe one object.
+/// Artifacts are pure functions of their content keys, so the losing
+/// compute produced byte-identical content and dropping it is free —
+/// this is what keeps service responses deterministic under any schedule.
+///
+/// corruptEntry/truncateEntry are test hooks that poison a resident
+/// entry's sealed image (and drop its decoded object, so validation is
+/// the only line of defence) — tests/test_artifact_cache.cpp drives the
+/// rejection paths through them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_SERVICE_ARTIFACTCACHE_H
+#define VSC_SERVICE_ARTIFACTCACHE_H
+
+#include "service/Artifact.h"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace vsc {
+
+struct ArtifactClassStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  /// Validation failures on lookup (always also evictions).
+  uint64_t Rejections = 0;
+};
+
+class ArtifactCache {
+public:
+  static constexpr size_t DefaultByteBudget = size_t(256) << 20;
+
+  explicit ArtifactCache(size_t ByteBudget = DefaultByteBudget);
+
+  /// Looks up \p K, validating the sealed image against \p ExpectFp (0
+  /// skips the staleness check). \returns the artifact on a valid hit;
+  /// null with \p Fault set to Missing (plain miss) or the rejection
+  /// reason (entry evicted) otherwise.
+  std::shared_ptr<const Artifact> get(const ArtifactKey &K, uint64_t ExpectFp,
+                                      ArtifactFault *Fault = nullptr);
+
+  /// Inserts \p A under \p K unless an entry already exists; \returns the
+  /// resident artifact either way (existing one wins). Evicts from the
+  /// cold end until the byte budget holds (never the entry just touched).
+  std::shared_ptr<const Artifact> put(const ArtifactKey &K, Artifact A);
+
+  ArtifactClassStats stats(ArtifactClass C) const;
+  /// Sum over every class.
+  ArtifactClassStats totals() const;
+
+  size_t bytesUsed() const;
+  size_t byteBudget() const { return Budget; }
+  size_t entryCount() const;
+
+  /// Drops every entry (stats keep accumulating).
+  void clear();
+
+  // --- test hooks ---------------------------------------------------------
+
+  /// Flips one checksum bit of the resident entry's sealed image and
+  /// drops its decoded object. \returns false when \p K is not resident.
+  bool corruptEntry(const ArtifactKey &K);
+
+  /// Drops the trailing half of the sealed image and the decoded object.
+  bool truncateEntry(const ArtifactKey &K);
+
+private:
+  struct Entry {
+    ArtifactKey Key;
+    std::shared_ptr<const Artifact> A;
+  };
+  using LruList = std::list<Entry>;
+
+  // Under Mu: unlink + account the entry at \p It.
+  void evictLocked(LruList::iterator It, bool Rejection);
+  // Under Mu: poison the resident entry via \p Mutate.
+  bool poisonLocked(const ArtifactKey &K,
+                    void (*Mutate)(std::vector<uint8_t> &));
+
+  mutable std::mutex Mu;
+  LruList Lru; ///< front = hottest
+  std::unordered_map<ArtifactKey, LruList::iterator, ArtifactKeyHasher> Map;
+  size_t Budget;
+  size_t Used = 0;
+  ArtifactClassStats ClassStats[static_cast<size_t>(
+      ArtifactClass::NumClasses)];
+};
+
+} // namespace vsc
+
+#endif // VSC_SERVICE_ARTIFACTCACHE_H

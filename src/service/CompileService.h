@@ -1,0 +1,123 @@
+//===- service/CompileService.h - Request-oriented compile service -*- C++ -*-===//
+///
+/// \file
+/// The compile service: compile / simulate / PDF-experiment /
+/// save-profile requests go in, deterministic one-line results come out,
+/// and every intermediate product flows through a content-addressed
+/// artifact cache (service/ArtifactCache.h).
+///
+/// Request pipeline (each stage a cache-keyed pure function):
+///
+///   source text ──frontend──▶ Module ──prepare──▶ training clone
+///        │                      │                     │
+///        │                  optimize (optionsFingerprint × profile ×
+///        │                      │     gate-battery content hashes)
+///        │                      ▼                     ▼
+///        │                predecode (SimEngine)   collectDenseProfile
+///        │                      │                     │
+///        │                  simulate (runOptionsFingerprint)
+///        ▼                      ▼                     ▼
+///     responses rendered purely from request content + artifacts
+///
+/// Keys fold only content (source hash, CFG fingerprint, option /
+/// machine / run-option fingerprints, profile bytes), so a request's
+/// response is byte-identical no matter the submission order, how
+/// requests were batched, or how many worker threads ran them —
+/// tests/test_service.cpp shuffles and re-threads the same stream to pin
+/// this down. Same-module requests are grouped and served sequentially
+/// within a group (one cold compile, N-1 hits); distinct groups fan out
+/// over the work-stealing pool. When two groups race to the same
+/// artifact, insert-if-absent keeps one copy and both computed the same
+/// bytes, so the race is invisible in the output.
+///
+/// examples/vscd.cpp speaks the newline-delimited protocol
+/// (service/Protocol.h) over files or FIFOs; bench_service measures cold
+/// vs warm throughput and per-class hit rates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_SERVICE_COMPILESERVICE_H
+#define VSC_SERVICE_COMPILESERVICE_H
+
+#include "service/ArtifactCache.h"
+#include "vliw/Pipeline.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+struct ServiceRequest {
+  enum class Op { Compile, Simulate, Pdf, SaveProfile };
+  Op Kind = Op::Compile;
+  /// Tag echoed as the first token of the response line.
+  std::string Name;
+  /// Registry kernel name (workloads/Registry.h); wins over Source.
+  std::string Kernel;
+  /// Inline mini-C text (used when Kernel is empty).
+  std::string Source;
+  std::string MachineName = "rs6000";
+  OptLevel Level = OptLevel::Vliw;
+  bool Superblocks = false;
+  /// main() arguments: the simulate input, the save-profile training run,
+  /// and the measured-gate input for profile-fed compiles (vscc parity).
+  std::vector<int64_t> Args;
+  /// read_int stream for simulate.
+  std::vector<int64_t> Input;
+  /// PDF batteries as main(n) scales; empty defers to the kernel's
+  /// TrainScale/RefScale (pdf op only).
+  std::vector<int64_t> Train;
+  std::vector<int64_t> Test;
+  /// compile: persisted profile to feed back (stale ones rejected).
+  std::string ProfileIn;
+  /// save-profile: where the collected profile lands.
+  std::string ProfileOut;
+};
+
+struct ServiceResponse {
+  std::string Name;
+  bool Ok = false;
+  /// Deterministic single-line body (no name prefix, no newline).
+  std::string Text;
+};
+
+class CompileService {
+public:
+  struct Config {
+    size_t CacheBytes = ArtifactCache::DefaultByteBudget;
+    /// Outer workers request groups fan out over; 0 defers to
+    /// VSC_THREADS. Stage work inside a request always runs serial, so
+    /// the thread count never reaches the artifacts.
+    unsigned Threads = 0;
+  };
+
+  CompileService();
+  explicit CompileService(Config Cfg);
+  ~CompileService();
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Serves every request; responses are positionally matched to
+  /// \p Requests. Same-module requests are grouped (one group = one
+  /// artifact chain walked sequentially); groups run concurrently.
+  std::vector<ServiceResponse>
+  handleBatch(const std::vector<ServiceRequest> &Requests);
+
+  /// Batch of one.
+  ServiceResponse handle(const ServiceRequest &R);
+
+  ArtifactCache &cache();
+  const ArtifactCache &cache() const;
+
+  /// Same-module groups formed across every handleBatch call so far.
+  uint64_t groupsFormed() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace vsc
+
+#endif // VSC_SERVICE_COMPILESERVICE_H

@@ -1,0 +1,144 @@
+//===- service/Protocol.cpp - vscd request/response text protocol -----------===//
+
+#include "service/Protocol.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace vsc;
+
+namespace {
+
+std::vector<std::string> splitTokens(const std::string &Line) {
+  std::vector<std::string> Toks;
+  std::istringstream In(Line);
+  std::string T;
+  while (In >> T)
+    Toks.push_back(T);
+  return Toks;
+}
+
+bool parseIntList(const std::string &V, std::vector<int64_t> &Out,
+                  std::string &Err) {
+  Out.clear();
+  std::string Cur;
+  std::istringstream In(V);
+  while (std::getline(In, Cur, ',')) {
+    char *End = nullptr;
+    long long N = std::strtoll(Cur.c_str(), &End, 10);
+    if (Cur.empty() || *End) {
+      Err = "bad integer '" + Cur + "' in '" + V + "'";
+      return false;
+    }
+    Out.push_back(N);
+  }
+  return true;
+}
+
+bool parseLevel(const std::string &V, OptLevel &L) {
+  if (V == "O0" || V == "none")
+    L = OptLevel::None;
+  else if (V == "O2" || V == "classical")
+    L = OptLevel::Classical;
+  else if (V == "O3" || V == "vliw")
+    L = OptLevel::Vliw;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+ParsedRequestLine vsc::parseRequestLine(const std::string &Line,
+                                        size_t LineNo) {
+  ParsedRequestLine P;
+  P.R.Name = "r" + std::to_string(LineNo);
+
+  size_t First = Line.find_first_not_of(" \t\r");
+  if (First == std::string::npos || Line[First] == '#') {
+    P.Blank = true;
+    return P;
+  }
+
+  std::vector<std::string> Toks = splitTokens(Line);
+  const std::string &Op = Toks.front();
+  if (Op == "compile")
+    P.R.Kind = ServiceRequest::Op::Compile;
+  else if (Op == "simulate")
+    P.R.Kind = ServiceRequest::Op::Simulate;
+  else if (Op == "pdf")
+    P.R.Kind = ServiceRequest::Op::Pdf;
+  else if (Op == "save-profile")
+    P.R.Kind = ServiceRequest::Op::SaveProfile;
+  else {
+    P.Error = "unknown op '" + Op + "'";
+    return P;
+  }
+
+  for (size_t I = 1; I != Toks.size(); ++I) {
+    const std::string &T = Toks[I];
+    size_t Eq = T.find('=');
+    if (Eq == std::string::npos || Eq == 0) {
+      P.Error = "expected key=value, got '" + T + "'";
+      return P;
+    }
+    std::string Key = T.substr(0, Eq), Val = T.substr(Eq + 1);
+    std::string Err;
+    if (Key == "name") {
+      P.R.Name = Val;
+    } else if (Key == "kernel") {
+      P.R.Kernel = Val;
+    } else if (Key == "src") {
+      std::ifstream In(Val);
+      if (!In) {
+        P.Error = "cannot open " + Val;
+        return P;
+      }
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      P.R.Source = Buf.str();
+    } else if (Key == "machine") {
+      P.R.MachineName = Val;
+    } else if (Key == "level") {
+      if (!parseLevel(Val, P.R.Level)) {
+        P.Error = "unknown level '" + Val + "'";
+        return P;
+      }
+    } else if (Key == "superblocks") {
+      P.R.Superblocks = Val == "1" || Val == "true";
+    } else if (Key == "args") {
+      if (!parseIntList(Val, P.R.Args, Err)) {
+        P.Error = Err;
+        return P;
+      }
+    } else if (Key == "input") {
+      if (!parseIntList(Val, P.R.Input, Err)) {
+        P.Error = Err;
+        return P;
+      }
+    } else if (Key == "train") {
+      if (!parseIntList(Val, P.R.Train, Err)) {
+        P.Error = Err;
+        return P;
+      }
+    } else if (Key == "test") {
+      if (!parseIntList(Val, P.R.Test, Err)) {
+        P.Error = Err;
+        return P;
+      }
+    } else if (Key == "profile") {
+      P.R.ProfileIn = Val;
+    } else if (Key == "out") {
+      P.R.ProfileOut = Val;
+    } else {
+      P.Error = "unknown key '" + Key + "'";
+      return P;
+    }
+  }
+  return P;
+}
+
+std::string vsc::renderResponse(const ServiceResponse &R) {
+  return R.Name + (R.Ok ? " ok " : " error ") + R.Text + "\n";
+}

@@ -1,0 +1,55 @@
+//===- service/Protocol.h - vscd request/response text protocol -*- C++ -*-===//
+///
+/// \file
+/// The newline-delimited text protocol examples/vscd.cpp speaks: one
+/// request per line, one response line per request, in request order.
+///
+/// Request grammar (tokens separated by spaces):
+///
+///   compile      [name=TAG] (kernel=NAME | src=FILE) [level=O0|O2|O3]
+///                [machine=NAME] [superblocks=1] [profile=FILE]
+///                [args=N,N,...]
+///   simulate     ... compile keys ... [args=N,...] [input=N,...]
+///   pdf          ... [train=N,...] [test=N,...]   (kernel scales)
+///   save-profile ... out=FILE [args=N,...] [train=N,...]
+///
+/// Lines that are blank or start with '#' are skipped. A request without
+/// name= gets "r<line-number>" so responses stay attributable.
+///
+/// Response lines: "<name> ok <body>" or "<name> error <message>" —
+/// rendered purely from request content and cached artifacts, so the
+/// bytes are identical however the stream was ordered, batched, or
+/// threaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_SERVICE_PROTOCOL_H
+#define VSC_SERVICE_PROTOCOL_H
+
+#include "service/CompileService.h"
+
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+struct ParsedRequestLine {
+  /// Blank / comment line — nothing to serve, nothing to answer.
+  bool Blank = false;
+  /// Non-empty when the line failed to parse; the caller renders it as an
+  /// error response under R.Name.
+  std::string Error;
+  ServiceRequest R;
+};
+
+/// Parses one request line. \p LineNo (1-based) names anonymous requests
+/// "r<LineNo>". src=FILE is read here, so the service itself never does
+/// source I/O.
+ParsedRequestLine parseRequestLine(const std::string &Line, size_t LineNo);
+
+/// "<name> ok <body>\n" / "<name> error <message>\n".
+std::string renderResponse(const ServiceResponse &R);
+
+} // namespace vsc
+
+#endif // VSC_SERVICE_PROTOCOL_H

@@ -641,6 +641,30 @@ bool Machine::step(const Instr &I, RunResult &R, bool &Done) {
 
 } // namespace
 
+uint64_t vsc::runOptionsFingerprint(const RunOptions &Opts) {
+  uint64_t H = 1469598103934665603ULL;
+  auto Byte = [&H](uint8_t B) {
+    H ^= B;
+    H *= 1099511628211ULL;
+  };
+  auto Word = [&Byte](uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Byte(static_cast<uint8_t>(V >> (8 * I)));
+  };
+  for (char C : Opts.EntryFunction)
+    Byte(static_cast<uint8_t>(C));
+  Byte(0x01); // separator: name vs args vs input stay injective
+  Word(Opts.Args.size());
+  for (int64_t A : Opts.Args)
+    Word(static_cast<uint64_t>(A));
+  Word(Opts.Input.size());
+  for (int64_t V : Opts.Input)
+    Word(static_cast<uint64_t>(V));
+  Word(Opts.MaxInstrs);
+  Word(Opts.MemBytes);
+  return H;
+}
+
 RunResult vsc::simulateLegacy(const Module &M, const MachineModel &Machine_,
                               const RunOptions &Opts) {
   Machine Mach(M, Machine_, Opts);

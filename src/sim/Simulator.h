@@ -122,6 +122,13 @@ struct RunOptions {
   MemAccessWatcher *Watcher = nullptr;
 };
 
+/// Content fingerprint of everything about \p Opts that can influence a
+/// run's observable result (entry, arguments, input stream, instruction
+/// budget, memory size) — the simulate-request component of the compile
+/// service's artifact keys (src/service). Watcher and KeepMemory are
+/// excluded: they change what is *recorded*, not what the program does.
+uint64_t runOptionsFingerprint(const RunOptions &Opts);
+
 /// Runs \p M under \p Machine. This is the predecoded fast path: the
 /// module is decoded once (sim/Predecode.h) and the functional+timing loop
 /// runs over flat records with dense counters. Bit-identical to

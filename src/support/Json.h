@@ -1,0 +1,190 @@
+//===- support/Json.h - Minimal structured JSON emission ------*- C++ -*-===//
+///
+/// \file
+/// A small streaming JSON writer replacing the hand-rolled snprintf
+/// emission the bench binaries accumulated (bench/BenchUtil.h re-exports
+/// it for them). The layout is fixed, matching the BENCH_*.json shape the
+/// benches have always produced, byte for byte:
+///
+///  * the root object is multi-line with two-space indentation per level;
+///  * arrays are multi-line: every element on its own line, indented one
+///    level deeper than the array's key;
+///  * nested objects are emitted inline ({"k": v, ...}) until they open
+///    an array, which switches back to the multi-line rules.
+///
+/// Numbers carry their format explicitly (u64/i64 as digits, doubles with
+/// a caller-chosen %.Nf precision), because the byte-identity contract of
+/// the emitted files is part of the bench interface (scripts diff them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSC_SUPPORT_JSON_H
+#define VSC_SUPPORT_JSON_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vsc {
+
+class JsonWriter {
+public:
+  JsonWriter &beginObject() {
+    prefixValue();
+    Out += '{';
+    Nest.push_back({/*IsArray=*/false, /*First=*/true});
+    return *this;
+  }
+
+  JsonWriter &endObject() {
+    assert(!Nest.empty() && !Nest.back().IsArray);
+    bool Multi = multiline();
+    Nest.pop_back();
+    if (Multi) {
+      Out += '\n';
+      indent(levels());
+    }
+    Out += '}';
+    if (Nest.empty())
+      Out += '\n'; // files end "}\n"
+    return *this;
+  }
+
+  JsonWriter &key(const std::string &K) {
+    assert(!Nest.empty() && !Nest.back().IsArray && !HaveKey);
+    if (multiline()) {
+      if (!Nest.back().First)
+        Out += ',';
+      Out += '\n';
+      indent(levels());
+    } else if (!Nest.back().First) {
+      Out += ", ";
+    }
+    Nest.back().First = false;
+    quote(K);
+    Out += ": ";
+    HaveKey = true;
+    return *this;
+  }
+
+  JsonWriter &beginArray() {
+    prefixValue();
+    Out += '[';
+    Nest.push_back({/*IsArray=*/true, /*First=*/true});
+    return *this;
+  }
+
+  JsonWriter &endArray() {
+    assert(!Nest.empty() && Nest.back().IsArray);
+    Nest.pop_back();
+    Out += '\n';
+    indent(levels());
+    Out += ']';
+    return *this;
+  }
+
+  JsonWriter &str(const std::string &S) {
+    prefixValue();
+    quote(S);
+    return *this;
+  }
+
+  JsonWriter &num(uint64_t V) {
+    prefixValue();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JsonWriter &num(int64_t V) {
+    prefixValue();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JsonWriter &num(int V) { return num(static_cast<int64_t>(V)); }
+  JsonWriter &num(unsigned V) { return num(static_cast<uint64_t>(V)); }
+
+  /// %.*f with explicit \p Precision — the bench files' number format.
+  JsonWriter &num(double V, int Precision) {
+    prefixValue();
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+    Out += Buf;
+    return *this;
+  }
+
+  JsonWriter &boolean(bool B) {
+    prefixValue();
+    Out += B ? "true" : "false";
+    return *this;
+  }
+
+  /// The finished document. Asserts every container was closed.
+  const std::string &take() const {
+    assert(Nest.empty());
+    return Out;
+  }
+
+private:
+  struct Level {
+    bool IsArray;
+    bool First;
+  };
+
+  /// Multi-line layout applies at the root object and inside arrays.
+  bool multiline() const {
+    if (Nest.empty())
+      return false;
+    if (Nest.back().IsArray)
+      return true;
+    return Nest.size() == 1; // the root object
+  }
+
+  /// Indentation counts only the multi-line containers (the root object
+  /// and every array) — inline nested objects add no depth, which is the
+  /// shape the historical hand-rolled emitters produced.
+  size_t levels() const {
+    size_t N = 0;
+    for (size_t I = 0; I != Nest.size(); ++I)
+      if (Nest[I].IsArray || I == 0)
+        ++N;
+    return N;
+  }
+
+  void indent(size_t D) { Out.append(2 * D, ' '); }
+
+  /// Emits whatever must precede a value: the array-element separator and
+  /// indentation, or nothing after a key / at the root.
+  void prefixValue() {
+    if (HaveKey) {
+      HaveKey = false;
+      return;
+    }
+    if (Nest.empty())
+      return; // root value
+    assert(Nest.back().IsArray && "object members need key() first");
+    if (!Nest.back().First)
+      Out += ',';
+    Nest.back().First = false;
+    Out += '\n';
+    indent(levels());
+  }
+
+  void quote(const std::string &S) {
+    Out += '"';
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += '"';
+  }
+
+  std::string Out;
+  std::vector<Level> Nest;
+  bool HaveKey = false;
+};
+
+} // namespace vsc
+
+#endif // VSC_SUPPORT_JSON_H

@@ -180,6 +180,40 @@ void vsc::setPipelineFailureHook(std::function<std::string()> Hook) {
   failureHook() = std::move(Hook);
 }
 
+uint64_t vsc::optionsFingerprint(OptLevel L, const PipelineOptions &Opts) {
+  uint64_t H = 1469598103934665603ULL;
+  auto Word = [&H](uint64_t V) {
+    for (int I = 0; I != 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xff;
+      H *= 1099511628211ULL;
+    }
+  };
+  Word(static_cast<uint64_t>(L));
+  Word(machineFingerprint(Opts.Machine));
+  Word(Opts.UnrollFactor);
+  // One bit per pass toggle, in declaration order; adding a toggle here is
+  // part of adding it to PipelineOptions (the service's cached compiles key
+  // on this value).
+  uint64_t Bits = 0;
+  for (bool B : {Opts.Inlining, Opts.LoadStoreMotion, Opts.Unspeculation,
+                 Opts.UnrollAndRename, Opts.Pipelining,
+                 Opts.GlobalScheduling, Opts.Combining, Opts.BlockExpansion,
+                 Opts.TailorProlog, Opts.InsertPrologs,
+                 Opts.AllocateRegisters, Opts.Superblocks,
+                 Opts.FlowSensitiveAlias, Opts.Profile != nullptr,
+                 Opts.TrainInput != nullptr, Opts.TrainBattery != nullptr})
+    Bits = (Bits << 1) | (B ? 1 : 0);
+  Word(Bits);
+  return H;
+}
+
+std::unique_ptr<Module> vsc::optimizedClone(const Module &Source, OptLevel L,
+                                            const PipelineOptions &Opts) {
+  auto M = cloneModule(Source);
+  optimize(*M, L, Opts);
+  return M;
+}
+
 void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
   PassAudit Audit(Opts.Audit, Opts.Machine);
   OracleOptions OracleCfg = Opts.OracleCfg;

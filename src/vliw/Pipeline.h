@@ -147,6 +147,25 @@ inline void optimize(Module &M, OptLevel L) {
   optimize(M, L, PipelineOptions());
 }
 
+/// Canonical fingerprint of every option that can change the bytes of the
+/// optimized module: the level, every pass toggle, the unroll factor, and
+/// the machine parameters (machineFingerprint). Two optimize() runs over
+/// modules with equal content and equal option fingerprints produce
+/// byte-identical output. Deliberately EXCLUDED: Threads (byte-identical
+/// at every count by the parallel driver's contract), Stats, and the
+/// verification/audit/oracle levels (observers that abort rather than
+/// transform). Profile, TrainInput and TrainBattery are folded in as
+/// present/absent markers only — a caller keying cached artifacts (the
+/// compile service) must additionally fold the profile and gate-input
+/// CONTENT hashes into its key.
+uint64_t optionsFingerprint(OptLevel L, const PipelineOptions &Opts);
+
+/// Clone-and-optimize: the shape every staged driver wants (PDF baseline
+/// and guided compiles, the compile service's cached compile stage).
+/// \p Source is never modified.
+std::unique_ptr<Module> optimizedClone(const Module &Source, OptLevel L,
+                                       const PipelineOptions &Opts);
+
 /// Human-readable name for reports.
 const char *optLevelName(OptLevel L);
 

@@ -1,0 +1,260 @@
+//===- tests/test_artifact_cache.cpp - Sealed artifacts & the LRU cache ----===//
+///
+/// Pins the artifact envelope (seal/open round trip, every typed fault in
+/// its documented precedence order, the ProfileStore-style diagnostic
+/// wording) and the cache discipline: hit/miss/eviction accounting under
+/// the byte budget, insert-if-absent, and the poisoning paths — a corrupt
+/// or truncated resident entry must be rejected with the right fault and
+/// evicted, never served.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ArtifactCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+ArtifactKey keyOf(ArtifactClass C, uint64_t H) { return ArtifactKey{C, H}; }
+
+} // namespace
+
+// --- sealed envelope --------------------------------------------------------
+
+TEST(SealedArtifactTest, RoundTrip) {
+  std::vector<uint8_t> Sealed =
+      sealArtifact(ArtifactClass::Optimized, 0xabcdef, "payload bytes");
+  std::string Payload;
+  EXPECT_EQ(openArtifact(Sealed, ArtifactClass::Optimized, 0xabcdef,
+                         &Payload),
+            ArtifactFault::None);
+  EXPECT_EQ(Payload, "payload bytes");
+}
+
+TEST(SealedArtifactTest, EmptyPayloadRoundTrips) {
+  std::vector<uint8_t> Sealed = sealArtifact(ArtifactClass::Image, 7, "");
+  std::string Payload = "stale contents";
+  EXPECT_EQ(openArtifact(Sealed, ArtifactClass::Image, 7, &Payload),
+            ArtifactFault::None);
+  EXPECT_EQ(Payload, "");
+}
+
+TEST(SealedArtifactTest, TruncationDetected) {
+  std::vector<uint8_t> Sealed =
+      sealArtifact(ArtifactClass::Profile, 1, "0123456789");
+  // Shorter than any envelope at all.
+  std::vector<uint8_t> Tiny(Sealed.begin(), Sealed.begin() + 8);
+  EXPECT_EQ(openArtifact(Tiny, ArtifactClass::Profile, 1),
+            ArtifactFault::Truncated);
+  // Structurally plausible but shorter than its own payload accounting.
+  std::vector<uint8_t> Chopped(Sealed.begin(), Sealed.end() - 4);
+  EXPECT_EQ(openArtifact(Chopped, ArtifactClass::Profile, 1),
+            ArtifactFault::Truncated);
+}
+
+TEST(SealedArtifactTest, BadMagicDetected) {
+  std::vector<uint8_t> Sealed = sealArtifact(ArtifactClass::Frontend, 1, "x");
+  Sealed[0] = 'X';
+  EXPECT_EQ(openArtifact(Sealed, ArtifactClass::Frontend, 1),
+            ArtifactFault::BadMagic);
+}
+
+TEST(SealedArtifactTest, UnsupportedVersionDetected) {
+  std::vector<uint8_t> Sealed = sealArtifact(ArtifactClass::Frontend, 1, "x");
+  Sealed[4] = 99; // version field precedes the checksum check
+  EXPECT_EQ(openArtifact(Sealed, ArtifactClass::Frontend, 1),
+            ArtifactFault::UnsupportedVersion);
+}
+
+TEST(SealedArtifactTest, ChecksumMismatchIsCorrupt) {
+  std::vector<uint8_t> Sealed =
+      sealArtifact(ArtifactClass::SimResult, 1, "cycles=42");
+  Sealed[4 + 4 + 1 + 8 + 8] ^= 0x01; // flip a payload bit
+  EXPECT_EQ(openArtifact(Sealed, ArtifactClass::SimResult, 1),
+            ArtifactFault::Corrupt);
+}
+
+TEST(SealedArtifactTest, WrongClassDetected) {
+  std::vector<uint8_t> Sealed = sealArtifact(ArtifactClass::Frontend, 1, "x");
+  EXPECT_EQ(openArtifact(Sealed, ArtifactClass::Optimized, 1),
+            ArtifactFault::WrongClass);
+}
+
+TEST(SealedArtifactTest, StaleFingerprintDetected) {
+  std::vector<uint8_t> Sealed = sealArtifact(ArtifactClass::Optimized, 10, "x");
+  EXPECT_EQ(openArtifact(Sealed, ArtifactClass::Optimized, 11),
+            ArtifactFault::Stale);
+  // ExpectFp 0 opts out of the staleness check.
+  EXPECT_EQ(openArtifact(Sealed, ArtifactClass::Optimized, 0),
+            ArtifactFault::None);
+}
+
+TEST(SealedArtifactTest, FaultMessagesMirrorProfileStoreWording) {
+  EXPECT_EQ(artifactFaultMessage(ArtifactFault::Truncated,
+                                 ArtifactClass::Optimized),
+            "optimized artifact image truncated");
+  EXPECT_EQ(artifactFaultMessage(ArtifactFault::BadMagic,
+                                 ArtifactClass::Profile),
+            "not a sealed profile artifact (bad magic)");
+  EXPECT_EQ(artifactFaultMessage(ArtifactFault::Corrupt,
+                                 ArtifactClass::Image),
+            "image artifact image corrupt (checksum mismatch)");
+  EXPECT_EQ(artifactFaultMessage(ArtifactFault::Stale,
+                                 ArtifactClass::Frontend),
+            "stale frontend artifact: module CFG fingerprint does not match");
+  EXPECT_EQ(artifactFaultMessage(ArtifactFault::UnsupportedVersion,
+                                 ArtifactClass::SimResult),
+            "unsupported sim-result artifact format version");
+}
+
+TEST(SealedArtifactTest, FnvWordsMatchesByteStream) {
+  uint64_t W = 0x0123456789abcdefULL;
+  uint8_t Bytes[8];
+  for (int I = 0; I != 8; ++I)
+    Bytes[I] = static_cast<uint8_t>(W >> (8 * I));
+  EXPECT_EQ(fnv1aWords({W}), fnv1aBytes(Bytes, 8));
+  EXPECT_NE(fnv1aWords({1, 2}), fnv1aWords({2, 1}));
+}
+
+// --- cache ------------------------------------------------------------------
+
+TEST(ArtifactCacheTest, MissThenHitAccounting) {
+  ArtifactCache Cache;
+  ArtifactKey K = keyOf(ArtifactClass::Optimized, 42);
+
+  ArtifactFault Fault = ArtifactFault::None;
+  EXPECT_EQ(Cache.get(K, 7, &Fault), nullptr);
+  EXPECT_EQ(Fault, ArtifactFault::Missing);
+
+  Cache.put(K, makeArtifact(ArtifactClass::Optimized, 7, "module text"));
+  auto A = Cache.get(K, 7, &Fault);
+  ASSERT_TRUE(A);
+  EXPECT_EQ(Fault, ArtifactFault::None);
+  std::string Payload;
+  EXPECT_EQ(openArtifact(A->Sealed, ArtifactClass::Optimized, 7, &Payload),
+            ArtifactFault::None);
+  EXPECT_EQ(Payload, "module text");
+
+  ArtifactClassStats S = Cache.stats(ArtifactClass::Optimized);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Evictions, 0u);
+  EXPECT_EQ(S.Rejections, 0u);
+}
+
+TEST(ArtifactCacheTest, InsertIfAbsentKeepsFirst) {
+  ArtifactCache Cache;
+  ArtifactKey K = keyOf(ArtifactClass::Frontend, 1);
+  Cache.put(K, makeArtifact(ArtifactClass::Frontend, 5, "first"));
+  auto Winner = Cache.put(K, makeArtifact(ArtifactClass::Frontend, 5,
+                                          "second (racing compute)"));
+  std::string Payload;
+  ASSERT_TRUE(Winner);
+  EXPECT_EQ(openArtifact(Winner->Sealed, ArtifactClass::Frontend, 5,
+                         &Payload),
+            ArtifactFault::None);
+  EXPECT_EQ(Payload, "first");
+  EXPECT_EQ(Cache.entryCount(), 1u);
+}
+
+TEST(ArtifactCacheTest, ByteBudgetEvictsColdEntries) {
+  // Each sealed artifact below is 33 + 7 = 40 bytes; budget fits two.
+  ArtifactCache Cache(/*ByteBudget=*/100);
+  const std::string Payload = "1234567";
+  ArtifactKey K1 = keyOf(ArtifactClass::Image, 1);
+  ArtifactKey K2 = keyOf(ArtifactClass::Image, 2);
+  ArtifactKey K3 = keyOf(ArtifactClass::Image, 3);
+  Cache.put(K1, makeArtifact(ArtifactClass::Image, 1, Payload));
+  Cache.put(K2, makeArtifact(ArtifactClass::Image, 2, Payload));
+  EXPECT_EQ(Cache.entryCount(), 2u);
+  EXPECT_EQ(Cache.bytesUsed(), 80u);
+
+  Cache.put(K3, makeArtifact(ArtifactClass::Image, 3, Payload));
+  EXPECT_EQ(Cache.entryCount(), 2u);
+  EXPECT_LE(Cache.bytesUsed(), Cache.byteBudget());
+
+  ArtifactFault Fault = ArtifactFault::None;
+  EXPECT_EQ(Cache.get(K1, 1, &Fault), nullptr); // the cold end went first
+  EXPECT_EQ(Fault, ArtifactFault::Missing);
+  EXPECT_TRUE(Cache.get(K2, 2));
+  EXPECT_TRUE(Cache.get(K3, 3));
+  EXPECT_EQ(Cache.stats(ArtifactClass::Image).Evictions, 1u);
+}
+
+TEST(ArtifactCacheTest, HitRefreshesRecency) {
+  ArtifactCache Cache(/*ByteBudget=*/100);
+  const std::string Payload = "1234567"; // 40 sealed bytes each
+  ArtifactKey K1 = keyOf(ArtifactClass::Image, 1);
+  ArtifactKey K2 = keyOf(ArtifactClass::Image, 2);
+  ArtifactKey K3 = keyOf(ArtifactClass::Image, 3);
+  Cache.put(K1, makeArtifact(ArtifactClass::Image, 1, Payload));
+  Cache.put(K2, makeArtifact(ArtifactClass::Image, 2, Payload));
+  EXPECT_TRUE(Cache.get(K1, 1)); // re-warm K1; K2 is now the cold end
+  Cache.put(K3, makeArtifact(ArtifactClass::Image, 3, Payload));
+  EXPECT_TRUE(Cache.get(K1, 1));
+  EXPECT_FALSE(Cache.get(K2, 2));
+  EXPECT_TRUE(Cache.get(K3, 3));
+}
+
+TEST(ArtifactCacheTest, CorruptEntryRejectedAndEvicted) {
+  ArtifactCache Cache;
+  ArtifactKey K = keyOf(ArtifactClass::Profile, 9);
+  Cache.put(K, makeArtifact(ArtifactClass::Profile, 3, "profile bytes"));
+  ASSERT_TRUE(Cache.corruptEntry(K));
+
+  ArtifactFault Fault = ArtifactFault::None;
+  EXPECT_EQ(Cache.get(K, 3, &Fault), nullptr);
+  EXPECT_EQ(Fault, ArtifactFault::Corrupt);
+  EXPECT_EQ(Cache.entryCount(), 0u); // poisoned entry cannot linger
+
+  ArtifactClassStats S = Cache.stats(ArtifactClass::Profile);
+  EXPECT_EQ(S.Rejections, 1u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Misses, 1u); // the rejection surfaces as a miss to the caller
+}
+
+TEST(ArtifactCacheTest, TruncatedEntryRejectedAndEvicted) {
+  ArtifactCache Cache;
+  ArtifactKey K = keyOf(ArtifactClass::SimResult, 4);
+  Cache.put(K, makeArtifact(ArtifactClass::SimResult, 2, "exit=0 cycles=1"));
+  ASSERT_TRUE(Cache.truncateEntry(K));
+
+  ArtifactFault Fault = ArtifactFault::None;
+  EXPECT_EQ(Cache.get(K, 2, &Fault), nullptr);
+  EXPECT_EQ(Fault, ArtifactFault::Truncated);
+  EXPECT_EQ(Cache.entryCount(), 0u);
+  EXPECT_EQ(Cache.stats(ArtifactClass::SimResult).Rejections, 1u);
+}
+
+TEST(ArtifactCacheTest, StaleEntryRejectedAndEvicted) {
+  ArtifactCache Cache;
+  ArtifactKey K = keyOf(ArtifactClass::Optimized, 5);
+  Cache.put(K, makeArtifact(ArtifactClass::Optimized, /*Fingerprint=*/100,
+                            "old generation"));
+  ArtifactFault Fault = ArtifactFault::None;
+  EXPECT_EQ(Cache.get(K, /*ExpectFp=*/200, &Fault), nullptr);
+  EXPECT_EQ(Fault, ArtifactFault::Stale);
+  EXPECT_EQ(Cache.entryCount(), 0u);
+  EXPECT_EQ(Cache.stats(ArtifactClass::Optimized).Rejections, 1u);
+}
+
+TEST(ArtifactCacheTest, PoisonHooksReportMissingKeys) {
+  ArtifactCache Cache;
+  EXPECT_FALSE(Cache.corruptEntry(keyOf(ArtifactClass::Frontend, 1)));
+  EXPECT_FALSE(Cache.truncateEntry(keyOf(ArtifactClass::Frontend, 1)));
+}
+
+TEST(ArtifactCacheTest, ClearDropsEntriesKeepsStats) {
+  ArtifactCache Cache;
+  ArtifactKey K = keyOf(ArtifactClass::Frontend, 6);
+  Cache.put(K, makeArtifact(ArtifactClass::Frontend, 1, "m"));
+  EXPECT_TRUE(Cache.get(K, 1));
+  Cache.clear();
+  EXPECT_EQ(Cache.entryCount(), 0u);
+  EXPECT_EQ(Cache.bytesUsed(), 0u);
+  EXPECT_EQ(Cache.stats(ArtifactClass::Frontend).Hits, 1u);
+  EXPECT_EQ(Cache.totals().Hits, 1u);
+}

@@ -1,0 +1,121 @@
+//===- tests/test_json.cpp - JsonWriter golden bytes -----------------------===//
+///
+/// The JsonWriter's layout is a byte-for-byte contract: the BENCH_*.json
+/// emitters switched from hand-rolled snprintf to this writer on the
+/// promise of identical output, and scripts diff those files. These tests
+/// pin the exact bytes for the three shapes the benches use (flat root
+/// object, array of inline objects, array nesting another array) plus the
+/// number/string formatting rules.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+TEST(JsonWriterTest, FlatRootObject) {
+  JsonWriter J;
+  J.beginObject()
+      .key("bench")
+      .str("demo")
+      .key("n")
+      .num(uint64_t(3))
+      .key("ok")
+      .boolean(true)
+      .endObject();
+  EXPECT_EQ(J.take(), "{\n"
+                      "  \"bench\": \"demo\",\n"
+                      "  \"n\": 3,\n"
+                      "  \"ok\": true\n"
+                      "}\n");
+}
+
+TEST(JsonWriterTest, ArrayOfInlineObjects) {
+  // The bench_sim / bench_pdf_gain shape: a multi-line kernels array whose
+  // elements are single-line objects.
+  JsonWriter J;
+  J.beginObject().key("kernels").beginArray();
+  J.beginObject()
+      .key("name")
+      .str("a")
+      .key("speedup")
+      .num(1.5, 3)
+      .endObject();
+  J.beginObject()
+      .key("name")
+      .str("b")
+      .key("speedup")
+      .num(2.0, 3)
+      .endObject();
+  J.endArray().key("geomean").num(1.732, 3).endObject();
+  EXPECT_EQ(J.take(), "{\n"
+                      "  \"kernels\": [\n"
+                      "    {\"name\": \"a\", \"speedup\": 1.500},\n"
+                      "    {\"name\": \"b\", \"speedup\": 2.000}\n"
+                      "  ],\n"
+                      "  \"geomean\": 1.732\n"
+                      "}\n");
+}
+
+TEST(JsonWriterTest, NestedArrayReindents) {
+  // The bench_workloads shape: an inline element object opens its own
+  // array, which switches back to multi-line layout one level deeper.
+  JsonWriter J;
+  J.beginObject().key("kernels").beginArray();
+  J.beginObject().key("name").str("k").key("machines").beginArray();
+  J.beginObject().key("model").str("m").key("x").num(1).endObject();
+  J.beginObject().key("model").str("n").key("x").num(2).endObject();
+  J.endArray().endObject();
+  J.endArray().key("tail").num(0.25, 2).endObject();
+  EXPECT_EQ(J.take(), "{\n"
+                      "  \"kernels\": [\n"
+                      "    {\"name\": \"k\", \"machines\": [\n"
+                      "      {\"model\": \"m\", \"x\": 1},\n"
+                      "      {\"model\": \"n\", \"x\": 2}\n"
+                      "    ]}\n"
+                      "  ],\n"
+                      "  \"tail\": 0.25\n"
+                      "}\n");
+}
+
+TEST(JsonWriterTest, NumberFormats) {
+  JsonWriter J;
+  J.beginObject()
+      .key("u")
+      .num(uint64_t(18446744073709551615ULL))
+      .key("i")
+      .num(int64_t(-42))
+      .key("kept")
+      .num(-1) // int overload (the pdf_layout_kept tri-state)
+      .key("f6")
+      .num(0.000123456, 6)
+      .key("f1")
+      .num(1234.56, 1)
+      .endObject();
+  EXPECT_EQ(J.take(), "{\n"
+                      "  \"u\": 18446744073709551615,\n"
+                      "  \"i\": -42,\n"
+                      "  \"kept\": -1,\n"
+                      "  \"f6\": 0.000123,\n"
+                      "  \"f1\": 1234.6\n"
+                      "}\n");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  JsonWriter J;
+  J.beginObject().key("s").str("quote\" and back\\slash").endObject();
+  EXPECT_EQ(J.take(), "{\n"
+                      "  \"s\": \"quote\\\" and back\\\\slash\"\n"
+                      "}\n");
+}
+
+TEST(JsonWriterTest, EmptyArray) {
+  JsonWriter J;
+  J.beginObject().key("xs").beginArray().endArray().endObject();
+  EXPECT_EQ(J.take(), "{\n"
+                      "  \"xs\": [\n"
+                      "  ]\n"
+                      "}\n");
+}

@@ -1,0 +1,319 @@
+//===- tests/test_service.cpp - Compile-service behaviour ------------------===//
+///
+/// The compile service's contract: responses agree with the direct
+/// pipeline/simulator/PDF-driver calls they cache, same-module batching
+/// costs one cold compile, and the response bytes are identical no matter
+/// the worker-thread count or the submission order. Plus the profile
+/// round trip (save-profile through the service, reload, feed back into a
+/// guided compile) and its stale-rejection path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+
+#include "frontend/Frontend.h"
+#include "ir/Printer.h"
+#include "pdf/PdfExperiment.h"
+#include "pdf/ProfileStore.h"
+#include "workloads/Registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <random>
+
+#include <gtest/gtest.h>
+
+using namespace vsc;
+
+namespace {
+
+std::string hex64(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// The module the service compiles for a registry kernel, built the same
+/// way (frontend with safe loads assumed, then the pipeline at Threads=1).
+std::unique_ptr<Module> directBuild(const Workload &W, OptLevel L) {
+  FrontendOptions FeOpts;
+  FeOpts.AssumeSafeLoads = true;
+  CompileResult C = compileMiniC(W.Source, FeOpts);
+  EXPECT_TRUE(C.ok()) << C.Error;
+  PipelineOptions Opts;
+  Opts.Machine = rs6000();
+  Opts.Threads = 1;
+  return optimizedClone(*C.M, L, Opts);
+}
+
+uint64_t staticInstrs(const Module &M) {
+  uint64_t N = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      N += BB->instrs().size();
+  return N;
+}
+
+ServiceRequest compileReq(const std::string &Kernel, OptLevel L,
+                          const std::string &Name) {
+  ServiceRequest R;
+  R.Kind = ServiceRequest::Op::Compile;
+  R.Kernel = Kernel;
+  R.Level = L;
+  R.Name = Name;
+  return R;
+}
+
+} // namespace
+
+TEST(CompileServiceTest, CompileMatchesDirectPipeline) {
+  const Workload *W = workloads::findKernel("eqntott");
+  ASSERT_TRUE(W);
+  auto Direct = directBuild(*W, OptLevel::Vliw);
+  std::string Printed = printModule(*Direct);
+
+  CompileService Service;
+  ServiceResponse Resp =
+      Service.handle(compileReq("eqntott", OptLevel::Vliw, "c"));
+  ASSERT_TRUE(Resp.Ok) << Resp.Text;
+  EXPECT_EQ(Resp.Text,
+            "op=compile target=eqntott level=vliw machine=rs6000 fp=" +
+                hex64(cfgFingerprint(*Direct)) + " ir=" +
+                hex64(fnv1aBytes(Printed.data(), Printed.size())) +
+                " instrs=" + std::to_string(staticInstrs(*Direct)));
+}
+
+TEST(CompileServiceTest, SimulateMatchesDirectSimulator) {
+  const Workload *W = workloads::findKernel("li");
+  ASSERT_TRUE(W);
+  auto Direct = directBuild(*W, OptLevel::Vliw);
+  RunOptions Run;
+  Run.Args = {W->TrainScale};
+  RunResult R = simulate(*Direct, rs6000(), Run);
+
+  CompileService Service;
+  ServiceRequest Req;
+  Req.Kind = ServiceRequest::Op::Simulate;
+  Req.Kernel = "li";
+  Req.Args = {W->TrainScale};
+  ServiceResponse Resp = Service.handle(Req);
+  ASSERT_TRUE(Resp.Ok) << Resp.Text;
+  EXPECT_EQ(Resp.Text,
+            "op=simulate target=li level=vliw machine=rs6000 exit=" +
+                std::to_string(R.ExitCode) + " cycles=" +
+                std::to_string(R.Cycles) + " instrs=" +
+                std::to_string(R.DynInstrs) + " ostalls=" +
+                std::to_string(R.OperandStallCycles) + " bstalls=" +
+                std::to_string(R.BranchStallCycles) + " out=" +
+                hex64(fnv1aBytes(R.Output.data(), R.Output.size())) +
+                " mem=" + hex64(R.MemDigest));
+}
+
+TEST(CompileServiceTest, PdfMatchesExperimentDriver) {
+  const Workload *W = workloads::findKernel("interp");
+  ASSERT_TRUE(W);
+  std::string Err;
+  FrontendOptions FeOpts;
+  FeOpts.AssumeSafeLoads = true;
+  CompileResult C = compileMiniC(W->Source, FeOpts);
+  ASSERT_TRUE(C.ok()) << C.Error;
+  PdfExperimentOptions Opts;
+  Opts.Machine = rs6000();
+  Opts.Train = {workloadInput(W->TrainScale)};
+  Opts.Test = {workloadInput(W->TrainScale)};
+  Opts.Threads = 1;
+  Opts.ProfileSource = PdfExperimentOptions::Source::Exact;
+  PdfExperimentResult R = runPdfExperiment(*C.M, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  CompileService Service;
+  ServiceRequest Req;
+  Req.Kind = ServiceRequest::Op::Pdf;
+  Req.Kernel = "interp";
+  Req.Train = {W->TrainScale};
+  Req.Test = {W->TrainScale};
+  ServiceResponse Resp = Service.handle(Req);
+  ASSERT_TRUE(Resp.Ok) << Resp.Text;
+  EXPECT_NE(Resp.Text.find(" base=" + std::to_string(R.BaselineCycles) +
+                           " guided=" + std::to_string(R.GuidedCycles) +
+                           " "),
+            std::string::npos)
+      << Resp.Text;
+  const char *Layout = R.PdfLayoutKept < 0 ? "unconditional"
+                       : R.PdfLayoutKept  ? "kept"
+                                          : "rolled-back";
+  EXPECT_NE(Resp.Text.find(std::string(" layout=") + Layout),
+            std::string::npos)
+      << Resp.Text;
+}
+
+TEST(CompileServiceTest, SameModuleBatchCostsOneColdCompile) {
+  CompileService::Config Cfg;
+  Cfg.Threads = 1;
+  CompileService Service(Cfg);
+  std::vector<ServiceRequest> Batch;
+  for (int I = 0; I != 4; ++I)
+    Batch.push_back(
+        compileReq("chase", OptLevel::Vliw, "c" + std::to_string(I)));
+  std::vector<ServiceResponse> Out = Service.handleBatch(Batch);
+  ASSERT_EQ(Out.size(), 4u);
+  for (const ServiceResponse &R : Out) {
+    EXPECT_TRUE(R.Ok) << R.Text;
+    EXPECT_EQ(R.Text, Out.front().Text);
+  }
+  EXPECT_EQ(Service.groupsFormed(), 1u);
+  EXPECT_EQ(Service.cache().stats(ArtifactClass::Frontend).Misses, 1u);
+  EXPECT_EQ(Service.cache().stats(ArtifactClass::Frontend).Hits, 3u);
+  EXPECT_EQ(Service.cache().stats(ArtifactClass::Optimized).Misses, 1u);
+  EXPECT_EQ(Service.cache().stats(ArtifactClass::Optimized).Hits, 3u);
+}
+
+TEST(CompileServiceTest, ResponsesSurviveCacheClear) {
+  CompileService Service;
+  ServiceRequest Req = compileReq("hashagg", OptLevel::Classical, "c");
+  ServiceResponse First = Service.handle(Req);
+  ASSERT_TRUE(First.Ok) << First.Text;
+  Service.cache().clear();
+  ServiceResponse Second = Service.handle(Req);
+  EXPECT_EQ(First.Text, Second.Text);
+}
+
+TEST(CompileServiceTest, ByteIdenticalAcrossThreadsAndOrder) {
+  // A mixed stream over three kernels: compiles at two levels, a
+  // simulate, and a PDF experiment (train-scale batteries keep it quick).
+  std::vector<ServiceRequest> Stream;
+  for (const char *Kernel : {"eqntott", "chase", "interp"}) {
+    const Workload *W = workloads::findKernel(Kernel);
+    ASSERT_TRUE(W);
+    Stream.push_back(compileReq(Kernel, OptLevel::Classical,
+                                std::string(Kernel) + ".o2"));
+    Stream.push_back(
+        compileReq(Kernel, OptLevel::Vliw, std::string(Kernel) + ".o3"));
+    ServiceRequest S;
+    S.Kind = ServiceRequest::Op::Simulate;
+    S.Kernel = Kernel;
+    S.Args = {W->TrainScale};
+    S.Name = std::string(Kernel) + ".sim";
+    Stream.push_back(S);
+    ServiceRequest P;
+    P.Kind = ServiceRequest::Op::Pdf;
+    P.Kernel = Kernel;
+    P.Train = {W->TrainScale};
+    P.Test = {W->TrainScale};
+    P.Name = std::string(Kernel) + ".pdf";
+    Stream.push_back(P);
+  }
+
+  std::map<std::string, std::string> Reference;
+  bool HaveReference = false;
+  for (unsigned Threads : {1u, 4u}) {
+    for (uint32_t Seed : {1u, 2u}) {
+      std::vector<ServiceRequest> Shuffled = Stream;
+      std::mt19937 Rng(Seed);
+      std::shuffle(Shuffled.begin(), Shuffled.end(), Rng);
+
+      CompileService::Config Cfg;
+      Cfg.Threads = Threads;
+      CompileService Service(Cfg);
+      std::vector<ServiceResponse> Out = Service.handleBatch(Shuffled);
+
+      std::map<std::string, std::string> ByName;
+      for (const ServiceResponse &R : Out) {
+        EXPECT_TRUE(R.Ok) << R.Name << ": " << R.Text;
+        ByName[R.Name] = R.Text;
+      }
+      ASSERT_EQ(ByName.size(), Stream.size());
+      if (!HaveReference) {
+        Reference = ByName;
+        HaveReference = true;
+        continue;
+      }
+      EXPECT_EQ(ByName, Reference)
+          << "threads=" << Threads << " seed=" << Seed;
+    }
+  }
+}
+
+TEST(CompileServiceTest, SaveProfileRoundTripFeedsGuidedCompile) {
+  const Workload *W = workloads::findKernel("interp");
+  ASSERT_TRUE(W);
+  std::string Path =
+      testing::TempDir() + "/vsc_service_interp.profile";
+
+  CompileService Service;
+  ServiceRequest Save;
+  Save.Kind = ServiceRequest::Op::SaveProfile;
+  Save.Kernel = "interp";
+  Save.Train = {W->TrainScale};
+  Save.ProfileOut = Path;
+  ServiceResponse SaveResp = Service.handle(Save);
+  ASSERT_TRUE(SaveResp.Ok) << SaveResp.Text;
+  EXPECT_NE(SaveResp.Text.find("file=" + Path), std::string::npos);
+
+  // The persisted profile must reload and validate against the source.
+  DenseProfile P;
+  ASSERT_EQ(DenseProfile::loadFile(Path, P), "");
+  FrontendOptions FeOpts;
+  FeOpts.AssumeSafeLoads = true;
+  CompileResult C = compileMiniC(W->Source, FeOpts);
+  ASSERT_TRUE(C.ok()) << C.Error;
+  EXPECT_EQ(P.validateFor(*C.M), "");
+
+  // Feeding it back turns the compile profile-guided (layout decision
+  // appears) and stays deterministic across repeats.
+  ServiceRequest Guided = compileReq("interp", OptLevel::Vliw, "g");
+  Guided.ProfileIn = Path;
+  Guided.Args = {W->TrainScale};
+  ServiceResponse First = Service.handle(Guided);
+  ASSERT_TRUE(First.Ok) << First.Text;
+  EXPECT_NE(First.Text.find(" layout="), std::string::npos) << First.Text;
+  ServiceResponse Second = Service.handle(Guided);
+  EXPECT_EQ(First.Text, Second.Text);
+  std::remove(Path.c_str());
+}
+
+TEST(CompileServiceTest, StaleProfileRejected) {
+  const Workload *A = workloads::findKernel("eqntott");
+  ASSERT_TRUE(A);
+  std::string Path = testing::TempDir() + "/vsc_service_stale.profile";
+
+  CompileService Service;
+  ServiceRequest Save;
+  Save.Kind = ServiceRequest::Op::SaveProfile;
+  Save.Kernel = "eqntott";
+  Save.Train = {A->TrainScale};
+  Save.ProfileOut = Path;
+  ASSERT_TRUE(Service.handle(Save).Ok);
+
+  // Another kernel's module has a different CFG fingerprint: the profile
+  // must be rejected, not silently applied.
+  ServiceRequest Guided = compileReq("chase", OptLevel::Vliw, "g");
+  Guided.ProfileIn = Path;
+  ServiceResponse Resp = Service.handle(Guided);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_NE(Resp.Text.find("stale profile"), std::string::npos) << Resp.Text;
+  std::remove(Path.c_str());
+}
+
+TEST(CompileServiceTest, ErrorPaths) {
+  CompileService Service;
+  ServiceRequest R;
+  R.Kernel = "no-such-kernel";
+  ServiceResponse Resp = Service.handle(R);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_NE(Resp.Text.find("unknown kernel"), std::string::npos);
+
+  ServiceRequest M = compileReq("eqntott", OptLevel::Vliw, "m");
+  M.MachineName = "no-such-machine";
+  Resp = Service.handle(M);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_NE(Resp.Text.find("unknown machine"), std::string::npos);
+
+  ServiceRequest Empty;
+  Empty.Kind = ServiceRequest::Op::Compile;
+  Resp = Service.handle(Empty);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_NE(Resp.Text.find("neither kernel"), std::string::npos);
+}
