@@ -81,30 +81,10 @@ int main(int Argc, char **Argv) {
 
   // Parse the whole stream first: parse errors become error responses in
   // place, so the output stays one line per request line.
-  std::vector<ServiceRequest> Requests;
-  std::vector<ServiceResponse> Responses; // parse errors, pre-rendered
-  std::vector<int> Slot; // per accepted line: index into Requests, or
-                         // -(index into Responses)-1 for parse errors
-  std::string Line;
-  for (size_t LineNo = 1; std::getline(In, Line); ++LineNo) {
-    ParsedRequestLine P = parseRequestLine(Line, LineNo);
-    if (P.Blank)
-      continue;
-    if (!P.Error.empty()) {
-      ServiceResponse E;
-      E.Name = P.R.Name;
-      E.Ok = false;
-      E.Text = P.Error;
-      Slot.push_back(-static_cast<int>(Responses.size()) - 1);
-      Responses.push_back(std::move(E));
-      continue;
-    }
-    Slot.push_back(static_cast<int>(Requests.size()));
-    Requests.push_back(std::move(P.R));
-  }
+  ParsedRequestStream Parsed = parseRequestStream(In);
 
   CompileService Service(Cfg);
-  std::vector<ServiceResponse> Served = Service.handleBatch(Requests);
+  std::vector<ServiceResponse> Served = Service.handleBatch(Parsed.Requests);
 
   std::ofstream FileOut;
   if (!OutPath.empty()) {
@@ -117,10 +97,10 @@ int main(int Argc, char **Argv) {
   std::ostream &Out = OutPath.empty() ? std::cout : FileOut;
 
   int Failures = 0;
-  for (int S : Slot) {
+  for (int S : Parsed.Slot) {
     const ServiceResponse &R =
         S >= 0 ? Served[static_cast<size_t>(S)]
-               : Responses[static_cast<size_t>(-S - 1)];
+               : Parsed.ParseErrors[static_cast<size_t>(-S - 1)];
     if (!R.Ok)
       ++Failures;
     Out << renderResponse(R);

@@ -11,8 +11,10 @@
 # run also validates the pipeline on 40 programs no previous run has
 # seen, with the analysis-cache recompute-and-compare checker forced on
 # (VSC_CHECK_ANALYSES=1). Finally each configuration runs the simulator
-# fast-path differential suite and the alias-analysis/audit suites
-# explicitly.
+# fast-path differential + oracle suites in both dispatch flavours
+# (VSC_DISPATCH=threaded and =switch) and the alias-analysis/audit suites
+# explicitly; a third, switch-only build (-DVSC_COMPUTED_GOTO=OFF) proves
+# the threaded loop is never a correctness dependency.
 #
 #   scripts/ci.sh [JOBS]
 #
@@ -46,11 +48,16 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
     -R 'MemAlias|ValueTrack|AliasClaimLog|AliasAudit'
   # The predecoded simulator must stay byte-identical to the legacy
-  # interpreter; run the differential suite explicitly so a filtered or
-  # partial ctest invocation above can never silently skip it.
-  echo "=== [$name] simulator fast-path differential suite ==="
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
-    -R 'Fastpath|SimFastpath'
+  # interpreter — in both compiled dispatch flavours. VSC_DISPATCH steers
+  # every DispatchMode::Default run in the child processes, so each pass
+  # drives the whole differential suite (and the oracle, which executes
+  # over the same predecoded image) through one flavour end to end.
+  for dispatch in threaded switch; do
+    echo "=== [$name] simulator fast-path + oracle suites, VSC_DISPATCH=$dispatch ==="
+    VSC_DISPATCH="$dispatch" \
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+      -R 'Fastpath|SimFastpath|SimDispatch|Oracle'
+  done
   # ProfileStore + PDF experiment driver: persistence round-trips, dense
   # parity with the string-keyed path, and thread-count invariance of
   # the whole experiment (run at both counts like the main suite).
@@ -138,4 +145,14 @@ run_config() {
 run_config default "$ROOT/build"
 run_config sanitize "$ROOT/build-sanitize" -DVSC_SANITIZE=ON
 
-echo "=== CI green: default + sanitize ==="
+# A switch-only build (no computed goto compiled in at all) must still pass
+# the dispatch/fast-path/oracle suites: the threaded flavour is a pure
+# performance knob, never a correctness dependency.
+echo "=== [switch-only] configure + build ==="
+cmake -B "$ROOT/build-switch" -S "$ROOT" -DVSC_COMPUTED_GOTO=OFF
+cmake --build "$ROOT/build-switch" -j "$JOBS"
+echo "=== [switch-only] simulator fast-path + oracle + dispatch suites ==="
+ctest --test-dir "$ROOT/build-switch" --output-on-failure -j "$JOBS" \
+  -R 'Fastpath|SimFastpath|SimDispatch|Oracle'
+
+echo "=== CI green: default + sanitize + switch-only ==="

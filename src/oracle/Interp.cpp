@@ -1,8 +1,21 @@
 //===- oracle/Interp.cpp - Reference IR interpreter -------------------------===//
+///
+/// Executes over the predecoded flat records of sim/Predecode.h
+/// (predecodeFunction): branch targets are block indices, globals are
+/// resolved addresses, callees are resolved pointers — the per-block label
+/// scans and per-instruction symbol lookups of the original walking
+/// interpreter are gone. Images are decoded per function on first entry
+/// and cached in the session (the oracle runs each function on a whole
+/// input battery, so the decode amortizes to nothing). Semantics are
+/// unchanged: contract-preserved registers at calls, trap-free !safe
+/// loads, identical trap messages, traces and fingerprints.
+///
+//===----------------------------------------------------------------------===//
 
 #include "oracle/Interp.h"
 
 #include "ir/Abi.h"
+#include "sim/Predecode.h"
 #include "sim/Simulator.h" // computeGlobalLayout
 
 #include <algorithm>
@@ -14,8 +27,10 @@ namespace vsc {
 
 /// The per-module precomputation a session carries: global layout,
 /// flattened initializer bytes, the function name map Module::findFunction
-/// would otherwise re-derive by linear scan on every call, and the pooled
-/// memory arena runs reuse.
+/// would otherwise re-derive by linear scan on every call, the per-function
+/// decoded images (built on first entry), and the pooled memory arena runs
+/// reuse. Sessions are single-threaded (the oracle creates one per task),
+/// so the image cache needs no locking.
 struct InterpSession::Impl {
   const Module &M;
   std::unordered_map<std::string, uint64_t> GlobalBase;
@@ -24,6 +39,10 @@ struct InterpSession::Impl {
   std::vector<uint8_t> DataInit;
   /// First function of each name, mirroring Module::findFunction.
   std::unordered_map<std::string, const Function *> FuncByName;
+  /// Decoded images, keyed by function identity so an Override body (not
+  /// in FuncByName) gets its own entry. unique_ptr values keep references
+  /// stable across rehashes while frames on the call stack point at them.
+  std::unordered_map<const Function *, std::unique_ptr<InterpImage>> Images;
   std::vector<uint8_t> MemPool;
 
   explicit Impl(const Module &M) : M(M) {
@@ -39,6 +58,16 @@ struct InterpSession::Impl {
     }
     for (const auto &F : M.functions())
       FuncByName.emplace(F->name(), F.get());
+  }
+
+  const InterpImage &imageFor(const Function *F) {
+    auto It = Images.find(F);
+    if (It == Images.end())
+      It = Images
+               .emplace(F, std::make_unique<InterpImage>(predecodeFunction(
+                               *F, GlobalBase, FuncByName)))
+               .first;
+    return *It->second;
   }
 };
 
@@ -108,7 +137,9 @@ struct RegFile {
 /// whether prologs have been inserted yet (see the header comment).
 struct Frame {
   const Function *F = nullptr;
-  size_t BlockIdx = 0, InstrIdx = 0;
+  const InterpImage *Img = nullptr;
+  uint32_t BlockIdx = 0;
+  uint32_t InstrIdx = 0; // flat index into Img->Instrs, past the CALL
   std::vector<int64_t> Virt;
   std::vector<CrVal> VirtCr;
   int64_t Preserved[32] = {0};
@@ -116,10 +147,9 @@ struct Frame {
 
 class Interp {
 public:
-  Interp(const InterpSession::Impl &S, const InterpOptions &Opts,
+  Interp(InterpSession::Impl &S, const InterpOptions &Opts,
          std::vector<uint8_t> &Mem)
-      : Opts(Opts), Mem(Mem), GlobalBase(S.GlobalBase), DataEnd(S.DataEnd),
-        FuncByName(S.FuncByName) {
+      : S(S), Opts(Opts), Mem(Mem), DataEnd(S.DataEnd) {
     Mem.assign(Opts.MemBytes, 0);
     if (!S.DataInit.empty() && Mem.size() > 4096) {
       size_t N = std::min<size_t>(S.DataInit.size(), Mem.size() - 4096);
@@ -143,19 +173,22 @@ public:
       Regs.gpr(3 + static_cast<uint32_t>(I)) = Opts.Args[I];
 
     CurF = F;
+    Img = &S.imageFor(F);
     BlockIdx = 0;
-    InstrIdx = 0;
-    enterBlock(R);
+    InstrIdx = Img->Blocks[0].FirstInstr;
+    R.Coverage.insert(Img->Blocks[0].Origin);
 
     while (true) {
-      while (InstrIdx >= CurF->blocks()[BlockIdx]->size()) {
-        if (BlockIdx + 1 >= CurF->blocks().size())
+      const DecodedBlock *B = &Img->Blocks[BlockIdx];
+      while (InstrIdx >= B->FirstInstr + B->NumInstrs) {
+        if (BlockIdx + 1 >= Img->Blocks.size())
           return trap(R, "fell off the end of function " + CurF->name());
         ++BlockIdx;
-        InstrIdx = 0;
-        enterBlock(R);
+        B = &Img->Blocks[BlockIdx];
+        InstrIdx = B->FirstInstr;
+        R.Coverage.insert(B->Origin);
       }
-      const Instr &I = CurF->blocks()[BlockIdx]->instrs()[InstrIdx];
+      const DecodedInstr &D = Img->Instrs[InstrIdx];
       ++InstrIdx;
       if (++R.Steps > Opts.MaxSteps) {
         R.BudgetExceeded = true;
@@ -163,7 +196,7 @@ public:
       }
 
       bool Done = false;
-      if (!step(I, R, Done))
+      if (!step(D, R, Done))
         return finish(R); // trap already recorded
       if (Done)
         return finish(R);
@@ -171,12 +204,13 @@ public:
   }
 
 private:
-  /// Function lookup honouring InterpOptions::Override.
+  /// Entry-function lookup honouring InterpOptions::Override (calls
+  /// resolve through the image's cold callee table instead).
   const Function *resolve(const std::string &Name) const {
     if (Opts.Override && Opts.Override->name() == Name)
       return Opts.Override;
-    auto It = FuncByName.find(Name);
-    return It == FuncByName.end() ? nullptr : It->second;
+    auto It = S.FuncByName.find(Name);
+    return It == S.FuncByName.end() ? nullptr : It->second;
   }
 
   int64_t readMem(uint64_t Addr, unsigned Size) const {
@@ -189,22 +223,6 @@ private:
         V |= ~((SignBit << 1) - 1);
     }
     return static_cast<int64_t>(V);
-  }
-
-  void enterBlock(InterpResult &R) {
-    R.Coverage.insert(CurF->blocks()[BlockIdx].get());
-  }
-
-  bool jumpTo(const std::string &Label, InterpResult &R) {
-    for (size_t I = 0, E = CurF->blocks().size(); I != E; ++I) {
-      if (CurF->blocks()[I]->label() == Label) {
-        BlockIdx = I;
-        InstrIdx = 0;
-        enterBlock(R);
-        return true;
-      }
-    }
-    return false;
   }
 
   InterpResult &trap(InterpResult &R, const std::string &Msg) {
@@ -288,9 +306,10 @@ private:
       R.ExecTraceTruncated = true;
       return;
     }
-    std::string Line = CurF->name() + ":" +
-                       CurF->blocks()[BlockIdx]->label() + "+" +
-                       std::to_string(InstrIdx - 1) + ": " + I.str();
+    const DecodedBlock &B = Img->Blocks[BlockIdx];
+    std::string Line = CurF->name() + ":" + B.Origin->label() + "+" +
+                       std::to_string(InstrIdx - 1 - B.FirstInstr) + ": " +
+                       I.str();
     // Values written, for trace diffing.
     if (opcodeInfo(I.Op).HasDst && I.Dst.isValid()) {
       if (I.Dst.isGpr())
@@ -305,138 +324,138 @@ private:
     R.ExecTrace.push_back(std::move(Line));
   }
 
-  /// Executes one instruction. \returns false on trap; sets \p Done when
-  /// the program finished normally.
-  bool step(const Instr &I, InterpResult &R, bool &Done);
+  /// Executes one decoded record. \returns false on trap; sets \p Done
+  /// when the program finished normally.
+  bool step(const DecodedInstr &D, InterpResult &R, bool &Done);
 
+  InterpSession::Impl &S;
   const InterpOptions &Opts;
 
   std::vector<uint8_t> &Mem;
-  const std::unordered_map<std::string, uint64_t> &GlobalBase;
   uint64_t DataEnd = 4096;
-  const std::unordered_map<std::string, const Function *> &FuncByName;
 
   RegFile Regs;
   const Function *CurF = nullptr;
-  size_t BlockIdx = 0, InstrIdx = 0;
+  const InterpImage *Img = nullptr;
+  uint32_t BlockIdx = 0;
+  uint32_t InstrIdx = 0; // flat index into Img->Instrs
   std::vector<Frame> CallStack;
   size_t InputPos = 0;
 };
 
-bool Interp::step(const Instr &I, InterpResult &R, bool &Done) {
+bool Interp::step(const DecodedInstr &D, InterpResult &R, bool &Done) {
   Done = false;
-  auto S1 = [&]() { return Regs.gpr(I.Src1.id()); };
-  auto S2 = [&]() { return Regs.gpr(I.Src2.id()); };
+  auto S1 = [&]() { return Regs.gpr(packedId(D.Src1)); };
+  auto S2 = [&]() { return Regs.gpr(packedId(D.Src2)); };
+  auto Dst = [&]() -> int64_t & { return Regs.gpr(packedId(D.Dst)); };
+  // Cold-table row of this record (trap symbols, trace formatting,
+  // resolved callee) — only touched off the happy path.
+  size_t Idx = static_cast<size_t>(&D - Img->Instrs.data());
 
   bool Taken = false;
+  Opcode Op = static_cast<Opcode>(D.Op); // interp images are never fused
 
-  switch (I.Op) {
+  switch (Op) {
   case Opcode::LI:
-    Regs.gpr(I.Dst.id()) = I.Imm;
+    Dst() = D.Imm;
     break;
   case Opcode::LR:
-    Regs.gpr(I.Dst.id()) = S1();
+    Dst() = S1();
     break;
   case Opcode::A:
-    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) +
-                                                static_cast<uint64_t>(S2()));
+    Dst() = static_cast<int64_t>(static_cast<uint64_t>(S1()) +
+                                 static_cast<uint64_t>(S2()));
     break;
   case Opcode::S:
-    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) -
-                                                static_cast<uint64_t>(S2()));
+    Dst() = static_cast<int64_t>(static_cast<uint64_t>(S1()) -
+                                 static_cast<uint64_t>(S2()));
     break;
   case Opcode::MUL:
-    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) *
-                                                static_cast<uint64_t>(S2()));
+    Dst() = static_cast<int64_t>(static_cast<uint64_t>(S1()) *
+                                 static_cast<uint64_t>(S2()));
     break;
   case Opcode::DIV: {
-    int64_t D = S2();
-    if (D == 0) {
+    int64_t Dv = S2();
+    if (Dv == 0) {
       trap(R, "divide by zero");
       return false;
     }
-    if (S1() == INT64_MIN && D == -1)
-      Regs.gpr(I.Dst.id()) = INT64_MIN;
+    if (S1() == INT64_MIN && Dv == -1)
+      Dst() = INT64_MIN;
     else
-      Regs.gpr(I.Dst.id()) = S1() / D;
+      Dst() = S1() / Dv;
     break;
   }
   case Opcode::AND:
-    Regs.gpr(I.Dst.id()) = S1() & S2();
+    Dst() = S1() & S2();
     break;
   case Opcode::OR:
-    Regs.gpr(I.Dst.id()) = S1() | S2();
+    Dst() = S1() | S2();
     break;
   case Opcode::XOR:
-    Regs.gpr(I.Dst.id()) = S1() ^ S2();
+    Dst() = S1() ^ S2();
     break;
   case Opcode::SL:
-    Regs.gpr(I.Dst.id()) =
-        static_cast<int64_t>(static_cast<uint64_t>(S1()) << (S2() & 63));
+    Dst() = static_cast<int64_t>(static_cast<uint64_t>(S1()) << (S2() & 63));
     break;
   case Opcode::SR:
-    Regs.gpr(I.Dst.id()) =
-        static_cast<int64_t>(static_cast<uint64_t>(S1()) >> (S2() & 63));
+    Dst() = static_cast<int64_t>(static_cast<uint64_t>(S1()) >> (S2() & 63));
     break;
   case Opcode::SRA:
-    Regs.gpr(I.Dst.id()) = S1() >> (S2() & 63);
+    Dst() = S1() >> (S2() & 63);
     break;
   case Opcode::AI:
   case Opcode::LA:
-    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) +
-                                                static_cast<uint64_t>(I.Imm));
+    Dst() = static_cast<int64_t>(static_cast<uint64_t>(S1()) +
+                                 static_cast<uint64_t>(D.Imm));
     break;
   case Opcode::SI:
-    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) -
-                                                static_cast<uint64_t>(I.Imm));
+    Dst() = static_cast<int64_t>(static_cast<uint64_t>(S1()) -
+                                 static_cast<uint64_t>(D.Imm));
     break;
   case Opcode::MULI:
-    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(static_cast<uint64_t>(S1()) *
-                                                static_cast<uint64_t>(I.Imm));
+    Dst() = static_cast<int64_t>(static_cast<uint64_t>(S1()) *
+                                 static_cast<uint64_t>(D.Imm));
     break;
   case Opcode::ANDI:
-    Regs.gpr(I.Dst.id()) = S1() & I.Imm;
+    Dst() = S1() & D.Imm;
     break;
   case Opcode::ORI:
-    Regs.gpr(I.Dst.id()) = S1() | I.Imm;
+    Dst() = S1() | D.Imm;
     break;
   case Opcode::XORI:
-    Regs.gpr(I.Dst.id()) = S1() ^ I.Imm;
+    Dst() = S1() ^ D.Imm;
     break;
   case Opcode::SLI:
-    Regs.gpr(I.Dst.id()) =
-        static_cast<int64_t>(static_cast<uint64_t>(S1()) << (I.Imm & 63));
+    Dst() = static_cast<int64_t>(static_cast<uint64_t>(S1()) << (D.Imm & 63));
     break;
   case Opcode::SRI:
-    Regs.gpr(I.Dst.id()) =
-        static_cast<int64_t>(static_cast<uint64_t>(S1()) >> (I.Imm & 63));
+    Dst() = static_cast<int64_t>(static_cast<uint64_t>(S1()) >> (D.Imm & 63));
     break;
   case Opcode::SRAI:
-    Regs.gpr(I.Dst.id()) = S1() >> (I.Imm & 63);
+    Dst() = S1() >> (D.Imm & 63);
     break;
   case Opcode::NEG:
-    Regs.gpr(I.Dst.id()) =
-        static_cast<int64_t>(0 - static_cast<uint64_t>(S1()));
+    Dst() = static_cast<int64_t>(0 - static_cast<uint64_t>(S1()));
     break;
   case Opcode::LTOC: {
-    auto It = GlobalBase.find(I.Sym);
-    if (It == GlobalBase.end()) {
-      trap(R, "LTOC of unknown global '" + I.Sym + "'");
+    if (!D.globalKnown()) {
+      trap(R, "LTOC of unknown global '" + Img->Origins[Idx]->Sym + "'");
       return false;
     }
-    Regs.gpr(I.Dst.id()) = static_cast<int64_t>(It->second);
+    Dst() = D.Imm;
     break;
   }
   case Opcode::L:
   case Opcode::LU: {
-    uint64_t Addr = static_cast<uint64_t>(S1() + I.Imm);
+    uint64_t Addr = static_cast<uint64_t>(S1() + D.Imm);
     int64_t V = 0;
-    bool PageZero = Addr + I.MemSize <= 4096;
-    bool Unmapped = !PageZero && (Addr < 4096 || Addr + I.MemSize > Mem.size());
+    bool PageZero = Addr + D.MemSize <= 4096;
+    bool Unmapped = !PageZero && (Addr < 4096 || Addr + D.MemSize > Mem.size());
     if ((PageZero && !Opts.PageZeroReadable) || Unmapped) {
       // The paper's !safe loads are guaranteed non-trapping: a faulting
       // speculative load reads zero instead of killing the program.
-      if (!I.SpecSafe) {
+      if (!D.specSafe()) {
         trap(R, (Unmapped ? "load from unmapped address "
                           : "load from page zero at ") +
                     std::to_string(Addr));
@@ -444,35 +463,35 @@ bool Interp::step(const Instr &I, InterpResult &R, bool &Done) {
       }
       ++R.SpecFaults;
     } else if (!PageZero) {
-      V = readMem(Addr, I.MemSize);
+      V = readMem(Addr, D.MemSize);
     }
-    if (I.IsVolatile)
-      R.ObsTrace.push_back("L:" + std::to_string(I.MemSize) + "[" +
+    if (D.isVolatile())
+      R.ObsTrace.push_back("L:" + std::to_string(D.MemSize) + "[" +
                            std::to_string(Addr) + "]=" + std::to_string(V) +
                            " !volatile");
-    if (I.Op == Opcode::LU)
-      Regs.gpr(I.Src1.id()) = S1() + I.Imm;
-    Regs.gpr(I.Dst.id()) = V;
+    if (Op == Opcode::LU)
+      Regs.gpr(packedId(D.Src1)) = S1() + D.Imm;
+    Dst() = V;
     break;
   }
   case Opcode::ST: {
-    uint64_t Addr = static_cast<uint64_t>(S2() + I.Imm);
-    if (Addr < 4096 || Addr + I.MemSize > Mem.size()) {
+    uint64_t Addr = static_cast<uint64_t>(S2() + D.Imm);
+    if (Addr < 4096 || Addr + D.MemSize > Mem.size()) {
       trap(R, "store to unmapped address " + std::to_string(Addr));
       return false;
     }
     int64_t Val = S1();
-    for (unsigned B = 0; B != I.MemSize; ++B)
+    for (unsigned B = 0; B != D.MemSize; ++B)
       Mem[Addr + B] =
           static_cast<uint8_t>(static_cast<uint64_t>(Val) >> (8 * B));
-    traceStore(R, Addr, I.MemSize, Val, I.IsVolatile);
+    traceStore(R, Addr, D.MemSize, Val, D.isVolatile());
     break;
   }
   case Opcode::C:
   case Opcode::CI: {
     int64_t A = S1();
-    int64_t B = I.Op == Opcode::C ? S2() : I.Imm;
-    CrVal &Cr = Regs.cr(I.Dst.id());
+    int64_t B = Op == Opcode::C ? S2() : D.Imm;
+    CrVal &Cr = Regs.cr(packedId(D.Dst));
     Cr.Lt = A < B;
     Cr.Gt = A > B;
     Cr.Eq = A == B;
@@ -486,8 +505,8 @@ bool Interp::step(const Instr &I, InterpResult &R, bool &Done) {
     break;
   case Opcode::BT:
   case Opcode::BF: {
-    bool Bit = Regs.cr(I.Src1.id()).bit(I.Bit);
-    Taken = (I.Op == Opcode::BT) ? Bit : !Bit;
+    bool Bit = Regs.cr(packedId(D.Src1)).bit(D.crBit());
+    Taken = (Op == Opcode::BT) ? Bit : !Bit;
     break;
   }
   case Opcode::BCT:
@@ -501,41 +520,55 @@ bool Interp::step(const Instr &I, InterpResult &R, bool &Done) {
     return false;
   }
 
-  traceExec(R, I);
+  if (Opts.TraceExec)
+    traceExec(R, *Img->Origins[Idx]);
 
-  if (I.Op == Opcode::B || ((I.Op == Opcode::BT || I.Op == Opcode::BF ||
-                             I.Op == Opcode::BCT) &&
-                            Taken)) {
-    if (!jumpTo(I.Target, R)) {
-      trap(R, "branch to unknown label '" + I.Target + "'");
+  if (Op == Opcode::B ||
+      ((Op == Opcode::BT || Op == Opcode::BF || Op == Opcode::BCT) && Taken)) {
+    if (D.Target < 0) {
+      trap(R, "branch to unknown label '" + Img->Origins[Idx]->Target + "'");
       return false;
     }
+    BlockIdx = static_cast<uint32_t>(D.Target);
+    InstrIdx = Img->Blocks[BlockIdx].FirstInstr;
+    R.Coverage.insert(Img->Blocks[BlockIdx].Origin);
     return true;
   }
 
-  if (I.Op == Opcode::CALL) {
-    traceCall(R, I);
-    if (abi::isBuiltin(I.Sym)) {
+  if (Op == Opcode::CALL) {
+    const Instr &OI = *Img->Origins[Idx];
+    traceCall(R, OI);
+    if (D.builtin() != SimBuiltin::None) {
       int64_t A0 = Regs.gpr(3);
       scrubCallClobbers(/*KeepArgs=*/0);
-      if (I.Sym == "print_int") {
+      switch (D.builtin()) {
+      case SimBuiltin::PrintInt:
         R.Output += std::to_string(A0) + "\n";
         Regs.gpr(3) = A0;
-      } else if (I.Sym == "print_char") {
+        break;
+      case SimBuiltin::PrintChar:
         R.Output += static_cast<char>(A0 & 0xff);
         Regs.gpr(3) = A0;
-      } else if (I.Sym == "read_int") {
+        break;
+      case SimBuiltin::ReadInt:
         Regs.gpr(3) =
             InputPos < Opts.Input.size() ? Opts.Input[InputPos++] : 0;
-      } else { // exit
+        break;
+      default: // exit
         R.ExitCode = A0;
         Done = true;
+        break;
       }
       return true;
     }
-    const Function *Callee = resolve(I.Sym);
+    // Module-level resolution happened at decode time; the per-run
+    // Override (same name, different body) is layered on top here.
+    const Function *Callee =
+        (Opts.Override && Opts.Override->name() == OI.Sym)
+            ? Opts.Override
+            : Img->Callees[Idx];
     if (!Callee || Callee->blocks().empty()) {
-      trap(R, "call to unknown function '" + I.Sym + "'");
+      trap(R, "call to unknown function '" + OI.Sym + "'");
       return false;
     }
     if (CallStack.size() >= Opts.MaxCallDepth) {
@@ -544,6 +577,7 @@ bool Interp::step(const Instr &I, InterpResult &R, bool &Done) {
     }
     Frame Fr;
     Fr.F = CurF;
+    Fr.Img = Img;
     Fr.BlockIdx = BlockIdx;
     Fr.InstrIdx = InstrIdx;
     Fr.Virt = std::move(Regs.Virt);
@@ -553,15 +587,16 @@ bool Interp::step(const Instr &I, InterpResult &R, bool &Done) {
     CallStack.push_back(std::move(Fr));
     Regs.Virt.clear();
     Regs.VirtCr.clear();
-    scrubCallClobbers(I.Imm);
+    scrubCallClobbers(D.Imm);
     CurF = Callee;
+    Img = &S.imageFor(Callee);
     BlockIdx = 0;
-    InstrIdx = 0;
-    enterBlock(R);
+    InstrIdx = Img->Blocks[0].FirstInstr;
+    R.Coverage.insert(Img->Blocks[0].Origin);
     return true;
   }
 
-  if (I.Op == Opcode::RET) {
+  if (Op == Opcode::RET) {
     if (CallStack.empty()) {
       R.ExitCode = Regs.gpr(3);
       Done = true;
@@ -570,6 +605,7 @@ bool Interp::step(const Instr &I, InterpResult &R, bool &Done) {
     Frame Fr = std::move(CallStack.back());
     CallStack.pop_back();
     CurF = Fr.F;
+    Img = Fr.Img;
     BlockIdx = Fr.BlockIdx;
     InstrIdx = Fr.InstrIdx;
     Regs.Virt = std::move(Fr.Virt);

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <istream>
 #include <sstream>
 
 using namespace vsc;
@@ -137,6 +138,30 @@ ParsedRequestLine vsc::parseRequestLine(const std::string &Line,
     }
   }
   return P;
+}
+
+ParsedRequestStream vsc::parseRequestStream(std::istream &In) {
+  ParsedRequestStream S;
+  std::string Line;
+  // std::getline returns the final line whether or not it ends in '\n',
+  // so a newline-less trailing request is served like any other.
+  for (size_t LineNo = 1; std::getline(In, Line); ++LineNo) {
+    ParsedRequestLine P = parseRequestLine(Line, LineNo);
+    if (P.Blank)
+      continue;
+    if (!P.Error.empty()) {
+      ServiceResponse E;
+      E.Name = P.R.Name;
+      E.Ok = false;
+      E.Text = P.Error;
+      S.Slot.push_back(-static_cast<int>(S.ParseErrors.size()) - 1);
+      S.ParseErrors.push_back(std::move(E));
+      continue;
+    }
+    S.Slot.push_back(static_cast<int>(S.Requests.size()));
+    S.Requests.push_back(std::move(P.R));
+  }
+  return S;
 }
 
 std::string vsc::renderResponse(const ServiceResponse &R) {

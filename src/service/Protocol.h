@@ -28,6 +28,7 @@
 
 #include "service/CompileService.h"
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,25 @@ struct ParsedRequestLine {
 /// "r<LineNo>". src=FILE is read here, so the service itself never does
 /// source I/O.
 ParsedRequestLine parseRequestLine(const std::string &Line, size_t LineNo);
+
+/// A whole request stream, parsed: the accepted requests (in stream
+/// order), parse failures pre-rendered as error responses, and the
+/// per-line interleaving needed to emit one response line per request
+/// line.
+struct ParsedRequestStream {
+  std::vector<ServiceRequest> Requests;
+  std::vector<ServiceResponse> ParseErrors;
+  /// One entry per non-blank request line, in stream order: index into
+  /// Requests when >= 0, else -(index into ParseErrors) - 1.
+  std::vector<int> Slot;
+};
+
+/// Parses \p In to end-of-stream: one parseRequestLine per line, blank /
+/// comment lines skipped, parse errors captured in place so responses can
+/// stay one line per request line. A final request not terminated by a
+/// newline is parsed like any other line — a stream must never lose its
+/// last request to a missing '\n' (locked in by tests/test_service.cpp).
+ParsedRequestStream parseRequestStream(std::istream &In);
 
 /// "<name> ok <body>\n" / "<name> error <message>\n".
 std::string renderResponse(const ServiceResponse &R);

@@ -1,12 +1,19 @@
 //===- sim/FastSim.cpp - Predecoded simulator fast path ---------------------===//
 ///
 /// The execution engine behind vsc::simulate / simulateBatch / SimEngine:
-/// runs the functional+timing loop over the flat records of a SimImage
-/// (sim/Predecode.h) with vector-indexed block/edge counters, and
-/// materializes the string-keyed RunResult maps once at the end. Must stay
-/// bit-identical to the walking interpreter in Simulator.cpp
-/// (simulateLegacy) — tests/test_sim_fastpath.cpp enforces that, so any
-/// semantic change must be made in both files.
+/// runs the functional+timing loop over the packed 32-byte records of a
+/// SimImage (sim/Predecode.h). The loop body lives in FastSimBody.inc and
+/// is compiled twice — once as a portable big switch, once (when
+/// VSC_COMPUTED_GOTO is enabled and the compiler has the labels-as-values
+/// extension) as computed-goto threaded dispatch; DispatchMode selects the
+/// flavour per run. Fused superinstruction records (SimOpFuse*) execute
+/// both constituents in one handler, charging the instruction budget and
+/// issuing each constituent exactly where the unfused sequence would.
+///
+/// Must stay bit-identical to the walking interpreter in Simulator.cpp
+/// (simulateLegacy) in every dispatch mode — tests/test_sim_fastpath.cpp
+/// and tests/test_sim_dispatch.cpp enforce that, so any semantic change
+/// must be made in both files.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,11 +25,54 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
 
 using namespace vsc;
+
+// The threaded flavour needs the GNU labels-as-values extension; the CMake
+// option gates it off for portability testing (and for compilers without
+// the extension).
+#if defined(VSC_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+#define VSC_FS_HAVE_THREADED 1
+#else
+#define VSC_FS_HAVE_THREADED 0
+#endif
+
+// The threaded handler table in FastSimBody.inc lists the architectural
+// opcodes in enum order followed by the fused SimOps; pin the layout it
+// assumes.
+static_assert(static_cast<uint8_t>(Opcode::NumOpcodes) == 36,
+              "threaded handler table must list every opcode in enum order");
+static_assert(SimOpFuseCmpB == 36 && SimOpFuseLtocL == 37 &&
+                  SimOpFuseLdAlu == 38 && NumSimOps == 39,
+              "threaded handler table must end with the fused SimOps");
+
+bool vsc::threadedDispatchAvailable() { return VSC_FS_HAVE_THREADED != 0; }
+
+DispatchMode vsc::resolveDispatchMode(DispatchMode Mode) {
+  if (Mode == DispatchMode::Default) {
+    if (const char *Env = std::getenv("VSC_DISPATCH")) {
+      if (std::strcmp(Env, "switch") == 0)
+        Mode = DispatchMode::Switch;
+      else if (std::strcmp(Env, "threaded") == 0)
+        Mode = DispatchMode::Threaded;
+    }
+    if (Mode == DispatchMode::Default)
+      Mode = threadedDispatchAvailable() ? DispatchMode::Threaded
+                                         : DispatchMode::Switch;
+  }
+  if (Mode == DispatchMode::Threaded && !threadedDispatchAvailable())
+    Mode = DispatchMode::Switch;
+  return Mode;
+}
+
+const char *vsc::dispatchModeName(DispatchMode Mode) {
+  return resolveDispatchMode(Mode) == DispatchMode::Threaded ? "threaded"
+                                                             : "switch";
+}
 
 namespace {
 
@@ -43,12 +93,21 @@ struct FastFrame {
 
 /// Storage pooled across the runs of a batch: the memory image, the dense
 /// counter vectors and the call stack keep their capacity between runs.
+/// The counter slots are 64-bit end to end — the per-run vectors here, the
+/// DenseCounters export, and the materialized RunResult maps — so
+/// high-trip-count batch runs cannot wrap (see test_sim_fastpath's
+/// counter-width regression).
 struct Arena {
   std::vector<uint8_t> Mem;
   std::vector<uint64_t> BlockHits;
   std::vector<uint64_t> EdgeHits;
   std::vector<FastFrame> CallStack;
 };
+
+static_assert(sizeof(Arena::BlockHits[0]) == 8 &&
+                  sizeof(Arena::EdgeHits[0]) == 8 &&
+                  sizeof(DenseCounters::BlockHits[0]) == 8,
+              "per-run counters must be 64-bit end to end");
 
 class FastMachine {
 public:
@@ -85,42 +144,35 @@ public:
 
     CurF = F;
     Blk = F->FirstBlock;
-    Ii = Img.Blocks[Blk].FirstInstr;
     ++BlockHits[Blk];
     if (W) {
       W->enterFunction(CurF->F);
       W->enterBlock(Img.Blocks[Blk].Origin);
     }
 
-    while (true) {
-      // Fallthrough across block boundaries.
-      const DecodedBlock *B = &Img.Blocks[Blk];
-      while (Ii >= B->FirstInstr + B->NumInstrs) {
-        if (Blk + 1 >= CurF->FirstBlock + CurF->NumBlocks)
-          return trap(R, "fell off the end of function " + CurF->F->name());
-        ++EdgeHits[static_cast<uint32_t>(B->FallEdge)];
-        ++Blk;
-        B = &Img.Blocks[Blk];
-        Ii = B->FirstInstr;
-        ++BlockHits[Blk];
-        if (W)
-          W->enterBlock(B->Origin);
-      }
-      const DecodedInstr &D = Img.Instrs[Ii];
-      ++Ii;
-      if (++R.DynInstrs > Opts.MaxInstrs)
-        return trap(R, "instruction budget exceeded");
-
-      bool Done = false;
-      if (!step(D, R, Done))
-        return finish(R); // trap already recorded by step
-      if (Done)
-        return finish(R);
+#if VSC_FS_HAVE_THREADED
+    if (resolveDispatchMode(Opts.Dispatch) == DispatchMode::Threaded) {
+      execThreaded(R);
+      return R;
     }
+#endif
+    execSwitch(R);
+    return R;
   }
 
 private:
+  // The execution loop, compiled in both dispatch flavours from
+  // FastSimBody.inc. Every return path inside has called trap()/finish().
+  void execSwitch(RunResult &R);
+#if VSC_FS_HAVE_THREADED
+  void execThreaded(RunResult &R);
+#endif
+
   // --- functional helpers -------------------------------------------------
+
+  /// Loads a gpr by packed operand. By-value on purpose: gpr() references
+  /// can dangle across another gpr() call (virtual-register growth).
+  int64_t gprVal(PackedReg P) { return Regs.gpr(packedId(P)); }
 
   int64_t readMem(uint64_t Addr, unsigned Size, bool &Ok, bool &PageZero) {
     PageZero = false;
@@ -160,8 +212,6 @@ private:
   }
 
   RunResult &finish(RunResult &R) {
-    // A trap inside step() already finished; materializing the counter
-    // maps twice would double them (they accumulate with +=).
     if (Finished)
       return R;
     Finished = true;
@@ -196,36 +246,98 @@ private:
     return R;
   }
 
-  bool step(const DecodedInstr &D, RunResult &R, bool &Done);
+  // --- operand / def plumbing ---------------------------------------------
+  // The legacy engine derives use/def sets per instruction; the packed
+  // records carry no pools, so each handler states its operand floor and
+  // commits inline through these class-dispatched helpers.
 
-  // --- timing -------------------------------------------------------------
-
-  uint64_t operandReadyTime(const DecodedInstr &D) {
-    uint64_t T = 0;
-    for (uint32_t U = D.UsesBegin; U != D.UsesEnd; ++U) {
-      Reg Use = Img.UsePool[U];
-      if (Use.isGpr())
-        T = std::max(T, Regs.gprReady(Use.id()));
-      else if (Use.isCr())
-        T = std::max(T, Regs.crReady(Use.id()));
-      else if (Use.isCtr())
-        T = std::max(T, Regs.CtrReady);
+  uint64_t readyOf(PackedReg P) {
+    switch (packedClass(P)) {
+    case RegClass::Gpr:
+      return Regs.gprReady(packedId(P));
+    case RegClass::Cr:
+      return Regs.crReady(packedId(P));
+    case RegClass::Ctr:
+      return Regs.CtrReady;
+    default:
+      return 0;
     }
+  }
+
+  void setReadyOf(PackedReg P, uint64_t T) {
+    switch (packedClass(P)) {
+    case RegClass::Gpr:
+      Regs.gprReady(packedId(P)) = T;
+      break;
+    case RegClass::Cr:
+      Regs.crReady(packedId(P)) = T;
+      break;
+    case RegClass::Ctr:
+      Regs.CtrReady = T;
+      break;
+    default:
+      break;
+    }
+  }
+
+  /// Commits a value-producing instruction: value write (gprs only, like
+  /// the legacy HasDstVal path), def-ready time, and the stack-overflow
+  /// check when the destination is the stack pointer. False means trapped.
+  bool commitAlu(const DecodedInstr &D, int64_t V, uint64_t C,
+                 RunResult &R) {
+    if (packedClass(D.Dst) == RegClass::Gpr) {
+      uint32_t Id = packedId(D.Dst);
+      Regs.gpr(Id) = V;
+      Regs.gprReady(Id) = C + D.latency();
+      // The stack grows down from the top of memory; a stack pointer that
+      // descends into the global data area would silently corrupt globals
+      // (and stores through it still look "mapped" to writeMem).
+      if (Id == 1 && Regs.Phys[1] < static_cast<int64_t>(Img.DataEnd))
+        return trap(R, "stack overflow into data"), false;
+    } else {
+      setReadyOf(D.Dst, C + D.latency());
+    }
+    return true;
+  }
+
+  /// Commits a load-with-update: base register update, loaded value, and
+  /// the legacy def-ready order (Dst first — BaseWhen when Dst aliases the
+  /// base — then the base at BaseWhen). False means trapped.
+  bool commitLu(const DecodedInstr &D, int64_t V, int64_t NewBase,
+                uint64_t C, RunResult &R) {
+    Regs.gpr(packedId(D.Src1)) = NewBase;
+    if (packedClass(D.Dst) == RegClass::Gpr)
+      Regs.gpr(packedId(D.Dst)) = V;
+    uint64_t When = C + D.latency();
+    uint64_t BaseWhen = C + Model.AluLatency;
+    setReadyOf(D.Dst, D.Dst == D.Src1 ? BaseWhen : When);
+    setReadyOf(D.Src1, BaseWhen);
+    if ((D.Src1 == packReg(regs::sp()) ||
+         (packedClass(D.Dst) == RegClass::Gpr && packedId(D.Dst) == 1)) &&
+        Regs.Phys[1] < static_cast<int64_t>(Img.DataEnd))
+      return trap(R, "stack overflow into data"), false;
+    return true;
+  }
+
+  /// Operand floor of a CALL: argument registers, the stack pointer and
+  /// the TOC anchor (the legacy collectUses set for calls).
+  uint64_t callFloor(int64_t ArgCount) {
+    uint64_t T = std::max(Regs.gprReady(1), Regs.gprReady(2));
+    for (int64_t I = 0; I < ArgCount; ++I)
+      T = std::max(T, Regs.gprReady(3 + static_cast<uint32_t>(I)));
     return T;
   }
 
-  void setDefsReady(const DecodedInstr &D, uint64_t When, uint64_t BaseWhen) {
-    for (uint32_t I = D.DefsBegin; I != D.DefsEnd; ++I) {
-      Reg Def = Img.DefPool[I];
-      uint64_t T = (D.Op == Opcode::LU && Def == D.Src1) ? BaseWhen : When;
-      if (Def.isGpr())
-        Regs.gprReady(Def.id()) = T;
-      else if (Def.isCr())
-        Regs.crReady(Def.id()) = T;
-      else if (Def.isCtr())
-        Regs.CtrReady = T;
-    }
+  /// Operand floor of a RET: the result register, the call-preserved set
+  /// and the stack pointer (the legacy collectUses set for returns).
+  uint64_t retFloor() {
+    uint64_t T = std::max(Regs.gprReady(3), Regs.gprReady(1));
+    for (uint32_t I = 13; I <= 31; ++I)
+      T = std::max(T, Regs.gprReady(I));
+    return T;
   }
+
+  // --- timing -------------------------------------------------------------
 
   /// Finds the issue cycle for an instruction of unit class \p Unit whose
   /// operands/floors allow issue at \p Earliest, honouring issue width.
@@ -251,16 +363,19 @@ private:
     return C;
   }
 
-  uint64_t issue(const DecodedInstr &D, bool IsBranchTaken, RunResult &R) {
+  // The legacy engine's issue() is split per opcode shape so each handler
+  // inlines exactly the bookkeeping it needs — the hot ALU/memory path
+  // carries no branch-kind dispatch at all. Semantics are identical; the
+  // shared front half below is verbatim from the legacy issue().
+
+  /// Shared front half: fetch/operand floor, the speculation window, unit
+  /// allocation and operand-stall accounting. \p OperandFloor is the
+  /// caller-computed operand ready time — 0 for branches, which issue
+  /// before their condition resolves (predicted untaken), exactly like
+  /// the legacy engine's !IsBranch gate.
+  uint64_t issueAt(uint64_t OperandFloor, UnitKind Unit, RunResult &R) {
     uint64_t Base = std::max(PrevIssue, FetchFloor);
-    uint64_t Earliest = Base;
-    uint64_t OperandFloor = 0;
-    if (!D.IsBranch) {
-      // Branches issue before their condition resolves (predicted
-      // untaken); everything else waits for operands.
-      OperandFloor = operandReadyTime(D);
-      Earliest = std::max(Earliest, OperandFloor);
-    }
+    uint64_t Earliest = std::max(Base, OperandFloor);
     // Limited dispatch beyond an unresolved conditional branch.
     if (Earliest < PendingResolve) {
       if (SpecBudget == 0)
@@ -268,50 +383,75 @@ private:
       else
         --SpecBudget;
     }
-    uint64_t C = allocUnit(D.Unit, Earliest);
+    uint64_t C = allocUnit(Unit, Earliest);
     if (OperandFloor > Base)
       R.OperandStallCycles += OperandFloor - Base;
+    return C;
+  }
 
-    // Branch bookkeeping.
-    if (D.Op == Opcode::BT || D.Op == Opcode::BF) {
-      uint64_t CrReady = Regs.crReady(D.Src1.id());
-      uint64_t Resolve = std::max(C, CrReady);
-      if (IsBranchTaken) {
-        uint64_t NewFloor = std::max(C, CrReady + Model.TakenBranchRedirect);
-        if (NewFloor > C)
-          R.BranchStallCycles += NewFloor - C;
-        FetchFloor = std::max(FetchFloor, NewFloor);
-      } else if (Resolve > C) {
-        PendingResolve = Resolve;
-        SpecBudget = Model.SpecWindow;
-      }
-      LastCondResolve = Resolve;
-      InstrsSinceCondBranch = 0;
-    } else if (D.Op == Opcode::BCT) {
-      uint64_t Resolve = std::max(C, Regs.CtrReady);
-      FetchFloor = std::max(FetchFloor, Resolve); // branch-on-count is free
-      LastCondResolve = Resolve;
-      InstrsSinceCondBranch = 0;
-    } else if (D.Op == Opcode::B) {
-      // Free when the branch unit saw it early enough; pays the redirect
-      // when it sits in the shadow of a recent conditional branch (the
-      // stall basic block expansion removes).
-      if (InstrsSinceCondBranch < Model.ExpansionObjective) {
-        uint64_t NewFloor =
-            std::max(C, LastCondResolve + Model.TakenBranchRedirect);
-        if (NewFloor > C)
-          R.BranchStallCycles += NewFloor - C;
-        FetchFloor = std::max(FetchFloor, NewFloor);
-      }
-      ++InstrsSinceCondBranch;
-    } else if (D.Op == Opcode::CALL || D.Op == Opcode::RET) {
-      FetchFloor = std::max(FetchFloor, C + Model.TakenBranchRedirect);
-      R.BranchStallCycles += Model.TakenBranchRedirect;
-      InstrsSinceCondBranch = 0;
-    } else {
-      ++InstrsSinceCondBranch;
+  /// Ordinary (non-control) instruction — always Fxu. Also the right
+  /// issue for every first-of-pair fused constituent (C/CI, LTOC, L),
+  /// which the legacy bookkeeping treated as ordinary too.
+  uint64_t issuePlain(uint64_t OperandFloor, RunResult &R) {
+    uint64_t C = issueAt(OperandFloor, UnitKind::Fxu, R);
+    ++InstrsSinceCondBranch;
+    PrevIssue = C;
+    return C;
+  }
+
+  /// BT/BF: taken pays the redirect from the condition's ready time;
+  /// untaken with a late condition opens the speculation window.
+  uint64_t issueCondCr(const DecodedInstr &D, bool Taken, RunResult &R) {
+    uint64_t C = issueAt(0, UnitKind::Bu, R);
+    uint64_t CrReady = Regs.crReady(packedId(D.Src1));
+    uint64_t Resolve = std::max(C, CrReady);
+    if (Taken) {
+      uint64_t NewFloor = std::max(C, CrReady + Model.TakenBranchRedirect);
+      if (NewFloor > C)
+        R.BranchStallCycles += NewFloor - C;
+      FetchFloor = std::max(FetchFloor, NewFloor);
+    } else if (Resolve > C) {
+      PendingResolve = Resolve;
+      SpecBudget = Model.SpecWindow;
     }
+    LastCondResolve = Resolve;
+    InstrsSinceCondBranch = 0;
+    PrevIssue = C;
+    return C;
+  }
 
+  uint64_t issueBct(RunResult &R) {
+    uint64_t C = issueAt(0, UnitKind::Bu, R);
+    uint64_t Resolve = std::max(C, Regs.CtrReady);
+    FetchFloor = std::max(FetchFloor, Resolve); // branch-on-count is free
+    LastCondResolve = Resolve;
+    InstrsSinceCondBranch = 0;
+    PrevIssue = C;
+    return C;
+  }
+
+  /// B: free when the branch unit saw it early enough; pays the redirect
+  /// when it sits in the shadow of a recent conditional branch (the
+  /// stall basic block expansion removes).
+  uint64_t issueB(RunResult &R) {
+    uint64_t C = issueAt(0, UnitKind::Bu, R);
+    if (InstrsSinceCondBranch < Model.ExpansionObjective) {
+      uint64_t NewFloor =
+          std::max(C, LastCondResolve + Model.TakenBranchRedirect);
+      if (NewFloor > C)
+        R.BranchStallCycles += NewFloor - C;
+      FetchFloor = std::max(FetchFloor, NewFloor);
+    }
+    ++InstrsSinceCondBranch;
+    PrevIssue = C;
+    return C;
+  }
+
+  uint64_t issueCallRet(uint64_t OperandFloor, RunResult &R) {
+    uint64_t C = issueAt(OperandFloor, UnitKind::Bu, R);
+    FetchFloor = std::max(FetchFloor, C + Model.TakenBranchRedirect);
+    R.BranchStallCycles += Model.TakenBranchRedirect;
+    InstrsSinceCondBranch = 0;
     PrevIssue = C;
     return C;
   }
@@ -349,7 +489,6 @@ private:
   RegFile Regs;
   const DecodedFunction *CurF = nullptr;
   uint32_t Blk = 0; // global block index
-  uint32_t Ii = 0;  // global instruction index
   size_t InputPos = 0;
 
   // Timing.
@@ -364,317 +503,19 @@ private:
   uint64_t InstrsSinceCondBranch = 1'000'000;
 };
 
-bool FastMachine::step(const DecodedInstr &D, RunResult &R, bool &Done) {
-  Done = false;
-  auto S1 = [&]() { return Regs.gpr(D.Src1.id()); };
-  auto S2 = [&]() { return Regs.gpr(D.Src2.id()); };
-
-  // Functional semantics first (so branch direction is known), then timing.
-  bool Taken = false;
-  int64_t DstVal = 0;
-  bool HasDstVal = false;
-  int64_t LuNewBase = 0;
-
-  switch (D.Op) {
-  case Opcode::LI:
-    DstVal = D.Imm;
-    HasDstVal = true;
-    break;
-  case Opcode::LR:
-    DstVal = S1();
-    HasDstVal = true;
-    break;
-  case Opcode::A:
-    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) +
-                                  static_cast<uint64_t>(S2()));
-    HasDstVal = true;
-    break;
-  case Opcode::S:
-    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) -
-                                  static_cast<uint64_t>(S2()));
-    HasDstVal = true;
-    break;
-  case Opcode::MUL:
-    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) *
-                                  static_cast<uint64_t>(S2()));
-    HasDstVal = true;
-    break;
-  case Opcode::DIV: {
-    int64_t Dv = S2();
-    if (Dv == 0) {
-      trap(R, "divide by zero");
-      return false;
-    }
-    if (S1() == INT64_MIN && Dv == -1)
-      DstVal = INT64_MIN;
-    else
-      DstVal = S1() / Dv;
-    HasDstVal = true;
-    break;
-  }
-  case Opcode::AND:
-    DstVal = S1() & S2();
-    HasDstVal = true;
-    break;
-  case Opcode::OR:
-    DstVal = S1() | S2();
-    HasDstVal = true;
-    break;
-  case Opcode::XOR:
-    DstVal = S1() ^ S2();
-    HasDstVal = true;
-    break;
-  case Opcode::SL:
-    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1())
-                                  << (S2() & 63));
-    HasDstVal = true;
-    break;
-  case Opcode::SR:
-    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) >>
-                                  (S2() & 63));
-    HasDstVal = true;
-    break;
-  case Opcode::SRA:
-    DstVal = S1() >> (S2() & 63);
-    HasDstVal = true;
-    break;
-  case Opcode::AI:
-  case Opcode::LA:
-    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) +
-                                  static_cast<uint64_t>(D.Imm));
-    HasDstVal = true;
-    break;
-  case Opcode::SI:
-    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) -
-                                  static_cast<uint64_t>(D.Imm));
-    HasDstVal = true;
-    break;
-  case Opcode::MULI:
-    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) *
-                                  static_cast<uint64_t>(D.Imm));
-    HasDstVal = true;
-    break;
-  case Opcode::ANDI:
-    DstVal = S1() & D.Imm;
-    HasDstVal = true;
-    break;
-  case Opcode::ORI:
-    DstVal = S1() | D.Imm;
-    HasDstVal = true;
-    break;
-  case Opcode::XORI:
-    DstVal = S1() ^ D.Imm;
-    HasDstVal = true;
-    break;
-  case Opcode::SLI:
-    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1())
-                                  << (D.Imm & 63));
-    HasDstVal = true;
-    break;
-  case Opcode::SRI:
-    DstVal = static_cast<int64_t>(static_cast<uint64_t>(S1()) >>
-                                  (D.Imm & 63));
-    HasDstVal = true;
-    break;
-  case Opcode::SRAI:
-    DstVal = S1() >> (D.Imm & 63);
-    HasDstVal = true;
-    break;
-  case Opcode::NEG:
-    DstVal = static_cast<int64_t>(0 - static_cast<uint64_t>(S1()));
-    HasDstVal = true;
-    break;
-  case Opcode::LTOC: {
-    if (!D.GlobalKnown) {
-      trap(R, "LTOC of unknown global '" + D.Origin->Sym + "'");
-      return false;
-    }
-    DstVal = D.GlobalAddr;
-    HasDstVal = true;
-    break;
-  }
-  case Opcode::L:
-  case Opcode::LU: {
-    uint64_t Addr = static_cast<uint64_t>(S1() + D.Imm);
-    bool Ok = true, PageZero = false;
-    int64_t V = readMem(Addr, D.MemSize, Ok, PageZero);
-    if (PageZero && !Model.PageZeroReadable) {
-      trap(R, "load from page zero at " + std::to_string(Addr));
-      return false;
-    }
-    if (!Ok) {
-      trap(R, "load from unmapped address " + std::to_string(Addr));
-      return false;
-    }
-    if (W)
-      W->memAccess(D.Origin, Addr, D.MemSize);
-    DstVal = V;
-    HasDstVal = true;
-    LuNewBase = S1() + D.Imm;
-    break;
-  }
-  case Opcode::ST: {
-    uint64_t Addr = static_cast<uint64_t>(S2() + D.Imm);
-    if (!writeMem(Addr, D.MemSize, S1())) {
-      trap(R, "store to unmapped address " + std::to_string(Addr));
-      return false;
-    }
-    if (W)
-      W->memAccess(D.Origin, Addr, D.MemSize);
-    break;
-  }
-  case Opcode::C:
-  case Opcode::CI: {
-    int64_t A = S1();
-    int64_t B = D.Op == Opcode::C ? S2() : D.Imm;
-    CrVal &Cr = Regs.cr(D.Dst.id());
-    Cr.Lt = A < B;
-    Cr.Gt = A > B;
-    Cr.Eq = A == B;
-    break;
-  }
-  case Opcode::MTCTR:
-    Regs.Ctr = S1();
-    break;
-  case Opcode::B:
-    Taken = true;
-    break;
-  case Opcode::BT:
-  case Opcode::BF: {
-    bool Bit = Regs.cr(D.Src1.id()).bit(D.Bit);
-    Taken = (D.Op == Opcode::BT) ? Bit : !Bit;
-    break;
-  }
-  case Opcode::BCT:
-    Taken = (--Regs.Ctr != 0);
-    break;
-  case Opcode::CALL:
-  case Opcode::RET:
-    break;
-  default:
-    trap(R, "unimplemented opcode");
-    return false;
-  }
-
-  uint64_t C = issue(D, Taken, R);
-
-  // Commit destination values and ready times.
-  if (D.Op == Opcode::LU)
-    Regs.gpr(D.Src1.id()) = LuNewBase;
-  if (HasDstVal && D.Dst.isGpr())
-    Regs.gpr(D.Dst.id()) = DstVal;
-  if (D.SetsDefsReady)
-    setDefsReady(D, C + D.Latency, C + Model.AluLatency);
-
-  // The stack grows down from the top of memory; a stack pointer that
-  // descends into the global data area would silently corrupt globals
-  // (and stores through it still look "mapped" to writeMem).
-  if (((HasDstVal && D.Dst.isGpr() && D.Dst.id() == 1) ||
-       (D.Op == Opcode::LU && D.Src1.isGpr() && D.Src1.id() == 1)) &&
-      Regs.Phys[1] < static_cast<int64_t>(Img.DataEnd)) {
-    trap(R, "stack overflow into data");
-    return false;
-  }
-
-  // Control transfer.
-  if (D.Op == Opcode::B || ((D.Op == Opcode::BT || D.Op == Opcode::BF ||
-                             D.Op == Opcode::BCT) &&
-                            Taken)) {
-    // The edge is counted before target resolution, like the legacy
-    // engine (a branch to an unknown label still counts its edge).
-    ++EdgeHits[static_cast<uint32_t>(D.TakenEdge)];
-    if (D.TargetBlock < 0) {
-      trap(R, "branch to unknown label '" + D.Origin->Target + "'");
-      return false;
-    }
-    Blk = static_cast<uint32_t>(D.TargetBlock);
-    Ii = Img.Blocks[Blk].FirstInstr;
-    ++BlockHits[Blk];
-    if (W)
-      W->enterBlock(Img.Blocks[Blk].Origin);
-    return true;
-  }
-
-  if (D.Op == Opcode::CALL) {
-    // Builtins. Their r3 on return is pinned in ir/Abi.h (print builtins
-    // return their argument, read_int the value read); everything else in
-    // the clobber set dies.
-    if (D.Builtin != SimBuiltin::None) {
-      int64_t A0 = Regs.gpr(3);
-      scrubCallClobbers(/*KeepArgs=*/0);
-      switch (D.Builtin) {
-      case SimBuiltin::PrintInt:
-        R.Output += std::to_string(A0) + "\n";
-        Regs.gpr(3) = A0;
-        Regs.gprReady(3) = C + Model.AluLatency;
-        return true;
-      case SimBuiltin::PrintChar:
-        R.Output += static_cast<char>(A0 & 0xff);
-        Regs.gpr(3) = A0;
-        return true;
-      case SimBuiltin::ReadInt:
-        Regs.gpr(3) =
-            InputPos < Opts.Input.size() ? Opts.Input[InputPos++] : 0;
-        Regs.gprReady(3) = C + Model.AluLatency;
-        return true;
-      default: // exit
-        R.ExitCode = A0;
-        Done = true;
-        return true;
-      }
-    }
-    if (D.Callee < 0) {
-      trap(R, "call to unknown function '" + D.Origin->Sym + "'");
-      return false;
-    }
-    scrubCallClobbers(D.Imm);
-    FastFrame Fr;
-    Fr.F = CurF;
-    Fr.Block = Blk;
-    Fr.Instr = Ii;
-    Fr.Virt = std::move(Regs.Virt);
-    Fr.VirtCr = std::move(Regs.VirtCr);
-    Fr.VirtReady = std::move(Regs.VirtReady);
-    Fr.VirtCrReady = std::move(Regs.VirtCrReady);
-    CallStack.push_back(std::move(Fr));
-    Regs.Virt.clear();
-    Regs.VirtCr.clear();
-    Regs.VirtReady.clear();
-    Regs.VirtCrReady.clear();
-    const DecodedFunction &Callee = Img.Funcs[D.Callee];
-    CurF = &Callee;
-    Blk = Callee.FirstBlock;
-    Ii = Img.Blocks[Blk].FirstInstr;
-    ++BlockHits[Blk];
-    if (W) {
-      W->enterFunction(Callee.F);
-      W->enterBlock(Img.Blocks[Blk].Origin);
-    }
-    return true;
-  }
-
-  if (D.Op == Opcode::RET) {
-    if (CallStack.empty()) {
-      R.ExitCode = Regs.gpr(3);
-      Done = true;
-      return true;
-    }
-    if (W)
-      W->exitFunction();
-    FastFrame Fr = std::move(CallStack.back());
-    CallStack.pop_back();
-    CurF = Fr.F;
-    Blk = Fr.Block;
-    Ii = Fr.Instr;
-    Regs.Virt = std::move(Fr.Virt);
-    Regs.VirtCr = std::move(Fr.VirtCr);
-    Regs.VirtReady = std::move(Fr.VirtReady);
-    Regs.VirtCrReady = std::move(Fr.VirtCrReady);
-    return true;
-  }
-
-  return true;
+void FastMachine::execSwitch(RunResult &R) {
+#define VSC_FS_THREADED 0
+#include "FastSimBody.inc"
+#undef VSC_FS_THREADED
 }
+
+#if VSC_FS_HAVE_THREADED
+void FastMachine::execThreaded(RunResult &R) {
+#define VSC_FS_THREADED 1
+#include "FastSimBody.inc"
+#undef VSC_FS_THREADED
+}
+#endif
 
 } // namespace
 

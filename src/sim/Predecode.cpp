@@ -6,7 +6,6 @@
 #include "sim/Simulator.h"
 
 #include <cassert>
-#include <unordered_set>
 
 using namespace vsc;
 
@@ -24,9 +23,126 @@ SimBuiltin classifyBuiltin(const std::string &Sym) {
   return SimBuiltin::Exit;
 }
 
+PackedReg pack(Reg R) {
+  assert(R.id() < (1u << 30) && "register id overflows the packed encoding");
+  return packReg(R);
+}
+
+/// Fills the fields every record carries regardless of image flavour:
+/// opcode, flag bits, operands, immediate and (for module images) the
+/// unit/latency byte. Target/TakenEdge resolution is the caller's job.
+DecodedInstr decodeCore(const Instr &I, const MachineModel *Model) {
+  const OpcodeInfo &Info = opcodeInfo(I.Op);
+  DecodedInstr D;
+  D.Op = static_cast<uint8_t>(I.Op);
+  D.Flags = static_cast<uint8_t>(static_cast<uint8_t>(I.Bit)
+                                 << DIFlagCrBitShift);
+  if (Info.IsBranch)
+    D.Flags |= DIFlagIsBranch;
+  if (Info.HasDst || I.Op == Opcode::LU)
+    D.Flags |= DIFlagSetsDefsReady;
+  if (I.SpecSafe)
+    D.Flags |= DIFlagSpecSafe;
+  if (I.IsVolatile)
+    D.Flags |= DIFlagVolatile;
+  D.MemSize = I.MemSize;
+  D.UnitLat = 0;
+  if (Model) {
+    unsigned Lat = Model->latencyOf(I);
+    assert(Lat < 128 && "latency overflows the packed unit/latency byte");
+    D.UnitLat = static_cast<uint8_t>((Lat << 1) |
+                                     (Info.Unit == UnitKind::Bu ? 1 : 0));
+  }
+  D.Dst = pack(I.Dst);
+  D.Src1 = pack(I.Src1);
+  D.Src2 = pack(I.Src2);
+  D.Imm = I.Imm;
+  D.Target = -1;
+  D.TakenEdge = -1;
+  return D;
+}
+
+/// Second record of a load+use pair: a register-immediate ALU op over the
+/// loaded value.
+bool isRegImmAlu(uint8_t Op) {
+  switch (static_cast<Opcode>(Op)) {
+  case Opcode::AI:
+  case Opcode::SI:
+  case Opcode::MULI:
+  case Opcode::ANDI:
+  case Opcode::ORI:
+  case Opcode::XORI:
+  case Opcode::SLI:
+  case Opcode::SRI:
+  case Opcode::SRAI:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Marks fusable adjacent pairs within [First, First + Num) by rewriting
+/// the first record's op byte to the fused SimOp. Greedy left-to-right;
+/// the second record keeps its architectural opcode (it is only ever
+/// reached through the first — branch targets are block heads). Returns
+/// the number of pairs formed.
+uint64_t fuseBlock(DecodedInstr *Instrs, uint32_t First, uint32_t Num) {
+  uint64_t Pairs = 0;
+  for (uint32_t I = First; I + 1 < First + Num;) {
+    DecodedInstr &D1 = Instrs[I];
+    const DecodedInstr &D2 = Instrs[I + 1];
+    bool Fused = false;
+    switch (static_cast<Opcode>(D1.Op)) {
+    case Opcode::C:
+    case Opcode::CI:
+      // Compare + conditional branch on the freshly written cr. The
+      // handler discriminates the C/CI form by Src2's class, so require
+      // the canonical shapes.
+      if (packedClass(D1.Dst) == RegClass::Cr &&
+          packedClass(D1.Src1) == RegClass::Gpr &&
+          packedClass(D1.Src2) == (static_cast<Opcode>(D1.Op) == Opcode::C
+                                       ? RegClass::Gpr
+                                       : RegClass::None) &&
+          (static_cast<Opcode>(D2.Op) == Opcode::BT ||
+           static_cast<Opcode>(D2.Op) == Opcode::BF) &&
+          D2.Src1 == D1.Dst) {
+        D1.Op = SimOpFuseCmpB;
+        Fused = true;
+      }
+      break;
+    case Opcode::LTOC:
+      // Address materialization + plain load through it.
+      if (D1.globalKnown() && packedClass(D1.Dst) == RegClass::Gpr &&
+          static_cast<Opcode>(D2.Op) == Opcode::L && D2.Src1 == D1.Dst) {
+        D1.Op = SimOpFuseLtocL;
+        Fused = true;
+      }
+      break;
+    case Opcode::L:
+      // Plain load + register-immediate ALU over the loaded value.
+      if (packedClass(D1.Dst) == RegClass::Gpr && isRegImmAlu(D2.Op) &&
+          D2.Src1 == D1.Dst) {
+        D1.Op = SimOpFuseLdAlu;
+        Fused = true;
+      }
+      break;
+    default:
+      break;
+    }
+    if (Fused) {
+      ++Pairs;
+      I += 2;
+    } else {
+      ++I;
+    }
+  }
+  return Pairs;
+}
+
 } // namespace
 
-SimImage vsc::predecode(const Module &M, const MachineModel &Model) {
+SimImage vsc::predecode(const Module &M, const MachineModel &Model,
+                        bool Fuse) {
   SimImage Img;
   Img.M = &M;
   Img.Model = Model;
@@ -80,7 +196,6 @@ SimImage vsc::predecode(const Module &M, const MachineModel &Model) {
   };
 
   // Instruction decode.
-  std::vector<Reg> Tmp;
   for (size_t FI = 0; FI != M.functions().size(); ++FI) {
     const Function &F = *M.functions()[FI];
     const DecodedFunction &DF = Img.Funcs[FI];
@@ -94,43 +209,14 @@ SimImage vsc::predecode(const Module &M, const MachineModel &Model) {
             newEdge(F.name(), BB.label(), F.blocks()[BI + 1]->label());
 
       for (const Instr &I : BB.instrs()) {
-        DecodedInstr D;
-        D.Op = I.Op;
-        D.Bit = I.Bit;
-        D.MemSize = I.MemSize;
-        D.Unit = opcodeInfo(I.Op).Unit;
-        D.Latency = static_cast<uint8_t>(Model.latencyOf(I));
-        D.IsBranch = opcodeInfo(I.Op).IsBranch;
-        D.SetsDefsReady = opcodeInfo(I.Op).HasDst || I.Op == Opcode::LU;
-        D.Dst = I.Dst;
-        D.Src1 = I.Src1;
-        D.Src2 = I.Src2;
-        D.Imm = I.Imm;
-        D.GlobalAddr = 0;
-        D.GlobalKnown = false;
-        D.TargetBlock = -1;
-        D.TakenEdge = -1;
-        D.Callee = -1;
-        D.Builtin = SimBuiltin::None;
-        D.Origin = &I;
-
-        Tmp.clear();
-        I.collectUses(Tmp);
-        D.UsesBegin = static_cast<uint32_t>(Img.UsePool.size());
-        Img.UsePool.insert(Img.UsePool.end(), Tmp.begin(), Tmp.end());
-        D.UsesEnd = static_cast<uint32_t>(Img.UsePool.size());
-        Tmp.clear();
-        I.collectDefs(Tmp);
-        D.DefsBegin = static_cast<uint32_t>(Img.DefPool.size());
-        Img.DefPool.insert(Img.DefPool.end(), Tmp.begin(), Tmp.end());
-        D.DefsEnd = static_cast<uint32_t>(Img.DefPool.size());
+        DecodedInstr D = decodeCore(I, &Model);
 
         switch (I.Op) {
         case Opcode::LTOC: {
           auto It = Img.GlobalBase.find(I.Sym);
           if (It != Img.GlobalBase.end()) {
-            D.GlobalAddr = static_cast<int64_t>(It->second);
-            D.GlobalKnown = true;
+            D.Imm = static_cast<int64_t>(It->second);
+            D.Flags |= DIFlagGlobalKnown;
           }
           break;
         }
@@ -140,21 +226,25 @@ SimImage vsc::predecode(const Module &M, const MachineModel &Model) {
         case Opcode::BCT: {
           auto It = Infos[FI].BlockByLabel.find(I.Target);
           if (It != Infos[FI].BlockByLabel.end())
-            D.TargetBlock = static_cast<int32_t>(It->second);
+            D.Target = static_cast<int32_t>(It->second);
           // The legacy engine counts the edge before discovering the
           // label doesn't resolve, so unknown targets get a slot too.
           D.TakenEdge = newEdge(F.name(), BB.label(), I.Target);
           break;
         }
         case Opcode::CALL: {
-          D.Builtin = classifyBuiltin(I.Sym);
-          if (D.Builtin == SimBuiltin::None) {
+          assert(I.Imm >= 0 && I.Imm <= 8 &&
+                 "call argument count exceeds the register convention");
+          SimBuiltin Builtin = classifyBuiltin(I.Sym);
+          if (Builtin != SimBuiltin::None) {
+            D.Target = -2 - static_cast<int32_t>(Builtin);
+          } else {
             // Mirrors Module::findFunction (first match) plus the
             // engines' blocks-nonempty check.
             auto It = Img.FuncByName.find(I.Sym);
             if (It != Img.FuncByName.end() &&
                 Img.Funcs[It->second].NumBlocks != 0)
-              D.Callee = static_cast<int32_t>(It->second);
+              D.Target = static_cast<int32_t>(It->second);
           }
           break;
         }
@@ -163,8 +253,80 @@ SimImage vsc::predecode(const Module &M, const MachineModel &Model) {
         }
 
         Img.Instrs.push_back(D);
+        Img.Origins.push_back(&I);
       }
     }
+  }
+
+  if (Fuse)
+    for (const DecodedBlock &B : Img.Blocks)
+      Img.FusedPairs += fuseBlock(Img.Instrs.data(), B.FirstInstr,
+                                  B.NumInstrs);
+
+  return Img;
+}
+
+InterpImage vsc::predecodeFunction(
+    const Function &F,
+    const std::unordered_map<std::string, uint64_t> &GlobalBase,
+    const std::unordered_map<std::string, const Function *> &FuncByName) {
+  InterpImage Img;
+  Img.Blocks.reserve(F.blocks().size());
+
+  std::unordered_map<std::string, uint32_t> BlockByLabel;
+  for (size_t BI = 0; BI != F.blocks().size(); ++BI)
+    BlockByLabel.emplace(F.blocks()[BI]->label(),
+                         static_cast<uint32_t>(BI));
+
+  for (const auto &BB : F.blocks()) {
+    DecodedBlock DB;
+    DB.FirstInstr = static_cast<uint32_t>(Img.Instrs.size());
+    DB.NumInstrs = static_cast<uint32_t>(BB->instrs().size());
+    DB.FallEdge = -1;
+    DB.Origin = BB.get();
+
+    for (const Instr &I : BB->instrs()) {
+      DecodedInstr D = decodeCore(I, /*Model=*/nullptr);
+      const Function *Callee = nullptr;
+
+      switch (I.Op) {
+      case Opcode::LTOC: {
+        auto It = GlobalBase.find(I.Sym);
+        if (It != GlobalBase.end()) {
+          D.Imm = static_cast<int64_t>(It->second);
+          D.Flags |= DIFlagGlobalKnown;
+        }
+        break;
+      }
+      case Opcode::B:
+      case Opcode::BT:
+      case Opcode::BF:
+      case Opcode::BCT: {
+        auto It = BlockByLabel.find(I.Target);
+        if (It != BlockByLabel.end())
+          D.Target = static_cast<int32_t>(It->second);
+        break;
+      }
+      case Opcode::CALL: {
+        SimBuiltin Builtin = classifyBuiltin(I.Sym);
+        if (Builtin != SimBuiltin::None) {
+          D.Target = -2 - static_cast<int32_t>(Builtin);
+        } else {
+          auto It = FuncByName.find(I.Sym);
+          if (It != FuncByName.end())
+            Callee = It->second;
+        }
+        break;
+      }
+      default:
+        break;
+      }
+
+      Img.Instrs.push_back(D);
+      Img.Origins.push_back(&I);
+      Img.Callees.push_back(Callee);
+    }
+    Img.Blocks.push_back(DB);
   }
 
   return Img;

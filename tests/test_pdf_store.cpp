@@ -294,3 +294,56 @@ TEST(PdfStore, FuzzRoundTripOverRandomPrograms) {
     EXPECT_EQ(D.EdgeCount, R.EdgeCounts) << "seed " << Seed;
   }
 }
+
+// Counters are 64-bit end to end: a long profiling campaign (or a merged
+// fleet of training runs) pushes block counts past 2^32, and any 32-bit
+// truncation in accumulate / merge / the ProfileData adapter / the VSCP
+// wire format would wrap them silently. Forced-overflow regression:
+// synthetic dense counters above 2^32 must survive every hop exactly.
+TEST(PdfStore, CountsAbove32BitsSurviveAccumulateMergeAndSerialize) {
+  auto M = buildNamed("eqntott");
+  SimEngine Engine(*M, rs6000());
+  DenseProfile P = DenseProfile::forImage(Engine.image());
+  ASSERT_FALSE(P.BlockKeys.empty());
+  ASSERT_FALSE(P.EdgeKeys.empty());
+
+  const uint64_t Big = (uint64_t(1) << 32) + 12345;   // > UINT32_MAX
+  const uint64_t Huge = (uint64_t(1) << 40) + 67890;  // > 2^32 after any wrap
+
+  DenseCounters C;
+  C.BlockHits.assign(P.BlockCounts.size(), Big);
+  C.EdgeHits.assign(P.EdgeCounts.size(), Big);
+  P.accumulate(C);
+  EXPECT_EQ(P.BlockCounts.front(), Big);
+  EXPECT_EQ(P.EdgeCounts.front(), Big);
+
+  DenseProfile Q = DenseProfile::forImage(Engine.image());
+  DenseCounters D;
+  D.BlockHits.assign(Q.BlockCounts.size(), Huge);
+  D.EdgeHits.assign(Q.EdgeCounts.size(), Huge);
+  Q.accumulate(D);
+
+  ASSERT_EQ(P.merge(Q), "");
+  const uint64_t Sum = Big + Huge; // needs 41 bits
+  for (uint64_t N : P.BlockCounts)
+    EXPECT_EQ(N, Sum);
+  for (uint64_t N : P.EdgeCounts)
+    EXPECT_EQ(N, Sum);
+
+  // The adapter sums slots sharing one interned key; every materialized
+  // count must be an exact multiple of Sum (and far beyond 32 bits).
+  ProfileData PD = P.toProfileData();
+  ASSERT_FALSE(PD.BlockCount.empty());
+  for (const auto &[Key, N] : PD.BlockCount)
+    EXPECT_EQ(N % Sum, 0u) << Key;
+  for (const auto &[Key, N] : PD.EdgeCount)
+    EXPECT_EQ(N % Sum, 0u) << Key;
+
+  // VSCP wire format round trip, byte-exact.
+  std::vector<uint8_t> Bytes = P.serialize();
+  DenseProfile R;
+  ASSERT_EQ(DenseProfile::deserialize(Bytes.data(), Bytes.size(), R), "");
+  EXPECT_EQ(R.BlockCounts, P.BlockCounts);
+  EXPECT_EQ(R.EdgeCounts, P.EdgeCounts);
+  EXPECT_EQ(R.serialize(), Bytes);
+}

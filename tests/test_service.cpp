@@ -12,6 +12,7 @@
 #include "service/CompileService.h"
 
 #include "frontend/Frontend.h"
+#include "service/Protocol.h"
 #include "ir/Printer.h"
 #include "pdf/PdfExperiment.h"
 #include "pdf/ProfileStore.h"
@@ -21,6 +22,7 @@
 #include <cstdio>
 #include <map>
 #include <random>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -316,4 +318,49 @@ TEST(CompileServiceTest, ErrorPaths) {
   Resp = Service.handle(Empty);
   EXPECT_FALSE(Resp.Ok);
   EXPECT_NE(Resp.Text.find("neither kernel"), std::string::npos);
+}
+
+// The vscd parse loop, hoisted into the library so this contract is
+// testable without a process: every request line in the stream becomes
+// exactly one slot, blank/comment lines vanish, parse errors are captured
+// in place, and — the regression this locks in — a final request with no
+// trailing newline is parsed like any other line instead of being dropped
+// at end-of-stream.
+TEST(CompileServiceTest, ParseRequestStreamKeepsNewlinelessFinalRequest) {
+  const std::string Body = "# header comment\n"
+                           "compile kernel=eqntott level=O3 name=a\n"
+                           "\n"
+                           "bogus-op kernel=eqntott\n"
+                           "simulate kernel=eqntott name=b";
+
+  std::istringstream NoFinalNewline(Body);
+  ParsedRequestStream S = parseRequestStream(NoFinalNewline);
+
+  ASSERT_EQ(S.Requests.size(), 2u);
+  EXPECT_EQ(S.Requests[0].Name, "a");
+  EXPECT_EQ(S.Requests[1].Name, "b");
+  EXPECT_EQ(S.Requests[1].Kind, ServiceRequest::Op::Simulate);
+  ASSERT_EQ(S.ParseErrors.size(), 1u);
+  EXPECT_FALSE(S.ParseErrors[0].Ok);
+  EXPECT_NE(S.ParseErrors[0].Text.find("unknown op"), std::string::npos);
+  // One slot per non-blank line, in stream order: request, error, request.
+  ASSERT_EQ(S.Slot.size(), 3u);
+  EXPECT_EQ(S.Slot[0], 0);
+  EXPECT_EQ(S.Slot[1], -1);
+  EXPECT_EQ(S.Slot[2], 1);
+
+  // A trailing '\n' must not change what was parsed.
+  std::istringstream WithFinalNewline(Body + "\n");
+  ParsedRequestStream T = parseRequestStream(WithFinalNewline);
+  ASSERT_EQ(T.Requests.size(), S.Requests.size());
+  for (size_t I = 0; I != S.Requests.size(); ++I)
+    EXPECT_EQ(T.Requests[I].Name, S.Requests[I].Name);
+  EXPECT_EQ(T.Slot, S.Slot);
+
+  // The anonymous-name rule counts physical lines, newline or not.
+  std::istringstream Anon("compile kernel=eqntott\nsimulate kernel=eqntott");
+  ParsedRequestStream A = parseRequestStream(Anon);
+  ASSERT_EQ(A.Requests.size(), 2u);
+  EXPECT_EQ(A.Requests[0].Name, "r1");
+  EXPECT_EQ(A.Requests[1].Name, "r2");
 }

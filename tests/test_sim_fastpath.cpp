@@ -209,3 +209,61 @@ TEST(SimFastpath, EngineRunsAreReproducible) {
     expectSame(First, Again, "engine rerun " + std::to_string(I));
   }
 }
+
+/// The unresolved-branch trap ("branch to unknown label") fires *after*
+/// the taken edge is counted, and everything executed up to the trap point
+/// must be visible in the counter maps. A fast path that trapped before
+/// counting (or flushed counters on the trap path) would drop the final
+/// edge/block increments and silently skew profiling ground truth. Both
+/// compiled dispatch flavours must agree with legacy on the full maps.
+TEST(SimFastpath, UnresolvedBranchTrapCounterParity) {
+  struct Case {
+    const char *Name;
+    const char *Text;
+  };
+  std::vector<Case> Cases = {
+      {"unconditional B to unknown label", R"(
+func main(0) {
+entry:
+  LI r32 = 3
+  B work
+work:
+  AI r32 = r32, -1
+  CI cr0 = r32, 0
+  BF work, cr0.eq
+  B nowhere
+}
+)"},
+      {"taken BT to unknown label", R"(
+func main(0) {
+entry:
+  LI r32 = 1
+  CI cr0 = r32, 1
+  B test
+test:
+  BT nowhere, cr0.eq
+  RET
+}
+)"},
+  };
+  for (const Case &C : Cases) {
+    std::string Err;
+    auto M = parseModule(C.Text, &Err);
+    ASSERT_TRUE(M) << C.Name << ": " << Err;
+
+    RunResult L = simulateLegacy(*M, rs6000(), RunOptions());
+    ASSERT_TRUE(L.Trapped) << C.Name;
+    EXPECT_NE(L.TrapMsg.find("unknown label"), std::string::npos) << C.Name;
+    // The loop body / taken edge up to the trap must be in the maps.
+    EXPECT_FALSE(L.BlockCounts.empty()) << C.Name;
+    EXPECT_FALSE(L.EdgeCounts.empty()) << C.Name;
+
+    for (DispatchMode Mode : {DispatchMode::Switch, DispatchMode::Threaded}) {
+      RunOptions Opts;
+      Opts.Dispatch = Mode;
+      RunResult F = simulate(*M, rs6000(), Opts);
+      expectSame(L, F,
+                 std::string(C.Name) + " [" + dispatchModeName(Mode) + "]");
+    }
+  }
+}
