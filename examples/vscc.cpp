@@ -17,6 +17,10 @@
 ///     --merge              merge multiple --load-profile files; with
 ///                          --save-profile, merge into an existing file
 ///     --superblocks        profile-driven superblock formation
+///     --exact-pipeline=M   off (default), grade, apply: run the exact
+///                          modulo scheduler per innermost loop; grade
+///                          reports achieved-II vs min-II vs exact-II,
+///                          apply substitutes winning exact kernels
 ///     --inline             inline small leaf functions first
 ///     --regalloc           run linear-scan register allocation
 ///     --threads=N          compile functions on N worker threads (output
@@ -47,7 +51,8 @@ static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s FILE.c [-O0|-O2|-O3] [--machine=NAME] [--pdf] "
                "[--save-profile=FILE] [--load-profile=FILE]... [--merge] "
-               "[--superblocks] [--threads=N] [--emit-ir] [--stats] "
+               "[--superblocks] [--exact-pipeline=off|grade|apply] "
+               "[--threads=N] [--emit-ir] [--stats] "
                "[-- args...]\n",
                Prog);
   return 2;
@@ -63,6 +68,7 @@ int main(int Argc, char **Argv) {
   bool EmitIr = false, Stats = false, Pdf = false;
   bool DoInline = false, DoRegalloc = false;
   bool Merge = false, Superblocks = false;
+  ExactPipelineMode ExactMode = ExactPipelineMode::Off;
   std::string SaveProfile;
   std::vector<std::string> LoadProfiles;
   unsigned Threads = 0; // 0 = VSC_THREADS (default 1)
@@ -103,6 +109,19 @@ int main(int Argc, char **Argv) {
       Merge = true;
     } else if (A == "--superblocks") {
       Superblocks = true;
+    } else if (A.rfind("--exact-pipeline=", 0) == 0) {
+      std::string Mode = A.substr(17);
+      if (Mode == "off")
+        ExactMode = ExactPipelineMode::Off;
+      else if (Mode == "grade")
+        ExactMode = ExactPipelineMode::Grade;
+      else if (Mode == "apply")
+        ExactMode = ExactPipelineMode::Apply;
+      else {
+        std::fprintf(stderr, "unknown exact-pipeline mode '%s'\n",
+                     Mode.c_str());
+        return 2;
+      }
     } else if (A == "--inline") {
       DoInline = true;
     } else if (A == "--regalloc") {
@@ -159,6 +178,7 @@ int main(int Argc, char **Argv) {
   Opts.AllocateRegisters = DoRegalloc;
   Opts.Threads = Threads;
   Opts.Superblocks = Superblocks;
+  Opts.ExactPipelining = ExactMode;
   PipelineStats PStats;
   Opts.Stats = &PStats;
   ProfileData Profile;
@@ -233,6 +253,16 @@ int main(int Argc, char **Argv) {
     Opts.TrainInput = &TrainOpts; // measured layout gate
   }
   optimize(*Compiled.M, Level, Opts);
+  if (ExactMode != ExactPipelineMode::Off) {
+    for (const LoopPipelineRecord &R : PStats.PipelineLoops)
+      std::fprintf(stderr,
+                   "exact-pipeline: %s/%s body=%u min-II=%u heuristic-II=%u "
+                   "exact-II=%u verdict=%s%s\n",
+                   R.Function.c_str(), R.Header.c_str(), R.BodyInstrs,
+                   R.minII(), R.HeuristicII, R.ExactII,
+                   exactVerdictName(R.Verdict),
+                   R.Applied ? " applied" : "");
+  }
   if (Opts.Profile)
     std::fprintf(stderr, "pdf-layout: %s\n",
                  PStats.PdfLayoutKept < 0 ? "unconditional"

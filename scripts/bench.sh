@@ -6,7 +6,9 @@
 # legacy-vs-predecoded simulator comparison as BENCH_sim.json, the
 # legacy-vs-ProfileStore PDF experiment comparison as BENCH_pdf.json, the
 # syntactic-vs-flow-sensitive disambiguation-rate and cycle table as
-# BENCH_alias.json, and the full per-kernel measurement matrix (every
+# BENCH_alias.json, the exact-pipelining optimality-gap table (per-loop
+# achieved-II vs min-II vs exact-II over every kernel x machine) as
+# BENCH_pipelining.json, and the full per-kernel measurement matrix (every
 # registered kernel x O0/Classical/Vliw x three machine models, with and
 # without PDF) as BENCH_workloads.json, and the compile-service cold-vs-
 # warm-cache throughput with per-class hit rates as BENCH_service.json
@@ -22,7 +24,7 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS" \
   --target bench_oracle_overhead --target bench_compile_time \
   --target bench_sim --target bench_pdf_gain --target bench_alias \
-  --target bench_workloads --target bench_service
+  --target bench_pipelining --target bench_workloads --target bench_service
 
 "$ROOT/build/bench/bench_oracle_overhead" \
   --benchmark_out="$ROOT/BENCH_oracle.json" \
@@ -47,6 +49,14 @@ VSC_THREADS=4 "$ROOT/build/bench/bench_pdf_gain" \
   --alias-out="$ROOT/BENCH_alias.json" \
   --benchmark_filter='^$'
 
+# Exact-pipelining optimality gap: every kernel x rs6000/power2/ppc601
+# compiled in Apply mode; per-loop achieved-II/min-II/exact-II records,
+# gap geomean, and the audited thread-invariance check on the first
+# kernel where Apply beats the heuristic.
+"$ROOT/build/bench/bench_pipelining" \
+  --pipelining-out="$ROOT/BENCH_pipelining.json" \
+  --benchmark_filter='^$'
+
 # Full per-kernel matrix over the registry (spec six + irregular five):
 # cycles at every opt level on every machine model, with and without PDF,
 # including the measured layout-gate decision per cell.
@@ -65,5 +75,6 @@ echo "wrote $ROOT/BENCH_compile_parallel.json"
 echo "wrote $ROOT/BENCH_sim.json"
 echo "wrote $ROOT/BENCH_pdf.json"
 echo "wrote $ROOT/BENCH_alias.json"
+echo "wrote $ROOT/BENCH_pipelining.json"
 echo "wrote $ROOT/BENCH_workloads.json"
 echo "wrote $ROOT/BENCH_service.json"

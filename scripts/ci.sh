@@ -47,6 +47,15 @@ run_config() {
   echo "=== [$name] alias analysis + audit suites ==="
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
     -R 'MemAlias|ValueTrack|AliasClaimLog|AliasAudit'
+  # Exact software pipelining: the min-II analysis, the branch-and-bound
+  # scheduler's verdicts, and the Grade/Apply wiring (Apply through the
+  # full audited pipeline, thread-invariant). The fuzz run above already
+  # grades every fuzzed loop — auditedOptions() carries
+  # ExactPipelining=Grade — so arbitrary generated shapes go through the
+  # min-II model under the recompute-and-compare analysis checker too.
+  echo "=== [$name] exact pipelining suites ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+    -R 'MinII|ExactPipeliner|ExactGrade|ExactApply|ExactEdge'
   # The predecoded simulator must stay byte-identical to the legacy
   # interpreter — in both compiled dispatch flavours. VSC_DISPATCH steers
   # every DispatchMode::Default run in the child processes, so each pass

@@ -89,6 +89,22 @@ const AliasAnalysis &FunctionAnalyses::aliasAnalysis() {
   return *AliasA;
 }
 
+const MinIIAnalysis &FunctionAnalyses::minII(const MachineModel &MM,
+                                             bool FlowAlias) {
+  freshen();
+  uint64_t Key = machineFingerprint(MM);
+  bool Hit = MinIIA && MinIIA->machineKey() == Key &&
+             MinIIA->flowAlias() == FlowAlias;
+  count(Hit);
+  if (!Hit) {
+    const Cfg &G = cfg();
+    const LoopInfo &LI = loops();
+    const AliasAnalysis *AA = FlowAlias ? &aliasAnalysis() : nullptr;
+    MinIIA = std::make_unique<MinIIAnalysis>(F, G, LI, AA, MM);
+  }
+  return *MinIIA;
+}
+
 void FunctionAnalyses::invalidate(const PreservedAnalyses &PA) {
   freshen();
   if (PA.preservesAll())
@@ -107,9 +123,15 @@ void FunctionAnalyses::invalidate(const PreservedAnalyses &PA) {
   // that moves control flow, loops, or register values moves it too.
   bool DropAlias =
       DropCfg || DropLoops || DropLive || !PA.preserves(AnalysisKind::Alias);
+  // MinII reads loop structure, register dependences and alias facts:
+  // anything that moves any of those moves it too.
+  bool DropMinII =
+      DropLoops || DropAlias || !PA.preserves(AnalysisKind::MinII);
 
   // Destruction order: dependents first (Liveness references the
   // universe; LoopInfo holds Cfg edges).
+  if (DropMinII)
+    MinIIA.reset();
   if (DropAlias)
     AliasA.reset();
   if (DropLive) {
@@ -129,6 +151,7 @@ void FunctionAnalyses::invalidate(const PreservedAnalyses &PA) {
 }
 
 void FunctionAnalyses::invalidateAll() {
+  MinIIA.reset();
   AliasA.reset();
   LiveA.reset();
   UnivA.reset();
@@ -158,6 +181,8 @@ bool FunctionAnalyses::hasCached(AnalysisKind K) const {
     return UnivA != nullptr && LiveA != nullptr;
   case AnalysisKind::Alias:
     return AliasA != nullptr;
+  case AnalysisKind::MinII:
+    return MinIIA != nullptr;
   }
   return false;
 }
@@ -299,6 +324,20 @@ std::string FunctionAnalyses::verifyCache() {
     return "stale AliasAnalysis for @" + F.name() +
            ": a pass changed base-register contents or control flow but "
            "claimed to preserve Alias";
+  if (MinIIA) {
+    Cfg Fresh(F);
+    Dominators FreshDom(Fresh, /*Post=*/false);
+    LoopInfo FreshLI(Fresh, FreshDom);
+    std::unique_ptr<AliasAnalysis> FreshAA;
+    if (MinIIA->flowAlias())
+      FreshAA = std::make_unique<AliasAnalysis>(F, Fresh, FreshLI);
+    MinIIAnalysis FreshMin(F, Fresh, FreshLI, FreshAA.get(),
+                           MinIIA->machine());
+    if (MinIIA->summarize() != FreshMin.summarize())
+      return "stale MinII for @" + F.name() +
+             ": a pass changed loops, dependences or alias facts but "
+             "claimed to preserve MinII";
+  }
   return "";
 }
 

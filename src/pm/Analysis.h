@@ -55,6 +55,7 @@
 #include "cfg/Dominators.h"
 #include "cfg/Loops.h"
 #include "ir/Module.h"
+#include "pipelining/MinII.h"
 
 #include <cstdint>
 #include <memory>
@@ -75,8 +76,9 @@ enum class AnalysisKind : unsigned {
   Biconnected,
   Liveness,
   Alias,
+  MinII,
 };
-constexpr unsigned NumAnalysisKinds = 7;
+constexpr unsigned NumAnalysisKinds = 8;
 
 /// What a pass kept intact, as a bitmask over AnalysisKind. Passes build
 /// one of these as their return value; the manager applies it (plus the
@@ -98,7 +100,9 @@ public:
   /// boundary untouched (copy propagation, local value numbering).
   static PreservedAnalyses structure() {
     PreservedAnalyses PA = all();
-    return PA.abandon(AnalysisKind::Liveness).abandon(AnalysisKind::Alias);
+    return PA.abandon(AnalysisKind::Liveness)
+        .abandon(AnalysisKind::Alias)
+        .abandon(AnalysisKind::MinII);
   }
 
   PreservedAnalyses &preserve(AnalysisKind K) {
@@ -145,6 +149,11 @@ public:
   const RegUniverse &universe();
   const Liveness &liveness();
   const AliasAnalysis &aliasAnalysis();
+  /// Min-II lower bounds per innermost loop (pipelining/MinII.h). Keyed by
+  /// the machine fingerprint and the alias tier: asking for a different
+  /// machine (or flipping \p FlowAlias) recomputes and re-caches, asking
+  /// for the same one is a hit.
+  const MinIIAnalysis &minII(const MachineModel &MM, bool FlowAlias);
 
   /// Applies a pass's preservation claim: drops every analysis the claim
   /// abandons, plus everything depending on a dropped analysis.
@@ -180,6 +189,7 @@ private:
   std::unique_ptr<RegUniverse> UnivA;
   std::unique_ptr<Liveness> LiveA;
   std::unique_ptr<AliasAnalysis> AliasA;
+  std::unique_ptr<MinIIAnalysis> MinIIA;
 };
 
 /// Per-module registry of FunctionAnalyses. Entry creation is

@@ -57,7 +57,16 @@ PreservedAnalyses UnrollRenamePass::run(Function &F, Module &,
 
 PreservedAnalyses PipeliningPass::run(Function &F, Module &M,
                                       FunctionAnalyses &FA) {
-  pipelineInnermostLoops(F, MM, M, /*MaxRotations=*/8, FA, FlowAlias);
+  PipelineLoopOptions PO;
+  PO.FlowAlias = FlowAlias;
+  PO.Exact = Exact;
+  PO.ExactOpts = ExactOpts;
+  std::vector<LoopPipelineRecord> Records;
+  if (Log && Exact != ExactPipelineMode::Off)
+    PO.Records = &Records;
+  pipelineInnermostLoops(F, MM, M, PO, FA);
+  if (PO.Records)
+    Log->append(std::move(Records));
   return PreservedAnalyses::all();
 }
 

@@ -94,17 +94,27 @@ private:
   unsigned Factor;
 };
 
-/// Enhanced pipeline scheduling (vliw/Schedule.h).
+/// Enhanced pipeline scheduling (vliw/Schedule.h). With \p Exact != Off
+/// every attempted loop is additionally graded by the branch-and-bound
+/// modulo scheduler (pipelining/ExactPipeliner.h); records land in \p Log
+/// when one is supplied.
 class PipeliningPass : public FunctionPass {
 public:
-  explicit PipeliningPass(const MachineModel &MM, bool FlowAlias = true)
-      : MM(MM), FlowAlias(FlowAlias) {}
+  explicit PipeliningPass(const MachineModel &MM, bool FlowAlias = true,
+                          ExactPipelineMode Exact = ExactPipelineMode::Off,
+                          ExactPipelinerOptions ExactOpts = {},
+                          PipelineLoopLog *Log = nullptr)
+      : MM(MM), FlowAlias(FlowAlias), Exact(Exact), ExactOpts(ExactOpts),
+        Log(Log) {}
   const char *name() const override { return "pipelining"; }
   PreservedAnalyses run(Function &F, Module &M, FunctionAnalyses &FA) override;
 
 private:
   const MachineModel &MM;
   bool FlowAlias;
+  ExactPipelineMode Exact;
+  ExactPipelinerOptions ExactOpts;
+  PipelineLoopLog *Log;
 };
 
 /// Global scheduling (vliw/Schedule.h).

@@ -136,7 +136,8 @@ private:
 /// The per-function chain for level \p L (empty at OptLevel::None — the
 /// adaptor still runs so the per-function checkpoints fire).
 FunctionPassManager buildFunctionPipeline(OptLevel L,
-                                          const PipelineOptions &Opts) {
+                                          const PipelineOptions &Opts,
+                                          PipelineLoopLog *PipeLog) {
   FunctionPassManager FPM;
   if (L == OptLevel::None)
     return FPM;
@@ -156,7 +157,9 @@ FunctionPassManager buildFunctionPipeline(OptLevel L,
   if (Opts.UnrollAndRename)
     FPM.add(std::make_unique<UnrollRenamePass>(Opts.UnrollFactor));
   if (Opts.Pipelining)
-    FPM.add(std::make_unique<PipeliningPass>(Opts.Machine, FA));
+    FPM.add(std::make_unique<PipeliningPass>(Opts.Machine, FA,
+                                             Opts.ExactPipelining,
+                                             Opts.ExactPipeline, PipeLog));
   if (Opts.GlobalScheduling) {
     GlobalScheduleOptions GS;
     GS.Profile = Opts.Profile;
@@ -204,6 +207,13 @@ uint64_t vsc::optionsFingerprint(OptLevel L, const PipelineOptions &Opts) {
                  Opts.TrainInput != nullptr, Opts.TrainBattery != nullptr})
     Bits = (Bits << 1) | (B ? 1 : 0);
   Word(Bits);
+  // Exact pipelining changes bytes in Apply mode, and the budget knobs
+  // decide what Apply can find — fold them all in.
+  Word(static_cast<uint64_t>(Opts.ExactPipelining));
+  Word(Opts.ExactPipeline.NodeBudget);
+  Word(Opts.ExactPipeline.MaxStages);
+  Word(Opts.ExactPipeline.MaxBodyInstrs);
+  Word(Opts.ExactPipeline.MaxII);
   return H;
 }
 
@@ -296,7 +306,11 @@ void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
   ModulePassManager MPM(std::move(PI));
   if (L == OptLevel::Vliw && Opts.Inlining)
     MPM.add(std::make_unique<InlinePass>());
-  MPM.addFunctionPasses("optimize", buildFunctionPipeline(L, Opts), Threads);
+  PipelineLoopLog PipeLog;
+  PipelineLoopLog *PipeLogPtr =
+      Opts.ExactPipelining != ExactPipelineMode::Off ? &PipeLog : nullptr;
+  MPM.addFunctionPasses("optimize", buildFunctionPipeline(L, Opts, PipeLogPtr),
+                        Threads);
   if (Opts.AllocateRegisters) {
     FunctionPassManager RA;
     RA.add(std::make_unique<RegAllocPass>());
@@ -343,6 +357,11 @@ void vsc::optimize(Module &M, OptLevel L, const PipelineOptions &Opts) {
     Opts.Stats->AnalysisHits += S.Hits;
     Opts.Stats->AnalysisMisses += S.Misses;
     Opts.Stats->PdfLayoutKept = PdfKept;
+    if (PipeLogPtr) {
+      std::vector<LoopPipelineRecord> Loops = PipeLog.sorted();
+      for (LoopPipelineRecord &R : Loops)
+        Opts.Stats->PipelineLoops.push_back(std::move(R));
+    }
     for (const auto &E : Audit.aliasQueryLog()) {
       auto It = std::find_if(
           Opts.Stats->AliasQueriesByStage.begin(),

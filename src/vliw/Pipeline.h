@@ -27,6 +27,7 @@
 #include "ir/Module.h"
 #include "machine/MachineModel.h"
 #include "oracle/ExecOracle.h"
+#include "pipelining/ExactPipeliner.h"
 #include "sim/Simulator.h"
 
 #include <functional>
@@ -53,6 +54,10 @@ struct PipelineStats {
   /// enabled). Per-function checkpoint names "pass(fn)" are merged under
   /// the bare pass name; bench_audit_overhead prints the table.
   std::vector<std::pair<std::string, AliasQueryCounters>> AliasQueriesByStage;
+  /// One record per chain-shaped innermost loop the pipelining pass
+  /// attempted, sorted by (function, header) — byte-identical at every
+  /// thread count. Empty unless ExactPipelining != Off.
+  std::vector<LoopPipelineRecord> PipelineLoops;
 };
 
 struct PipelineOptions {
@@ -102,6 +107,15 @@ struct PipelineOptions {
   /// to the purely syntactic per-instruction MemRegion comparison; this is
   /// the ablation axis bench_alias measures.
   bool FlowSensitiveAlias = true;
+  /// Exact software pipelining (pipelining/ExactPipeliner.h). Grade runs
+  /// the branch-and-bound modulo scheduler as a per-loop oracle and only
+  /// records achieved-II vs. min-II vs. exact-II into Stats->PipelineLoops;
+  /// Apply additionally substitutes the exact kernel when it strictly
+  /// beats the heuristic's steady state. Requires Pipelining.
+  ExactPipelineMode ExactPipelining = ExactPipelineMode::Off;
+  /// Budget knobs for the exact search. Folded into optionsFingerprint
+  /// (they change Apply-mode output bytes).
+  ExactPipelinerOptions ExactPipeline;
   /// Dynamically validate NoAlias claims (audit/AliasAudit.h): the claims
   /// the pipeline's own disambiguation queries issue are collected during
   /// the run, and an "alias-audit" module pass (before renumbering, since

@@ -651,17 +651,122 @@ void restoreChain(const ChainSnapshot &S,
   PH->instrs() = S.Preheader;
 }
 
-/// Pipelines one loop; \returns rotations kept. \p AA is consulted only
-/// for the rotation candidate's speculative-load safety: the candidate is
-/// still at its original position when queried (its recorded location is
-/// valid), and nothing executes between the latch bottom and the header
-/// top, so a location that is exact at the header top holds at the
-/// rotated position too. Post-rotation scheduling runs without AA — a
-/// moved instruction's recorded facts describe its old program point.
+/// Flattens the chain's instructions (terminators included) in layout
+/// order — the body shape pipelining/MinII.h's dependence graph and the
+/// exact scheduler's cycle vector are indexed by.
+std::vector<Instr> flattenChain(const std::vector<BasicBlock *> &Chain) {
+  std::vector<Instr> Body;
+  for (BasicBlock *BB : Chain)
+    for (const Instr &I : BB->instrs())
+      Body.push_back(I);
+  return Body;
+}
+
+/// Emits the exact schedule: each block's non-terminator prefix is
+/// reordered by (exact cycle, original index). Every intra-iteration
+/// dependence edge i -> j forces cycle(j) >= cycle(i), and the stable tie
+/// break keeps the original order at equal cycles, so any dependent pair
+/// keeps its relative order — the permutation is dependence-safe by
+/// construction of the schedule.
+void reorderByExactCycles(const std::vector<BasicBlock *> &Chain,
+                          const std::vector<unsigned> &Cycle) {
+  size_t Base = 0;
+  for (BasicBlock *BB : Chain) {
+    size_t N = BB->firstTerminatorIdx();
+    std::vector<unsigned> Idx(N);
+    for (size_t I = 0; I != N; ++I)
+      Idx[I] = static_cast<unsigned>(I);
+    std::stable_sort(Idx.begin(), Idx.end(), [&](unsigned A, unsigned B) {
+      return Cycle[Base + A] < Cycle[Base + B];
+    });
+    std::vector<Instr> NewIns;
+    NewIns.reserve(BB->size());
+    for (unsigned I : Idx)
+      NewIns.push_back(std::move(BB->instrs()[I]));
+    for (size_t I = N; I != BB->size(); ++I)
+      NewIns.push_back(std::move(BB->instrs()[I]));
+    BB->instrs() = std::move(NewIns);
+    Base += BB->size();
+  }
+}
+
+/// One rotation attempt: legality-checks the header-top operation against
+/// the CURRENT state (liveness and alias facts come fresh from \p FA), and
+/// on success moves it to the latch bottom with a preheader copy,
+/// reschedules the chain and reports the new steady-state estimate in
+/// \p Now. \returns false (chain untouched) when no legal rotation exists.
+/// The caller decides keep vs. restore through \p Snap and owns the cache
+/// invalidation of a kept rotation. AA is fetched per attempt, so a moved
+/// instruction is always queried against facts for its current position.
+bool tryRotate(Function &F, const MachineModel &MM, const Module &M,
+               const std::vector<BasicBlock *> &Chain, BasicBlock *PH,
+               const std::vector<BasicBlock *> &TailExitTargets,
+               bool FlowAlias, FunctionAnalyses &FA, ChainSnapshot &Snap,
+               unsigned &Now) {
+  BasicBlock *Header = Chain.front();
+  if (Header->firstTerminatorIdx() == 0)
+    return false;
+  const Instr &Cand = Header->instrs().front();
+  const AliasAnalysis *AA = FlowAlias ? &FA.aliasAnalysis() : nullptr;
+  bool Safe = Cand.isSafeToSpeculate() ||
+              (Cand.isLoad() && (AA ? AA->safeSpeculativeLoad(Cand, &M)
+                                    : isSafeSpeculativeLoad(Cand, &M)));
+  if (!Safe)
+    return false;
+  // Single definition of each dest within the body.
+  std::vector<Reg> Defs, Tmp;
+  Cand.collectDefs(Defs);
+  for (Reg D : Defs) {
+    unsigned N = 0;
+    for (BasicBlock *BB : Chain)
+      for (const Instr &I : BB->instrs()) {
+        Tmp.clear();
+        I.collectDefs(Tmp);
+        if (std::find(Tmp.begin(), Tmp.end(), D) != Tmp.end())
+          ++N;
+      }
+    if (N != 1)
+      return false;
+  }
+  // Destinations dead at the tail exits (the rotated op runs once more
+  // than the original on the final traversal).
+  {
+    const Liveness &Live = FA.liveness();
+    for (BasicBlock *T : TailExitTargets)
+      for (Reg D : Defs)
+        if (Live.isLiveIn(T, D))
+          return false;
+  }
+
+  Snap = snapshotChain(Chain, PH);
+
+  // Rotate: header top -> latch bottom + preheader copy.
+  Instr Rotated = Cand;
+  Header->instrs().erase(Header->instrs().begin());
+  BasicBlock *Latch = Chain.back();
+  Latch->instrs().insert(Latch->instrs().begin() +
+                             static_cast<long>(Latch->firstTerminatorIdx()),
+                         Rotated);
+  Instr PreCopy = Rotated;
+  F.assignId(PreCopy);
+  PH->instrs().insert(PH->instrs().begin() +
+                          static_cast<long>(PH->firstTerminatorIdx()),
+                      std::move(PreCopy));
+
+  for (BasicBlock *BB : Chain)
+    scheduleBlock(*BB, MM);
+  Now = estimateSteadyStateCycles(Chain, MM);
+  return true;
+}
+
+/// Pipelines one loop; \returns rotations the greedy heuristic kept. With
+/// PO.Exact != Off the loop is additionally graded against the exact
+/// modulo scheduler (and, in Apply mode, replaced by an exact-guided
+/// kernel when that strictly improves the steady-state estimate).
 unsigned pipelineLoop(Function &F, const MachineModel &MM, const Module &M,
-                      Loop &L, unsigned MaxRotations,
-                      const AliasAnalysis *AA) {
-  Cfg G(F);
+                      Loop &L, const PipelineLoopOptions &PO,
+                      FunctionAnalyses &FA) {
+  const Cfg &G = FA.cfg();
   std::vector<BasicBlock *> Chain = loopChain(G, L);
   if (Chain.empty())
     return 0;
@@ -669,106 +774,138 @@ unsigned pipelineLoop(Function &F, const MachineModel &MM, const Module &M,
   for (BasicBlock *Latch : L.Latches)
     if (Latch != Chain.back())
       return 0;
-  BasicBlock *PH = ensurePreheader(F, G, L);
-
-  // Exit edges leaving from the chain tail (the rotated op executes before
-  // these; its destinations must be dead there).
-  Cfg G2(F);
+  // Everything needed from L and G is captured up front: the first
+  // analysis fetch after ensurePreheader's epoch bump drops the cached
+  // LoopInfo that owns L (the block pointers themselves are stable, and
+  // preheader insertion leaves the latch's successors alone).
+  const std::string HeaderLabel = Chain.front()->label();
   std::vector<BasicBlock *> TailExitTargets;
-  for (const CfgEdge &E : G2.succs(Chain.back()))
+  for (const CfgEdge &E : G.succs(Chain.back()))
     if (!L.contains(E.To))
       TailExitTargets.push_back(E.To);
+
+  const bool Exact = PO.Exact != ExactPipelineMode::Off;
+  LoopMinII MinRec;
+  LoopDepGraph DepGraph;
+  std::vector<Instr> OrigBody;
+  if (Exact) {
+    if (const LoopMinII *R =
+            FA.minII(MM, PO.FlowAlias).forHeader(HeaderLabel))
+      MinRec = *R;
+    OrigBody = flattenChain(Chain);
+    if (MinRec.Modeled && OrigBody.size() <= PO.ExactOpts.MaxBodyInstrs)
+      DepGraph = buildLoopDepGraph(
+          OrigBody, MM, PO.FlowAlias ? &FA.aliasAnalysis() : nullptr);
+  }
+
+  BasicBlock *PH = ensurePreheader(F, G, L);
+  ChainSnapshot OrigSnap;
+  if (Exact)
+    OrigSnap = snapshotChain(Chain, PH);
 
   for (BasicBlock *BB : Chain)
     scheduleBlock(*BB, MM);
   unsigned Best = estimateSteadyStateCycles(Chain, MM);
 
   unsigned Kept = 0;
-  std::vector<Reg> Defs;
-  for (unsigned Rot = 0; Rot != MaxRotations; ++Rot) {
-    BasicBlock *Header = Chain.front();
-    if (Header->firstTerminatorIdx() == 0)
+  for (unsigned Rot = 0; Rot != PO.MaxRotations; ++Rot) {
+    ChainSnapshot Snap;
+    unsigned Now = 0;
+    if (!tryRotate(F, MM, M, Chain, PH, TailExitTargets, PO.FlowAlias, FA,
+                   Snap, Now))
       break;
-    const Instr &Cand = Header->instrs().front();
-    bool Safe = Cand.isSafeToSpeculate() ||
-                (Cand.isLoad() &&
-                 (AA ? AA->safeSpeculativeLoad(Cand, &M)
-                     : isSafeSpeculativeLoad(Cand, &M)));
-    if (!Safe)
-      break;
-    // Single definition of each dest within the body.
-    Defs.clear();
-    Cand.collectDefs(Defs);
-    bool SingleDef = true;
-    std::vector<Reg> Tmp;
-    for (Reg D : Defs) {
-      unsigned N = 0;
-      for (BasicBlock *BB : Chain)
-        for (const Instr &I : BB->instrs()) {
-          Tmp.clear();
-          I.collectDefs(Tmp);
-          if (std::find(Tmp.begin(), Tmp.end(), D) != Tmp.end())
-            ++N;
-        }
-      if (N != 1)
-        SingleDef = false;
-    }
-    if (!SingleDef)
-      break;
-    // Destinations dead at the tail exits (the rotated op runs once more
-    // than the original on the final traversal).
-    {
-      RegUniverse U(F);
-      Cfg G3(F);
-      Liveness Live(G3, U);
-      bool Dead = true;
-      for (BasicBlock *T : TailExitTargets)
-        for (Reg D : Defs)
-          if (Live.isLiveIn(T, D))
-            Dead = false;
-      if (!Dead)
-        break;
-    }
-
-    ChainSnapshot Snap = snapshotChain(Chain, PH);
-
-    // Rotate: header top -> latch bottom + preheader copy.
-    Instr Rotated = Cand;
-    Header->instrs().erase(Header->instrs().begin());
-    BasicBlock *Latch = Chain.back();
-    Latch->instrs().insert(Latch->instrs().begin() +
-                               static_cast<long>(Latch->firstTerminatorIdx()),
-                           Rotated);
-    Instr PreCopy = Rotated;
-    F.assignId(PreCopy);
-    PH->instrs().insert(PH->instrs().begin() +
-                            static_cast<long>(PH->firstTerminatorIdx()),
-                        std::move(PreCopy));
-
-    for (BasicBlock *BB : Chain)
-      scheduleBlock(*BB, MM);
-    unsigned Now = estimateSteadyStateCycles(Chain, MM);
     if (Now >= Best) {
       restoreChain(Snap, Chain, PH);
       break;
     }
     Best = Now;
     ++Kept;
+    // Instruction motion with no block edit: the epoch cannot catch it.
+    FA.invalidateAll();
   }
+
+  if (!Exact)
+    return Kept;
+
+  LoopPipelineRecord Rec;
+  Rec.Function = F.name();
+  Rec.Header = HeaderLabel;
+  Rec.BodyInstrs =
+      MinRec.Modeled ? MinRec.BodyInstrs : static_cast<unsigned>(OrigBody.size());
+  Rec.ResMII = MinRec.ResMII;
+  Rec.RecMII = MinRec.RecMII;
+  Rec.HeuristicII = Best;
+  Rec.Rotations = Kept;
+  Rec.AchievedII = Best;
+
+  // The exact sweep is capped at the heuristic's achieved II: the engine's
+  // steady state induces a valid modulo schedule, so anything the search
+  // finds at a lower II is a genuine gap, and finding one AT the cap
+  // proves the heuristic optimal (gap 0).
+  if (MinRec.Modeled && !OrigBody.empty() &&
+      OrigBody.size() <= PO.ExactOpts.MaxBodyInstrs &&
+      MinRec.minII() <= Best) {
+    ExactSchedule ES = exactScheduleLoop(OrigBody, DepGraph, MM,
+                                         MinRec.minII(), Best, PO.ExactOpts);
+    Rec.ExactII = ES.II;
+    Rec.Verdict = ES.Verdict;
+    Rec.NodesExplored = ES.NodesExplored;
+
+    if (PO.Exact == ExactPipelineMode::Apply && ES.II != 0 && ES.II < Best) {
+      unsigned BestII = Best;
+      ChainSnapshot BestSnap = snapshotChain(Chain, PH);
+      // Candidate 1: emit the exact order — restore the pre-heuristic
+      // body and lay each block out by exact cycles.
+      restoreChain(OrigSnap, Chain, PH);
+      reorderByExactCycles(Chain, ES.Cycle);
+      unsigned NowA = estimateSteadyStateCycles(Chain, MM);
+      if (NowA < BestII) {
+        BestII = NowA;
+        BestSnap = snapshotChain(Chain, PH);
+        Rec.Applied = true;
+      }
+      restoreChain(BestSnap, Chain, PH);
+      FA.invalidateAll();
+      // Candidate 2: rotation lookahead through the existing rotation
+      // machinery — unlike the greedy loop, a non-improving rotation is
+      // kept as the starting point of the next one; the best state seen
+      // is what gets installed.
+      for (unsigned Rot = 0; Rot != PO.MaxRotations; ++Rot) {
+        ChainSnapshot Snap;
+        unsigned Now = 0;
+        if (!tryRotate(F, MM, M, Chain, PH, TailExitTargets, PO.FlowAlias,
+                       FA, Snap, Now))
+          break;
+        FA.invalidateAll();
+        if (Now < BestII) {
+          BestII = Now;
+          BestSnap = snapshotChain(Chain, PH);
+          Rec.Applied = true;
+        }
+      }
+      restoreChain(BestSnap, Chain, PH);
+      FA.invalidateAll();
+      Rec.AchievedII = BestII;
+    }
+  }
+  if (PO.Records)
+    PO.Records->push_back(std::move(Rec));
   return Kept;
 }
 
 } // namespace
 
 unsigned vsc::pipelineInnermostLoops(Function &F, const MachineModel &MM,
-                                     const Module &M, unsigned MaxRotations,
-                                     FunctionAnalyses &FA, bool FlowAlias) {
+                                     const Module &M,
+                                     const PipelineLoopOptions &Opts,
+                                     FunctionAnalyses &FA) {
   unsigned Total = 0;
   std::unordered_set<std::string> Done;
   for (unsigned Guard = 0; Guard < 32; ++Guard) {
-    // Loop discovery reads the cache; when pipelineLoop creates a
-    // preheader the CFG epoch bump refreshes it automatically, and kept
-    // rotations (instruction motion with no block edit) invalidate below.
+    // Loop discovery reads the shared cache (no more throwaway
+    // Cfg/Dominators per loop): when pipelineLoop creates a preheader the
+    // CFG epoch bump refreshes it automatically, and instruction-only
+    // motion invalidates explicitly inside pipelineLoop.
     Loop *Todo = nullptr;
     for (Loop *L : FA.loops().innermostLoops())
       if (!Done.count(L->Header->label())) {
@@ -778,13 +915,18 @@ unsigned vsc::pipelineInnermostLoops(Function &F, const MachineModel &MM,
     if (!Todo)
       break;
     Done.insert(Todo->Header->label());
-    const AliasAnalysis *AA = FlowAlias ? &FA.aliasAnalysis() : nullptr;
-    unsigned Kept = pipelineLoop(F, MM, M, *Todo, MaxRotations, AA);
-    if (Kept)
-      FA.invalidateAll();
-    Total += Kept;
+    Total += pipelineLoop(F, MM, M, *Todo, Opts, FA);
   }
   return Total;
+}
+
+unsigned vsc::pipelineInnermostLoops(Function &F, const MachineModel &MM,
+                                     const Module &M, unsigned MaxRotations,
+                                     FunctionAnalyses &FA, bool FlowAlias) {
+  PipelineLoopOptions Opts;
+  Opts.MaxRotations = MaxRotations;
+  Opts.FlowAlias = FlowAlias;
+  return pipelineInnermostLoops(F, MM, M, Opts, FA);
 }
 
 unsigned vsc::pipelineInnermostLoops(Function &F, const MachineModel &MM,

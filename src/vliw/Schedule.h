@@ -30,6 +30,7 @@
 
 #include "ir/Module.h"
 #include "machine/MachineModel.h"
+#include "pipelining/ExactPipeliner.h"
 #include "pm/Analysis.h"
 
 namespace vsc {
@@ -79,9 +80,33 @@ bool globalSchedule(Function &F, const MachineModel &MM, const Module &M,
 bool globalSchedule(Function &F, const MachineModel &MM, const Module &M,
                     const GlobalScheduleOptions &Opts, FunctionAnalyses &FA);
 
+struct PipelineLoopOptions {
+  /// Rotation attempts per loop for the greedy heuristic.
+  unsigned MaxRotations = 8;
+  /// Disambiguate through the cached flow-sensitive alias tier.
+  bool FlowAlias = true;
+  /// Exact software pipelining (pipelining/ExactPipeliner.h): Grade runs
+  /// the branch-and-bound scheduler as a pure oracle per loop; Apply
+  /// additionally substitutes an exact-guided kernel when its measured
+  /// steady-state II strictly beats the heuristic's (else the heuristic
+  /// result is kept untouched).
+  ExactPipelineMode Exact = ExactPipelineMode::Off;
+  ExactPipelinerOptions ExactOpts;
+  /// When non-null and Exact != Off, one LoopPipelineRecord is appended
+  /// per attempted chain-shaped innermost loop.
+  std::vector<LoopPipelineRecord> *Records = nullptr;
+};
+
 /// Software-pipelines every innermost chain-shaped loop of \p F by rotating
 /// operations across the back edge while the steady-state estimate
-/// improves. \returns the total number of rotations kept.
+/// improves; optionally grades the result against (or replaces it with)
+/// the exact modulo scheduler. \returns the total number of rotations
+/// kept. Loop discovery, liveness and alias queries all go through the
+/// shared analysis cache \p FA.
+unsigned pipelineInnermostLoops(Function &F, const MachineModel &MM,
+                                const Module &M,
+                                const PipelineLoopOptions &Opts,
+                                FunctionAnalyses &FA);
 unsigned pipelineInnermostLoops(Function &F, const MachineModel &MM,
                                 const Module &M, unsigned MaxRotations = 8);
 unsigned pipelineInnermostLoops(Function &F, const MachineModel &MM,

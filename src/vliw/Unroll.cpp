@@ -90,8 +90,8 @@ bool vsc::unrollLoop(Function &F, const Loop &L, unsigned Factor) {
   if (Factor > 1) {
     for (size_t BI = FirstIdx; BI != EndIdx; ++BI) {
       BasicBlock *BB = F.blocks()[BI].get();
-      for (size_t II = BB->firstTerminatorIdx(); II != BB->size(); ++II) {
-        Instr &I = BB->instrs()[II];
+      for (size_t Idx = BB->firstTerminatorIdx(); Idx != BB->size(); ++Idx) {
+        Instr &I = BB->instrs()[Idx];
         if (I.isBranch() && I.Target == L.Header->label())
           I.Target = CopyHeaderLabel[1];
       }

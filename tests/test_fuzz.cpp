@@ -76,6 +76,13 @@ PipelineOptions auditedOptions() {
   Opts.Audit = AuditLevel::Boundaries;
   Opts.Oracle = OracleLevel::Boundaries;
   Opts.AliasAudit = true;
+  // Grade (never Apply) the exact modulo scheduler on every fuzzed loop:
+  // pure observation, but it runs the min-II analysis and the
+  // branch-and-bound search over arbitrary generated loop shapes. The
+  // budget is lowered so pathological seeds cut over to BudgetExceeded
+  // instead of burning CI time.
+  Opts.ExactPipelining = ExactPipelineMode::Grade;
+  Opts.ExactPipeline.NodeBudget = 20000;
   return Opts;
 }
 
